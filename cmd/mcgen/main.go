@@ -1,0 +1,69 @@
+// Command mcgen draws Monte Carlo sampling points from one of the built-in
+// testbench circuits and writes the dataset as CSV (factors y0…yN-1 followed
+// by the metric columns). It is the "run the transistor-level simulator"
+// step of the paper's flow.
+//
+// Example:
+//
+//	mcgen -circuit opamp -n 600 -seed 1 > train.csv
+//	mcgen -circuit sram -rows 8 -cols 4 -n 200 > sram.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/circuit"
+	"repro/internal/mc"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		which   = flag.String("circuit", "opamp", "testbench: opamp|spiceopamp|sram|ringosc|synthetic")
+		n       = flag.Int("n", 100, "number of sampling points")
+		seed    = flag.Int64("seed", 1, "random seed")
+		stages  = flag.Int("stages", 5, "ring oscillator stages (odd)")
+		rows    = flag.Int("rows", 25, "SRAM array rows")
+		cols    = flag.Int("cols", 20, "SRAM array columns")
+		dim     = flag.Int("dim", 50, "synthetic: number of variables")
+		nnz     = flag.Int("nnz", 5, "synthetic: ground-truth sparsity")
+		deg     = flag.Int("degree", 2, "synthetic: ground-truth degree")
+		noise   = flag.Float64("noise", 0.01, "synthetic: observation noise sigma")
+		lhs     = flag.Bool("lhs", false, "use Latin hypercube sampling")
+		qmc     = flag.Bool("qmc", false, "use randomized Halton quasi-Monte Carlo sampling")
+		workers = flag.Int("workers", 0, "parallel simulator workers (0 = NumCPU)")
+	)
+	flag.Parse()
+
+	var sim circuit.Simulator
+	var err error
+	switch *which {
+	case "opamp":
+		sim, err = circuit.NewOpAmp()
+	case "spiceopamp":
+		sim, err = circuit.NewSpiceOpAmp()
+	case "ringosc":
+		sim, err = circuit.NewRingOscillator(*stages)
+	case "sram":
+		sim, err = circuit.NewSRAM(circuit.SRAMConfig{Rows: *rows, Cols: *cols})
+	case "synthetic":
+		sim, err = circuit.NewSynthetic(*seed, *dim, *deg, *nnz, *noise)
+	default:
+		log.Fatalf("mcgen: unknown circuit %q", *which)
+	}
+	if err != nil {
+		log.Fatalf("mcgen: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "mcgen: %s with %d variables, sampling %d points\n", *which, sim.Dim(), *n)
+	ds, err := mc.Sample(sim, *n, *seed, mc.Options{Workers: *workers, LatinHypercube: *lhs, Halton: *qmc})
+	if err != nil {
+		log.Fatalf("mcgen: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "mcgen: simulation took %v\n", ds.SimTime)
+	if err := ds.WriteCSV(os.Stdout); err != nil {
+		log.Fatalf("mcgen: %v", err)
+	}
+}

@@ -1,0 +1,121 @@
+// Command rsmfit fits a sparse response surface model to a CSV dataset
+// (as produced by mcgen): it selects the important basis functions with the
+// chosen solver, picks the sparsity level by cross-validation, and prints
+// the selected bases with their coefficients.
+//
+// Example:
+//
+//	mcgen -circuit opamp -n 600 -seed 1 > train.csv
+//	rsmfit -metric offset -solver omp -degree 1 < train.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/basis"
+	"repro/internal/core"
+	"repro/internal/mc"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		metric    = flag.String("metric", "", "metric column to model (default: first)")
+		solver    = flag.String("solver", "omp", "solver: omp|lar|lasso|star|cd|stomp")
+		degree    = flag.Int("degree", 1, "polynomial degree of the Hermite basis (1 or 2)")
+		folds     = flag.Int("folds", 4, "cross-validation folds")
+		maxLambda = flag.Int("lambda", 50, "maximum number of selected basis functions")
+		input     = flag.String("in", "-", "input CSV path (- for stdin)")
+		output    = flag.String("out", "", "write the fitted model as JSON to this path")
+	)
+	flag.Parse()
+
+	r := os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			log.Fatalf("rsmfit: %v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	ds, err := mc.ReadCSV(r)
+	if err != nil {
+		log.Fatalf("rsmfit: %v", err)
+	}
+	if ds.Len() == 0 {
+		log.Fatal("rsmfit: empty dataset")
+	}
+	name := *metric
+	if name == "" {
+		name = ds.Metrics[0]
+	}
+	f, err := ds.Metric(name)
+	if err != nil {
+		log.Fatalf("rsmfit: %v", err)
+	}
+
+	dim := len(ds.Points[0])
+	var b *basis.Basis
+	switch *degree {
+	case 1:
+		b = basis.Linear(dim)
+	case 2:
+		b = basis.Quadratic(dim)
+	default:
+		log.Fatalf("rsmfit: unsupported degree %d", *degree)
+	}
+
+	var fitter core.PathFitter
+	switch *solver {
+	case "omp":
+		fitter = &core.OMP{}
+	case "lar":
+		fitter = &core.LAR{}
+	case "lasso":
+		fitter = &core.LAR{Lasso: true}
+	case "star":
+		fitter = &core.STAR{}
+	case "cd":
+		fitter = &core.CD{Refit: true}
+	case "stomp":
+		fitter = &core.StOMP{}
+	default:
+		log.Fatalf("rsmfit: unknown solver %q", *solver)
+	}
+
+	d := basis.NewLazyDesign(b, ds.Points)
+	cv, err := core.CrossValidate(fitter, d, f, *folds, *maxLambda)
+	if err != nil {
+		log.Fatalf("rsmfit: %v", err)
+	}
+	model := cv.Model
+	pred := model.Predict(d)
+	trainErr := stats.RelativeRMSError(pred, f)
+
+	fmt.Printf("metric:          %s\n", name)
+	fmt.Printf("samples:         %d\n", ds.Len())
+	fmt.Printf("dictionary size: %d (degree-%d Hermite basis over %d variables)\n", b.Size(), *degree, dim)
+	fmt.Printf("solver:          %s, %d-fold CV\n", fitter.Name(), *folds)
+	fmt.Printf("selected λ:      %d (CV error %.3f%%)\n", cv.BestLambda, 100*cv.ErrCurve[cv.BestLambda-1])
+	fmt.Printf("training error:  %.3f%%\n\n", 100*trainErr)
+	fmt.Println("selected basis functions (selection order):")
+	for i, idx := range model.Support {
+		fmt.Printf("  %3d  %-24s % .6e\n", idx, b.Terms[idx].String(), model.Coef[i])
+	}
+	if *output != "" {
+		out, err := os.Create(*output)
+		if err != nil {
+			log.Fatalf("rsmfit: %v", err)
+		}
+		defer out.Close()
+		if err := model.WriteJSON(out); err != nil {
+			log.Fatalf("rsmfit: %v", err)
+		}
+		fmt.Printf("\nmodel written to %s\n", *output)
+	}
+}

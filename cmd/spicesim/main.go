@@ -1,0 +1,50 @@
+// Command spicesim runs a SPICE-style netlist deck through the built-in
+// circuit simulator: DC operating point, backward-Euler transient and
+// small-signal AC analyses.
+//
+// Example deck (see examples/netlists/ for more):
+//
+//	V1 in 0 PULSE(0 1 0 1n 1n 1 0)
+//	R1 in out 1k
+//	C1 out 0 1u
+//	.tran 5u 5m
+//	.print out
+//	.end
+//
+// Usage:
+//
+//	spicesim circuit.cir
+//	spicesim - < circuit.cir
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/spice"
+)
+
+func main() {
+	log.SetFlags(0)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: spicesim <netlist file | ->")
+	}
+	r := os.Stdin
+	if path := flag.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatalf("spicesim: %v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	nl, err := spice.ParseNetlist(r)
+	if err != nil {
+		log.Fatalf("spicesim: %v", err)
+	}
+	if err := nl.Run(os.Stdout); err != nil {
+		log.Fatalf("spicesim: %v", err)
+	}
+}

@@ -1,0 +1,76 @@
+// Adaptive sampling: answer the practical question the paper leaves open —
+// how many transistor-level simulations does an accurate model need? The
+// loop grows the training set geometrically, reuses every earlier
+// simulation, and stops when cross-validation says more samples no longer
+// help.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/basis"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/yield"
+)
+
+func main() {
+	// The transistor-level OpAmp: every sample is a DC + AC spice run.
+	amp, err := circuit.NewSpiceOpAmp()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dict := basis.Linear(amp.Dim())
+	fmt.Printf("transistor-level OpAmp: %d variation factors, M = %d\n\n", amp.Dim(), dict.Size())
+
+	// Model the input-referred offset (metric index 3).
+	fmt.Println("adaptive sampling (stop when CV error improves < 15% per doubling):")
+	res, err := exp.AdaptiveFit(amp, dict, &core.OMP{}, exp.AdaptiveConfig{
+		Metric:     3,
+		InitialK:   32,
+		MaxK:       512,
+		RelImprove: 0.15,
+		Folds:      4,
+		MaxLambda:  20,
+		Seed:       1,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstopped after %d simulations (converged: %v)\n", res.K, res.Converged)
+	fmt.Printf("rounds:\n")
+	for _, r := range res.Rounds {
+		fmt.Printf("  K=%-4d  cv-error=%6.2f%%  λ=%d\n", r.K, 100*r.CVError, r.Lambda)
+	}
+
+	// What the final model says about the circuit.
+	fmt.Printf("\noffset model: mean %.3g V, sigma %.3g V\n",
+		yield.ModelMean(res.Model, dict), yield.ModelStd(res.Model, dict))
+	sobol := yield.SobolTotal(res.Model, dict)
+	fmt.Println("top variance contributors (total Sobol indices):")
+	printed := 0
+	for printed < 4 {
+		best, bestV := -1, 0.0
+		for i, v := range sobol {
+			if v > bestV {
+				best, bestV = i, v
+			}
+		}
+		if best < 0 {
+			break
+		}
+		fmt.Printf("  %-28s %5.1f%%\n", amp.Space().FactorName(best), 100*bestV)
+		sobol[best] = 0
+		printed++
+	}
+	corner, worst := yield.WorstCaseCorner(res.Model, dict, 3, true, 10)
+	fmt.Printf("\n3σ worst-case offset: %.3g V (corner ‖ΔY‖ = 3)\n", worst)
+	_ = corner
+}

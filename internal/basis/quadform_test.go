@@ -1,0 +1,82 @@
+package basis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hermite"
+)
+
+func TestToQuadraticFormMatchesHermiteEvaluation(t *testing.T) {
+	// A model over Quadratic(4): pick one of each term kind and verify the
+	// raw polynomial evaluates identically to the Hermite expansion.
+	b := Quadratic(4)
+	var constIdx, linIdx, pureIdx, crossIdx int
+	for i, term := range b.Terms {
+		switch {
+		case term.Degree() == 0:
+			constIdx = i
+		case term.Degree() == 1 && term[0].Var == 2:
+			linIdx = i
+		case term.Degree() == 2 && len(term) == 1 && term[0].Var == 1:
+			pureIdx = i
+		case term.Degree() == 2 && len(term) == 2 && term[0].Var == 0 && term[1].Var == 3:
+			crossIdx = i
+		}
+	}
+	support := []int{constIdx, linIdx, pureIdx, crossIdx}
+	coef := []float64{2.5, -1.2, 0.8, 1.5}
+	q, err := ToQuadraticForm(b, support, coef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(41))
+	y := make([]float64, 4)
+	for trial := 0; trial < 50; trial++ {
+		for i := range y {
+			y[i] = r.NormFloat64()
+		}
+		want := 0.0
+		for i, idx := range support {
+			want += coef[i] * b.Eval(idx, y)
+		}
+		got := q.Eval(y)
+		if math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: quadratic form %g, Hermite %g", trial, got, want)
+		}
+	}
+	// Structural checks: H̃₂ contributes 1/√2 to y² and −1/√2 to the const.
+	if v := q.Quad[[2]int{1, 1}]; math.Abs(v-0.8/math.Sqrt2) > 1e-14 {
+		t.Errorf("y₁² coefficient %g, want %g", v, 0.8/math.Sqrt2)
+	}
+	if math.Abs(q.Const-(2.5-0.8/math.Sqrt2)) > 1e-14 {
+		t.Errorf("const %g, want %g", q.Const, 2.5-0.8/math.Sqrt2)
+	}
+	if v := q.Quad[[2]int{0, 3}]; v != 1.5 {
+		t.Errorf("cross coefficient %g, want 1.5", v)
+	}
+	if q.Linear[2] != -1.2 {
+		t.Errorf("linear coefficient %g, want -1.2", q.Linear[2])
+	}
+}
+
+func TestToQuadraticFormRejectsCubic(t *testing.T) {
+	b := New(2, []hermite.Term{{{Var: 0, Pow: 3}}})
+	if _, err := ToQuadraticForm(b, []int{0}, []float64{1}); err == nil {
+		t.Fatal("degree-3 term must error")
+	}
+}
+
+func TestToQuadraticFormSparsityPreserved(t *testing.T) {
+	b := Quadratic(50) // M = 1326
+	support := []int{0, 5, 100}
+	coef := []float64{1, 2, 3}
+	q, err := ToQuadraticForm(b, support, coef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Quad) > 2 {
+		t.Errorf("quadratic map has %d entries for a 3-term model", len(q.Quad))
+	}
+}

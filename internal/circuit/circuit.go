@@ -1,0 +1,32 @@
+// Package circuit provides the testbench circuits of the paper's Section V:
+// a two-stage operational amplifier (Fig. 3) with four performance metrics,
+// an SRAM read path (Fig. 5) with a read-delay metric, and a synthetic
+// benchmark with a known sparse ground truth for controlled experiments.
+//
+// Each testbench implements Simulator: a map from the independent
+// standard-normal variation factors ΔY (produced by internal/variation, the
+// stand-in for the paper's PCA-processed foundry data) to the performance
+// metrics f(ΔY). The OpAmp uses analytic small-signal equations; the SRAM
+// read path runs a transistor-level transient simulation with
+// internal/spice.
+package circuit
+
+import "fmt"
+
+// Simulator evaluates circuit performance metrics under process variation.
+type Simulator interface {
+	// Dim returns the number of independent variation factors N.
+	Dim() int
+	// Metrics names the performance outputs in order.
+	Metrics() []string
+	// Evaluate computes all metrics for one factor vector ΔY.
+	Evaluate(dy []float64) ([]float64, error)
+}
+
+// checkDim validates a factor vector length.
+func checkDim(got, want int) error {
+	if got != want {
+		return fmt.Errorf("circuit: factor vector length %d, want %d", got, want)
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/variation"
+)
+
+func newSpiceOpAmp(t *testing.T) *SpiceOpAmp {
+	t.Helper()
+	o, err := NewSpiceOpAmp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestSpiceOpAmpNominal(t *testing.T) {
+	o := newSpiceOpAmp(t)
+	m, err := o.Evaluate(make([]float64, o.Dim()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain, ugf, power, offset := m[0], m[1], m[2], m[3]
+	// Design targets: A0 in the thousands, GBW in the tens of MHz,
+	// power ≈ VDD·(Iref + I5 + I7) = 1.2·70µ ≈ 84µW.
+	if gain < 500 || gain > 50000 {
+		t.Errorf("nominal open-loop gain %g outside plausible range", gain)
+	}
+	if ugf < 1e6 || ugf > 1e9 {
+		t.Errorf("nominal unity-gain frequency %g outside plausible range", ugf)
+	}
+	if power < 30e-6 || power > 300e-6 {
+		t.Errorf("nominal power %g W outside plausible range", power)
+	}
+	if offset != 0 {
+		t.Errorf("nominal offset %g, want exactly 0 (self-referenced)", offset)
+	}
+}
+
+func TestSpiceOpAmpAgreesWithAnalyticTrends(t *testing.T) {
+	// The transistor-level bench must show the same directional
+	// sensitivities as the analytic model: input-pair VT mismatch moves
+	// offset; more compensation capacitance lowers bandwidth.
+	o := newSpiceOpAmp(t)
+	dim := o.Dim()
+	factor := func(name string) int {
+		for f := 0; f < dim; f++ {
+			if o.Space().FactorName(f) == name {
+				return f
+			}
+		}
+		t.Fatalf("factor %s not found", name)
+		return -1
+	}
+	base, err := o.Evaluate(make([]float64, dim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// +3σ on M1's VTH: offset must move by roughly the VT shift (≈ mV).
+	dy := make([]float64, dim)
+	dy[factor("local/M1/VTH")] = 3
+	m, err := o.Evaluate(dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m[3]-base[3]) < 1e-4 {
+		t.Errorf("input-pair VT shift moved offset only %g", m[3]-base[3])
+	}
+	// +3σ on the compensation cap: bandwidth must drop.
+	dy = make([]float64, dim)
+	dy[factor("local/W3/CWIRE")] = 3
+	m, err = o.Evaluate(dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[1] >= base[1] {
+		t.Errorf("larger Cc did not reduce bandwidth: %g → %g", base[1], m[1])
+	}
+	// A wire factor far from the signal path barely moves gain.
+	dy = make([]float64, dim)
+	dy[factor("local/W6/RWIRE")] = 3
+	m, err = o.Evaluate(dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(m[0]-base[0]) / base[0]; rel > 0.01 {
+		t.Errorf("feedback-leak wire moved gain by %.2f%%", 100*rel)
+	}
+}
+
+func TestSpiceOpAmpMonteCarlo(t *testing.T) {
+	o := newSpiceOpAmp(t)
+	src := rng.New(21)
+	const n = 10
+	cols := make([][]float64, 4)
+	dy := make([]float64, o.Dim())
+	for i := 0; i < n; i++ {
+		src.NormVec(dy, o.Dim())
+		m, err := o.Evaluate(dy)
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		for j, v := range m {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("metric %d is %g", j, v)
+			}
+			cols[j] = append(cols[j], v)
+		}
+	}
+	for j, name := range o.Metrics() {
+		if stats.StdDev(cols[j]) == 0 {
+			t.Errorf("%s shows no variability", name)
+		}
+	}
+}
+
+func TestSpiceOpAmpOffsetSigmaPlausible(t *testing.T) {
+	// Input-referred offset sigma should be on the order of the input-pair
+	// mismatch (a few mV), not volts.
+	o := newSpiceOpAmp(t)
+	src := rng.New(22)
+	var offs []float64
+	dy := make([]float64, o.Dim())
+	for i := 0; i < 12; i++ {
+		src.NormVec(dy, o.Dim())
+		m, err := o.Evaluate(dy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, m[3])
+	}
+	sd := stats.StdDev(offs)
+	if sd < 1e-4 || sd > 0.1 {
+		t.Errorf("offset sigma %g V outside plausible (0.1 mV, 100 mV)", sd)
+	}
+}
+
+func TestSpiceOpAmpDimSmallerThanAnalytic(t *testing.T) {
+	o := newSpiceOpAmp(t)
+	if o.Dim() != 52 {
+		t.Errorf("Dim = %d, want 52 (8+8 transistors ×2 + 8 wires ×2 + 4 globals)", o.Dim())
+	}
+	if len(o.Metrics()) != 4 {
+		t.Errorf("Metrics = %v", o.Metrics())
+	}
+	_ = variation.VTH
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/basis"
+	"repro/internal/linalg"
+)
+
+// Coherence returns the mutual coherence of the design matrix: the largest
+// absolute normalized inner product between two distinct columns,
+//
+//	µ(G) = max_{i≠j} |G_iᵀG_j| / (‖G_i‖·‖G_j‖).
+//
+// Mutual coherence is the standard compressed-sensing well-conditionedness
+// measure behind the paper's Section IV-B recovery guarantee (Tropp &
+// Gilbert): low coherence means random sampling kept the basis vectors
+// nearly orthogonal, so OMP can identify the true support from K ≪ M
+// samples. It costs O(K·M²) — use it as a diagnostic, not in solver loops.
+func Coherence(d basis.Design) float64 {
+	m := d.Cols()
+	if m < 2 {
+		return 0
+	}
+	cols := make([][]float64, m)
+	norms := make([]float64, m)
+	for j := 0; j < m; j++ {
+		cols[j] = d.Column(nil, j)
+		norms[j] = linalg.Norm2(cols[j])
+	}
+	max := 0.0
+	for i := 0; i < m; i++ {
+		if norms[i] == 0 {
+			continue
+		}
+		for j := i + 1; j < m; j++ {
+			if norms[j] == 0 {
+				continue
+			}
+			c := math.Abs(linalg.Dot(cols[i], cols[j])) / (norms[i] * norms[j])
+			if c > max {
+				max = c
+			}
+		}
+	}
+	return max
+}
+
+// GramConditionEstimate returns the 2-norm condition number of the
+// normalized Gram matrix of the given support columns, estimated by power
+// iteration on the Gram and its inverse (via Cholesky). It measures how
+// well-posed the active-set least-squares problem of Algorithm 1 Step 6 is.
+func GramConditionEstimate(d basis.Design, support []int) (float64, error) {
+	p := len(support)
+	if p == 0 {
+		return 1, nil
+	}
+	cols := make([][]float64, p)
+	for i, idx := range support {
+		c := d.Column(nil, idx)
+		n := linalg.Norm2(c)
+		if n > 0 {
+			linalg.Scale(1/n, c)
+		}
+		cols[i] = c
+	}
+	gram := linalg.NewMatrix(p, p)
+	for i := 0; i < p; i++ {
+		for j := i; j < p; j++ {
+			v := linalg.Dot(cols[i], cols[j])
+			gram.Set(i, j, v)
+			gram.Set(j, i, v)
+		}
+	}
+	chol, err := linalg.CholeskyFactor(gram)
+	if err != nil {
+		return math.Inf(1), nil // singular active set
+	}
+	// Power iteration for λ_max and, via solves, λ_min.
+	x := make([]float64, p)
+	for i := range x {
+		x[i] = 1 / math.Sqrt(float64(p))
+	}
+	lmax := 0.0
+	for it := 0; it < 100; it++ {
+		y := gram.MulVec(nil, x)
+		n := linalg.Norm2(y)
+		if n == 0 {
+			break
+		}
+		linalg.Scale(1/n, y)
+		copy(x, y)
+		lmax = n
+	}
+	for i := range x {
+		x[i] = 1 / math.Sqrt(float64(p))
+	}
+	linvMax := 0.0
+	for it := 0; it < 100; it++ {
+		y, err := chol.Solve(x)
+		if err != nil {
+			return math.Inf(1), nil
+		}
+		n := linalg.Norm2(y)
+		if n == 0 {
+			break
+		}
+		linalg.Scale(1/n, y)
+		copy(x, y)
+		linvMax = n
+	}
+	if linvMax == 0 {
+		return math.Inf(1), nil
+	}
+	return lmax * linvMax, nil
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/basis"
+	"repro/internal/linalg"
+)
+
+func TestCoherenceOrthogonalColumns(t *testing.T) {
+	g := linalg.NewMatrixFrom([][]float64{
+		{1, 0, 0},
+		{0, 1, 0},
+		{0, 0, 1},
+	})
+	if c := Coherence(basis.DenseDesignFromMatrix(g)); c != 0 {
+		t.Errorf("coherence of orthogonal columns = %g, want 0", c)
+	}
+}
+
+func TestCoherenceDuplicateColumns(t *testing.T) {
+	g := linalg.NewMatrixFrom([][]float64{
+		{1, 2, 0.3},
+		{2, 4, -0.1},
+		{3, 6, 0.5},
+	})
+	if c := Coherence(basis.DenseDesignFromMatrix(g)); math.Abs(c-1) > 1e-12 {
+		t.Errorf("coherence with duplicated column = %g, want 1", c)
+	}
+}
+
+func TestCoherenceKnownAngle(t *testing.T) {
+	// Two unit columns at 60°: coherence = cos 60° = 0.5.
+	g := linalg.NewMatrixFrom([][]float64{
+		{1, 0.5},
+		{0, math.Sqrt(3) / 2},
+	})
+	if c := Coherence(basis.DenseDesignFromMatrix(g)); math.Abs(c-0.5) > 1e-12 {
+		t.Errorf("coherence = %g, want 0.5", c)
+	}
+}
+
+func TestCoherenceDecreasesWithSamples(t *testing.T) {
+	// More Monte Carlo samples → basis vectors closer to orthogonal →
+	// lower coherence. This is why K = O(P·log M) works (Section IV-B).
+	_, dSmall, _, _ := synthProblem(100, 30, 40, false, []int{0}, []float64{1}, 0)
+	_, dLarge, _, _ := synthProblem(100, 30, 640, false, []int{0}, []float64{1}, 0)
+	cs, cl := Coherence(dSmall), Coherence(dLarge)
+	if cl >= cs {
+		t.Errorf("coherence did not shrink with samples: K=40 → %g, K=640 → %g", cs, cl)
+	}
+	if cl > 0.3 {
+		t.Errorf("coherence at K=640 is %g, expected well below 0.3", cl)
+	}
+}
+
+func TestCoherenceSingleColumn(t *testing.T) {
+	g := linalg.NewMatrixFrom([][]float64{{1}, {2}})
+	if c := Coherence(basis.DenseDesignFromMatrix(g)); c != 0 {
+		t.Errorf("single column coherence = %g, want 0", c)
+	}
+}
+
+func TestGramConditionIdentity(t *testing.T) {
+	g := linalg.NewMatrixFrom([][]float64{
+		{1, 0},
+		{0, 1},
+		{0, 0},
+	})
+	cond, err := GramConditionEstimate(basis.DenseDesignFromMatrix(g), []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cond-1) > 1e-9 {
+		t.Errorf("condition of orthonormal support = %g, want 1", cond)
+	}
+}
+
+func TestGramConditionNearlyDependent(t *testing.T) {
+	// Two nearly parallel columns: condition number blows up.
+	eps := 1e-4
+	g := linalg.NewMatrixFrom([][]float64{
+		{1, 1},
+		{0, eps},
+	})
+	cond, err := GramConditionEstimate(basis.DenseDesignFromMatrix(g), []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cond < 1e6 {
+		t.Errorf("condition = %g, want ≫ 1e6 for nearly parallel columns", cond)
+	}
+}
+
+func TestGramConditionEmptySupport(t *testing.T) {
+	g := linalg.NewMatrixFrom([][]float64{{1}})
+	cond, err := GramConditionEstimate(basis.DenseDesignFromMatrix(g), nil)
+	if err != nil || cond != 1 {
+		t.Errorf("empty support: cond=%g err=%v, want 1, nil", cond, err)
+	}
+}
+
+func TestGramConditionSingular(t *testing.T) {
+	g := linalg.NewMatrixFrom([][]float64{
+		{1, 1},
+		{2, 2},
+	})
+	cond, err := GramConditionEstimate(basis.DenseDesignFromMatrix(g), []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(cond, 1) {
+		t.Errorf("condition of singular support = %g, want +Inf", cond)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCrossValidationFoldsPartition(t *testing.T) {
+	// Fig. 2 reproduction: Q-fold CV must put every sample in exactly one
+	// test fold and Q−1 training folds. We verify through the fold geometry
+	// used by CrossValidate (interleaved assignment).
+	const k, q = 23, 4
+	seen := make([]int, k)
+	for fold := 0; fold < q; fold++ {
+		for i := 0; i < k; i++ {
+			if i%q == fold {
+				seen[i]++
+			}
+		}
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Errorf("sample %d appears in %d test folds, want 1", i, c)
+		}
+	}
+}
+
+func TestCrossValidationFindsTrueSparsity(t *testing.T) {
+	// Noisy 3-sparse signal: the CV error curve should bottom out at or near
+	// λ=3 and the final model must contain the true support.
+	support := []int{4, 15, 33}
+	coefs := []float64{2, -1.5, 1}
+	_, d, f, _ := synthProblem(70, 40, 160, false, support, coefs, 0.05)
+
+	res, err := CrossValidate(&OMP{}, d, f, 4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestLambda < 3 || res.BestLambda > 6 {
+		t.Errorf("BestLambda = %d, want ≈3 (curve %v)", res.BestLambda, res.ErrCurve)
+	}
+	got := make(map[int]bool)
+	for _, s := range res.Model.Support {
+		got[s] = true
+	}
+	for _, s := range support {
+		if !got[s] {
+			t.Errorf("true basis %d missing from CV model support %v", s, res.Model.Support)
+		}
+	}
+}
+
+func TestCrossValidationErrCurveShape(t *testing.T) {
+	// With strong noise the error curve must eventually rise again
+	// (over-fitting past the true sparsity) — the trade-off of Section III.
+	support := []int{2, 9}
+	coefs := []float64{3, -2}
+	_, d, f, _ := synthProblem(71, 30, 90, false, support, coefs, 0.4)
+	res, err := CrossValidate(&OMP{}, d, f, 4, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minErr, maxLaterErr := math.Inf(1), 0.0
+	minAt := 0
+	for i, e := range res.ErrCurve {
+		if e < minErr {
+			minErr, minAt = e, i
+		}
+	}
+	for i := minAt + 1; i < len(res.ErrCurve); i++ {
+		if res.ErrCurve[i] > maxLaterErr {
+			maxLaterErr = res.ErrCurve[i]
+		}
+	}
+	if maxLaterErr <= minErr {
+		t.Errorf("CV curve never rises after its minimum (min %g, later max %g): over-fitting undetected", minErr, maxLaterErr)
+	}
+}
+
+func TestCrossValidationFoldErrDimensions(t *testing.T) {
+	_, d, f, _ := synthProblem(72, 10, 40, false, []int{1}, []float64{1}, 0.1)
+	res, err := CrossValidate(&OMP{}, d, f, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldErr) != 5 {
+		t.Fatalf("FoldErr has %d folds, want 5", len(res.FoldErr))
+	}
+	for q, fe := range res.FoldErr {
+		if len(fe) != 6 {
+			t.Errorf("fold %d has %d λ entries, want 6", q, len(fe))
+		}
+	}
+	// ErrCurve must be the fold average.
+	for lam := 0; lam < 6; lam++ {
+		sum := 0.0
+		for q := 0; q < 5; q++ {
+			sum += res.FoldErr[q][lam]
+		}
+		if math.Abs(res.ErrCurve[lam]-sum/5) > 1e-12 {
+			t.Errorf("ErrCurve[%d] = %g, want fold mean %g", lam, res.ErrCurve[lam], sum/5)
+		}
+	}
+}
+
+func TestCrossValidationInputValidation(t *testing.T) {
+	_, d, f, _ := synthProblem(73, 5, 12, false, []int{0}, []float64{1}, 0)
+	if _, err := CrossValidate(&OMP{}, d, f, 1, 3); err == nil {
+		t.Error("folds < 2 must error")
+	}
+	if _, err := CrossValidate(&OMP{}, d, f, 13, 3); err == nil {
+		t.Error("folds > samples must error")
+	}
+	if _, err := CrossValidate(&OMP{}, d, f, 4, 0); err == nil {
+		t.Error("maxLambda < 1 must error")
+	}
+}
+
+func TestCrossValidationWorksWithAllPathFitters(t *testing.T) {
+	support := []int{3, 11}
+	coefs := []float64{2, -1}
+	_, d, f, _ := synthProblem(74, 25, 100, false, support, coefs, 0.05)
+	for _, fitter := range []PathFitter{&OMP{}, &STAR{}, &LAR{}, &LAR{Lasso: true, Refit: true}} {
+		res, err := CrossValidate(fitter, d, f, 4, 8)
+		if err != nil {
+			t.Errorf("%s: %v", fitter.Name(), err)
+			continue
+		}
+		got := make(map[int]bool)
+		for _, s := range res.Model.Support {
+			got[s] = true
+		}
+		if !got[3] || !got[11] {
+			t.Errorf("%s: CV model support %v misses the true support", fitter.Name(), res.Model.Support)
+		}
+	}
+}

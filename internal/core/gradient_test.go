@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/basis"
+)
+
+func TestModelGradientFiniteDifference(t *testing.T) {
+	b := basis.Quadratic(5)
+	m := &Model{
+		M:       b.Size(),
+		Support: []int{0, 2, 7, 12},
+		Coef:    []float64{1.5, -2, 0.7, 1.1},
+	}
+	r := rand.New(rand.NewSource(44))
+	const h = 1e-6
+	y := make([]float64, 5)
+	for trial := 0; trial < 20; trial++ {
+		for i := range y {
+			y[i] = r.NormFloat64()
+		}
+		grad := m.Gradient(b, nil, y)
+		for v := 0; v < 5; v++ {
+			yp := append([]float64(nil), y...)
+			ym := append([]float64(nil), y...)
+			yp[v] += h
+			ym[v] -= h
+			fd := (m.PredictPoint(b, yp) - m.PredictPoint(b, ym)) / (2 * h)
+			if math.Abs(grad[v]-fd) > 1e-5*(1+math.Abs(fd)) {
+				t.Errorf("∂f/∂y%d = %g, finite difference %g", v, grad[v], fd)
+			}
+		}
+	}
+}
+
+func TestModelGradientLinearModel(t *testing.T) {
+	// For a linear model the gradient is the coefficient vector everywhere.
+	b := basis.Linear(4)
+	m := &Model{M: b.Size(), Support: []int{1, 3}, Coef: []float64{2, -0.5}}
+	grad := m.Gradient(b, nil, []float64{9, 9, 9, 9})
+	want := []float64{2, 0, -0.5, 0}
+	for i := range want {
+		if math.Abs(grad[i]-want[i]) > 1e-14 {
+			t.Errorf("grad[%d] = %g, want %g", i, grad[i], want[i])
+		}
+	}
+}
+
+func TestModelGradientValidation(t *testing.T) {
+	b := basis.Linear(3)
+	m := &Model{M: 99}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Gradient(b, nil, []float64{1, 2, 3})
+}

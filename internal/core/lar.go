@@ -1,0 +1,268 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/basis"
+	"repro/internal/linalg"
+)
+
+// LAR is the least angle regression solver of the DAC'09 paper [2] (Efron,
+// Hastie, Johnstone & Tibshirani [16]). It relaxes the L0 constraint of
+// eq. (11) into an L1 penalty and walks the piecewise-linear solution path:
+// at each breakpoint the coefficient vector moves along the equiangular
+// direction of the active basis vectors until an inactive vector reaches the
+// same absolute correlation with the residual.
+//
+// Columns are normalized to unit Euclidean norm internally (the basis
+// functions are orthonormal in expectation, but their Monte Carlo basis
+// vectors are not), and coefficients are rescaled back on output.
+type LAR struct {
+	// Lasso enables the lasso modification: a coefficient whose sign would
+	// flip is removed from the active set at the crossing point, yielding
+	// the exact L1-penalized path rather than plain LARS.
+	Lasso bool
+	// Refit re-solves an unpenalized least-squares fit on each model's
+	// support, removing the L1 shrinkage from the reported coefficients.
+	Refit bool
+	// Tol stops the path early once the relative residual falls below it.
+	Tol float64
+}
+
+// Name implements PathFitter.
+func (l *LAR) Name() string { return "LAR" }
+
+// Fit runs LAR until lambda basis functions are active.
+func (l *LAR) Fit(d basis.Design, f []float64, lambda int) (*Model, error) {
+	path, err := l.FitPath(d, f, lambda)
+	if err != nil {
+		return nil, err
+	}
+	return path.Models[len(path.Models)-1], nil
+}
+
+// larState carries the active set of the path walk.
+type larState struct {
+	support []int       // active basis indices, in entry order
+	cols    [][]float64 // normalized active columns
+	chol    *linalg.Cholesky
+}
+
+// rebuild refactorizes the active Gram matrix from scratch (used after a
+// lasso drop, which removes a column from the middle of the factor).
+func (st *larState) rebuild() error {
+	st.chol = linalg.NewCholesky()
+	for i, c := range st.cols {
+		cross := make([]float64, i)
+		for j := 0; j < i; j++ {
+			cross[j] = linalg.Dot(st.cols[j], c)
+		}
+		if err := st.chol.Append(cross, linalg.Dot(c, c)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FitPath implements PathFitter.
+func (l *LAR) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error) {
+	if err := checkProblem(d, f, maxLambda); err != nil {
+		return nil, err
+	}
+	k, m := d.Rows(), d.Cols()
+	if maxLambda > m {
+		maxLambda = m
+	}
+	if maxLambda > k {
+		maxLambda = k
+	}
+
+	// Column norms for internal normalization; zero-norm columns can never
+	// be selected. One row-streaming pass — a per-column loop would cost M
+	// full column materializations, which is prohibitive on lazy/generated
+	// designs.
+	norms := basis.SquaredColumnNorms(d, nil)
+	colBuf := make([]float64, k)
+	excluded := make([]bool, m)
+	for j, n := range norms {
+		if n <= 0 {
+			excluded[j] = true
+			norms[j] = 1 // avoid division by zero; column is excluded anyway
+		} else {
+			norms[j] = math.Sqrt(n)
+		}
+	}
+
+	fNorm := linalg.Norm2(f)
+	res := linalg.Clone(f)
+	beta := make([]float64, m) // coefficients in normalized-column space
+	active := make([]bool, m)
+	st := &larState{chol: linalg.NewCholesky()}
+	c := make([]float64, m)
+	a := make([]float64, m)
+	path := &Path{}
+
+	record := func() {
+		support := append([]int(nil), st.support...)
+		coef := make([]float64, len(support))
+		for i, idx := range support {
+			coef[i] = beta[idx] / norms[idx] // undo normalization
+		}
+		model := &Model{M: m, Support: support, Coef: coef}
+		if l.Refit {
+			if refit, err := refitOnSupport(d, f, support); err == nil {
+				model.Coef = refit
+			}
+		}
+		path.Models = append(path.Models, model)
+		path.Residual = append(path.Residual, linalg.Norm2(res))
+	}
+
+	const eps = 1e-12
+	for len(st.support) < maxLambda {
+		// Correlations with the current residual (normalized columns).
+		d.MulTransVec(c, res)
+		for j := range c {
+			c[j] /= norms[j]
+		}
+		// Highest correlation among inactive, admissible columns.
+		sel := -1
+		selAbs := 0.0
+		for j := range c {
+			if active[j] || excluded[j] {
+				continue
+			}
+			if abs := math.Abs(c[j]); sel == -1 || abs > selAbs {
+				sel, selAbs = j, abs
+			}
+		}
+		if sel == -1 || selAbs <= eps*(1+fNorm) {
+			break // dictionary exhausted or residual uncorrelated
+		}
+		// Append the new column to the active factorization.
+		d.Column(colBuf, sel)
+		newCol := make([]float64, k)
+		for i := range colBuf {
+			newCol[i] = colBuf[i] / norms[sel]
+		}
+		cross := make([]float64, len(st.cols))
+		for i, col := range st.cols {
+			cross[i] = linalg.Dot(col, newCol)
+		}
+		if err := st.chol.Append(cross, linalg.Dot(newCol, newCol)); err != nil {
+			if errors.Is(err, linalg.ErrNotPositiveDefinite) {
+				excluded[sel] = true
+				continue
+			}
+			return nil, fmt.Errorf("core: LAR Gram update: %w", err)
+		}
+		st.support = append(st.support, sel)
+		st.cols = append(st.cols, newCol)
+		active[sel] = true
+
+		// Equiangular direction: solve (G_AᵀG_A)·v = s_A.
+		signs := make([]float64, len(st.support))
+		for i, idx := range st.support {
+			if c[idx] >= 0 {
+				signs[i] = 1
+			} else {
+				signs[i] = -1
+			}
+		}
+		v, err := st.chol.Solve(signs)
+		if err != nil {
+			return nil, fmt.Errorf("core: LAR equiangular solve: %w", err)
+		}
+		sv := linalg.Dot(signs, v)
+		if sv <= 0 {
+			return nil, errors.New("core: LAR equiangular normalization failed")
+		}
+		aa := 1 / math.Sqrt(sv) // A_A in Efron et al. notation
+		// u = A_A · G_A · v (unit equiangular vector).
+		u := make([]float64, k)
+		for i, col := range st.cols {
+			linalg.Axpy(aa*v[i], col, u)
+		}
+		// a_j = G_jᵀ·u for every j (normalized).
+		d.MulTransVec(a, u)
+		for j := range a {
+			a[j] /= norms[j]
+		}
+
+		// C = current common absolute correlation of the active set.
+		bigC := selAbs
+		gammaMax := bigC / aa // distance to the full least-squares point
+		gamma := gammaMax
+		for j := range c {
+			if active[j] || excluded[j] {
+				continue
+			}
+			if g := (bigC - c[j]) / (aa - a[j]); g > eps && g < gamma {
+				gamma = g
+			}
+			if g := (bigC + c[j]) / (aa + a[j]); g > eps && g < gamma {
+				gamma = g
+			}
+		}
+
+		// Lasso modification: stop at the first sign crossing and drop that
+		// variable (Efron et al., Section 3.1).
+		dropIdx := -1
+		if l.Lasso {
+			for i, idx := range st.support {
+				step := aa * v[i] // Δβ_idx per unit γ
+				if step == 0 {
+					continue
+				}
+				if g := -beta[idx] / step; g > eps && g < gamma {
+					gamma = g
+					dropIdx = i
+				}
+			}
+		}
+
+		// Advance the path: β_A += γ·A_A·v, residual −= γ·u.
+		for i, idx := range st.support {
+			beta[idx] += gamma * aa * v[i]
+		}
+		linalg.Axpy(-gamma, u, res)
+
+		if dropIdx >= 0 {
+			idx := st.support[dropIdx]
+			beta[idx] = 0
+			active[idx] = false
+			st.support = append(st.support[:dropIdx], st.support[dropIdx+1:]...)
+			st.cols = append(st.cols[:dropIdx], st.cols[dropIdx+1:]...)
+			if err := st.rebuild(); err != nil {
+				return nil, fmt.Errorf("core: LAR refactorization after drop: %w", err)
+			}
+			continue // a drop does not produce a new path model
+		}
+
+		record()
+		if l.Tol > 0 && fNorm > 0 && linalg.Norm2(res) <= l.Tol*fNorm {
+			break
+		}
+	}
+	if len(path.Models) == 0 {
+		return nil, errors.New("core: LAR could not select any basis vector")
+	}
+	return path, nil
+}
+
+// refitOnSupport solves the unpenalized least-squares problem restricted to
+// the given support columns.
+func refitOnSupport(d basis.Design, f []float64, support []int) ([]float64, error) {
+	k := d.Rows()
+	g := linalg.NewMatrix(k, len(support))
+	col := make([]float64, k)
+	for i, idx := range support {
+		d.Column(col, idx)
+		g.SetCol(i, col)
+	}
+	return linalg.SolveLeastSquares(g, f)
+}
+
+var _ PathFitter = (*LAR)(nil)

@@ -1,0 +1,190 @@
+// Package core implements the paper's contribution: solving the sparse
+// L0-regularized regression problem
+//
+//	minimize ‖G·α − F‖₂²  subject to  ‖α‖₀ ≤ λ            (eq. 11)
+//
+// over the underdetermined design matrices produced by internal/basis.
+// Four solvers are provided, matching the paper's Section V comparison:
+//
+//   - OMP  — orthogonal matching pursuit (Algorithm 1, the proposed method)
+//   - STAR — statistical regression (DAC'08 [1]): same selection criterion,
+//     coefficients taken directly from the inner products
+//   - LAR  — least angle regression (DAC'09 [2], Efron et al. [16]): the
+//     L1 relaxation of eq. (11)
+//   - LS   — classical least-squares fitting (the over-determined baseline)
+//
+// The sparsity level λ is selected by Q-fold cross-validation (Section IV-C)
+// via CrossValidate.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/basis"
+	"repro/internal/linalg"
+)
+
+// Model is a fitted sparse response surface model: a set of selected basis
+// indices and their coefficients. All unselected coefficients are zero
+// (Step 9 of Algorithm 1).
+type Model struct {
+	// M is the total number of basis functions in the dictionary.
+	M int
+	// Support holds the selected basis indices, in selection order.
+	Support []int
+	// Coef holds the coefficients aligned with Support.
+	Coef []float64
+}
+
+// NNZ returns the number of non-zero coefficients ‖α‖₀.
+func (m *Model) NNZ() int { return len(m.Support) }
+
+// Dense expands the model into the full-length coefficient vector α ∈ ℝᴹ.
+func (m *Model) Dense() []float64 {
+	alpha := make([]float64, m.M)
+	for i, idx := range m.Support {
+		alpha[idx] = m.Coef[i]
+	}
+	return alpha
+}
+
+// Coefficient returns α_m (0 when basis m is not selected).
+func (m *Model) Coefficient(idx int) float64 {
+	for i, s := range m.Support {
+		if s == idx {
+			return m.Coef[i]
+		}
+	}
+	return 0
+}
+
+// Predict evaluates the model at every sampling point of d, i.e. G·α
+// restricted to the support. Only the selected columns are materialized, so
+// prediction is cheap even for lazy paper-scale designs.
+func (m *Model) Predict(d basis.Design) []float64 {
+	out := make([]float64, d.Rows())
+	col := make([]float64, d.Rows())
+	for i, idx := range m.Support {
+		d.Column(col, idx)
+		linalg.Axpy(m.Coef[i], col, out)
+	}
+	return out
+}
+
+// PredictPoint evaluates the model at a single input point using the basis
+// the model was trained with.
+func (m *Model) PredictPoint(b *basis.Basis, y []float64) float64 {
+	if b.Size() != m.M {
+		panic(fmt.Sprintf("core: basis size %d does not match model dictionary %d", b.Size(), m.M))
+	}
+	s := 0.0
+	for i, idx := range m.Support {
+		s += m.Coef[i] * b.Eval(idx, y)
+	}
+	return s
+}
+
+// SortedSupport returns the support indices in ascending order (selection
+// order is preserved in Support itself).
+func (m *Model) SortedSupport() []int {
+	s := append([]int(nil), m.Support...)
+	sort.Ints(s)
+	return s
+}
+
+// Path is a nested sequence of models produced by a greedy or path solver:
+// Models[i] uses exactly i+1 basis functions. Residual[i] is the training
+// residual ‖G·α − F‖₂ after step i+1.
+type Path struct {
+	Models   []*Model
+	Residual []float64
+}
+
+// Len returns the number of steps in the path.
+func (p *Path) Len() int { return len(p.Models) }
+
+// At returns the model with the given sparsity λ (1-based). It panics when
+// the path is shorter than λ.
+func (p *Path) At(lambda int) *Model {
+	if lambda < 1 || lambda > len(p.Models) {
+		panic(fmt.Sprintf("core: path has %d steps, requested λ=%d", len(p.Models), lambda))
+	}
+	return p.Models[lambda-1]
+}
+
+// PathFitter is implemented by the sparse solvers (OMP, STAR, LAR): it fits
+// the whole nested path of models with sparsity 1…maxLambda in one run, which
+// is what cross-validation consumes.
+type PathFitter interface {
+	// FitPath fits models of increasing sparsity on (d, f) until maxLambda
+	// basis functions are selected or the solver cannot make progress.
+	FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error)
+	// Name identifies the solver in reports.
+	Name() string
+}
+
+// checkProblem validates solver inputs shared by all fitters.
+func checkProblem(d basis.Design, f []float64, maxLambda int) error {
+	if d.Rows() != len(f) {
+		return fmt.Errorf("core: design has %d rows but response has %d entries", d.Rows(), len(f))
+	}
+	if d.Rows() == 0 {
+		return fmt.Errorf("core: empty sample set")
+	}
+	if maxLambda < 1 {
+		return fmt.Errorf("core: maxLambda must be ≥ 1, got %d", maxLambda)
+	}
+	return nil
+}
+
+// argmaxAbsExcluding returns the index with the largest |v| whose excluded
+// flag is unset, or -1 when every index is excluded.
+func argmaxAbsExcluding(v []float64, excluded []bool) int {
+	best, bestAbs := -1, 0.0
+	for i, x := range v {
+		if excluded[i] {
+			continue
+		}
+		a := x
+		if a < 0 {
+			a = -a
+		}
+		if best == -1 || a > bestAbs {
+			best, bestAbs = i, a
+		}
+	}
+	return best
+}
+
+// Gradient evaluates ∇f(y) of the fitted model at a point using the exact
+// Hermite derivative identity H̃ₙ' = √n·H̃ₙ₋₁. dst is allocated when nil.
+// The gradient drives sensitivity analysis and worst-case corner search on
+// the fitted response surface.
+func (m *Model) Gradient(b *basis.Basis, dst, y []float64) []float64 {
+	if b.Size() != m.M {
+		panic(fmt.Sprintf("core: basis size %d does not match model dictionary %d", b.Size(), m.M))
+	}
+	if len(y) != b.Dim {
+		panic(fmt.Sprintf("core: Gradient point dimension %d, want %d", len(y), b.Dim))
+	}
+	if dst == nil {
+		dst = make([]float64, b.Dim)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	tg := make([]float64, b.Dim)
+	for i, idx := range m.Support {
+		term := b.Terms[idx]
+		if len(term) == 0 {
+			continue
+		}
+		for j := range tg {
+			tg[j] = 0
+		}
+		term.EvalGrad(tg, y)
+		linalg.Axpy(m.Coef[i], tg, dst)
+	}
+	return dst
+}

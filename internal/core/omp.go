@@ -1,0 +1,132 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/basis"
+	"repro/internal/linalg"
+)
+
+// OMP is the orthogonal matching pursuit solver of Algorithm 1: at each
+// iteration it selects the basis vector most correlated with the current
+// residual (eq. 18) and then re-solves the least-squares coefficients of
+// *all* selected bases (Step 6, eq. 22) — the re-fit that distinguishes it
+// from STAR.
+//
+// The active-set least-squares problem is solved through a growable Cholesky
+// factorization of the active Gram matrix, so each iteration costs one
+// Gᵀ·res product plus O(p²) for the triangular solves.
+type OMP struct {
+	// Tol stops the path early once the relative residual
+	// ‖res‖/‖F‖ falls below it. Zero means no early stop.
+	Tol float64
+	// Refit is unused for OMP (coefficients are always re-fit); it exists
+	// so OMP and LAR share configuration shape in the experiment harness.
+	Refit bool
+}
+
+// Name implements PathFitter.
+func (o *OMP) Name() string { return "OMP" }
+
+// Fit runs Algorithm 1 for a fixed sparsity budget λ and returns the final
+// model.
+func (o *OMP) Fit(d basis.Design, f []float64, lambda int) (*Model, error) {
+	path, err := o.FitPath(d, f, lambda)
+	if err != nil {
+		return nil, err
+	}
+	return path.Models[len(path.Models)-1], nil
+}
+
+// FitPath implements PathFitter: it records the nested models produced after
+// each OMP iteration.
+func (o *OMP) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error) {
+	if err := checkProblem(d, f, maxLambda); err != nil {
+		return nil, err
+	}
+	k, m := d.Rows(), d.Cols()
+	if maxLambda > k {
+		// Selecting more bases than samples would make the LS step
+		// underdetermined; Algorithm 1 implicitly requires λ ≤ K.
+		maxLambda = k
+	}
+	if maxLambda > m {
+		maxLambda = m
+	}
+
+	fNorm := linalg.Norm2(f)
+	res := linalg.Clone(f) // Step 2: Res = F
+	xi := make([]float64, m)
+	excluded := make([]bool, m)
+
+	chol := linalg.NewCholesky()         // factor of the active Gram matrix
+	var support []int                    // Ω, in selection order
+	var cols []([]float64)               // materialized active columns G_i
+	gtf := make([]float64, 0, maxLambda) // Gᵀ_Ω·F restricted to the support
+	path := &Path{}
+
+	for len(support) < maxLambda {
+		// Step 3: ξ_m = (1/K)·G_mᵀ·Res for every m.
+		d.MulTransVec(xi, res)
+		// (The 1/K factor does not change the argmax; skip it.)
+
+		// Step 4: pick the most correlated admissible basis vector. Columns
+		// that proved linearly dependent on the active set are excluded.
+		var newCol []float64
+		selected := -1
+		for {
+			s := argmaxAbsExcluding(xi, excluded)
+			if s == -1 {
+				// Dictionary exhausted.
+				if len(support) == 0 {
+					return nil, errors.New("core: OMP could not select any basis vector")
+				}
+				return path, nil
+			}
+			c := d.Column(nil, s)
+			cross := make([]float64, len(support))
+			for i, col := range cols {
+				cross[i] = linalg.Dot(col, c)
+			}
+			err := chol.Append(cross, linalg.Dot(c, c))
+			if err == nil {
+				selected, newCol = s, c
+				gtf = append(gtf, linalg.Dot(c, f))
+				break
+			}
+			if errors.Is(err, linalg.ErrNotPositiveDefinite) {
+				excluded[s] = true // dependent column, try the next best
+				continue
+			}
+			return nil, fmt.Errorf("core: OMP Gram update: %w", err)
+		}
+		// Step 5: Ω ← Ω ∪ {s}.
+		support = append(support, selected)
+		cols = append(cols, newCol)
+		excluded[selected] = true // never reselect
+
+		// Step 6: re-solve all active coefficients (eq. 22).
+		coef, err := chol.Solve(gtf)
+		if err != nil {
+			return nil, fmt.Errorf("core: OMP coefficient solve: %w", err)
+		}
+
+		// Step 7: Res = F − Σ αᵢ·Gᵢ (eq. 23).
+		copy(res, f)
+		for i, col := range cols {
+			linalg.Axpy(-coef[i], col, res)
+		}
+
+		model := &Model{M: m, Support: append([]int(nil), support...), Coef: coef}
+		path.Models = append(path.Models, model)
+		path.Residual = append(path.Residual, linalg.Norm2(res))
+
+		if o.Tol > 0 && fNorm > 0 && linalg.Norm2(res) <= o.Tol*fNorm {
+			break
+		}
+	}
+	return path, nil
+}
+
+var _ PathFitter = (*OMP)(nil)

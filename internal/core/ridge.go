@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/basis"
+	"repro/internal/linalg"
+)
+
+// Ridge solves L2-regularized least squares,
+//
+//	minimize ‖G·α − F‖₂² + µ·‖α‖₂²,
+//
+// through the dual (kernel) form α = Gᵀ·(G·Gᵀ + µI)⁻¹·F, which factors a
+// K×K system instead of M×M and therefore works on underdetermined problems
+// (K < M) at any dictionary size. Ridge is the classical dense-shrinkage
+// baseline: unlike the L0/L1 solvers it keeps *every* coefficient non-zero,
+// which is exactly why it cannot exploit the paper's sparsity — it exists
+// here to quantify that gap.
+type Ridge struct {
+	// Mu is the regularization strength (> 0).
+	Mu float64
+}
+
+// Name identifies the solver in reports.
+func (r *Ridge) Name() string { return "Ridge" }
+
+// Fit solves the ridge problem. The returned model has full support, so use
+// it only at moderate M.
+func (r *Ridge) Fit(d basis.Design, f []float64, _ int) (*Model, error) {
+	if err := checkProblem(d, f, 1); err != nil {
+		return nil, err
+	}
+	if r.Mu <= 0 {
+		return nil, fmt.Errorf("core: ridge needs µ > 0, got %g", r.Mu)
+	}
+	k, m := d.Rows(), d.Cols()
+	// Build the K×K kernel matrix G·Gᵀ by accumulating column outer
+	// products: G·Gᵀ = Σ_m G_m·G_mᵀ.
+	kern := linalg.NewMatrix(k, k)
+	col := make([]float64, k)
+	for j := 0; j < m; j++ {
+		d.Column(col, j)
+		for a := 0; a < k; a++ {
+			va := col[a]
+			if va == 0 {
+				continue
+			}
+			row := kern.Row(a)
+			for b := 0; b < k; b++ {
+				row[b] += va * col[b]
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		kern.Set(i, i, kern.At(i, i)+r.Mu)
+	}
+	// LU rather than Cholesky: for K > M the kernel is µI plus a rank-M
+	// matrix, and at small µ the strict positive-definiteness test would
+	// reject a system that partial-pivoted elimination solves fine.
+	w, err := linalg.SolveSquare(kern, f)
+	if err != nil {
+		return nil, fmt.Errorf("core: ridge kernel solve: %w", err)
+	}
+	// α = Gᵀ·w.
+	alpha := d.MulTransVec(nil, w)
+	support := make([]int, m)
+	for i := range support {
+		support[i] = i
+	}
+	return &Model{M: m, Support: support, Coef: alpha}, nil
+}

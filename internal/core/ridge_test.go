@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+func TestRidgeSmallMuMatchesLS(t *testing.T) {
+	_, d, f, _ := synthProblem(110, 8, 60, false, []int{1, 4}, []float64{2, -1}, 0.1)
+	ridge, err := (&Ridge{Mu: 1e-10}).Fit(d, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := LS{}.Fit(d, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, ld := ridge.Dense(), ls.Dense()
+	for i := range rd {
+		if math.Abs(rd[i]-ld[i]) > 1e-5*(1+math.Abs(ld[i])) {
+			t.Errorf("α[%d]: ridge %g vs LS %g", i, rd[i], ld[i])
+		}
+	}
+}
+
+func TestRidgeWorksUnderdetermined(t *testing.T) {
+	// K=40 < M=101: LS fails, ridge succeeds via the dual form.
+	_, d, f, _ := synthProblem(111, 100, 40, false, []int{3, 50}, []float64{2, -1}, 0.01)
+	if _, err := (LS{}).Fit(d, f, 0); err == nil {
+		t.Fatal("LS should reject K < M")
+	}
+	model, err := (&Ridge{Mu: 1}).Fit(d, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.NNZ() != d.Cols() {
+		t.Errorf("ridge support %d, want full %d", model.NNZ(), d.Cols())
+	}
+	// Training prediction must be decent (ridge interpolates smoothly).
+	pred := model.Predict(d)
+	if e := stats.RelativeRMSError(pred, f); e > 0.5 {
+		t.Errorf("ridge training error %g too large", e)
+	}
+}
+
+func TestRidgeShrinkageMonotone(t *testing.T) {
+	_, d, f, _ := synthProblem(112, 10, 50, false, []int{2}, []float64{3}, 0.1)
+	var prev float64 = math.Inf(1)
+	for _, mu := range []float64{0.1, 1, 10, 100} {
+		model, err := (&Ridge{Mu: mu}).Fit(d, f, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		norm := linalg.Norm2(model.Dense())
+		if norm >= prev {
+			t.Errorf("µ=%g: ‖α‖ = %g did not shrink (prev %g)", mu, norm, prev)
+		}
+		prev = norm
+	}
+}
+
+func TestRidgeDualPrimalEquivalence(t *testing.T) {
+	// For K ≥ M the dual solution must equal the primal normal-equations
+	// solution (GᵀG + µI)⁻¹GᵀF.
+	_, d, f, _ := synthProblem(113, 6, 40, false, []int{1, 3}, []float64{1, 2}, 0.2)
+	const mu = 0.7
+	model, err := (&Ridge{Mu: mu}).Fit(d, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Primal: build GᵀG + µI directly.
+	m := d.Cols()
+	k := d.Rows()
+	g := linalg.NewMatrix(k, m)
+	col := make([]float64, k)
+	for j := 0; j < m; j++ {
+		d.Column(col, j)
+		g.SetCol(j, col)
+	}
+	gtg := g.Gram()
+	for i := 0; i < m; i++ {
+		gtg.Set(i, i, gtg.At(i, i)+mu)
+	}
+	chol, err := linalg.CholeskyFactor(gtg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primal, err := chol.Solve(g.MulTransVec(nil, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual := model.Dense()
+	for i := range primal {
+		if math.Abs(primal[i]-dual[i]) > 1e-8*(1+math.Abs(primal[i])) {
+			t.Errorf("α[%d]: primal %g vs dual %g", i, primal[i], dual[i])
+		}
+	}
+}
+
+func TestRidgeCannotExploitSparsity(t *testing.T) {
+	// The gap the sparse solvers close: on K ≪ M with a sparse truth, OMP
+	// generalizes far better than ridge.
+	support := []int{5, 21}
+	coefs := []float64{2, -1.5}
+	_, dTrain, fTrain, _ := synthProblem(114, 80, 60, false, support, coefs, 0.02)
+	_, dTest, fTest, _ := synthProblem(115, 80, 1000, false, support, coefs, 0)
+	ridge, err := (&Ridge{Mu: 1}).Fit(dTrain, fTrain, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omp, err := (&OMP{}).Fit(dTrain, fTrain, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eR := stats.RelativeRMSError(ridge.Predict(dTest), fTest)
+	eO := stats.RelativeRMSError(omp.Predict(dTest), fTest)
+	if eO*3 > eR {
+		t.Errorf("OMP error %g should be ≪ ridge error %g on sparse truth", eO, eR)
+	}
+}
+
+func TestRidgeValidation(t *testing.T) {
+	_, d, f, _ := synthProblem(116, 5, 10, false, []int{0}, []float64{1}, 0)
+	if _, err := (&Ridge{Mu: 0}).Fit(d, f, 0); err == nil {
+		t.Error("µ=0 must error")
+	}
+	if _, err := (&Ridge{Mu: -1}).Fit(d, f, 0); err == nil {
+		t.Error("negative µ must error")
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// modelJSON is the stable on-disk form of a fitted model.
+type modelJSON struct {
+	// M is the dictionary size the model was fit against.
+	M int `json:"m"`
+	// Support and Coef are the sparse coefficients, aligned.
+	Support []int     `json:"support"`
+	Coef    []float64 `json:"coef"`
+}
+
+// WriteJSON serializes the model so it can be reused without refitting
+// (e.g. by a yield flow running long after the expensive sampling).
+func (m *Model) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(modelJSON{M: m.M, Support: m.Support, Coef: m.Coef})
+}
+
+// ReadModelJSON parses a model written by WriteJSON and validates its
+// internal consistency.
+func ReadModelJSON(r io.Reader) (*Model, error) {
+	var mj modelJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&mj); err != nil {
+		return nil, fmt.Errorf("core: decode model: %w", err)
+	}
+	if len(mj.Support) != len(mj.Coef) {
+		return nil, fmt.Errorf("core: model has %d support entries but %d coefficients", len(mj.Support), len(mj.Coef))
+	}
+	if mj.M <= 0 {
+		return nil, fmt.Errorf("core: model dictionary size %d invalid", mj.M)
+	}
+	seen := make(map[int]bool, len(mj.Support))
+	for _, s := range mj.Support {
+		if s < 0 || s >= mj.M {
+			return nil, fmt.Errorf("core: support index %d outside [0, %d)", s, mj.M)
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("core: duplicate support index %d", s)
+		}
+		seen[s] = true
+	}
+	return &Model{M: mj.M, Support: mj.Support, Coef: mj.Coef}, nil
+}

@@ -1,0 +1,147 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/basis"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/mc"
+)
+
+// DegreeSweepConfig parameterizes the model-order ablation: the paper's
+// motivation section argues linear models stop sufficing as variation grows
+// ("strong nonlinearity") — this experiment quantifies that by fitting
+// linear, quadratic and cubic Hermite models of the same metric on the same
+// samples and comparing held-out error.
+type DegreeSweepConfig struct {
+	// Degrees to fit (default 1, 2).
+	Degrees []int
+	// TopP screens the most important variables before building the
+	// higher-degree dictionaries (as in Table II's flow).
+	TopP int
+	// K and TestN are the training and testing sample counts.
+	K, TestN         int
+	Folds, MaxLambda int
+	Seed             int64
+	Logf             func(string, ...any)
+}
+
+// DefaultDegreeSweepConfig covers degrees 1–3 over the screened OpAmp.
+func DefaultDegreeSweepConfig() DegreeSweepConfig {
+	return DegreeSweepConfig{
+		Degrees: []int{1, 2, 3},
+		TopP:    20, K: 500, TestN: 1500,
+		Folds: 4, MaxLambda: 80, Seed: 14,
+	}
+}
+
+// DegreeResult is one (metric, degree) cell of the sweep.
+type DegreeResult struct {
+	Metric string
+	Degree int
+	M      int
+	Err    float64
+	Lambda int
+}
+
+// RunDegreeSweep fits each metric of the analytic OpAmp at every requested
+// polynomial degree with cross-validated OMP.
+func RunDegreeSweep(cfg DegreeSweepConfig) ([]DegreeResult, error) {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = discard
+	}
+	if len(cfg.Degrees) == 0 {
+		cfg.Degrees = []int{1, 2}
+	}
+	for _, d := range cfg.Degrees {
+		if d < 1 || d > 4 {
+			return nil, fmt.Errorf("exp: degree %d outside [1, 4]", d)
+		}
+	}
+	amp, err := circuit.NewOpAmp()
+	if err != nil {
+		return nil, err
+	}
+	// Screening pass, as in RunQuad: rank variables with a linear OMP fit.
+	linB := basis.Linear(amp.Dim())
+	screen, err := mc.Sample(amp, 400, cfg.Seed, mc.Options{})
+	if err != nil {
+		return nil, err
+	}
+	importance := make([]float64, amp.Dim())
+	for mi := range amp.Metrics() {
+		fit, err := FitSparse(&core.OMP{}, linB, screen.Points, screen.MetricColumn(mi), cfg.Folds, 40)
+		if err != nil {
+			return nil, fmt.Errorf("degree sweep screening: %w", err)
+		}
+		for i, idx := range fit.Model.Support {
+			if idx == 0 {
+				continue
+			}
+			v := fit.Model.Coef[i]
+			importance[idx-1] += v * v
+		}
+	}
+	keep := topIndices(importance, cfg.TopP)
+	red := &reducedSim{inner: amp, keep: keep}
+	logf("degrees: screened to %d variables", len(keep))
+
+	train, err := mc.Sample(red, cfg.K, cfg.Seed+1, mc.Options{})
+	if err != nil {
+		return nil, err
+	}
+	test, err := mc.Sample(red, cfg.TestN, cfg.Seed+2, mc.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	var out []DegreeResult
+	for _, deg := range cfg.Degrees {
+		b := basis.TotalDegree(len(keep), deg)
+		for mi, metric := range amp.Metrics() {
+			fit, err := FitSparse(&core.OMP{}, b, train.Points, train.MetricColumn(mi), cfg.Folds, cfg.MaxLambda)
+			if err != nil {
+				return nil, fmt.Errorf("degree %d metric %s: %w", deg, metric, err)
+			}
+			e := TestError(fit.Model, b, test.Points, test.MetricColumn(mi))
+			out = append(out, DegreeResult{
+				Metric: metric, Degree: deg, M: b.Size(), Err: e, Lambda: fit.Lambda,
+			})
+			logf("degrees %-9s d=%d M=%-6d err=%.3f%% λ=%d", metric, deg, b.Size(), 100*e, fit.Lambda)
+		}
+	}
+	return out, nil
+}
+
+// topIndices returns the indices of the p largest weights, sorted ascending.
+func topIndices(w []float64, p int) []int {
+	if p > len(w) {
+		p = len(w)
+	}
+	idx := make([]int, len(w))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection sort is fine at these sizes.
+	for i := 0; i < p; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if w[idx[j]] > w[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	out := append([]int(nil), idx[:p]...)
+	// Ascending for the reduced simulator's factor mapping.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}

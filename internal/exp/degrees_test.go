@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"testing"
+)
+
+func TestTopIndices(t *testing.T) {
+	w := []float64{0.1, 5, 0.3, 2, 4}
+	got := topIndices(w, 3)
+	want := []int{1, 3, 4}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("topIndices = %v, want %v", got, want)
+		}
+	}
+	if n := len(topIndices(w, 99)); n != 5 {
+		t.Errorf("over-long p returned %d", n)
+	}
+}
+
+func TestRunDegreeSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	cfg := DegreeSweepConfig{
+		Degrees: []int{1, 2},
+		TopP:    8, K: 200, TestN: 400,
+		Folds: 4, MaxLambda: 30, Seed: 15,
+	}
+	res, err := RunDegreeSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 8 { // 2 degrees × 4 metrics
+		t.Fatalf("got %d results, want 8", len(res))
+	}
+	// Quadratic must not be much worse than linear on any metric, and must
+	// improve at least one metric noticeably (the OpAmp's gain/power have
+	// genuine curvature).
+	byMetric := map[string]map[int]float64{}
+	for _, r := range res {
+		if byMetric[r.Metric] == nil {
+			byMetric[r.Metric] = map[int]float64{}
+		}
+		byMetric[r.Metric][r.Degree] = r.Err
+	}
+	improved := false
+	for metric, errs := range byMetric {
+		if errs[2] > 1.6*errs[1]+0.01 {
+			t.Errorf("%s: quadratic error %g much worse than linear %g", metric, errs[2], errs[1])
+		}
+		if errs[2] < 0.8*errs[1] {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Error("quadratic never beat linear — nonlinearity not captured")
+	}
+}
+
+func TestRunDegreeSweepValidation(t *testing.T) {
+	if _, err := RunDegreeSweep(DegreeSweepConfig{Degrees: []int{9}}); err == nil {
+		t.Error("degree 9 must error")
+	}
+}

@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/basis"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/mc"
+)
+
+func TestValidateDistributionOpAmpOffset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	amp, err := circuit.NewOpAmp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := basis.Linear(amp.Dim())
+	train, err := mc.Sample(amp, 300, 31, mc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := train.Metric("offset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := basis.NewLazyDesign(b, train.Points)
+	cv, err := core.CrossValidate(&core.OMP{}, d, f, 4, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fitted model must reproduce the simulator's offset distribution.
+	val, err := ValidateDistribution(amp, 3, cv.Model, b, 1500, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !val.Pass {
+		t.Errorf("offset distribution mismatch: KS %.4f > critical %.4f", val.KS, val.Critical)
+	}
+}
+
+func TestValidateDistributionDetectsBadModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	amp, err := circuit.NewOpAmp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := basis.Linear(amp.Dim())
+	// A deliberately wrong model: constant zero offset.
+	bad := &core.Model{M: b.Size()}
+	val, err := ValidateDistribution(amp, 3, bad, b, 800, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val.Pass {
+		t.Error("constant model should fail distribution validation")
+	}
+}
+
+func TestValidateDistributionValidation(t *testing.T) {
+	syn, err := circuit.NewSynthetic(1, 5, 1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := basis.Linear(5)
+	if _, err := ValidateDistribution(syn, 0, &core.Model{M: b.Size()}, b, 5, 1); err == nil {
+		t.Error("tiny n must error")
+	}
+}

@@ -1,0 +1,265 @@
+// Package exp is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (Section V). It glues the Monte Carlo
+// engine, the Hermite bases and the sparse solvers together, measures the
+// simulation-vs-fitting cost split the paper's cost tables report, and
+// formats results as aligned text tables.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/basis"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// SolverSpec names one of the compared solvers. A nil Fitter denotes the LS
+// baseline, which is fit without cross-validation on an over-determined
+// dataset.
+type SolverSpec struct {
+	Name   string
+	Fitter core.PathFitter
+}
+
+// DefaultSolvers returns the paper's comparison set: LS, STAR, LAR, OMP.
+func DefaultSolvers() []SolverSpec {
+	return []SolverSpec{
+		{Name: "LS"},
+		{Name: "STAR", Fitter: &core.STAR{}},
+		{Name: "LAR", Fitter: &core.LAR{}},
+		{Name: "OMP", Fitter: &core.OMP{}},
+	}
+}
+
+// SparseSolvers returns only the underdetermined-capable solvers.
+func SparseSolvers() []SolverSpec {
+	all := DefaultSolvers()
+	return all[1:]
+}
+
+// FitResult reports one model fit.
+type FitResult struct {
+	Model *core.Model
+	// FitTime is the wall-clock fitting cost (the "fitting cost" rows of
+	// Tables I/III/IV).
+	FitTime time.Duration
+	// Lambda is the cross-validated sparsity (0 for LS).
+	Lambda int
+}
+
+// NewDesign picks the dense representation when the full matrix is
+// affordable and the lazy one otherwise.
+func NewDesign(b *basis.Basis, pts [][]float64) basis.Design {
+	const denseLimit = 48 << 20 // 48M float64 ≈ 384 MB
+	if len(pts)*b.Size() <= denseLimit {
+		return basis.NewDenseDesign(b, pts)
+	}
+	return basis.NewLazyDesign(b, pts)
+}
+
+// FitLS runs the least-squares baseline.
+func FitLS(b *basis.Basis, pts [][]float64, f []float64) (FitResult, error) {
+	return FitLSDesign(NewDesign(b, pts), f)
+}
+
+// FitLSDesign is FitLS over a pre-built design (e.g. a memory-bounded
+// generated design).
+func FitLSDesign(d basis.Design, f []float64) (FitResult, error) {
+	start := time.Now()
+	model, err := core.LS{}.Fit(d, f, 0)
+	if err != nil {
+		return FitResult{}, fmt.Errorf("exp: LS fit: %w", err)
+	}
+	return FitResult{Model: model, FitTime: time.Since(start)}, nil
+}
+
+// FitSparse runs a sparse solver with Q-fold cross-validated λ selection
+// (Section IV-C).
+func FitSparse(fitter core.PathFitter, b *basis.Basis, pts [][]float64, f []float64, folds, maxLambda int) (FitResult, error) {
+	return FitSparseDesign(fitter, NewDesign(b, pts), f, folds, maxLambda)
+}
+
+// FitSparseDesign is FitSparse over a pre-built design.
+func FitSparseDesign(fitter core.PathFitter, d basis.Design, f []float64, folds, maxLambda int) (FitResult, error) {
+	start := time.Now()
+	if maxLambda > d.Rows()/2 {
+		maxLambda = d.Rows() / 2
+	}
+	if maxLambda < 1 {
+		maxLambda = 1
+	}
+	cv, err := core.CrossValidate(fitter, d, f, folds, maxLambda)
+	if err != nil {
+		return FitResult{}, fmt.Errorf("exp: %s fit: %w", fitter.Name(), err)
+	}
+	return FitResult{Model: cv.Model, FitTime: time.Since(start), Lambda: cv.BestLambda}, nil
+}
+
+// TestError evaluates a model's relative RMS error on held-out samples —
+// the modeling-error metric of all Section V comparisons.
+func TestError(model *core.Model, b *basis.Basis, pts [][]float64, f []float64) float64 {
+	d := basis.NewLazyDesign(b, pts)
+	return stats.RelativeRMSError(model.Predict(d), f)
+}
+
+// CostRow is one row of the cost tables (Tables I, III, IV).
+type CostRow struct {
+	Solver  string
+	K       int
+	SimCost time.Duration
+	FitCost time.Duration
+	Err     float64
+	Lambda  int
+}
+
+// Total returns the end-to-end modeling cost.
+func (r CostRow) Total() time.Duration { return r.SimCost + r.FitCost }
+
+// Point is one (K, error) sweep sample of Fig. 4.
+type Point struct {
+	K   int
+	Err float64
+}
+
+// Fig6Series returns the model's coefficient magnitudes sorted descending —
+// the sparsity profile plotted in Fig. 6 (padded with zeros up to M).
+func Fig6Series(model *core.Model) []float64 {
+	out := make([]float64, model.M)
+	for i, c := range model.Coef {
+		if c < 0 {
+			c = -c
+		}
+		out[i] = c
+	}
+	// Only the first NNZ entries are nonzero; sort those descending and the
+	// remaining M−NNZ entries stay at exactly zero.
+	sort.Sort(sort.Reverse(sort.Float64Slice(out[:model.NNZ()])))
+	return out
+}
+
+// Table is an aligned text table for terminal output.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// FormatDuration renders a duration with 3 significant digits for tables.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1e3)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// CostTable renders cost rows in the layout of the paper's cost tables.
+func CostTable(title string, rows []CostRow) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"", "LS", "STAR", "LAR", "OMP"},
+	}
+	byName := map[string]CostRow{}
+	order := []string{"LS", "STAR", "LAR", "OMP"}
+	for _, r := range rows {
+		byName[r.Solver] = r
+	}
+	line := func(label string, f func(CostRow) string) {
+		cells := []string{label}
+		for _, n := range order {
+			if r, ok := byName[n]; ok {
+				cells = append(cells, f(r))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	line("modeling error", func(r CostRow) string { return fmt.Sprintf("%.2f%%", 100*r.Err) })
+	line("# training samples", func(r CostRow) string { return fmt.Sprintf("%d", r.K) })
+	line("simulation cost", func(r CostRow) string { return FormatDuration(r.SimCost) })
+	line("fitting cost", func(r CostRow) string { return FormatDuration(r.FitCost) })
+	line("total cost", func(r CostRow) string { return FormatDuration(r.Total()) })
+	line("selected bases λ", func(r CostRow) string {
+		if r.Lambda == 0 {
+			return "all"
+		}
+		return fmt.Sprintf("%d", r.Lambda)
+	})
+	return t
+}
+
+// CostTableProjected renders the cost rows plus a projected-total line that
+// re-prices each sample at the paper's per-sample Spectre cost. Our
+// substituted simulator is orders of magnitude cheaper than the authors'
+// transistor-level runs, so the *measured* totals understate how strongly
+// sample count dominates; the projection recovers the paper's cost
+// structure (simulation ≫ fitting) and hence its speedup ratios.
+func CostTableProjected(title string, rows []CostRow, paperPerSample time.Duration) *Table {
+	t := CostTable(title, rows)
+	byName := map[string]CostRow{}
+	for _, r := range rows {
+		byName[r.Solver] = r
+	}
+	cells := []string{fmt.Sprintf("projected total @%s/sample", FormatDuration(paperPerSample))}
+	for _, n := range []string{"LS", "STAR", "LAR", "OMP"} {
+		r, ok := byName[n]
+		if !ok {
+			cells = append(cells, "-")
+			continue
+		}
+		proj := time.Duration(r.K)*paperPerSample + r.FitCost
+		cells = append(cells, FormatDuration(proj))
+	}
+	t.AddRow(cells...)
+	return t
+}

@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve for AsciiPlot.
+type Series struct {
+	Name   string
+	Mark   byte
+	Points []Point
+}
+
+// AsciiPlot renders error-vs-K curves as a fixed-size character plot, the
+// terminal rendition of Fig. 4. The y axis is the error (percent), the x
+// axis the training sample count.
+func AsciiPlot(title string, series []Series, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := 0.0
+	for _, s := range series {
+		for _, p := range s.Points {
+			x := float64(p.K)
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+			if p.Err > maxY {
+				maxY = p.Err
+			}
+		}
+	}
+	if math.IsInf(minX, 1) || maxY == 0 {
+		return title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			col := int(float64(width-1) * (float64(p.K) - minX) / (maxX - minX))
+			row := height - 1 - int(float64(height-1)*p.Err/maxY)
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = s.Mark
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteByte('\n')
+	for i, line := range grid {
+		yVal := maxY * float64(height-1-i) / float64(height-1)
+		fmt.Fprintf(&sb, "%6.2f%% |%s|\n", 100*yVal, string(line))
+	}
+	fmt.Fprintf(&sb, "        %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(&sb, "        K = %d … %d   ", int(minX), int(maxX))
+	for _, s := range series {
+		fmt.Fprintf(&sb, "[%c]=%s ", s.Mark, s.Name)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// AsciiHist renders a horizontal-bar histogram of samples with the given
+// number of bins — the terminal rendition of a performance distribution.
+func AsciiHist(title string, samples []float64, bins, width int) string {
+	if len(samples) == 0 {
+		return title + "\n(no data)\n"
+	}
+	if bins < 2 {
+		bins = 10
+	}
+	if width < 10 {
+		width = 40
+	}
+	min, max := samples[0], samples[0]
+	for _, v := range samples {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max == min {
+		max = min + 1
+	}
+	counts := make([]int, bins)
+	for _, v := range samples {
+		b := int(float64(bins) * (v - min) / (max - min))
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	peak := 0
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteByte('\n')
+	for b := 0; b < bins; b++ {
+		lo := min + (max-min)*float64(b)/float64(bins)
+		bar := ""
+		if peak > 0 {
+			bar = strings.Repeat("█", counts[b]*width/peak)
+		}
+		fmt.Fprintf(&sb, "%11.3g |%-*s| %d\n", lo, width, bar, counts[b])
+	}
+	return sb.String()
+}

@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsciiPlotBasic(t *testing.T) {
+	series := []Series{
+		{Name: "OMP", Mark: 'O', Points: []Point{{K: 100, Err: 0.10}, {K: 600, Err: 0.02}}},
+		{Name: "LS", Mark: 'L', Points: []Point{{K: 700, Err: 0.20}}},
+	}
+	out := AsciiPlot("title", series, 40, 8)
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "O") || !strings.Contains(out, "L") {
+		t.Error("missing series marks")
+	}
+	if !strings.Contains(out, "[O]=OMP") || !strings.Contains(out, "[L]=LS") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(out, "K = 100 … 700") {
+		t.Errorf("missing x range:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + 8 grid rows + axis + legend = 11.
+	if len(lines) != 11 {
+		t.Errorf("got %d lines, want 11:\n%s", len(lines), out)
+	}
+	// The highest error (20%) must appear on the top grid row.
+	if !strings.Contains(lines[1], "L") {
+		t.Errorf("max-error point not on top row:\n%s", out)
+	}
+}
+
+func TestAsciiPlotEmpty(t *testing.T) {
+	out := AsciiPlot("t", nil, 40, 8)
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty plot output: %q", out)
+	}
+}
+
+func TestAsciiPlotClampsTinyDims(t *testing.T) {
+	series := []Series{{Name: "x", Mark: 'x', Points: []Point{{K: 1, Err: 0.5}}}}
+	out := AsciiPlot("t", series, 1, 1)
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestRunSpiceCostSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	cfg := SpiceCostConfig{LSK: 60, SparseK: 24, TestN: 30, Folds: 4, MaxLambda: 10, Seed: 9}
+	res, err := RunSpiceCost(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dim != 52 {
+		t.Errorf("Dim = %d, want 52", res.Dim)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.SimCost <= 0 {
+			t.Errorf("%s: simulation cost not recorded", r.Solver)
+		}
+		if r.Err <= 0 || r.Err > 1.5 {
+			t.Errorf("%s: error %g implausible", r.Solver, r.Err)
+		}
+	}
+	// The cost structure of the paper: simulation dominates fitting.
+	for _, r := range res.Rows {
+		if r.Solver == "OMP" && r.SimCost < r.FitCost {
+			t.Errorf("OMP: simulation (%v) should dominate fitting (%v) on the transistor-level bench", r.SimCost, r.FitCost)
+		}
+	}
+}
+
+func TestRunSpiceCostRejectsUnderdeterminedLS(t *testing.T) {
+	cfg := SpiceCostConfig{LSK: 10, SparseK: 5, TestN: 5, Folds: 2, MaxLambda: 3, Seed: 1}
+	if _, err := RunSpiceCost(cfg); err == nil {
+		t.Error("LSK < M must error")
+	}
+}
+
+func TestAsciiHist(t *testing.T) {
+	samples := []float64{0, 0.1, 0.1, 0.2, 0.9, 1.0}
+	out := AsciiHist("h", samples, 5, 20)
+	if !strings.Contains(out, "h\n") || !strings.Contains(out, "█") {
+		t.Errorf("histogram malformed:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title + 5 bins
+		t.Errorf("got %d lines, want 6:\n%s", len(lines), out)
+	}
+	if AsciiHist("e", nil, 5, 20) != "e\n(no data)\n" {
+		t.Error("empty histogram wrong")
+	}
+	// Constant samples must not divide by zero.
+	if out := AsciiHist("c", []float64{2, 2, 2}, 4, 20); !strings.Contains(out, "3") {
+		t.Errorf("constant histogram:\n%s", out)
+	}
+}

@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/basis"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// ScalingConfig parameterizes the empirical verification of the paper's
+// Section IV-B scaling claim: with P non-zeros among M coefficients and a
+// well-conditioned random design, OMP recovers the true support with high
+// probability from K = O(P·log M) samples. The experiment measures, for each
+// dictionary size M, the smallest K at which the recovery rate over repeated
+// random trials reaches a target.
+type ScalingConfig struct {
+	// Ms are the dictionary sizes to sweep (linear bases over M−1 factors).
+	Ms []int
+	// P is the fixed true sparsity.
+	P int
+	// Trials per (M, K) point.
+	Trials int
+	// Target recovery rate in [0, 1].
+	Target float64
+	// Seed drives all randomness.
+	Seed int64
+	Logf func(string, ...any)
+}
+
+// DefaultScalingConfig sweeps M over two orders of magnitude.
+func DefaultScalingConfig() ScalingConfig {
+	return ScalingConfig{
+		Ms:     []int{64, 128, 256, 512, 1024, 2048},
+		P:      8,
+		Trials: 20,
+		Target: 0.9,
+		Seed:   6,
+	}
+}
+
+// ScalingPoint is one sweep result.
+type ScalingPoint struct {
+	M int
+	// MinK is the smallest tested K reaching the target recovery rate.
+	MinK int
+	// Rate is the recovery rate measured at MinK.
+	Rate float64
+	// KOverPLogM is MinK / (P·ln M), which the theory predicts to be
+	// roughly constant across M.
+	KOverPLogM float64
+}
+
+// RunScaling measures the minimal sample count for reliable OMP support
+// recovery as a function of dictionary size.
+func RunScaling(cfg ScalingConfig) ([]ScalingPoint, error) {
+	if cfg.P < 1 || cfg.Target <= 0 || cfg.Target > 1 || cfg.Trials < 1 {
+		return nil, fmt.Errorf("exp: invalid scaling config %+v", cfg)
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = discard
+	}
+	src := rng.New(cfg.Seed)
+	var out []ScalingPoint
+	for _, m := range cfg.Ms {
+		if m <= cfg.P+1 {
+			return nil, fmt.Errorf("exp: dictionary size %d too small for P=%d", m, cfg.P)
+		}
+		plogm := float64(cfg.P) * math.Log(float64(m))
+		// Sweep K upward in steps of ~P/2 from a small start.
+		found := false
+		var point ScalingPoint
+		for k := cfg.P + 2; k <= 8*int(plogm); k += (cfg.P + 1) / 2 {
+			succ := 0
+			for trial := 0; trial < cfg.Trials; trial++ {
+				if scalingTrialRecovers(src.Split(), m, cfg.P, k) {
+					succ++
+				}
+			}
+			rate := float64(succ) / float64(cfg.Trials)
+			if rate >= cfg.Target {
+				point = ScalingPoint{M: m, MinK: k, Rate: rate, KOverPLogM: float64(k) / plogm}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("exp: no K ≤ %d reached %.0f%% recovery at M=%d", 8*int(plogm), 100*cfg.Target, m)
+		}
+		logf("scaling M=%-5d minK=%-4d rate=%.2f K/(P·lnM)=%.2f", point.M, point.MinK, point.Rate, point.KOverPLogM)
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+// scalingTrialRecovers runs one noiseless recovery trial: draw a random
+// P-sparse coefficient vector over a linear Hermite basis, sample K points,
+// and check exact support recovery by OMP.
+func scalingTrialRecovers(src *rng.Source, m, p, k int) bool {
+	dim := m - 1
+	b := basis.Linear(dim)
+	perm := src.Perm(b.Size())
+	support := perm[:p]
+	coefs := make([]float64, p)
+	for i := range coefs {
+		c := 0.5 + src.Float64()
+		if src.Float64() < 0.5 {
+			c = -c
+		}
+		coefs[i] = c
+	}
+	truth := &core.Model{M: b.Size(), Support: append([]int(nil), support...), Coef: coefs}
+	pts := make([][]float64, k)
+	f := make([]float64, k)
+	for i := range pts {
+		pts[i] = src.NormVec(nil, dim)
+		f[i] = truth.PredictPoint(b, pts[i])
+	}
+	d := basis.NewDenseDesign(b, pts)
+	model, err := (&core.OMP{}).Fit(d, f, p)
+	if err != nil {
+		return false
+	}
+	got := make(map[int]bool, p)
+	for _, s := range model.Support {
+		got[s] = true
+	}
+	for _, s := range support {
+		if !got[s] {
+			return false
+		}
+	}
+	return true
+}

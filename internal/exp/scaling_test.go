@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"testing"
+)
+
+func TestRunScalingLogTrend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	cfg := ScalingConfig{
+		Ms:     []int{64, 256, 1024},
+		P:      5,
+		Trials: 10,
+		Target: 0.9,
+		Seed:   7,
+	}
+	pts, err := RunScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// The theoretical claim: K grows like log M, i.e. K/(P·ln M) stays
+	// roughly constant. A 16× growth in M must NOT require anywhere near a
+	// 16× growth in K.
+	growthK := float64(pts[2].MinK) / float64(pts[0].MinK)
+	growthM := float64(pts[2].M) / float64(pts[0].M)
+	if growthK > growthM/2 {
+		t.Errorf("K grew %.1f× for a %.0f× growth in M — not logarithmic", growthK, growthM)
+	}
+	for _, p := range pts {
+		if p.KOverPLogM <= 0 || p.KOverPLogM > 10 {
+			t.Errorf("M=%d: K/(P·lnM) = %.2f implausible", p.M, p.KOverPLogM)
+		}
+		if p.Rate < cfg.Target {
+			t.Errorf("M=%d: rate %.2f below target", p.M, p.Rate)
+		}
+	}
+}
+
+func TestRunScalingValidation(t *testing.T) {
+	if _, err := RunScaling(ScalingConfig{Ms: []int{10}, P: 0, Trials: 1, Target: 0.9}); err == nil {
+		t.Error("P=0 must error")
+	}
+	if _, err := RunScaling(ScalingConfig{Ms: []int{5}, P: 8, Trials: 1, Target: 0.9}); err == nil {
+		t.Error("M ≤ P must error")
+	}
+}

@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/basis"
+	"repro/internal/circuit"
+	"repro/internal/mc"
+)
+
+// SpiceCostConfig parameterizes the transistor-level cost experiment: the
+// Table I comparison repeated with the spice-backed OpAmp, whose per-sample
+// cost is a real DC + AC simulation. Unlike the analytic OpAmp (where our
+// substituted evaluator makes sampling artificially cheap), this testbench
+// reproduces the paper's cost *structure* — simulation dominates and total
+// cost scales with the sample count — without re-pricing.
+type SpiceCostConfig struct {
+	LSK, SparseK     int
+	TestN            int
+	Folds, MaxLambda int
+	Seed             int64
+	Logf             func(string, ...any)
+}
+
+// DefaultSpiceCostConfig keeps the experiment to roughly a minute: the
+// spice OpAmp has 52 factors, so LS needs K ≥ 53.
+func DefaultSpiceCostConfig() SpiceCostConfig {
+	return SpiceCostConfig{LSK: 160, SparseK: 40, TestN: 120, Folds: 4, MaxLambda: 16, Seed: 5}
+}
+
+// SpiceCostResult mirrors Table1Result for the transistor-level testbench.
+type SpiceCostResult struct {
+	Dim  int
+	Rows []CostRow
+}
+
+// RunSpiceCost runs the Table I cost comparison on the transistor-level
+// OpAmp.
+func RunSpiceCost(cfg SpiceCostConfig) (*SpiceCostResult, error) {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = discard
+	}
+	amp, err := circuit.NewSpiceOpAmp()
+	if err != nil {
+		return nil, err
+	}
+	b := basis.Linear(amp.Dim())
+	if cfg.LSK < b.Size() {
+		return nil, fmt.Errorf("exp: spice cost LS needs K ≥ %d, got %d", b.Size(), cfg.LSK)
+	}
+	logf("spicecost: simulating %d training + %d testing samples (DC+AC each)", cfg.LSK, cfg.TestN)
+	train, err := mc.Sample(amp, cfg.LSK, cfg.Seed, mc.Options{})
+	if err != nil {
+		return nil, err
+	}
+	logf("spicecost: training simulation took %s", FormatDuration(train.SimTime))
+	test, err := mc.Sample(amp, cfg.TestN, cfg.Seed+1, mc.Options{})
+	if err != nil {
+		return nil, err
+	}
+	perSample := train.SimTime / time.Duration(train.Len())
+
+	res := &SpiceCostResult{Dim: amp.Dim()}
+	for _, spec := range DefaultSolvers() {
+		k := cfg.SparseK
+		if spec.Fitter == nil {
+			k = cfg.LSK
+		}
+		var fitTotal time.Duration
+		var errSum float64
+		lambda := 0
+		for mi := range amp.Metrics() {
+			f := train.MetricColumn(mi)[:k]
+			var fit FitResult
+			var err error
+			if spec.Fitter == nil {
+				fit, err = FitLS(b, train.Points[:k], f)
+			} else {
+				fit, err = FitSparse(spec.Fitter, b, train.Points[:k], f, cfg.Folds, cfg.MaxLambda)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("spicecost %s metric %d: %w", spec.Name, mi, err)
+			}
+			fitTotal += fit.FitTime
+			errSum += TestError(fit.Model, b, test.Points, test.MetricColumn(mi))
+			if fit.Lambda > lambda {
+				lambda = fit.Lambda
+			}
+		}
+		row := CostRow{
+			Solver:  spec.Name,
+			K:       k,
+			SimCost: perSample * time.Duration(k),
+			FitCost: fitTotal,
+			Err:     errSum / float64(len(amp.Metrics())),
+			Lambda:  lambda,
+		}
+		res.Rows = append(res.Rows, row)
+		logf("spicecost %-4s K=%-4d sim=%s fit=%s err=%.2f%%", row.Solver, row.K,
+			FormatDuration(row.SimCost), FormatDuration(row.FitCost), 100*row.Err)
+	}
+	return res, nil
+}

@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/basis"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/mc"
+	"repro/internal/stats"
+)
+
+// Table4Config parameterizes the SRAM read-path experiment (Table IV and
+// Fig. 6): linear modeling of the read delay over the full variation space.
+type Table4Config struct {
+	// Circuit sizes the cell array (use circuit.PaperSRAMConfig for the
+	// 21310-variable paper scale).
+	Circuit circuit.SRAMConfig
+	// LSK and SparseK are the training sizes; LS needs K ≥ Dim+1.
+	LSK, SparseK     int
+	TestN            int
+	Folds, MaxLambda int
+	Seed             int64
+	// Virtual regenerates sampling points from the seed instead of storing
+	// them (mc.SampleVirtual + basis.NewGeneratedDesign): memory stays
+	// O(K + M) so the paper-scale configuration (25 000 × 21 310 points ≈
+	// 4 GB stored) fits in ordinary RAM. LS is skipped in this mode — the
+	// dense factorization it needs is exactly what the mode avoids.
+	Virtual bool
+	Logf    func(string, ...any)
+}
+
+// DefaultTable4Config is the scaled default (1058 variables) documented in
+// EXPERIMENTS.md.
+func DefaultTable4Config() Table4Config {
+	return Table4Config{
+		Circuit: circuit.DefaultSRAMConfig(),
+		LSK:     1200, SparseK: 300,
+		TestN: 300, Folds: 4, MaxLambda: 60,
+		Seed: 4,
+	}
+}
+
+// Table4Result holds the Table IV rows and the OMP model whose coefficient
+// profile is Fig. 6.
+type Table4Result struct {
+	// Dim is the variation-space dimensionality (21310 at paper scale).
+	Dim int
+	// M is the linear dictionary size (Dim+1; 21311 in the paper).
+	M    int
+	Rows []CostRow
+	// OMPModel is the cross-validated OMP delay model.
+	OMPModel *core.Model
+}
+
+// RunTable4 regenerates Table IV (and the model behind Fig. 6).
+func RunTable4(cfg Table4Config) (*Table4Result, error) {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = discard
+	}
+	sram, err := circuit.NewSRAM(cfg.Circuit)
+	if err != nil {
+		return nil, err
+	}
+	b := basis.Linear(sram.Dim())
+	logf("table4: SRAM %dx%d cells, %d variables, M=%d", cfg.Circuit.Rows, cfg.Circuit.Cols, sram.Dim(), b.Size())
+
+	maxK := cfg.LSK
+	if cfg.SparseK > maxK {
+		maxK = cfg.SparseK
+	}
+	if cfg.Virtual && cfg.SparseK > cfg.LSK {
+		maxK = cfg.SparseK
+	}
+	var (
+		trainDesign basis.Design
+		testDesign  basis.Design
+		fAll        []float64
+		fTestAll    []float64
+		perSample   time.Duration
+	)
+	if cfg.Virtual {
+		maxK = cfg.SparseK // LS is skipped in virtual mode
+		logf("table4: simulating %d training + %d testing points (virtual, memory-bounded)", maxK, cfg.TestN)
+		vals, simTime, err := mc.SampleVirtual(sram, maxK, cfg.Seed, mc.Options{})
+		if err != nil {
+			return nil, err
+		}
+		logf("table4: training simulation took %s", FormatDuration(simTime))
+		fAll = make([]float64, maxK)
+		for k, v := range vals {
+			fAll[k] = v[0]
+		}
+		testVals, _, err := mc.SampleVirtual(sram, cfg.TestN, cfg.Seed+1, mc.Options{})
+		if err != nil {
+			return nil, err
+		}
+		fTestAll = make([]float64, cfg.TestN)
+		for k, v := range testVals {
+			fTestAll[k] = v[0]
+		}
+		trainDesign = basis.NewGeneratedDesign(b, maxK, cfg.Seed)
+		testDesign = basis.NewGeneratedDesign(b, cfg.TestN, cfg.Seed+1)
+		perSample = simTime / time.Duration(maxK)
+	} else {
+		logf("table4: simulating %d training + %d testing points (transistor-level)", maxK, cfg.TestN)
+		train, err := mc.Sample(sram, maxK, cfg.Seed, mc.Options{})
+		if err != nil {
+			return nil, err
+		}
+		logf("table4: training simulation took %s", FormatDuration(train.SimTime))
+		test, err := mc.Sample(sram, cfg.TestN, cfg.Seed+1, mc.Options{})
+		if err != nil {
+			return nil, err
+		}
+		perSample = train.SimTime / time.Duration(train.Len())
+		fAll = train.MetricColumn(0)
+		fTestAll = test.MetricColumn(0)
+		trainDesign = NewDesign(b, train.Points)
+		testDesign = basis.NewLazyDesign(b, test.Points)
+	}
+
+	res := &Table4Result{Dim: sram.Dim(), M: b.Size()}
+	for _, spec := range DefaultSolvers() {
+		k := cfg.SparseK
+		if spec.Fitter == nil {
+			k = cfg.LSK
+			if cfg.Virtual {
+				logf("table4: skipping LS in virtual mode")
+				continue
+			}
+			if k < b.Size() {
+				logf("table4: skipping LS (K=%d < M=%d)", k, b.Size())
+				continue
+			}
+		}
+		rows := make([]int, k)
+		for i := range rows {
+			rows[i] = i
+		}
+		sub := core.Subset(trainDesign, rows)
+		var fit FitResult
+		var err error
+		if spec.Fitter == nil {
+			fit, err = FitLSDesign(sub, fAll[:k])
+		} else {
+			fit, err = FitSparseDesign(spec.Fitter, sub, fAll[:k], cfg.Folds, cfg.MaxLambda)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table4 %s: %w", spec.Name, err)
+		}
+		e := stats.RelativeRMSError(fit.Model.Predict(testDesign), fTestAll)
+		res.Rows = append(res.Rows, CostRow{
+			Solver:  spec.Name,
+			K:       k,
+			SimCost: perSample * time.Duration(k),
+			FitCost: fit.FitTime,
+			Err:     e,
+			Lambda:  fit.Lambda,
+		})
+		if spec.Name == "OMP" {
+			res.OMPModel = fit.Model
+		}
+		logf("table4 %-4s K=%-5d err=%.2f%% fit=%s λ=%d", spec.Name, k, 100*e, FormatDuration(fit.FitTime), fit.Lambda)
+	}
+	return res, nil
+}

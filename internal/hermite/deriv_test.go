@@ -1,0 +1,71 @@
+package hermite
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHDerivIdentity(t *testing.T) {
+	// H̃ₙ'(x) = √n·H̃ₙ₋₁(x); cross-check against central finite differences.
+	const h = 1e-6
+	for n := 0; n <= 5; n++ {
+		for _, x := range []float64{-1.7, -0.3, 0, 0.9, 2.4} {
+			got := HDeriv(n, x)
+			fd := (H(n, x+h) - H(n, x-h)) / (2 * h)
+			if math.Abs(got-fd) > 1e-6*(1+math.Abs(fd)) {
+				t.Errorf("H%d'(%g) = %g, finite difference %g", n, x, got, fd)
+			}
+		}
+	}
+}
+
+func TestHDerivZeroOrder(t *testing.T) {
+	if HDeriv(0, 1.5) != 0 {
+		t.Error("constant's derivative must be 0")
+	}
+}
+
+func TestHDerivNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	HDeriv(-1, 0)
+}
+
+func TestTermEvalGrad(t *testing.T) {
+	r := rand.New(rand.NewSource(40))
+	terms := []Term{
+		{},
+		{{Var: 1, Pow: 1}},
+		{{Var: 0, Pow: 2}},
+		{{Var: 0, Pow: 1}, {Var: 2, Pow: 1}},
+		{{Var: 1, Pow: 2}, {Var: 2, Pow: 1}},
+	}
+	const h = 1e-6
+	y := make([]float64, 3)
+	for trial := 0; trial < 20; trial++ {
+		for i := range y {
+			y[i] = r.NormFloat64()
+		}
+		for _, term := range terms {
+			grad := make([]float64, 3)
+			val := term.EvalGrad(grad, y)
+			if math.Abs(val-term.Eval(y)) > 1e-13*(1+math.Abs(val)) {
+				t.Fatalf("EvalGrad value %g ≠ Eval %g for %v", val, term.Eval(y), term)
+			}
+			for v := 0; v < 3; v++ {
+				yp := append([]float64(nil), y...)
+				ym := append([]float64(nil), y...)
+				yp[v] += h
+				ym[v] -= h
+				fd := (term.Eval(yp) - term.Eval(ym)) / (2 * h)
+				if math.Abs(grad[v]-fd) > 1e-5*(1+math.Abs(fd)) {
+					t.Errorf("%v: ∂/∂y%d = %g, finite difference %g", term, v, grad[v], fd)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package hermite implements the normalized probabilists' Hermite
+// polynomials and the multi-dimensional orthonormal polynomial bases built
+// from them (Section II of the paper, eqs. (2)–(4)).
+//
+// With ΔY independent standard normal after PCA, the tensor products of
+// normalized Hermite polynomials form an orthonormal basis with respect to
+// the Gaussian measure, which is exactly the property the OMP inner-product
+// selection criterion (eqs. (12)–(14)) relies on.
+package hermite
+
+import (
+	"fmt"
+	"math"
+)
+
+// H returns the normalized probabilists' Hermite polynomial H̃ₙ(x) =
+// Heₙ(x)/√(n!), so that E[H̃ᵢ(Z)·H̃ⱼ(Z)] = δᵢⱼ for Z ~ N(0,1).
+// It panics for negative n.
+func H(n int, x float64) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("hermite: negative order %d", n))
+	}
+	// Normalized three-term recurrence:
+	//   H̃ₙ₊₁(x) = (x·H̃ₙ(x) − √n·H̃ₙ₋₁(x)) / √(n+1).
+	prev, cur := 0.0, 1.0 // H̃₋₁ (unused), H̃₀
+	for k := 0; k < n; k++ {
+		next := (x*cur - math.Sqrt(float64(k))*prev) / math.Sqrt(float64(k+1))
+		prev, cur = cur, next
+	}
+	return cur
+}
+
+// Eval1DUpTo fills dst[0..max] with H̃₀(x) … H̃_max(x) using one pass of the
+// recurrence. dst is allocated when nil (length max+1).
+func Eval1DUpTo(dst []float64, max int, x float64) []float64 {
+	if max < 0 {
+		panic(fmt.Sprintf("hermite: negative max order %d", max))
+	}
+	if dst == nil {
+		dst = make([]float64, max+1)
+	}
+	dst[0] = 1
+	if max == 0 {
+		return dst
+	}
+	dst[1] = x
+	for k := 1; k < max; k++ {
+		dst[k+1] = (x*dst[k] - math.Sqrt(float64(k))*dst[k-1]) / math.Sqrt(float64(k+1))
+	}
+	return dst
+}
+
+// VarPow is one factor of a tensor-product term: variable index Var raised
+// to Hermite order Pow (Pow ≥ 1).
+type VarPow struct {
+	Var, Pow int
+}
+
+// Term is one multi-dimensional basis function: the product of normalized
+// Hermite polynomials over the variables it touches. The empty Term is the
+// constant function 1.
+type Term []VarPow
+
+// Degree returns the total polynomial degree of the term.
+func (t Term) Degree() int {
+	d := 0
+	for _, vp := range t {
+		d += vp.Pow
+	}
+	return d
+}
+
+// Eval evaluates the term at the point y.
+func (t Term) Eval(y []float64) float64 {
+	p := 1.0
+	for _, vp := range t {
+		p *= H(vp.Pow, y[vp.Var])
+	}
+	return p
+}
+
+// String renders the term for diagnostics, e.g. "H1(y3)·H2(y7)".
+func (t Term) String() string {
+	if len(t) == 0 {
+		return "1"
+	}
+	s := ""
+	for i, vp := range t {
+		if i > 0 {
+			s += "·"
+		}
+		s += fmt.Sprintf("H%d(y%d)", vp.Pow, vp.Var)
+	}
+	return s
+}
+
+// LinearTerms returns the M = n+1 terms of the linear basis over n
+// variables: the constant followed by H̃₁(yᵢ) = yᵢ for each variable, in
+// variable order — the layout of eq. (4) truncated at degree 1.
+func LinearTerms(n int) []Term {
+	if n < 0 {
+		panic(fmt.Sprintf("hermite: negative dimension %d", n))
+	}
+	terms := make([]Term, 0, n+1)
+	terms = append(terms, Term{})
+	for i := 0; i < n; i++ {
+		terms = append(terms, Term{{Var: i, Pow: 1}})
+	}
+	return terms
+}
+
+// QuadraticTerms returns the M = 1 + n + n(n+1)/2 terms of the total-degree-2
+// basis over n variables: constant, linears, pure quadratics H̃₂(yᵢ) and
+// cross terms yᵢ·yⱼ (i < j), matching eq. (4).
+func QuadraticTerms(n int) []Term {
+	if n < 0 {
+		panic(fmt.Sprintf("hermite: negative dimension %d", n))
+	}
+	terms := make([]Term, 0, 1+n+n*(n+1)/2)
+	terms = append(terms, LinearTerms(n)...)
+	for i := 0; i < n; i++ {
+		terms = append(terms, Term{{Var: i, Pow: 2}})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			terms = append(terms, Term{{Var: i, Pow: 1}, {Var: j, Pow: 1}})
+		}
+	}
+	return terms
+}
+
+// TotalDegreeTerms returns every term of total degree ≤ deg over n
+// variables in graded order (degree 0, then 1, …). The count is
+// C(n+deg, deg); callers are responsible for keeping that tractable.
+func TotalDegreeTerms(n, deg int) []Term {
+	if n < 0 || deg < 0 {
+		panic(fmt.Sprintf("hermite: invalid basis n=%d deg=%d", n, deg))
+	}
+	var terms []Term
+	var cur Term
+	var gen func(startVar, remaining int)
+	gen = func(startVar, remaining int) {
+		terms = append(terms, append(Term(nil), cur...))
+		if remaining == 0 {
+			return
+		}
+		for v := startVar; v < n; v++ {
+			for p := 1; p <= remaining; p++ {
+				cur = append(cur, VarPow{Var: v, Pow: p})
+				gen(v+1, remaining-p)
+				cur = cur[:len(cur)-1]
+			}
+		}
+	}
+	// Generate grouped by degree so the ordering is graded.
+	for d := 0; d <= deg; d++ {
+		n0 := len(terms)
+		gen(0, d)
+		// gen emits all degrees ≤ d; keep only the exactly-degree-d ones.
+		keep := terms[:n0]
+		for _, t := range terms[n0:] {
+			if t.Degree() == d {
+				keep = append(keep, t)
+			}
+		}
+		terms = keep
+	}
+	return terms
+}
+
+// HDeriv returns d/dx H̃ₙ(x) using the identity H̃ₙ'(x) = √n·H̃ₙ₋₁(x).
+func HDeriv(n int, x float64) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("hermite: negative order %d", n))
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(float64(n)) * H(n-1, x)
+}
+
+// EvalGrad evaluates the term and its gradient with respect to every
+// variable it touches. dst (length dim, zeroed by the caller or nil) receives
+// ∂t/∂yᵥ at the touched indices; the term value is returned.
+func (t Term) EvalGrad(dst, y []float64) float64 {
+	if dst == nil {
+		dst = make([]float64, len(y))
+	}
+	// value = Π H̃ₚ(y_v); ∂/∂y_v = H̃ₚ'(y_v)·Π_{w≠v} H̃(y_w).
+	val := 1.0
+	for _, vp := range t {
+		val *= H(vp.Pow, y[vp.Var])
+	}
+	for i, vp := range t {
+		g := HDeriv(vp.Pow, y[vp.Var])
+		for j, other := range t {
+			if j == i {
+				continue
+			}
+			g *= H(other.Pow, y[other.Var])
+		}
+		dst[vp.Var] += g
+	}
+	return val
+}

@@ -1,0 +1,235 @@
+package hermite
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHLowOrdersMatchClosedForms(t *testing.T) {
+	// Paper eq. (3): g1 = 1, g2 = y, g3 = (y²−1)/√2.
+	for _, x := range []float64{-2.5, -1, 0, 0.3, 1.7} {
+		if got := H(0, x); got != 1 {
+			t.Errorf("H0(%g) = %g, want 1", x, got)
+		}
+		if got := H(1, x); got != x {
+			t.Errorf("H1(%g) = %g, want %g", x, got, x)
+		}
+		want2 := (x*x - 1) / math.Sqrt2
+		if got := H(2, x); math.Abs(got-want2) > 1e-14 {
+			t.Errorf("H2(%g) = %g, want %g", x, got, want2)
+		}
+		want3 := (x*x*x - 3*x) / math.Sqrt(6)
+		if got := H(3, x); math.Abs(got-want3) > 1e-13 {
+			t.Errorf("H3(%g) = %g, want %g", x, got, want3)
+		}
+	}
+}
+
+func TestHNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	H(-1, 0)
+}
+
+func TestEval1DUpToMatchesH(t *testing.T) {
+	f := func(x float64) bool {
+		if math.Abs(x) > 5 {
+			x = math.Mod(x, 5)
+		}
+		vals := Eval1DUpTo(nil, 6, x)
+		for n := 0; n <= 6; n++ {
+			if math.Abs(vals[n]-H(n, x)) > 1e-12*(1+math.Abs(vals[n])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOrthonormalityByQuadrature verifies eq. (2): ∫H̃ᵢH̃ⱼ·pdf = δᵢⱼ, using
+// Gauss–Hermite-like dense trapezoidal quadrature over the Gaussian weight.
+func TestOrthonormalityByQuadrature(t *testing.T) {
+	const (
+		lo, hi = -10.0, 10.0
+		steps  = 20000
+	)
+	h := (hi - lo) / steps
+	for i := 0; i <= 4; i++ {
+		for j := 0; j <= 4; j++ {
+			sum := 0.0
+			for k := 0; k <= steps; k++ {
+				x := lo + float64(k)*h
+				w := 1.0
+				if k == 0 || k == steps {
+					w = 0.5
+				}
+				pdf := math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+				sum += w * H(i, x) * H(j, x) * pdf
+			}
+			sum *= h
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(sum-want) > 1e-8 {
+				t.Errorf("⟨H%d,H%d⟩ = %g, want %g", i, j, sum, want)
+			}
+		}
+	}
+}
+
+func TestMonteCarloOrthonormality2D(t *testing.T) {
+	// Check a few 2-D tensor products: E[gᵢ·gⱼ] = δᵢⱼ under N(0, I).
+	terms := []Term{
+		{},
+		{{Var: 0, Pow: 1}},
+		{{Var: 1, Pow: 1}},
+		{{Var: 0, Pow: 2}},
+		{{Var: 0, Pow: 1}, {Var: 1, Pow: 1}},
+	}
+	r := rand.New(rand.NewSource(13))
+	const n = 400000
+	m := len(terms)
+	acc := make([][]float64, m)
+	for i := range acc {
+		acc[i] = make([]float64, m)
+	}
+	y := make([]float64, 2)
+	vals := make([]float64, m)
+	for k := 0; k < n; k++ {
+		y[0], y[1] = r.NormFloat64(), r.NormFloat64()
+		for i, tm := range terms {
+			vals[i] = tm.Eval(y)
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				acc[i][j] += vals[i] * vals[j]
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			got := acc[i][j] / n
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(got-want) > 0.02 {
+				t.Errorf("E[%v·%v] = %g, want %g", terms[i], terms[j], got, want)
+			}
+		}
+	}
+}
+
+func TestLinearTerms(t *testing.T) {
+	terms := LinearTerms(3)
+	if len(terms) != 4 {
+		t.Fatalf("got %d terms, want 4", len(terms))
+	}
+	if terms[0].Degree() != 0 {
+		t.Error("first term must be constant")
+	}
+	y := []float64{0.5, -1, 2}
+	for i := 1; i < 4; i++ {
+		if got := terms[i].Eval(y); got != y[i-1] {
+			t.Errorf("term %d eval = %g, want %g", i, got, y[i-1])
+		}
+	}
+}
+
+func TestQuadraticTermsCount(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 20, 200} {
+		want := 1 + n + n*(n+1)/2
+		if got := len(QuadraticTerms(n)); got != want {
+			t.Errorf("QuadraticTerms(%d) has %d terms, want %d", n, got, want)
+		}
+	}
+	// Paper Section V-A2: 200-dimensional quadratic model has 20301 coefficients.
+	if got := len(QuadraticTerms(200)); got != 20301 {
+		t.Errorf("200-dim quadratic basis has %d terms, want 20301 (paper)", got)
+	}
+}
+
+func TestQuadraticTermsDistinct(t *testing.T) {
+	terms := QuadraticTerms(6)
+	seen := make(map[string]bool, len(terms))
+	for _, tm := range terms {
+		s := tm.String()
+		if seen[s] {
+			t.Fatalf("duplicate term %s", s)
+		}
+		seen[s] = true
+		if tm.Degree() > 2 {
+			t.Fatalf("term %s exceeds degree 2", s)
+		}
+	}
+}
+
+func TestTotalDegreeTermsCount(t *testing.T) {
+	// C(n+d, d) terms.
+	binom := func(n, k int) int {
+		r := 1
+		for i := 1; i <= k; i++ {
+			r = r * (n - k + i) / i
+		}
+		return r
+	}
+	for _, tc := range []struct{ n, d int }{{1, 3}, {2, 2}, {3, 4}, {4, 3}} {
+		want := binom(tc.n+tc.d, tc.d)
+		got := len(TotalDegreeTerms(tc.n, tc.d))
+		if got != want {
+			t.Errorf("TotalDegreeTerms(%d,%d) = %d terms, want %d", tc.n, tc.d, got, want)
+		}
+	}
+}
+
+func TestTotalDegreeMatchesQuadratic(t *testing.T) {
+	a := TotalDegreeTerms(4, 2)
+	b := QuadraticTerms(4)
+	if len(a) != len(b) {
+		t.Fatalf("count mismatch %d vs %d", len(a), len(b))
+	}
+	setOf := func(ts []Term) map[string]bool {
+		m := make(map[string]bool)
+		for _, tm := range ts {
+			m[tm.String()] = true
+		}
+		return m
+	}
+	sa, sb := setOf(a), setOf(b)
+	for k := range sa {
+		if !sb[k] {
+			t.Errorf("term %s missing from QuadraticTerms", k)
+		}
+	}
+}
+
+func TestTermString(t *testing.T) {
+	if (Term{}).String() != "1" {
+		t.Error("constant term should print as 1")
+	}
+	tm := Term{{Var: 3, Pow: 1}, {Var: 7, Pow: 2}}
+	if tm.String() != "H1(y3)·H2(y7)" {
+		t.Errorf("String = %q", tm.String())
+	}
+}
+
+func TestGradedOrder(t *testing.T) {
+	terms := TotalDegreeTerms(3, 3)
+	last := 0
+	for _, tm := range terms {
+		d := tm.Degree()
+		if d < last {
+			t.Fatalf("terms not in graded order: degree %d after %d", d, last)
+		}
+		last = d
+	}
+}

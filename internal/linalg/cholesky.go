@@ -1,0 +1,148 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned when a Cholesky factorization meets a
+// non-positive pivot.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky is a growable lower-triangular Cholesky factor L of a symmetric
+// positive definite matrix A = L·Lᵀ. It supports appending one row/column to
+// A at a time, which is how the OMP and LAR solvers grow their active-set
+// Gram matrices by one basis per iteration without refactorizing.
+type Cholesky struct {
+	n int
+	l []float64 // packed lower triangle, row by row: row i has i+1 entries
+}
+
+// NewCholesky returns an empty (0×0) growable factor.
+func NewCholesky() *Cholesky { return &Cholesky{} }
+
+// CholeskyFactor factors the symmetric positive definite matrix a.
+// Only the lower triangle of a is read.
+func CholeskyFactor(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: CholeskyFactor needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	c := NewCholesky()
+	row := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < i; j++ {
+			row[j] = a.At(i, j)
+		}
+		if err := c.Append(row[:i], a.At(i, i)); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Size returns the current dimension of the factored matrix.
+func (c *Cholesky) Size() int { return c.n }
+
+// rowAt returns the packed slice for row i of L.
+func (c *Cholesky) rowAt(i int) []float64 {
+	start := i * (i + 1) / 2
+	return c.l[start : start+i+1]
+}
+
+// Append grows A by one row/column whose off-diagonal part is cross
+// (cross[j] = A[n][j] for j < n) and whose diagonal entry is diag. It returns
+// ErrNotPositiveDefinite (leaving the factor unchanged) when the update would
+// produce a non-positive pivot, which signals that the appended column is
+// linearly dependent on the existing ones.
+func (c *Cholesky) Append(cross []float64, diag float64) error {
+	if len(cross) != c.n {
+		return fmt.Errorf("linalg: Cholesky.Append cross length %d, want %d", len(cross), c.n)
+	}
+	// Solve L·w = cross by forward substitution.
+	w := make([]float64, c.n+1)
+	for i := 0; i < c.n; i++ {
+		s := cross[i]
+		ri := c.rowAt(i)
+		for j := 0; j < i; j++ {
+			s -= ri[j] * w[j]
+		}
+		w[i] = s / ri[i]
+	}
+	d := diag
+	for i := 0; i < c.n; i++ {
+		d -= w[i] * w[i]
+	}
+	// Guard against loss of positive definiteness from cancellation: d/diag
+	// is the squared sine of the angle between the new column and the span
+	// of the existing ones; treat near-zero angles as dependence.
+	if d <= 0 || d <= 1e-10*math.Abs(diag) {
+		return ErrNotPositiveDefinite
+	}
+	w[c.n] = math.Sqrt(d)
+	c.l = append(c.l, w...)
+	c.n++
+	return nil
+}
+
+// Shrink drops the last k rows/columns of the factored matrix. This exactly
+// undoes k Append calls.
+func (c *Cholesky) Shrink(k int) {
+	if k < 0 || k > c.n {
+		panic(fmt.Sprintf("linalg: Cholesky.Shrink(%d) on size %d", k, c.n))
+	}
+	c.n -= k
+	c.l = c.l[:c.n*(c.n+1)/2]
+}
+
+// Solve solves A·x = b given A = L·Lᵀ. b is not modified.
+func (c *Cholesky) Solve(b []float64) ([]float64, error) {
+	if len(b) != c.n {
+		return nil, fmt.Errorf("linalg: Cholesky.Solve rhs length %d, want %d", len(b), c.n)
+	}
+	x := Clone(b)
+	// Forward: L·y = b.
+	for i := 0; i < c.n; i++ {
+		ri := c.rowAt(i)
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= ri[j] * x[j]
+		}
+		x[i] = s / ri[i]
+	}
+	// Backward: Lᵀ·x = y.
+	for i := c.n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < c.n; j++ {
+			s -= c.rowAt(j)[i] * x[j]
+		}
+		x[i] = s / c.rowAt(i)[i]
+	}
+	return x, nil
+}
+
+// SolveLower solves L·y = b by forward substitution. b is not modified.
+func (c *Cholesky) SolveLower(b []float64) ([]float64, error) {
+	if len(b) != c.n {
+		return nil, fmt.Errorf("linalg: Cholesky.SolveLower rhs length %d, want %d", len(b), c.n)
+	}
+	y := Clone(b)
+	for i := 0; i < c.n; i++ {
+		ri := c.rowAt(i)
+		s := y[i]
+		for j := 0; j < i; j++ {
+			s -= ri[j] * y[j]
+		}
+		y[i] = s / ri[i]
+	}
+	return y, nil
+}
+
+// L returns the lower-triangular factor as a dense matrix.
+func (c *Cholesky) L() *Matrix {
+	m := NewMatrix(c.n, c.n)
+	for i := 0; i < c.n; i++ {
+		copy(m.Row(i)[:i+1], c.rowAt(i))
+	}
+	return m
+}

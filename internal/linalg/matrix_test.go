@@ -1,0 +1,193 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-10
+
+func almostEq(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps*(1+math.Abs(a)+math.Abs(b))
+}
+
+func randMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestNewMatrixFrom(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("got %dx%d, want 3x2", m.Rows, m.Cols)
+	}
+	if m.At(2, 1) != 6 {
+		t.Errorf("At(2,1) = %g, want 6", m.At(2, 1))
+	}
+}
+
+func TestNewMatrixFromRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	NewMatrixFrom([][]float64{{1, 2}, {3}})
+}
+
+func TestNewMatrixNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative dimension")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestMatrixSetAtRoundTrip(t *testing.T) {
+	m := NewMatrix(4, 3)
+	m.Set(1, 2, 7.5)
+	if m.At(1, 2) != 7.5 {
+		t.Errorf("At(1,2) = %g, want 7.5", m.At(1, 2))
+	}
+	if m.At(2, 1) != 0 {
+		t.Errorf("At(2,1) = %g, want 0", m.At(2, 1))
+	}
+}
+
+func TestColSetCol(t *testing.T) {
+	m := NewMatrix(3, 2)
+	m.SetCol(1, []float64{1, 2, 3})
+	got := m.Col(nil, 1)
+	for i, want := range []float64{1, 2, 3} {
+		if got[i] != want {
+			t.Errorf("Col[%d] = %g, want %g", i, got[i], want)
+		}
+	}
+	if m.At(0, 0) != 0 {
+		t.Error("SetCol touched a different column")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("T dims %dx%d, want 3x2", mt.Rows, mt.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulVecAgainstHandComputed(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	got := m.MulVec(nil, []float64{1, -1})
+	want := []float64{-1, -1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("MulVec[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMulTransVecMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randMatrix(rng, 7, 4)
+	x := make([]float64, 7)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := m.MulTransVec(nil, x)
+	want := m.T().MulVec(nil, x)
+	for i := range want {
+		if !almostEq(got[i], want[i], tol) {
+			t.Errorf("MulTransVec[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMulMatchesManual(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewMatrixFrom([][]float64{{0, 1}, {1, 0}})
+	c := a.Mul(b)
+	want := NewMatrixFrom([][]float64{{2, 1}, {4, 3}})
+	for i := range want.Data {
+		if c.Data[i] != want.Data[i] {
+			t.Fatalf("Mul = %v, want %v", c.Data, want.Data)
+		}
+	}
+}
+
+func TestGramMatchesTTimesM(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randMatrix(rng, 9, 5)
+	g := m.Gram()
+	want := m.T().Mul(m)
+	for i := range want.Data {
+		if !almostEq(g.Data[i], want.Data[i], tol) {
+			t.Fatalf("Gram mismatch at flat index %d: %g vs %g", i, g.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestGramSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randMatrix(rng, 3+rng.Intn(10), 2+rng.Intn(6))
+		g := m.Gram()
+		for i := 0; i < g.Rows; i++ {
+			for j := 0; j < i; j++ {
+				if !almostEq(g.At(i, j), g.At(j, i), tol) {
+					return false
+				}
+			}
+			if g.At(i, i) < -tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEye(t *testing.T) {
+	e := Eye(3)
+	v := []float64{3, -1, 2}
+	got := e.MulVec(nil, v)
+	for i := range v {
+		if got[i] != v[i] {
+			t.Errorf("Eye·v[%d] = %g, want %g", i, got[i], v[i])
+		}
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, -7}, {3, 4}})
+	if m.MaxAbs() != 7 {
+		t.Errorf("MaxAbs = %g, want 7", m.MaxAbs())
+	}
+	if NewMatrix(0, 0).MaxAbs() != 0 {
+		t.Error("MaxAbs of empty matrix should be 0")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage with the original")
+	}
+}

@@ -1,0 +1,264 @@
+package mc
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/rng"
+)
+
+func synthSim(t *testing.T) *circuit.Synthetic {
+	t.Helper()
+	s, err := circuit.NewSynthetic(3, 12, 1, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSampleDeterministicPoints(t *testing.T) {
+	sim := synthSim(t)
+	a, err := Sample(sim, 20, 42, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sample(sim, 20, 42, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a.Points {
+		for i := range a.Points[k] {
+			if a.Points[k][i] != b.Points[k][i] {
+				t.Fatalf("points differ at sample %d", k)
+			}
+		}
+	}
+}
+
+func TestSampleParallelMatchesSerial(t *testing.T) {
+	// Noiseless simulator: values must be identical regardless of workers.
+	sim := synthSim(t)
+	a, err := Sample(sim, 30, 7, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sample(sim, 30, 7, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a.Values {
+		if a.Values[k][0] != b.Values[k][0] {
+			t.Fatalf("values differ at sample %d: %g vs %g", k, a.Values[k][0], b.Values[k][0])
+		}
+	}
+}
+
+func TestSampleRecordsMetricsAndTime(t *testing.T) {
+	sim := synthSim(t)
+	d, err := Sample(sim, 5, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if len(d.Metrics) != 1 || d.Metrics[0] != "f" {
+		t.Errorf("Metrics = %v", d.Metrics)
+	}
+	if d.SimTime <= 0 {
+		t.Error("SimTime not recorded")
+	}
+}
+
+func TestMetricLookup(t *testing.T) {
+	sim := synthSim(t)
+	d, err := Sample(sim, 8, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := d.Metric("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byIdx := d.MetricColumn(0)
+	for k := range col {
+		if col[k] != byIdx[k] || col[k] != d.Values[k][0] {
+			t.Fatalf("metric extraction mismatch at %d", k)
+		}
+	}
+	if _, err := d.Metric("nope"); err == nil {
+		t.Error("unknown metric must error")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	sim := synthSim(t)
+	d, err := Sample(sim, 10, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := d.Split(7)
+	if a.Len() != 7 || b.Len() != 3 {
+		t.Fatalf("split sizes %d/%d", a.Len(), b.Len())
+	}
+	if &a.Points[0][0] != &d.Points[0][0] {
+		t.Error("Split should not copy data")
+	}
+}
+
+func TestSplitPanics(t *testing.T) {
+	d := &Dataset{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Split(1)
+}
+
+func TestSampleValidation(t *testing.T) {
+	sim := synthSim(t)
+	if _, err := Sample(sim, 0, 1, Options{}); err == nil {
+		t.Error("n=0 must error")
+	}
+}
+
+func TestLatinHypercubeOption(t *testing.T) {
+	sim := synthSim(t)
+	d, err := Sample(sim, 16, 4, Options{LatinHypercube: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stratification: first dimension values, mapped through Φ, must occupy
+	// distinct 1/16 bins.
+	bins := make(map[int]bool)
+	for _, p := range d.Points {
+		u := 0.5 * math.Erfc(-p[0]/math.Sqrt2)
+		bins[int(u*16)] = true
+	}
+	if len(bins) != 16 {
+		t.Errorf("LHS produced %d distinct bins, want 16", len(bins))
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	sim := synthSim(t)
+	d, err := Sample(sim, 6, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("round trip length %d, want %d", back.Len(), d.Len())
+	}
+	for k := range d.Points {
+		for i := range d.Points[k] {
+			if back.Points[k][i] != d.Points[k][i] {
+				t.Fatalf("point (%d,%d) changed in round trip", k, i)
+			}
+		}
+		if back.Values[k][0] != d.Values[k][0] {
+			t.Fatalf("value %d changed in round trip", k)
+		}
+	}
+	if back.Metrics[0] != "f" {
+		t.Errorf("metrics lost: %v", back.Metrics)
+	}
+}
+
+func TestReadCSVRejectsBadInput(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("y0,f\n1.0\n")); err == nil {
+		t.Error("short row must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("y0,f\nx,1\n")); err == nil {
+		t.Error("non-numeric field must error")
+	}
+}
+
+func TestSampleVirtualMatchesGeneratedDesign(t *testing.T) {
+	// The virtual sampler and the generated design must see identical
+	// points: fitting on (GeneratedDesign, SampleVirtual responses) must
+	// recover the synthetic truth exactly.
+	sim, err := circuit.NewSynthetic(50, 15, 1, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, seed = 60, 123
+	values, simTime, err := SampleVirtual(sim, n, seed, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simTime <= 0 {
+		t.Error("sim time not recorded")
+	}
+	f := make([]float64, n)
+	for k, v := range values {
+		f[k] = v[0]
+	}
+	// Re-evaluate at regenerated points to prove point identity.
+	pt := make([]float64, 15)
+	for k := 0; k < n; k++ {
+		rng.RowPoint(pt, seed, k, 15)
+		want, err := sim.Evaluate(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want[0] != f[k] {
+			t.Fatalf("sample %d: regenerated point gives %g, stored %g", k, want[0], f[k])
+		}
+	}
+}
+
+func TestSampleVirtualValidation(t *testing.T) {
+	sim := synthSim(t)
+	if _, _, err := SampleVirtual(sim, 0, 1, Options{}); err == nil {
+		t.Error("n=0 must error")
+	}
+}
+
+func TestSampleErrorPropagation(t *testing.T) {
+	// A simulator that fails mid-batch must surface the error from Sample.
+	sim := failingSim{failAt: 3}
+	if _, err := Sample(sim, 10, 1, Options{Workers: 2}); err == nil {
+		t.Error("expected error from failing simulator")
+	}
+	if _, _, err := SampleVirtual(sim, 10, 1, Options{Workers: 2}); err == nil {
+		t.Error("expected error from failing simulator (virtual)")
+	}
+}
+
+// failingSim errors on every evaluation.
+type failingSim struct{ failAt int }
+
+func (f failingSim) Dim() int          { return 2 }
+func (f failingSim) Metrics() []string { return []string{"x"} }
+func (f failingSim) Evaluate(dy []float64) ([]float64, error) {
+	return nil, errSim
+}
+
+var errSim = errors.New("boom")
+
+func TestHaltonOption(t *testing.T) {
+	sim := synthSim(t)
+	d, err := Sample(sim, 32, 6, Options{Halton: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 32 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if _, err := Sample(sim, 8, 6, Options{Halton: true, LatinHypercube: true}); err == nil {
+		t.Error("mutually exclusive options must error")
+	}
+}

@@ -1,0 +1,241 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/linalg"
+)
+
+// acCtx carries the complex MNA system of one AC frequency point.
+type acCtx struct {
+	a      *linalg.CMatrix
+	b      []complex128
+	omega  float64
+	op     []float64 // DC operating point (node voltages + branch currents)
+	nNodes int
+}
+
+func (ctx *acCtx) v(n NodeID) float64 {
+	if n == Ground {
+		return 0
+	}
+	return ctx.op[n]
+}
+
+func (ctx *acCtx) addA(i, j NodeID, v complex128) {
+	if i == Ground || j == Ground {
+		return
+	}
+	ctx.a.Add(int(i), int(j), v)
+}
+
+func (ctx *acCtx) addB(i NodeID, v complex128) {
+	if i == Ground {
+		return
+	}
+	ctx.b[i] += v
+}
+
+// acStamper is implemented by devices that contribute to the small-signal
+// system. Every device implements it; devices with no AC behaviour stamp
+// nothing.
+type acStamper interface {
+	stampAC(ctx *acCtx)
+}
+
+func (r *resistor) stampAC(ctx *acCtx) {
+	g := complex(r.g, 0)
+	ctx.addA(r.a, r.a, g)
+	ctx.addA(r.b, r.b, g)
+	ctx.addA(r.a, r.b, -g)
+	ctx.addA(r.b, r.a, -g)
+}
+
+func (cp *capacitor) stampAC(ctx *acCtx) {
+	y := complex(0, ctx.omega*cp.c)
+	ctx.addA(cp.a, cp.a, y)
+	ctx.addA(cp.b, cp.b, y)
+	ctx.addA(cp.a, cp.b, -y)
+	ctx.addA(cp.b, cp.a, -y)
+}
+
+func (cs *currentSource) stampAC(ctx *acCtx) {
+	// Independent DC current sources are open circuits in AC.
+	if cs.acMag != 0 {
+		ctx.addB(cs.a, complex(-cs.acMag, 0))
+		ctx.addB(cs.b, complex(cs.acMag, 0))
+	}
+}
+
+func (vs *voltageSource) stampAC(ctx *acCtx) {
+	bi := NodeID(ctx.nNodes + vs.ord)
+	ctx.addA(vs.p, bi, 1)
+	ctx.addA(vs.m, bi, -1)
+	ctx.addA(bi, vs.p, 1)
+	ctx.addA(bi, vs.m, -1)
+	// DC sources are AC shorts (rhs 0); the designated stimulus drives its
+	// AC magnitude.
+	ctx.addB(bi, complex(vs.acMag, 0))
+}
+
+func (v *vccs) stampAC(ctx *acCtx) {
+	gm := complex(v.gm, 0)
+	ctx.addA(v.outP, v.ctrlP, gm)
+	ctx.addA(v.outP, v.ctrlM, -gm)
+	ctx.addA(v.outM, v.ctrlP, -gm)
+	ctx.addA(v.outM, v.ctrlM, gm)
+}
+
+func (d *diode) stampAC(ctx *acCtx) {
+	vd := ctx.v(d.a) - ctx.v(d.b)
+	if vd > 0.9 {
+		vd = 0.9
+	}
+	g := complex(d.is*math.Exp(vd/d.vt)/d.vt+1e-12, 0)
+	ctx.addA(d.a, d.a, g)
+	ctx.addA(d.b, d.b, g)
+	ctx.addA(d.a, d.b, -g)
+	ctx.addA(d.b, d.a, -g)
+}
+
+func (m *mosfet) stampAC(ctx *acCtx) {
+	vd, vg, vs := ctx.v(m.d), ctx.v(m.g), ctx.v(m.s)
+	if m.p.Type == PMOS {
+		vd, vg, vs = -vd, -vg, -vs
+	}
+	d, s := m.d, m.s
+	if vd < vs {
+		vd, vs = vs, vd
+		d, s = s, d
+	}
+	_, gm, gds := squareLawIDS(vg-vs, vd-vs, m.p)
+	gds += 1e-12
+	cgm, cgds := complex(gm, 0), complex(gds, 0)
+	ctx.addA(d, m.g, cgm)
+	ctx.addA(d, s, -cgm-cgds)
+	ctx.addA(d, d, cgds)
+	ctx.addA(s, m.g, -cgm)
+	ctx.addA(s, s, cgm+cgds)
+	ctx.addA(s, d, -cgds)
+}
+
+// SetACMagnitude designates the named source as the AC stimulus with the
+// given magnitude (typically 1 so outputs read directly as transfer
+// functions). It returns an error when no source with that name exists.
+func (c *Circuit) SetACMagnitude(name string, mag float64) error {
+	for _, dev := range c.devices {
+		switch d := dev.(type) {
+		case *voltageSource:
+			if d.id == name {
+				d.acMag = mag
+				return nil
+			}
+		case *currentSource:
+			if d.id == name {
+				d.acMag = mag
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("spice: no voltage/current source named %q", name)
+}
+
+// ACResult holds a frequency sweep of complex node voltages.
+type ACResult struct {
+	circ *Circuit
+	// Freqs are the analysis frequencies in Hz.
+	Freqs []float64
+	// states[i] is the complex solution at Freqs[i].
+	states [][]complex128
+}
+
+// Voltage returns the complex voltage of node n at frequency index i.
+func (r *ACResult) Voltage(n NodeID, i int) complex128 {
+	if n == Ground {
+		return 0
+	}
+	return r.states[i][n]
+}
+
+// Mag returns |V(n)| at frequency index i.
+func (r *ACResult) Mag(n NodeID, i int) float64 { return cmplx.Abs(r.Voltage(n, i)) }
+
+// MagDB returns 20·log10|V(n)| at frequency index i.
+func (r *ACResult) MagDB(n NodeID, i int) float64 { return 20 * math.Log10(r.Mag(n, i)) }
+
+// PhaseDeg returns the phase of V(n) in degrees at frequency index i.
+func (r *ACResult) PhaseDeg(n NodeID, i int) float64 {
+	return cmplx.Phase(r.Voltage(n, i)) * 180 / math.Pi
+}
+
+// UnityGainFreq returns the frequency at which |V(n)| crosses 1 from above,
+// log-interpolated between sweep points.
+func (r *ACResult) UnityGainFreq(n NodeID) (float64, error) {
+	for i := 1; i < len(r.Freqs); i++ {
+		m0, m1 := r.Mag(n, i-1), r.Mag(n, i)
+		if m0 >= 1 && m1 < 1 {
+			// Interpolate in log-log space.
+			l0, l1 := math.Log10(m0), math.Log10(m1)
+			f0, f1 := math.Log10(r.Freqs[i-1]), math.Log10(r.Freqs[i])
+			frac := l0 / (l0 - l1)
+			return math.Pow(10, f0+frac*(f1-f0)), nil
+		}
+	}
+	return 0, fmt.Errorf("spice: node %s never crosses unity gain in [%.3g, %.3g] Hz",
+		r.circ.NodeName(n), r.Freqs[0], r.Freqs[len(r.Freqs)-1])
+}
+
+// AC computes the DC operating point, linearizes every device around it and
+// sweeps the complex MNA system over the given frequencies.
+func (c *Circuit) AC(freqs []float64) (*ACResult, error) {
+	if len(freqs) == 0 {
+		return nil, fmt.Errorf("spice: empty AC frequency list")
+	}
+	op, err := c.solveDC()
+	if err != nil {
+		return nil, err
+	}
+	n := c.unknowns()
+	res := &ACResult{circ: c, Freqs: freqs}
+	a := linalg.NewCMatrix(n, n)
+	b := make([]complex128, n)
+	for _, f := range freqs {
+		if f <= 0 {
+			return nil, fmt.Errorf("spice: AC frequency %g must be positive", f)
+		}
+		a.Reset()
+		for i := range b {
+			b[i] = 0
+		}
+		ctx := &acCtx{a: a, b: b, omega: 2 * math.Pi * f, op: op, nNodes: len(c.nodeNames)}
+		for _, dev := range c.devices {
+			dev.(acStamper).stampAC(ctx)
+		}
+		// Keep cutoff devices from leaving floating nodes.
+		for i := 0; i < len(c.nodeNames); i++ {
+			a.Add(i, i, complex(nodeGmin, 0))
+		}
+		x, err := linalg.SolveComplex(a, b)
+		if err != nil {
+			return nil, fmt.Errorf("spice: AC solve at %g Hz: %w", f, err)
+		}
+		res.states = append(res.states, x)
+	}
+	return res, nil
+}
+
+// LogSpace returns a logarithmic frequency sweep from fStart to fStop with
+// the given number of points per decade (≥ 1).
+func LogSpace(fStart, fStop float64, perDecade int) []float64 {
+	if fStart <= 0 || fStop <= fStart || perDecade < 1 {
+		panic(fmt.Sprintf("spice: invalid LogSpace(%g, %g, %d)", fStart, fStop, perDecade))
+	}
+	var out []float64
+	step := math.Pow(10, 1/float64(perDecade))
+	for f := fStart; f <= fStop*(1+1e-12); f *= step {
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package spice
+
+import (
+	"math"
+	"testing"
+)
+
+func TestACRCLowPass(t *testing.T) {
+	// R=1k, C=159.155nF → f_c = 1/(2πRC) ≈ 1 kHz.
+	c := New()
+	in, out := c.Node("in"), c.Node("out")
+	c.AddVoltageSource("VIN", in, Ground, DC(0))
+	if err := c.SetACMagnitude("VIN", 1); err != nil {
+		t.Fatal(err)
+	}
+	c.AddResistor("R", in, out, 1e3)
+	c.AddCapacitor("C", out, Ground, 159.155e-9)
+	freqs := []float64{100, 1000, 10000, 100000}
+	res, err := c.AC(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At f_c: |H| = 1/√2, phase = −45°.
+	if got := res.Mag(out, 1); math.Abs(got-1/math.Sqrt2) > 1e-3 {
+		t.Errorf("|H(fc)| = %g, want %g", got, 1/math.Sqrt2)
+	}
+	if got := res.PhaseDeg(out, 1); math.Abs(got+45) > 0.2 {
+		t.Errorf("∠H(fc) = %g°, want −45°", got)
+	}
+	// One decade above: |H| ≈ 1/10 (−20 dB/dec).
+	if got := res.MagDB(out, 2); math.Abs(got+20.04) > 0.2 {
+		t.Errorf("|H(10fc)| = %g dB, want ≈ −20", got)
+	}
+	// Passband: |H| ≈ 1.
+	if got := res.Mag(out, 0); math.Abs(got-0.995) > 0.01 {
+		t.Errorf("|H(0.1fc)| = %g, want ≈ 1", got)
+	}
+}
+
+func TestACVCCSAmplifier(t *testing.T) {
+	// gm = 1mS into RL = 10k: gain = −10 (inverting), flat over frequency.
+	c := New()
+	in, out := c.Node("in"), c.Node("out")
+	c.AddVoltageSource("VIN", in, Ground, DC(0))
+	if err := c.SetACMagnitude("VIN", 1); err != nil {
+		t.Fatal(err)
+	}
+	c.AddVCCS("G", out, Ground, in, Ground, 1e-3)
+	c.AddResistor("RL", out, Ground, 10e3)
+	res, err := c.AC([]float64{1e3, 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Freqs {
+		v := res.Voltage(out, i)
+		if math.Abs(real(v)+10) > 1e-6 || math.Abs(imag(v)) > 1e-9 {
+			t.Errorf("gain at %g Hz = %v, want −10", res.Freqs[i], v)
+		}
+	}
+}
+
+func TestACCommonSourceAmp(t *testing.T) {
+	// NMOS common-source with resistor load: low-frequency gain −gm·(RL‖ro),
+	// single pole from the load capacitor.
+	c := New()
+	vdd, in, out := c.Node("vdd"), c.Node("in"), c.Node("out")
+	c.AddVoltageSource("VDD", vdd, Ground, DC(1.2))
+	c.AddVoltageSource("VIN", in, Ground, DC(0.6))
+	if err := c.SetACMagnitude("VIN", 1); err != nil {
+		t.Fatal(err)
+	}
+	p := MOSParams{Type: NMOS, VT: 0.4, Beta: 1e-3, Lambda: 0.05}
+	c.AddMOSFET("M1", out, in, Ground, p)
+	c.AddResistor("RL", vdd, out, 20e3)
+	c.AddCapacitor("CL", out, Ground, 1e-12)
+
+	// Expected small-signal values at the operating point.
+	sol, err := c.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vds := sol.Voltage(out)
+	_, gm, gds := squareLawIDS(0.6, vds, p)
+	rout := 1 / (gds + 1/20e3)
+	wantGain := gm * rout
+
+	res, err := c.AC([]float64{1e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Mag(out, 0)
+	if math.Abs(got-wantGain)/wantGain > 1e-3 {
+		t.Errorf("LF gain %g, want %g", got, wantGain)
+	}
+	// Phase ≈ 180° (inverting) at low frequency.
+	ph := res.PhaseDeg(out, 0)
+	if math.Abs(math.Abs(ph)-180) > 3 {
+		t.Errorf("LF phase %g°, want ≈ ±180°", ph)
+	}
+	// The pole: f_p = 1/(2π·rout·CL); −3 dB point.
+	fp := 1 / (2 * math.Pi * rout * 1e-12)
+	res2, err := c.AC([]float64{fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res2.Mag(out, 0); math.Abs(got-wantGain/math.Sqrt2)/wantGain > 0.01 {
+		t.Errorf("gain at pole %g, want %g", got, wantGain/math.Sqrt2)
+	}
+}
+
+func TestACUnityGainFreq(t *testing.T) {
+	// Single-pole amplifier: A0=100, fp=1kHz → GBW ≈ 100 kHz.
+	c := New()
+	in, out := c.Node("in"), c.Node("out")
+	c.AddVoltageSource("VIN", in, Ground, DC(0))
+	if err := c.SetACMagnitude("VIN", 1); err != nil {
+		t.Fatal(err)
+	}
+	c.AddVCCS("G", out, Ground, in, Ground, 1e-3) // gm 1mS
+	c.AddResistor("RL", out, Ground, 100e3)       // A0 = 100
+	c.AddCapacitor("CL", out, Ground, 1.59155e-9) // fp ≈ 1 kHz
+	res, err := c.AC(LogSpace(10, 1e7, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ugf, err := res.UnityGainFreq(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ugf-100e3)/100e3 > 0.02 {
+		t.Errorf("unity-gain frequency %g, want ≈ 100 kHz", ugf)
+	}
+}
+
+func TestACDiodeSmallSignal(t *testing.T) {
+	// A forward-biased diode's AC conductance is Id/vt; check the divider
+	// formed with a series resistor.
+	c := New()
+	in, out := c.Node("in"), c.Node("out")
+	c.AddVoltageSource("VIN", in, Ground, DC(1.0))
+	if err := c.SetACMagnitude("VIN", 1); err != nil {
+		t.Fatal(err)
+	}
+	c.AddResistor("R", in, out, 1e3)
+	c.AddDiode("D", out, Ground, 1e-14)
+	sol, err := c.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd := sol.Voltage(out)
+	gd := 1e-14 * math.Exp(vd/0.025852) / 0.025852
+	want := (1 / gd) / (1/gd + 1e3)
+	res, err := c.AC([]float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Mag(out, 0); math.Abs(got-want)/want > 1e-3 {
+		t.Errorf("divider gain %g, want %g", got, want)
+	}
+}
+
+func TestSetACMagnitudeUnknownSource(t *testing.T) {
+	c := New()
+	n := c.Node("n")
+	c.AddResistor("R", n, Ground, 1)
+	if err := c.SetACMagnitude("VX", 1); err == nil {
+		t.Error("unknown source must error")
+	}
+}
+
+func TestACValidation(t *testing.T) {
+	c := New()
+	in := c.Node("in")
+	c.AddVoltageSource("VIN", in, Ground, DC(1))
+	c.AddResistor("R", in, Ground, 1e3)
+	if _, err := c.AC(nil); err == nil {
+		t.Error("empty frequency list must error")
+	}
+	if _, err := c.AC([]float64{-1}); err == nil {
+		t.Error("negative frequency must error")
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	f := LogSpace(1, 1000, 10)
+	if len(f) != 31 {
+		t.Fatalf("LogSpace has %d points, want 31", len(f))
+	}
+	if math.Abs(f[0]-1) > 1e-12 || math.Abs(f[30]-1000)/1000 > 1e-9 {
+		t.Errorf("endpoints %g, %g", f[0], f[30])
+	}
+	for i := 1; i < len(f); i++ {
+		ratio := f[i] / f[i-1]
+		if math.Abs(ratio-math.Pow(10, 0.1)) > 1e-9 {
+			t.Fatalf("non-uniform log spacing at %d: %g", i, ratio)
+		}
+	}
+}
+
+func TestLogSpacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LogSpace(10, 1, 5)
+}

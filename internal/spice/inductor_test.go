@@ -1,0 +1,117 @@
+package spice
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInductorDCShort(t *testing.T) {
+	// Divider with the lower leg shorted by an inductor: V(mid) = 0 in DC.
+	c := New()
+	in, mid := c.Node("in"), c.Node("mid")
+	c.AddVoltageSource("V1", in, Ground, DC(5))
+	c.AddResistor("R1", in, mid, 1e3)
+	c.AddInductor("L1", mid, Ground, 1e-3)
+	sol, err := c.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sol.Voltage(mid); math.Abs(v) > 1e-6 {
+		t.Errorf("V(mid) = %g, want 0 (inductor is a DC short)", v)
+	}
+	// The 5mA divider current flows through the inductor.
+	if i := sol.SourceCurrent(0); math.Abs(i+5e-3) > 1e-8 {
+		t.Errorf("source current %g, want -5mA", i)
+	}
+}
+
+func TestInductorACImpedance(t *testing.T) {
+	// L divider: |V(mid)| = |jωL| / |R + jωL|.
+	c := New()
+	in, mid := c.Node("in"), c.Node("mid")
+	c.AddVoltageSource("V1", in, Ground, DC(0))
+	if err := c.SetACMagnitude("V1", 1); err != nil {
+		t.Fatal(err)
+	}
+	c.AddResistor("R1", in, mid, 1e3)
+	c.AddInductor("L1", mid, Ground, 1e-3)
+	// At f = R/(2πL) ≈ 159 kHz: |H| = 1/√2, phase +45°.
+	fc := 1e3 / (2 * math.Pi * 1e-3)
+	res, err := c.AC([]float64{fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Mag(mid, 0); math.Abs(got-1/math.Sqrt2) > 1e-3 {
+		t.Errorf("|H(fc)| = %g, want %g", got, 1/math.Sqrt2)
+	}
+	if got := res.PhaseDeg(mid, 0); math.Abs(got-45) > 0.2 {
+		t.Errorf("∠H(fc) = %g°, want +45°", got)
+	}
+}
+
+func TestRLTransient(t *testing.T) {
+	// Series RL step: i(t) = (V/R)(1 − e^{−tR/L}); V(mid) = V·e^{−t/τ}.
+	c := New()
+	in, mid := c.Node("in"), c.Node("mid")
+	c.AddVoltageSource("V1", in, Ground, Pulse{V0: 0, V1: 1, Delay: 0, Rise: 1e-9, Fall: 1e-9, Width: 1})
+	c.AddResistor("R1", in, mid, 1e3)
+	c.AddInductor("L1", mid, Ground, 1.0) // τ = L/R = 1 ms
+	tr, err := c.Transient(3e-3, 2e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []float64{0.5e-3, 1e-3, 2e-3} {
+		idx := int(probe / 2e-6)
+		got := tr.At(mid, idx)
+		want := math.Exp(-tr.Times[idx] / 1e-3)
+		if math.Abs(got-want) > 5e-3 {
+			t.Errorf("v(%gms) = %g, want %g", probe*1e3, got, want)
+		}
+	}
+}
+
+func TestInductorFeedbackBench(t *testing.T) {
+	// The classic open-loop measurement testbench: a VCCS "amplifier" with
+	// unity feedback through a huge inductor. DC: follower (output ≈ input
+	// bias within 1/A). AC: loop open, |V(out)| = open-loop gain.
+	c := New()
+	inp, inn, out := c.Node("inp"), c.Node("inn"), c.Node("out")
+	c.AddVoltageSource("VIN", inp, Ground, DC(0.5))
+	if err := c.SetACMagnitude("VIN", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Differential transconductance with resistor load: A0 = 1m·100k = 100.
+	c.AddVCCS("G", out, Ground, inn, inp, 1e-3)
+	c.AddResistor("RL", out, Ground, 100e3)
+	// The inductor must dominate the inn-node impedance at the measurement
+	// frequency for the loop to be AC-open: |jωL| ≫ RLK.
+	c.AddInductor("LFB", out, inn, 1e12)
+	c.AddResistor("RLK", inn, Ground, 1e8)
+
+	sol, err := c.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DC follower: out = inp·A/(1+A) ≈ 0.495.
+	if v := sol.Voltage(out); math.Abs(v-0.5*100/101) > 1e-3 {
+		t.Errorf("DC follower output %g, want %g", v, 0.5*100/101)
+	}
+	res, err := c.AC([]float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 100 Hz the 1 MH inductor is |Z| = 628 MΩ — loop open: gain ≈ 100.
+	if g := res.Mag(out, 0); math.Abs(g-100) > 1 {
+		t.Errorf("open-loop gain %g, want ≈ 100", g)
+	}
+}
+
+func TestInductorPanics(t *testing.T) {
+	c := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.AddInductor("L", c.Node("a"), Ground, 0)
+}

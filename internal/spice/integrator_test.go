@@ -1,0 +1,136 @@
+package spice
+
+import (
+	"math"
+	"testing"
+)
+
+// rcBench builds the canonical RC step-response circuit (τ = 1 ms).
+func rcBench() (*Circuit, NodeID) {
+	c := New()
+	in, out := c.Node("in"), c.Node("out")
+	c.AddVoltageSource("V1", in, Ground, Pulse{V0: 0, V1: 1, Delay: 0, Rise: 1e-9, Fall: 1e-9, Width: 1})
+	c.AddResistor("R1", in, out, 1e3)
+	c.AddCapacitor("C1", out, Ground, 1e-6)
+	return c, out
+}
+
+// maxRCError measures the worst-case deviation from the analytic step
+// response over the window.
+func maxRCError(tr *TranResult, out NodeID) float64 {
+	worst := 0.0
+	for i, t := range tr.Times {
+		if t < 1e-6 {
+			continue
+		}
+		want := 1 - math.Exp(-t/1e-3)
+		if d := math.Abs(tr.At(out, i) - want); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestTrapezoidalMoreAccurateThanBE(t *testing.T) {
+	// Deliberately coarse step (50 µs = τ/20): first-order BE shows visible
+	// error, second-order TR should be at least 5× better.
+	const step, stop = 50e-6, 5e-3
+	cBE, outBE := rcBench()
+	trBE, err := cBE.TransientMethod(stop, step, BackwardEuler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cTR, outTR := rcBench()
+	trTR, err := cTR.TransientMethod(stop, step, Trapezoidal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eBE := maxRCError(trBE, outBE)
+	eTR := maxRCError(trTR, outTR)
+	if eTR >= eBE/5 {
+		t.Errorf("trapezoidal error %g not ≪ backward-Euler error %g", eTR, eBE)
+	}
+	if eBE < 1e-6 {
+		t.Errorf("BE error %g suspiciously small — step too fine to discriminate", eBE)
+	}
+}
+
+func TestTrapezoidalConvergenceOrder(t *testing.T) {
+	// Halving the step should cut the TR error ≈ 4× (second order) but the
+	// BE error only ≈ 2× (first order).
+	run := func(method Integrator, step float64) float64 {
+		c, out := rcBench()
+		tr, err := c.TransientMethod(5e-3, step, method)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return maxRCError(tr, out)
+	}
+	beRatio := run(BackwardEuler, 100e-6) / run(BackwardEuler, 50e-6)
+	trRatio := run(Trapezoidal, 100e-6) / run(Trapezoidal, 50e-6)
+	if beRatio < 1.6 || beRatio > 2.6 {
+		t.Errorf("BE error ratio %g, want ≈ 2 (first order)", beRatio)
+	}
+	if trRatio < 3.0 || trRatio > 5.5 {
+		t.Errorf("TR error ratio %g, want ≈ 4 (second order)", trRatio)
+	}
+}
+
+func TestTrapezoidalRLCircuit(t *testing.T) {
+	// RL decay with TR at a coarse step: v(mid) = e^{−t/τ}, τ = 1 ms.
+	c := New()
+	in, mid := c.Node("in"), c.Node("mid")
+	c.AddVoltageSource("V1", in, Ground, Pulse{V0: 0, V1: 1, Delay: 0, Rise: 1e-9, Fall: 1e-9, Width: 1})
+	c.AddResistor("R1", in, mid, 1e3)
+	c.AddInductor("L1", mid, Ground, 1.0)
+	tr, err := c.TransientMethod(3e-3, 50e-6, Trapezoidal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []float64{1e-3, 2e-3} {
+		idx := int(probe / 50e-6)
+		got := tr.At(mid, idx)
+		want := math.Exp(-tr.Times[idx] / 1e-3)
+		if math.Abs(got-want) > 2e-3 {
+			t.Errorf("v(%gms) = %g, want %g", probe*1e3, got, want)
+		}
+	}
+}
+
+func TestTransientMethodValidation(t *testing.T) {
+	c, _ := rcBench()
+	if _, err := c.TransientMethod(1e-3, 1e-6, Integrator(9)); err == nil {
+		t.Error("unknown integrator must error")
+	}
+	if _, err := c.TransientMethod(0, 1e-6, Trapezoidal); err == nil {
+		t.Error("stop=0 must error")
+	}
+}
+
+func TestIntegratorString(t *testing.T) {
+	if BackwardEuler.String() != "backward-euler" || Trapezoidal.String() != "trapezoidal" {
+		t.Error("integrator names wrong")
+	}
+	if Integrator(9).String() != "Integrator(9)" {
+		t.Error("unknown integrator formatting wrong")
+	}
+}
+
+func TestTransientStateResetBetweenRuns(t *testing.T) {
+	// Running the same circuit twice must give identical waveforms: the
+	// capacitor's trapezoidal state must not leak across runs.
+	c, out := rcBench()
+	a, err := c.TransientMethod(2e-3, 20e-6, Trapezoidal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.TransientMethod(2e-3, 20e-6, Trapezoidal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Times {
+		if a.At(out, i) != b.At(out, i) {
+			t.Fatalf("state leaked: run differs at index %d", i)
+		}
+	}
+}

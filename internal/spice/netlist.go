@@ -1,0 +1,484 @@
+package spice
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Netlist is a parsed SPICE-style circuit deck: the circuit plus the
+// analysis and output directives found in it.
+type Netlist struct {
+	// Circuit is the assembled circuit.
+	Circuit *Circuit
+	// Analyses are the requested analyses in deck order.
+	Analyses []Analysis
+	// Prints are the node names requested by .print (all nodes if empty).
+	Prints []string
+}
+
+// Analysis is one analysis directive.
+type Analysis struct {
+	// Kind is "dc", "tran" or "ac".
+	Kind string
+	// Stop, Step configure .tran; Method selects the integrator.
+	Stop, Step float64
+	Method     Integrator
+	// Freqs configures .ac.
+	Freqs []float64
+	// ACSource and ACMag name the .ac stimulus.
+	ACSource string
+	ACMag    float64
+}
+
+// ParseValue parses a SPICE number with engineering suffix: 1k, 2.2u, 10meg,
+// 5n, 0.1, 1e-9. Suffixes are case-insensitive; "meg" must be matched before
+// "m".
+func ParseValue(s string) (float64, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	if t == "" {
+		return 0, fmt.Errorf("spice: empty value")
+	}
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(t, "meg"):
+		mult, t = 1e6, t[:len(t)-3]
+	case strings.HasSuffix(t, "mil"):
+		mult, t = 25.4e-6, t[:len(t)-3]
+	case strings.HasSuffix(t, "t"):
+		mult, t = 1e12, t[:len(t)-1]
+	case strings.HasSuffix(t, "g"):
+		mult, t = 1e9, t[:len(t)-1]
+	case strings.HasSuffix(t, "k"):
+		mult, t = 1e3, t[:len(t)-1]
+	case strings.HasSuffix(t, "m"):
+		mult, t = 1e-3, t[:len(t)-1]
+	case strings.HasSuffix(t, "u"):
+		mult, t = 1e-6, t[:len(t)-1]
+	case strings.HasSuffix(t, "n"):
+		mult, t = 1e-9, t[:len(t)-1]
+	case strings.HasSuffix(t, "p"):
+		mult, t = 1e-12, t[:len(t)-1]
+	case strings.HasSuffix(t, "f"):
+		mult, t = 1e-15, t[:len(t)-1]
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("spice: bad value %q", s)
+	}
+	return v * mult, nil
+}
+
+// parseKV extracts KEY=VALUE fields into a map, returning the positional
+// (non KEY=VALUE) fields separately.
+func parseKV(fields []string) (pos []string, kv map[string]float64, err error) {
+	kv = map[string]float64{}
+	for _, f := range fields {
+		if i := strings.IndexByte(f, '='); i >= 0 {
+			v, err := ParseValue(f[i+1:])
+			if err != nil {
+				return nil, nil, err
+			}
+			kv[strings.ToUpper(f[:i])] = v
+		} else {
+			pos = append(pos, f)
+		}
+	}
+	return pos, kv, nil
+}
+
+// parseWaveform parses a source specification: "DC 5", "5",
+// "PULSE(v0 v1 delay rise fall width [period])" or
+// "PWL(t0 v0 t1 v1 ...)".
+func parseWaveform(fields []string) (Waveform, error) {
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("spice: missing source value")
+	}
+	joined := strings.ToUpper(strings.Join(fields, " "))
+	switch {
+	case strings.HasPrefix(joined, "DC"):
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("spice: DC source needs a value")
+		}
+		v, err := ParseValue(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		return DC(v), nil
+	case strings.HasPrefix(joined, "PWL"):
+		inner := joined[strings.Index(joined, "PWL")+3:]
+		inner = strings.TrimSpace(inner)
+		inner = strings.TrimPrefix(inner, "(")
+		inner = strings.TrimSuffix(inner, ")")
+		parts := strings.Fields(inner)
+		if len(parts) < 4 || len(parts)%2 != 0 {
+			return nil, fmt.Errorf("spice: PWL needs ≥ 2 (time, value) pairs")
+		}
+		w := PWL{}
+		for i := 0; i < len(parts); i += 2 {
+			tv, err := ParseValue(parts[i])
+			if err != nil {
+				return nil, err
+			}
+			vv, err := ParseValue(parts[i+1])
+			if err != nil {
+				return nil, err
+			}
+			if len(w.Times) > 0 && tv <= w.Times[len(w.Times)-1] {
+				return nil, fmt.Errorf("spice: PWL times must be ascending")
+			}
+			w.Times = append(w.Times, tv)
+			w.Values = append(w.Values, vv)
+		}
+		return w, nil
+	case strings.HasPrefix(joined, "PULSE"):
+		inner := joined[strings.Index(joined, "PULSE")+5:]
+		inner = strings.TrimSpace(inner)
+		inner = strings.TrimPrefix(inner, "(")
+		inner = strings.TrimSuffix(inner, ")")
+		parts := strings.Fields(inner)
+		if len(parts) < 6 {
+			return nil, fmt.Errorf("spice: PULSE needs ≥ 6 parameters, got %d", len(parts))
+		}
+		vals := make([]float64, len(parts))
+		for i, p := range parts {
+			v, err := ParseValue(p)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		p := Pulse{V0: vals[0], V1: vals[1], Delay: vals[2], Rise: vals[3], Fall: vals[4], Width: vals[5]}
+		if len(vals) > 6 {
+			p.Period = vals[6]
+		}
+		return p, nil
+	default:
+		v, err := ParseValue(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		return DC(v), nil
+	}
+}
+
+// ParseNetlist reads a SPICE-style deck. Supported cards:
+//
+//	Rname a b value            resistor
+//	Cname a b value            capacitor
+//	Lname a b value            inductor
+//	Vname p m <source>         voltage source (DC v | PULSE(...))
+//	Iname a b <source>         current source
+//	Dname a b [IS=..]          diode
+//	Gname op om cp cm gm       VCCS
+//	Mname d g s NMOS|PMOS VT=.. BETA=.. [LAMBDA=..]
+//	.nodeset V(node)=value
+//	.dc
+//	.op
+//	.tran step stop [trap]
+//	.ac source mag dec points fstart fstop
+//	.print node...
+//	.end
+//
+// Lines starting with '*' are comments; '+' continues the previous line.
+func ParseNetlist(r io.Reader) (*Netlist, error) {
+	sc := bufio.NewScanner(r)
+	var lines []string
+	for sc.Scan() {
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" || strings.HasPrefix(raw, "*") {
+			continue
+		}
+		if strings.HasPrefix(raw, "+") && len(lines) > 0 {
+			lines[len(lines)-1] += " " + strings.TrimPrefix(raw, "+")
+			continue
+		}
+		lines = append(lines, raw)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("spice: reading netlist: %w", err)
+	}
+	nl := &Netlist{Circuit: New()}
+	c := nl.Circuit
+	for ln, line := range lines {
+		fields := strings.Fields(line)
+		name := fields[0]
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("spice: line %d (%s): %s", ln+1, name, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case strings.HasPrefix(name, "."):
+			if err := nl.parseDirective(fields); err != nil {
+				return nil, fail("%v", err)
+			}
+		case name[0] == 'R' || name[0] == 'r':
+			if len(fields) != 4 {
+				return nil, fail("want R name a b value")
+			}
+			v, err := ParseValue(fields[3])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			c.AddResistor(name, c.Node(fields[1]), c.Node(fields[2]), v)
+		case name[0] == 'C' || name[0] == 'c':
+			if len(fields) != 4 {
+				return nil, fail("want C name a b value")
+			}
+			v, err := ParseValue(fields[3])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			c.AddCapacitor(name, c.Node(fields[1]), c.Node(fields[2]), v)
+		case name[0] == 'L' || name[0] == 'l':
+			if len(fields) != 4 {
+				return nil, fail("want L name a b value")
+			}
+			v, err := ParseValue(fields[3])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			c.AddInductor(name, c.Node(fields[1]), c.Node(fields[2]), v)
+		case name[0] == 'V' || name[0] == 'v':
+			if len(fields) < 4 {
+				return nil, fail("want V name p m source")
+			}
+			w, err := parseWaveform(fields[3:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			c.AddVoltageSource(name, c.Node(fields[1]), c.Node(fields[2]), w)
+		case name[0] == 'I' || name[0] == 'i':
+			if len(fields) < 4 {
+				return nil, fail("want I name a b source")
+			}
+			w, err := parseWaveform(fields[3:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			c.AddCurrentSource(name, c.Node(fields[1]), c.Node(fields[2]), w)
+		case name[0] == 'D' || name[0] == 'd':
+			if len(fields) < 3 {
+				return nil, fail("want D name a b [IS=..]")
+			}
+			_, kv, err := parseKV(fields[3:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			is := 1e-14
+			if v, ok := kv["IS"]; ok {
+				is = v
+			}
+			c.AddDiode(name, c.Node(fields[1]), c.Node(fields[2]), is)
+		case name[0] == 'G' || name[0] == 'g':
+			if len(fields) != 6 {
+				return nil, fail("want G name outp outm ctrlp ctrlm gm")
+			}
+			gm, err := ParseValue(fields[5])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			c.AddVCCS(name, c.Node(fields[1]), c.Node(fields[2]), c.Node(fields[3]), c.Node(fields[4]), gm)
+		case name[0] == 'M' || name[0] == 'm':
+			if len(fields) < 5 {
+				return nil, fail("want M name d g s NMOS|PMOS VT=.. BETA=..")
+			}
+			pos, kv, err := parseKV(fields[4:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if len(pos) != 1 {
+				return nil, fail("want exactly one model name, got %v", pos)
+			}
+			var typ MOSType
+			switch strings.ToUpper(pos[0]) {
+			case "NMOS":
+				typ = NMOS
+			case "PMOS":
+				typ = PMOS
+			default:
+				return nil, fail("unknown MOS model %q", pos[0])
+			}
+			vt, okVT := kv["VT"]
+			beta, okB := kv["BETA"]
+			if !okVT || !okB {
+				return nil, fail("MOSFET needs VT= and BETA=")
+			}
+			c.AddMOSFET(name, c.Node(fields[1]), c.Node(fields[2]), c.Node(fields[3]),
+				MOSParams{Type: typ, VT: vt, Beta: beta, Lambda: kv["LAMBDA"]})
+		default:
+			return nil, fail("unknown card")
+		}
+	}
+	return nl, nil
+}
+
+// parseDirective handles one dot card.
+func (nl *Netlist) parseDirective(fields []string) error {
+	switch strings.ToLower(fields[0]) {
+	case ".end":
+		return nil
+	case ".dc":
+		nl.Analyses = append(nl.Analyses, Analysis{Kind: "dc"})
+	case ".op":
+		nl.Analyses = append(nl.Analyses, Analysis{Kind: "op"})
+	case ".tran":
+		if len(fields) != 3 && len(fields) != 4 {
+			return fmt.Errorf(".tran wants step stop [trap]")
+		}
+		step, err := ParseValue(fields[1])
+		if err != nil {
+			return err
+		}
+		stop, err := ParseValue(fields[2])
+		if err != nil {
+			return err
+		}
+		method := BackwardEuler
+		if len(fields) == 4 {
+			switch strings.ToLower(fields[3]) {
+			case "trap", "trapezoidal":
+				method = Trapezoidal
+			case "be", "euler":
+				method = BackwardEuler
+			default:
+				return fmt.Errorf(".tran method %q unknown (trap|be)", fields[3])
+			}
+		}
+		nl.Analyses = append(nl.Analyses, Analysis{Kind: "tran", Step: step, Stop: stop, Method: method})
+	case ".ac":
+		// .ac source mag dec points fstart fstop
+		if len(fields) != 7 || strings.ToLower(fields[3]) != "dec" {
+			return fmt.Errorf(".ac wants: source mag dec points fstart fstop")
+		}
+		mag, err := ParseValue(fields[2])
+		if err != nil {
+			return err
+		}
+		pts, err := strconv.Atoi(fields[4])
+		if err != nil || pts < 1 {
+			return fmt.Errorf(".ac points must be a positive integer")
+		}
+		f0, err := ParseValue(fields[5])
+		if err != nil {
+			return err
+		}
+		f1, err := ParseValue(fields[6])
+		if err != nil {
+			return err
+		}
+		if f0 <= 0 || f1 <= f0 {
+			return fmt.Errorf(".ac needs 0 < fstart < fstop")
+		}
+		nl.Analyses = append(nl.Analyses, Analysis{
+			Kind: "ac", ACSource: fields[1], ACMag: mag,
+			Freqs: LogSpace(f0, f1, pts),
+		})
+	case ".nodeset":
+		for _, f := range fields[1:] {
+			up := strings.ToUpper(f)
+			if !strings.HasPrefix(up, "V(") {
+				return fmt.Errorf(".nodeset wants V(node)=value, got %q", f)
+			}
+			close := strings.IndexByte(f, ')')
+			eq := strings.IndexByte(f, '=')
+			if close < 0 || eq < close {
+				return fmt.Errorf(".nodeset wants V(node)=value, got %q", f)
+			}
+			v, err := ParseValue(f[eq+1:])
+			if err != nil {
+				return err
+			}
+			nl.Circuit.NodeSet(nl.Circuit.Node(f[2:close]), v)
+		}
+	case ".print":
+		nl.Prints = append(nl.Prints, fields[1:]...)
+	default:
+		return fmt.Errorf("unknown directive %s", fields[0])
+	}
+	return nil
+}
+
+// Run executes every analysis in the deck, writing text results to w.
+func (nl *Netlist) Run(w io.Writer) error {
+	c := nl.Circuit
+	printNodes := nl.Prints
+	if len(printNodes) == 0 {
+		printNodes = append([]string(nil), c.nodeNames...)
+	}
+	ids := make([]NodeID, len(printNodes))
+	for i, n := range printNodes {
+		ids[i] = c.Node(n)
+	}
+	if len(nl.Analyses) == 0 {
+		nl.Analyses = []Analysis{{Kind: "dc"}}
+	}
+	for _, an := range nl.Analyses {
+		switch an.Kind {
+		case "dc":
+			sol, err := c.DC()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "* DC operating point")
+			for i, n := range printNodes {
+				fmt.Fprintf(w, "V(%s) = %.6g\n", n, sol.Voltage(ids[i]))
+			}
+		case "op":
+			sol, err := c.DC()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "* device operating points")
+			WriteOPReport(w, c.OPReport(sol))
+		case "tran":
+			tr, err := c.TransientMethod(an.Stop, an.Step, an.Method)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "* transient, %d points\n", len(tr.Times))
+			fmt.Fprintf(w, "time")
+			for _, n := range printNodes {
+				fmt.Fprintf(w, ",V(%s)", n)
+			}
+			fmt.Fprintln(w)
+			for i, t := range tr.Times {
+				fmt.Fprintf(w, "%.6g", t)
+				for _, id := range ids {
+					fmt.Fprintf(w, ",%.6g", tr.At(id, i))
+				}
+				fmt.Fprintln(w)
+			}
+		case "ac":
+			if err := c.SetACMagnitude(an.ACSource, an.ACMag); err != nil {
+				return err
+			}
+			res, err := c.AC(an.Freqs)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "* ac, %d points\n", len(res.Freqs))
+			fmt.Fprintf(w, "freq")
+			for _, n := range printNodes {
+				fmt.Fprintf(w, ",mag(%s)dB,phase(%s)", n, n)
+			}
+			fmt.Fprintln(w)
+			for i, f := range res.Freqs {
+				fmt.Fprintf(w, "%.6g", f)
+				for _, id := range ids {
+					db := res.MagDB(id, i)
+					if math.IsInf(db, -1) {
+						db = -400
+					}
+					fmt.Fprintf(w, ",%.6g,%.6g", db, res.PhaseDeg(id, i))
+				}
+				fmt.Fprintln(w)
+			}
+		default:
+			return fmt.Errorf("spice: unknown analysis %q", an.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,386 @@
+package spice
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestParseValue(t *testing.T) {
+	cases := map[string]float64{
+		"1k":    1e3,
+		"2.2u":  2.2e-6,
+		"10meg": 1e7,
+		"5n":    5e-9,
+		"0.1":   0.1,
+		"1e-9":  1e-9,
+		"3p":    3e-12,
+		"4f":    4e-15,
+		"2G":    2e9,
+		"7m":    7e-3,
+		"1T":    1e12,
+	}
+	for in, want := range cases {
+		got, err := ParseValue(in)
+		if err != nil {
+			t.Errorf("ParseValue(%q): %v", in, err)
+			continue
+		}
+		if math.Abs(got-want) > 1e-12*math.Abs(want) {
+			t.Errorf("ParseValue(%q) = %g, want %g", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "1kk"} {
+		if _, err := ParseValue(bad); err == nil {
+			t.Errorf("ParseValue(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseNetlistDivider(t *testing.T) {
+	deck := `* voltage divider
+V1 in 0 DC 10
+R1 in mid 1k
+R2 mid 0 3k
+.dc
+.print mid
+.end
+`
+	nl, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := nl.Run(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "V(mid) = 7.5") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestParseNetlistContinuationAndComments(t *testing.T) {
+	deck := `V1 in 0
++ DC 5
+* a comment
+R1 in 0 1k
+.dc
+`
+	nl, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := nl.Circuit.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sol.Voltage(nl.Circuit.Node("in")); math.Abs(v-5) > 1e-9 {
+		t.Errorf("V(in) = %g, want 5", v)
+	}
+}
+
+func TestParseNetlistTran(t *testing.T) {
+	deck := `V1 in 0 PULSE(0 1 0 1n 1n 1 0)
+R1 in out 1k
+C1 out 0 1u
+.tran 5u 3m
+.print out
+`
+	nl, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := nl.Run(&out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 100 {
+		t.Fatalf("transient output too short: %d lines", len(lines))
+	}
+	// Final value ≈ 1 − e^{−3} ≈ 0.95.
+	last := lines[len(lines)-1]
+	parts := strings.Split(last, ",")
+	var v float64
+	if _, err := fmtSscan(parts[1], &v); err != nil {
+		t.Fatalf("parse %q: %v", last, err)
+	}
+	if math.Abs(v-(1-math.Exp(-3))) > 0.01 {
+		t.Errorf("v(3ms) = %g, want %g", v, 1-math.Exp(-3))
+	}
+}
+
+func TestParseNetlistAC(t *testing.T) {
+	deck := `V1 in 0 DC 0
+R1 in out 1k
+C1 out 0 159.155n
+.ac V1 1 dec 10 100 10k
+.print out
+`
+	nl, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := nl.Run(&out); err != nil {
+		t.Fatal(err)
+	}
+	// The 1 kHz row must read ≈ −3.01 dB.
+	found := false
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.HasPrefix(line, "1000,") || strings.HasPrefix(line, "1000.") {
+			parts := strings.Split(line, ",")
+			var db float64
+			if _, err := fmtSscan(parts[1], &db); err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(db+3.0103) > 0.05 {
+				t.Errorf("|H(1kHz)| = %g dB, want −3.01", db)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("1 kHz row missing:\n%s", out.String())
+	}
+}
+
+func TestParseNetlistMOSInverter(t *testing.T) {
+	deck := `VDD vdd 0 DC 1.2
+VIN in 0 DC 0
+MP out in vdd PMOS VT=0.4 BETA=250u LAMBDA=0.05
+MN out in 0 NMOS VT=0.4 BETA=250u LAMBDA=0.05
+RL out 0 1G
+.dc
+.print out
+`
+	nl, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := nl.Circuit.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sol.Voltage(nl.Circuit.Node("out")); v < 1.1 {
+		t.Errorf("inverter out = %g for low input, want ≈ 1.2", v)
+	}
+}
+
+func TestParseNetlistNodeset(t *testing.T) {
+	deck := `V1 a 0 DC 1
+R1 a b 1k
+R2 b 0 1k
+.nodeset V(b)=0.5
+.dc
+`
+	nl, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Circuit.nodesets == nil {
+		t.Fatal("nodeset not recorded")
+	}
+	if v := nl.Circuit.nodesets[nl.Circuit.Node("b")]; v != 0.5 {
+		t.Errorf("nodeset = %g, want 0.5", v)
+	}
+}
+
+func TestParseNetlistErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown card":     "X1 a b c\n",
+		"short resistor":   "R1 a b\n",
+		"bad value":        "R1 a b xyz\n",
+		"bad mos model":    "M1 d g s FOO VT=0.4 BETA=1m\n",
+		"mos missing VT":   "M1 d g s NMOS BETA=1m\n",
+		"bad tran":         "R1 a 0 1k\n.tran 1n\n",
+		"bad ac":           "R1 a 0 1k\n.ac V1 1 oct 10 1 10\n",
+		"bad directive":    "R1 a 0 1k\n.foo\n",
+		"bad nodeset":      "R1 a 0 1k\n.nodeset b=1\n",
+		"vccs wrong arity": "G1 a 0 b\n",
+	}
+	for name, deck := range cases {
+		if _, err := ParseNetlist(strings.NewReader(deck)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+// fmtSscan is a tiny strconv wrapper so tests read naturally.
+func fmtSscan(s string, v *float64) (int, error) {
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, err
+	}
+	*v = f
+	return 1, nil
+}
+
+func TestParseWaveformPlainValue(t *testing.T) {
+	deck := "V1 a 0 5\nR1 a 0 1k\n.dc\n"
+	nl, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := nl.Circuit.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sol.Voltage(nl.Circuit.Node("a")); math.Abs(v-5) > 1e-9 {
+		t.Errorf("V(a) = %g, want 5", v)
+	}
+}
+
+func TestParseNetlistDiodeAndLCards(t *testing.T) {
+	deck := `V1 in 0 DC 5
+R1 in d 1k
+D1 d 0 IS=1e-12
+L1 in x 1m
+R2 x 0 1k
+.dc
+`
+	nl, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := nl.Circuit.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd := sol.Voltage(nl.Circuit.Node("d"))
+	if vd < 0.3 || vd > 0.8 {
+		t.Errorf("diode drop %g outside [0.3, 0.8]", vd)
+	}
+	// Inductor is a DC short: V(x) = 5.
+	if vx := sol.Voltage(nl.Circuit.Node("x")); math.Abs(vx-5) > 1e-6 {
+		t.Errorf("V(x) = %g, want 5", vx)
+	}
+}
+
+func TestParseNetlistTranTrapOption(t *testing.T) {
+	deck := "V1 in 0 DC 1\nR1 in out 1k\nC1 out 0 1u\n.tran 10u 1m trap\n.print out\n"
+	nl, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Analyses[0].Method != Trapezoidal {
+		t.Error("trap option not parsed")
+	}
+	var out strings.Builder
+	if err := nl.Run(&out); err != nil {
+		t.Fatal(err)
+	}
+	deck = "V1 in 0 DC 1\nR1 in 0 1k\n.tran 10u 1m bogus\n"
+	if _, err := ParseNetlist(strings.NewReader(deck)); err == nil {
+		t.Error("bad .tran method must error")
+	}
+}
+
+func TestParseNetlistVCCSCard(t *testing.T) {
+	deck := `V1 in 0 DC 0.5
+G1 out 0 in 0 2m
+RL out 0 10k
+.dc
+.print out
+`
+	nl, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := nl.Circuit.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sol.Voltage(nl.Circuit.Node("out")); math.Abs(v+10) > 1e-6 {
+		t.Errorf("V(out) = %g, want -10", v)
+	}
+}
+
+func TestParseNetlistACRunThroughNetlist(t *testing.T) {
+	// .ac driven by a current source through Run.
+	deck := `I1 0 n DC 0
+R1 n 0 100
+.ac I1 1 dec 5 100 1k
+.print n
+`
+	nl, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := nl.Run(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "40") { // 20·log10(100) = 40 dB
+		t.Errorf("expected 40 dB transfer impedance:\n%s", out.String())
+	}
+}
+
+func TestPWLWaveform(t *testing.T) {
+	w := PWL{Times: []float64{0, 1, 3}, Values: []float64{0, 2, 1}}
+	cases := []struct{ t, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 1}, {1, 2}, {2, 1.5}, {3, 1}, {5, 1},
+	}
+	for _, c := range cases {
+		if got := w.At(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("PWL.At(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	if (PWL{}).At(1) != 0 {
+		t.Error("empty PWL should be 0")
+	}
+}
+
+func TestParseNetlistPWLSource(t *testing.T) {
+	deck := `V1 in 0 PWL(0 0 1m 1 2m 0.5)
+R1 in out 1k
+C1 out 0 1u
+.tran 10u 2m
+.print in
+`
+	nl, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := nl.Run(&out); err != nil {
+		t.Fatal(err)
+	}
+	// At t=1ms the input is 1.
+	found := false
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.HasPrefix(line, "0.001,") {
+			parts := strings.Split(line, ",")
+			var v float64
+			if _, err := fmtSscan(parts[1], &v); err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(v-1) > 1e-9 {
+				t.Errorf("V(in) at 1ms = %g, want 1", v)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("1 ms row missing:\n%s", out.String())
+	}
+	if _, err := ParseNetlist(strings.NewReader("V1 a 0 PWL(1 0 0 1)\nR1 a 0 1k\n")); err == nil {
+		t.Error("non-ascending PWL times must error")
+	}
+}
+
+func TestParseNetlistOPDirective(t *testing.T) {
+	deck := "VDD d 0 DC 1.2\nVG g 0 DC 1.0\nM1 d g 0 NMOS VT=0.4 BETA=200u\n.op\n"
+	nl, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := nl.Run(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "M1") || !strings.Contains(out.String(), "saturation") {
+		t.Errorf(".op output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,81 @@
+package spice
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// DeviceOP is the operating-point annotation of one nonlinear device, the
+// information a designer reads off a SPICE .op printout to check bias.
+type DeviceOP struct {
+	// Name is the device identifier.
+	Name string
+	// Kind is "mosfet" or "diode".
+	Kind string
+	// ID is the DC current (drain current, or diode forward current).
+	ID float64
+	// Gm and Gds are the small-signal transconductance and output
+	// conductance at the operating point (diodes report Gds only).
+	Gm, Gds float64
+	// Region is "cutoff", "triode" or "saturation" for MOSFETs, "on"/"off"
+	// for diodes.
+	Region string
+}
+
+// OPReport annotates every nonlinear device at the given DC solution.
+// Devices are reported in name order.
+func (c *Circuit) OPReport(sol *Solution) []DeviceOP {
+	var out []DeviceOP
+	for _, dev := range c.devices {
+		switch d := dev.(type) {
+		case *mosfet:
+			vd, vg, vs := sol.Voltage(d.d), sol.Voltage(d.g), sol.Voltage(d.s)
+			if d.p.Type == PMOS {
+				vd, vg, vs = -vd, -vg, -vs
+			}
+			sign := 1.0
+			if vd < vs {
+				vd, vs = vs, vd
+				sign = -1
+			}
+			vgs, vds := vg-vs, vd-vs
+			i, gm, gds := squareLawIDS(vgs, vds, d.p)
+			region := "saturation"
+			switch {
+			case vgs <= d.p.VT:
+				region = "cutoff"
+			case vds < vgs-d.p.VT:
+				region = "triode"
+			}
+			out = append(out, DeviceOP{
+				Name: d.id, Kind: "mosfet",
+				ID: sign * i, Gm: gm, Gds: gds, Region: region,
+			})
+		case *diode:
+			vdio := sol.Voltage(d.a) - sol.Voltage(d.b)
+			if vdio > 0.9 {
+				vdio = 0.9
+			}
+			e := math.Exp(vdio / d.vt)
+			i := d.is * (e - 1)
+			g := d.is * e / d.vt
+			region := "off"
+			if vdio > 0.4 {
+				region = "on"
+			}
+			out = append(out, DeviceOP{Name: d.id, Kind: "diode", ID: i, Gds: g, Region: region})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+// WriteOPReport renders the report as text.
+func WriteOPReport(w io.Writer, ops []DeviceOP) {
+	fmt.Fprintf(w, "%-8s %-7s %12s %12s %12s  %s\n", "device", "kind", "id (A)", "gm (S)", "gds (S)", "region")
+	for _, op := range ops {
+		fmt.Fprintf(w, "%-8s %-7s %12.4g %12.4g %12.4g  %s\n", op.Name, op.Kind, op.ID, op.Gm, op.Gds, op.Region)
+	}
+}

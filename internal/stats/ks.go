@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the two-sample Kolmogorov–Smirnov statistic: the
+// maximum absolute difference between the empirical CDFs of a and b. It is
+// the distribution-level accuracy measure used to validate that a fitted
+// response surface model reproduces the simulator's performance
+// distribution, not just its pointwise values.
+func KSStatistic(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		panic("stats: KSStatistic of empty sample")
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	var i, j int
+	maxDiff := 0.0
+	for i < len(sa) && j < len(sb) {
+		// Step past the smallest value in both samples at once so ties do
+		// not create spurious CDF differences.
+		v := sa[i]
+		if sb[j] < v {
+			v = sb[j]
+		}
+		for i < len(sa) && sa[i] == v {
+			i++
+		}
+		for j < len(sb) && sb[j] == v {
+			j++
+		}
+		d := math.Abs(float64(i)/float64(len(sa)) - float64(j)/float64(len(sb)))
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	return maxDiff
+}
+
+// KSCriticalValue returns the approximate critical value of the two-sample
+// KS statistic at significance alpha (supported: 0.1, 0.05, 0.01), using the
+// large-sample formula c(α)·√((n+m)/(n·m)).
+func KSCriticalValue(n, m int, alpha float64) (float64, error) {
+	var c float64
+	switch alpha {
+	case 0.10:
+		c = 1.22
+	case 0.05:
+		c = 1.36
+	case 0.01:
+		c = 1.63
+	default:
+		return 0, fmt.Errorf("stats: unsupported KS significance %g (use 0.1, 0.05 or 0.01)", alpha)
+	}
+	if n < 1 || m < 1 {
+		return 0, fmt.Errorf("stats: KS critical value needs positive sample sizes")
+	}
+	return c * math.Sqrt(float64(n+m)/float64(n*m)), nil
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKSIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if d := KSStatistic(a, a); d != 0 {
+		t.Errorf("KS of identical samples = %g, want 0", d)
+	}
+}
+
+func TestKSDisjointSamples(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if d := KSStatistic(a, b); math.Abs(d-1) > 1e-12 {
+		t.Errorf("KS of disjoint samples = %g, want 1", d)
+	}
+}
+
+func TestKSSameDistribution(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	const n = 20000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64()
+	}
+	d := KSStatistic(a, b)
+	crit, err := KSCriticalValue(n, n, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > crit {
+		t.Errorf("KS %g exceeds 1%% critical value %g for equal distributions", d, crit)
+	}
+}
+
+func TestKSShiftedDistribution(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	const n = 5000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64() + 0.5
+	}
+	d := KSStatistic(a, b)
+	crit, _ := KSCriticalValue(n, n, 0.01)
+	if d <= crit {
+		t.Errorf("KS %g did not detect a 0.5σ shift (critical %g)", d, crit)
+	}
+	// Analytic KS distance of two normals shifted by 0.5σ is
+	// 2Φ(0.25)−1 ≈ 0.197.
+	if math.Abs(d-0.197) > 0.03 {
+		t.Errorf("KS %g, want ≈ 0.197", d)
+	}
+}
+
+func TestKSPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KSStatistic(nil, []float64{1})
+}
+
+func TestKSCriticalValueValidation(t *testing.T) {
+	if _, err := KSCriticalValue(10, 10, 0.2); err == nil {
+		t.Error("unsupported alpha must error")
+	}
+	if _, err := KSCriticalValue(0, 10, 0.05); err == nil {
+		t.Error("zero sample size must error")
+	}
+	v, err := KSCriticalValue(100, 100, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.36 * math.Sqrt(200.0/10000.0)
+	if math.Abs(v-want) > 1e-12 {
+		t.Errorf("critical = %g, want %g", v, want)
+	}
+}

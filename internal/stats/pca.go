@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// SymEigen computes the eigendecomposition of the symmetric matrix a using
+// the cyclic Jacobi method. It returns the eigenvalues in descending order
+// and the corresponding orthonormal eigenvectors as the columns of v.
+func SymEigen(a *linalg.Matrix) (values []float64, v *linalg.Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, fmt.Errorf("stats: SymEigen needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	w := a.Clone()
+	v = linalg.Eye(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off <= 1e-30*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Rotate rows/columns p and q of w.
+				for k := 0; k < n; k++ {
+					akp, akq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*akp-s*akq)
+					w.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*apk-s*aqk)
+					w.Set(q, k, s*apk+c*aqk)
+				}
+				// Accumulate the rotation into v.
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	values = make([]float64, n)
+	for i := range values {
+		values[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] > values[idx[b]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := linalg.NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = values[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}
+
+// PCA holds a principal component analysis of a covariance matrix: the
+// orthogonal transform mapping correlated, jointly-normal process parameters
+// ΔX onto independent standard-normal factors ΔY, per Section II of the
+// paper.
+type PCA struct {
+	// Values are the eigenvalues (variances along principal axes), descending.
+	Values []float64
+	// Vectors hold the principal directions as columns.
+	Vectors *linalg.Matrix
+	// kept is the number of retained components.
+	kept int
+}
+
+// NewPCA performs PCA on the covariance matrix sigma, retaining components
+// until fraction of the total variance is covered (fraction in (0, 1]; use 1
+// to retain every component with positive variance).
+func NewPCA(sigma *linalg.Matrix, fraction float64) (*PCA, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("stats: PCA variance fraction %g outside (0,1]", fraction)
+	}
+	vals, vecs, err := SymEigen(sigma)
+	if err != nil {
+		return nil, err
+	}
+	total := 0.0
+	for _, v := range vals {
+		if v > 0 {
+			total += v
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("stats: covariance has no positive variance")
+	}
+	kept, acc := 0, 0.0
+	for _, v := range vals {
+		if v <= 1e-12*total {
+			break
+		}
+		kept++
+		acc += v
+		if acc/total >= fraction {
+			break
+		}
+	}
+	return &PCA{Values: vals, Vectors: vecs, kept: kept}, nil
+}
+
+// Components returns the number of retained independent factors.
+func (p *PCA) Components() int { return p.kept }
+
+// ToParams maps independent standard-normal factors dy (length Components)
+// to correlated parameter deltas ΔX = V·diag(√λ)·ΔY. dst is allocated when
+// nil.
+func (p *PCA) ToParams(dst, dy []float64) []float64 {
+	if len(dy) != p.kept {
+		panic(fmt.Sprintf("stats: PCA.ToParams input length %d, want %d", len(dy), p.kept))
+	}
+	n := p.Vectors.Rows
+	if dst == nil {
+		dst = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		s := 0.0
+		row := p.Vectors.Row(i)
+		for j := 0; j < p.kept; j++ {
+			s += row[j] * math.Sqrt(p.Values[j]) * dy[j]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// ToFactors maps parameter deltas ΔX back to factor scores
+// ΔY = diag(1/√λ)·Vᵀ·ΔX (the pseudo-inverse of ToParams).
+func (p *PCA) ToFactors(dst, dx []float64) []float64 {
+	if len(dx) != p.Vectors.Rows {
+		panic(fmt.Sprintf("stats: PCA.ToFactors input length %d, want %d", len(dx), p.Vectors.Rows))
+	}
+	if dst == nil {
+		dst = make([]float64, p.kept)
+	}
+	for j := 0; j < p.kept; j++ {
+		s := 0.0
+		for i := 0; i < p.Vectors.Rows; i++ {
+			s += p.Vectors.At(i, j) * dx[i]
+		}
+		dst[j] = s / math.Sqrt(p.Values[j])
+	}
+	return dst
+}
+
+// CovarianceMatrix estimates the sample covariance of data, where each row
+// of data is one observation.
+func CovarianceMatrix(data *linalg.Matrix) *linalg.Matrix {
+	n, d := data.Rows, data.Cols
+	means := make([]float64, d)
+	for i := 0; i < n; i++ {
+		row := data.Row(i)
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(n)
+	}
+	cov := linalg.NewMatrix(d, d)
+	for i := 0; i < n; i++ {
+		row := data.Row(i)
+		for a := 0; a < d; a++ {
+			da := row[a] - means[a]
+			if da == 0 {
+				continue
+			}
+			crow := cov.Row(a)
+			for b := 0; b < d; b++ {
+				crow[b] += da * (row[b] - means[b])
+			}
+		}
+	}
+	den := float64(n - 1)
+	if n < 2 {
+		den = 1
+	}
+	for i := range cov.Data {
+		cov.Data[i] /= den
+	}
+	return cov
+}

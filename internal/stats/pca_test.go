@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+func randSPD(r *rand.Rand, n int) *linalg.Matrix {
+	g := linalg.NewMatrix(n+3, n)
+	for i := range g.Data {
+		g.Data[i] = r.NormFloat64()
+	}
+	return g.Gram()
+}
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := linalg.NewMatrixFrom([][]float64{{3, 0}, {0, 1}})
+	vals, vecs, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-12 || math.Abs(vals[1]-1) > 1e-12 {
+		t.Errorf("vals = %v, want [3 1]", vals)
+	}
+	// Eigenvectors of a diagonal matrix are the coordinate axes.
+	if math.Abs(math.Abs(vecs.At(0, 0))-1) > 1e-12 {
+		t.Errorf("first eigenvector %v not axis-aligned", vecs.Col(nil, 0))
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := linalg.NewMatrixFrom([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-10 || math.Abs(vals[1]-1) > 1e-10 {
+		t.Errorf("vals = %v, want [3 1]", vals)
+	}
+	// Check A·v = λ·v for the dominant pair.
+	v0 := vecs.Col(nil, 0)
+	av := a.MulVec(nil, v0)
+	for i := range av {
+		if math.Abs(av[i]-3*v0[i]) > 1e-10 {
+			t.Errorf("A·v ≠ λ·v at %d: %g vs %g", i, av[i], 3*v0[i])
+		}
+	}
+}
+
+func TestSymEigenReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	a := randSPD(r, 8)
+	vals, vecs, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Descending order.
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1]+1e-12 {
+			t.Fatalf("eigenvalues not descending: %v", vals)
+		}
+	}
+	// Orthonormal columns.
+	vtv := vecs.T().Mul(vecs)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(vtv.At(i, j)-want) > 1e-9 {
+				t.Fatalf("VᵀV(%d,%d) = %g, want %g", i, j, vtv.At(i, j), want)
+			}
+		}
+	}
+	// Reconstruction A = V·Λ·Vᵀ.
+	lam := linalg.NewMatrix(8, 8)
+	for i, v := range vals {
+		lam.Set(i, i, v)
+	}
+	rec := vecs.Mul(lam).Mul(vecs.T())
+	for i := range a.Data {
+		if math.Abs(rec.Data[i]-a.Data[i]) > 1e-8*(1+math.Abs(a.Data[i])) {
+			t.Fatalf("reconstruction differs at %d: %g vs %g", i, rec.Data[i], a.Data[i])
+		}
+	}
+}
+
+func TestSymEigenNonSquare(t *testing.T) {
+	if _, _, err := SymEigen(linalg.NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+func TestPCARoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	sigma := randSPD(r, 6)
+	pca, err := NewPCA(sigma, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pca.Components() != 6 {
+		t.Fatalf("Components = %d, want 6 for full-rank covariance", pca.Components())
+	}
+	dy := make([]float64, 6)
+	for i := range dy {
+		dy[i] = r.NormFloat64()
+	}
+	dx := pca.ToParams(nil, dy)
+	back := pca.ToFactors(nil, dx)
+	for i := range dy {
+		if math.Abs(back[i]-dy[i]) > 1e-8 {
+			t.Errorf("round trip factor %d: %g vs %g", i, back[i], dy[i])
+		}
+	}
+}
+
+func TestPCAFactorsAreStandardNormal(t *testing.T) {
+	// Samples drawn from N(0, Σ) must map to unit-variance uncorrelated
+	// factors — the property eq. (2) of the paper relies on.
+	r := rand.New(rand.NewSource(11))
+	sigma := linalg.NewMatrixFrom([][]float64{
+		{2.0, 0.9, 0.2},
+		{0.9, 1.5, -0.4},
+		{0.2, -0.4, 0.8},
+	})
+	pca, err := NewPCA(sigma, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, err := rng.NewMVNormal(sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(12)
+	const n = 60000
+	d := pca.Components()
+	sums := make([]float64, d)
+	sq := linalg.NewMatrix(d, d)
+	dx := make([]float64, 3)
+	dy := make([]float64, d)
+	for k := 0; k < n; k++ {
+		mv.Sample(src, dx)
+		pca.ToFactors(dy, dx)
+		for i := 0; i < d; i++ {
+			sums[i] += dy[i]
+			for j := 0; j < d; j++ {
+				sq.Set(i, j, sq.At(i, j)+dy[i]*dy[j])
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		if m := sums[i] / n; math.Abs(m) > 0.02 {
+			t.Errorf("factor %d mean %g, want ~0", i, m)
+		}
+		for j := 0; j < d; j++ {
+			got := sq.At(i, j) / n
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(got-want) > 0.03 {
+				t.Errorf("factor cov(%d,%d) = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+	_ = r
+}
+
+func TestPCAVarianceFractionTruncates(t *testing.T) {
+	// Strongly anisotropic covariance: one dominant direction.
+	sigma := linalg.NewMatrixFrom([][]float64{
+		{100, 0, 0},
+		{0, 1, 0},
+		{0, 0, 0.5},
+	})
+	pca, err := NewPCA(sigma, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pca.Components() != 1 {
+		t.Errorf("Components = %d, want 1 (dominant axis carries 98.5%% of variance)", pca.Components())
+	}
+}
+
+func TestPCARejectsBadFraction(t *testing.T) {
+	sigma := linalg.Eye(2)
+	for _, f := range []float64{0, -0.5, 1.5} {
+		if _, err := NewPCA(sigma, f); err == nil {
+			t.Errorf("fraction %g should be rejected", f)
+		}
+	}
+}
+
+func TestCovarianceMatrix(t *testing.T) {
+	// Perfectly correlated columns.
+	data := linalg.NewMatrixFrom([][]float64{
+		{1, 2}, {2, 4}, {3, 6}, {4, 8},
+	})
+	cov := CovarianceMatrix(data)
+	// var(x) = 5/3, var(y) = 20/3, cov = 10/3.
+	if math.Abs(cov.At(0, 0)-5.0/3) > 1e-12 {
+		t.Errorf("var(x) = %g, want %g", cov.At(0, 0), 5.0/3)
+	}
+	if math.Abs(cov.At(1, 1)-20.0/3) > 1e-12 {
+		t.Errorf("var(y) = %g, want %g", cov.At(1, 1), 20.0/3)
+	}
+	if math.Abs(cov.At(0, 1)-10.0/3) > 1e-12 || cov.At(0, 1) != cov.At(1, 0) {
+		t.Errorf("cov(x,y) = %g, want %g", cov.At(0, 1), 10.0/3)
+	}
+}

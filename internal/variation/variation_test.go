@@ -1,0 +1,294 @@
+package variation
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func twoDeviceSpec() Spec {
+	return Spec{
+		Devices: []Device{
+			{Name: "M1", W: 1, L: 0.06, X: 10, Y: 10, Kinds: []ParamKind{VTH, Beta}},
+			{Name: "M2", W: 4, L: 0.06, X: 90, Y: 90, Kinds: []ParamKind{VTH}},
+		},
+		InterDieSigma: map[ParamKind]float64{VTH: 0.02},
+		PelgromA:      map[ParamKind]float64{VTH: 0.005, Beta: 0.01},
+	}
+}
+
+func TestBuildFactorLayout(t *testing.T) {
+	s, err := Build(twoDeviceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 global VTH + local VTH(M1) + local Beta(M1) + local VTH(M2) = 4.
+	if s.Dim() != 4 {
+		t.Fatalf("Dim = %d, want 4", s.Dim())
+	}
+	if !strings.HasPrefix(s.FactorName(0), "global/VTH") {
+		t.Errorf("factor 0 = %q, want global/VTH", s.FactorName(0))
+	}
+}
+
+func TestPelgromScaling(t *testing.T) {
+	s, err := Build(twoDeviceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// M2 has 4× the area of M1, so its local VTH sigma is half of M1's.
+	// Total sigma includes the shared global part: σ² = σ_g² + σ_loc².
+	sg := 0.02
+	loc1 := 0.005 / math.Sqrt(1*0.06)
+	loc2 := 0.005 / math.Sqrt(4*0.06)
+	want1 := math.Sqrt(sg*sg + loc1*loc1)
+	want2 := math.Sqrt(sg*sg + loc2*loc2)
+	if got := s.Sigma(0, VTH); math.Abs(got-want1) > 1e-12 {
+		t.Errorf("σ(M1,VTH) = %g, want %g", got, want1)
+	}
+	if got := s.Sigma(1, VTH); math.Abs(got-want2) > 1e-12 {
+		t.Errorf("σ(M2,VTH) = %g, want %g", got, want2)
+	}
+	if loc2 >= loc1 {
+		t.Error("larger device must have smaller mismatch")
+	}
+}
+
+func TestGlobalFactorShared(t *testing.T) {
+	s, err := Build(twoDeviceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dy := make([]float64, s.Dim())
+	dy[0] = 1 // one sigma of the global VTH factor
+	d1 := s.Delta(0, VTH, dy)
+	d2 := s.Delta(1, VTH, dy)
+	if math.Abs(d1-0.02) > 1e-15 || math.Abs(d2-0.02) > 1e-15 {
+		t.Errorf("global shift not shared: %g vs %g, want 0.02 each", d1, d2)
+	}
+	// The Beta of M1 has no global component.
+	if got := s.Delta(0, Beta, dy); got != 0 {
+		t.Errorf("Beta delta %g from a VTH global factor", got)
+	}
+}
+
+func TestLocalFactorsIndependent(t *testing.T) {
+	s, err := Build(twoDeviceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := s.FactorsOf(0, VTH)
+	f2 := s.FactorsOf(1, VTH)
+	// They share exactly the global factor.
+	shared := 0
+	for _, a := range f1 {
+		for _, b := range f2 {
+			if a == b {
+				shared++
+			}
+		}
+	}
+	if shared != 1 {
+		t.Errorf("devices share %d factors, want 1 (the global)", shared)
+	}
+}
+
+func TestEmpiricalSigma(t *testing.T) {
+	s, err := Build(twoDeviceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(77)
+	const n = 200000
+	var sum, sq float64
+	dy := make([]float64, s.Dim())
+	for i := 0; i < n; i++ {
+		src.NormVec(dy, s.Dim())
+		v := s.Delta(0, VTH, dy)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sq/n - mean*mean)
+	want := s.Sigma(0, VTH)
+	if math.Abs(mean) > 5e-4 {
+		t.Errorf("empirical mean %g, want 0", mean)
+	}
+	if math.Abs(sd-want)/want > 0.02 {
+		t.Errorf("empirical sigma %g, want %g", sd, want)
+	}
+}
+
+func TestSpatialCorrelationDecaysWithDistance(t *testing.T) {
+	spec := Spec{
+		Devices: []Device{
+			{Name: "A", W: 1, L: 1, X: 10, Y: 10, Kinds: []ParamKind{VTH}},
+			{Name: "B", W: 1, L: 1, X: 12, Y: 10, Kinds: []ParamKind{VTH}},   // near A
+			{Name: "C", W: 1, L: 1, X: 190, Y: 190, Kinds: []ParamKind{VTH}}, // far corner
+		},
+		SpatialSigma: map[ParamKind]float64{VTH: 0.01},
+		GridNX:       3, GridNY: 3,
+		DieW: 200, DieH: 200,
+	}
+	s, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(78)
+	const n = 100000
+	var ab, ac, aa, bb, cc float64
+	dy := make([]float64, s.Dim())
+	for i := 0; i < n; i++ {
+		src.NormVec(dy, s.Dim())
+		va := s.Delta(0, VTH, dy)
+		vb := s.Delta(1, VTH, dy)
+		vc := s.Delta(2, VTH, dy)
+		ab += va * vb
+		ac += va * vc
+		aa += va * va
+		bb += vb * vb
+		cc += vc * vc
+	}
+	corrAB := ab / math.Sqrt(aa*bb)
+	corrAC := ac / math.Sqrt(aa*cc)
+	if corrAB < 0.8 {
+		t.Errorf("neighbors correlation %g, want high", corrAB)
+	}
+	if math.Abs(corrAC) > 0.1 {
+		t.Errorf("far devices correlation %g, want ≈0", corrAC)
+	}
+	// The marginal variance must be σ² regardless of position.
+	if sd := math.Sqrt(aa / n); math.Abs(sd-0.01)/0.01 > 0.03 {
+		t.Errorf("marginal sigma %g, want 0.01", sd)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Spec{}); err == nil {
+		t.Error("empty spec must error")
+	}
+	if _, err := Build(Spec{
+		Devices:      []Device{{Name: "A", Kinds: []ParamKind{VTH}}},
+		SpatialSigma: map[ParamKind]float64{VTH: 1},
+	}); err == nil {
+		t.Error("spatial sigma without grid must error")
+	}
+	if _, err := Build(Spec{
+		Devices:  []Device{{Name: "A", W: 0, L: 0, Kinds: []ParamKind{VTH}}},
+		PelgromA: map[ParamKind]float64{VTH: 1},
+	}); err == nil {
+		t.Error("mismatch with zero area must error")
+	}
+	if _, err := Build(Spec{
+		Devices: []Device{{Name: "A", Kinds: []ParamKind{VTH}}},
+	}); err == nil {
+		t.Error("spec without any randomness must error")
+	}
+}
+
+func TestParamKindString(t *testing.T) {
+	if VTH.String() != "VTH" || Beta.String() != "BETA" {
+		t.Error("ParamKind names wrong")
+	}
+	if ParamKind(99).String() != "ParamKind(99)" {
+		t.Error("unknown kind formatting wrong")
+	}
+}
+
+func TestDeltaLengthMismatchPanics(t *testing.T) {
+	s, err := Build(twoDeviceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Delta(0, VTH, make([]float64, 1))
+}
+
+func TestImpliedCovarianceMatchesMonteCarlo(t *testing.T) {
+	s, err := Build(twoDeviceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, cov := s.ImpliedCovariance()
+	if len(params) != 3 { // M1/VTH, M1/Beta, M2/VTH
+		t.Fatalf("got %d params, want 3", len(params))
+	}
+	src := rng.New(90)
+	const n = 150000
+	emp := make([][]float64, len(params))
+	for i := range emp {
+		emp[i] = make([]float64, len(params))
+	}
+	dy := make([]float64, s.Dim())
+	dx := make([]float64, len(params))
+	for k := 0; k < n; k++ {
+		src.NormVec(dy, s.Dim())
+		for i, pr := range params {
+			dx[i] = s.Delta(pr.Device, pr.Kind, dy)
+		}
+		for i := range dx {
+			for j := range dx {
+				emp[i][j] += dx[i] * dx[j]
+			}
+		}
+	}
+	for i := range emp {
+		for j := range emp {
+			got := emp[i][j] / n
+			want := cov[i][j]
+			scale := math.Sqrt(cov[i][i]*cov[j][j]) + 1e-12
+			if math.Abs(got-want) > 0.03*scale {
+				t.Errorf("cov(%d,%d) = %g, implied %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestImpliedCovariancePCAEquivalence(t *testing.T) {
+	// Diagonalizing the implied covariance with PCA must reproduce the same
+	// joint distribution: the PCA factor model's covariance equals Σ.
+	s, err := Build(twoDeviceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, cov := s.ImpliedCovariance()
+	p := len(params)
+	sigma := linalg.NewMatrix(p, p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			sigma.Set(i, j, cov[i][j])
+		}
+	}
+	pca, err := stats.NewPCA(sigma, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct Σ from the PCA factors: V·Λ·Vᵀ restricted to the kept
+	// components (ToParams of unit factor vectors).
+	rec := linalg.NewMatrix(p, p)
+	for f := 0; f < pca.Components(); f++ {
+		e := make([]float64, pca.Components())
+		e[f] = 1
+		col := pca.ToParams(nil, e)
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				rec.Set(i, j, rec.At(i, j)+col[i]*col[j])
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if math.Abs(rec.At(i, j)-cov[i][j]) > 1e-10*(1+math.Abs(cov[i][j])) {
+				t.Errorf("PCA reconstruction (%d,%d) = %g, want %g", i, j, rec.At(i, j), cov[i][j])
+			}
+		}
+	}
+}

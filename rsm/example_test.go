@@ -1,0 +1,125 @@
+package rsm_test
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"repro/rsm"
+)
+
+// ExampleFit recovers a known 3-sparse model over a 50-variable quadratic
+// dictionary (1 326 coefficients) from only 80 samples.
+func ExampleFit() {
+	sim, err := rsm.Circuits.Synthetic(7, 50, 2, 3, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dict := rsm.QuadraticBasis(50)
+	train, err := rsm.Sample(sim, 80, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, _ := train.Metric("f")
+	model, err := rsm.Fit(dict, train.Points, f, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selected %d of %d basis functions\n", model.NNZ(), dict.Size())
+	// Output:
+	// selected 3 of 1326 basis functions
+}
+
+// ExampleCrossValidate lets 4-fold cross-validation pick the sparsity level
+// on a noisy problem, then validates on held-out samples.
+func ExampleCrossValidate() {
+	sim, err := rsm.Circuits.Synthetic(9, 40, 1, 4, 0.02)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dict := rsm.LinearBasis(40)
+	train, err := rsm.Sample(sim, 160, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, _ := train.Metric("f")
+	cv, err := rsm.CrossValidate(rsm.NewOMP(), dict, train.Points, f, 4, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := rsm.Sample(sim, 500, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fTest, _ := test.Metric("f")
+	pred := cv.Model.Predict(rsm.NewDesign(dict, test.Points))
+	fmt.Printf("cv chose λ=%d, held-out error below 5%%: %v\n",
+		cv.BestLambda, rsm.RelativeRMSError(pred, fTest) < 0.05)
+	// Output:
+	// cv chose λ=4, held-out error below 5%: true
+}
+
+// ExampleMean shows the closed-form moments of a fitted orthonormal model.
+func ExampleMean() {
+	dict := rsm.LinearBasis(10)
+	model := &rsm.Model{M: dict.Size(), Support: []int{0, 1, 2}, Coef: []float64{5, 3, 4}}
+	fmt.Printf("mean %.0f sigma %.0f\n", rsm.Mean(model, dict), rsm.Std(model, dict))
+	// Output:
+	// mean 5 sigma 5
+}
+
+// ExampleSobolTotal attributes model variance to its input variables.
+func ExampleSobolTotal() {
+	dict := rsm.LinearBasis(4)
+	model := &rsm.Model{M: dict.Size(), Support: []int{1, 3}, Coef: []float64{2, -1}}
+	s := rsm.SobolTotal(model, dict)
+	fmt.Printf("S0=%.1f S2=%.1f\n", s[0], s[2])
+	// Output:
+	// S0=0.8 S2=0.2
+}
+
+// ExampleNewYieldAnalyzer estimates parametric yield from a fitted model
+// with a million virtual samples.
+func ExampleNewYieldAnalyzer() {
+	dict := rsm.LinearBasis(6)
+	// f ~ N(0, 1).
+	model := &rsm.Model{M: dict.Size(), Support: []int{1}, Coef: []float64{1}}
+	an, err := rsm.NewYieldAnalyzer(dict, map[string]*rsm.Model{"f": model})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := an.Yield(rsm.NewRand(1), 1_000_000, map[string]rsm.Spec{
+		"f": {Low: math.Inf(-1), High: 0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("yield ≈ 50%%: %v\n", math.Abs(res.Yield-0.5) < 0.01)
+	// Output:
+	// yield ≈ 50%: true
+}
+
+// ExampleSample demonstrates a built-in testbench end to end: the sparse
+// support of the SRAM read delay is dominated by read-path devices.
+func ExampleSample() {
+	sim, err := rsm.Circuits.SRAM(4, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dict := rsm.LinearBasis(sim.Dim())
+	train, err := rsm.Sample(sim, 60, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	delay, _ := train.Metric("read_delay")
+	model, err := rsm.Fit(dict, train.Points, delay, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sup := model.SortedSupport()
+	sort.Ints(sup)
+	fmt.Printf("5 of %d bases selected\n", dict.Size())
+	// Output:
+	// 5 of 83 bases selected
+}

@@ -1,0 +1,154 @@
+// Package rsm is the public face of the library: sparse response surface
+// modeling of circuit performance variability, reproducing Xin Li's
+// DAC'09/TCAD'10 system (OMP/LAR/STAR solvers over orthonormal Hermite
+// bases, with cross-validated sparsity selection).
+//
+// The typical flow:
+//
+//  1. describe what varies (or use a built-in testbench from Circuits),
+//  2. simulate a few hundred Monte Carlo samples (Sample),
+//  3. fit a sparse model (Fit / CrossValidate) over a Hermite basis,
+//  4. use the model: Predict, moments, yield, Sobol sensitivities.
+//
+// Everything here re-exports the internal packages with a stable, compact
+// surface; see the Example functions for runnable end-to-end snippets.
+package rsm
+
+import (
+	"repro/internal/basis"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/mc"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/yield"
+)
+
+// Core modeling types.
+type (
+	// Basis is an orthonormal Hermite polynomial dictionary over independent
+	// standard-normal variables.
+	Basis = basis.Basis
+	// Design is the solver-facing view of the sampled design matrix G.
+	Design = basis.Design
+	// Model is a fitted sparse model: selected basis indices + coefficients.
+	Model = core.Model
+	// Path is a nested sequence of models of increasing sparsity.
+	Path = core.Path
+	// Solver fits whole sparsity paths (OMP, LAR, STAR, CD, StOMP).
+	Solver = core.PathFitter
+	// Simulator maps variation factors to performance metrics.
+	Simulator = circuit.Simulator
+	// Dataset holds sampled points and simulated responses.
+	Dataset = mc.Dataset
+	// CVResult reports a cross-validated fit.
+	CVResult = core.CVResult
+	// Spec is a yield acceptance window.
+	Spec = yield.Spec
+	// YieldAnalyzer estimates distributions and yield from fitted models.
+	YieldAnalyzer = yield.Analyzer
+)
+
+// LinearBasis returns the degree-1 Hermite dictionary over n variables
+// (M = n+1 basis functions).
+func LinearBasis(n int) *Basis { return basis.Linear(n) }
+
+// QuadraticBasis returns the total-degree-2 dictionary
+// (M = 1 + n + n(n+1)/2).
+func QuadraticBasis(n int) *Basis { return basis.Quadratic(n) }
+
+// TotalDegreeBasis returns the total-degree-d dictionary.
+func TotalDegreeBasis(n, d int) *Basis { return basis.TotalDegree(n, d) }
+
+// NewOMP returns the paper's proposed solver: orthogonal matching pursuit
+// with least-squares re-fit of all active coefficients per iteration.
+func NewOMP() Solver { return &core.OMP{} }
+
+// NewLAR returns least angle regression (the DAC'09 solver).
+func NewLAR() Solver { return &core.LAR{} }
+
+// NewLasso returns LAR with the lasso modification and unpenalized re-fit.
+func NewLasso() Solver { return &core.LAR{Lasso: true, Refit: true} }
+
+// NewSTAR returns the DAC'08 matching-pursuit baseline.
+func NewSTAR() Solver { return &core.STAR{} }
+
+// NewCD returns the coordinate-descent lasso solver.
+func NewCD() Solver { return &core.CD{Refit: true} }
+
+// NewStOMP returns stagewise OMP (batched selection for very large M).
+func NewStOMP() Solver { return &core.StOMP{} }
+
+// Sample runs sim at n Monte Carlo points drawn with the given seed,
+// evaluating in parallel.
+func Sample(sim Simulator, n int, seed int64) (*Dataset, error) {
+	return mc.Sample(sim, n, seed, mc.Options{})
+}
+
+// NewDesign builds the design matrix view for the sampled points, choosing
+// dense or lazy storage by size.
+func NewDesign(b *Basis, points [][]float64) Design {
+	const denseLimit = 48 << 20
+	if len(points)*b.Size() <= denseLimit {
+		return basis.NewDenseDesign(b, points)
+	}
+	return basis.NewLazyDesign(b, points)
+}
+
+// Fit fits a sparse model with exactly lambda basis functions using OMP.
+func Fit(b *Basis, points [][]float64, f []float64, lambda int) (*Model, error) {
+	return (&core.OMP{}).Fit(NewDesign(b, points), f, lambda)
+}
+
+// CrossValidate selects the sparsity level by Q-fold cross-validation
+// (Section IV-C of the paper) and refits on all data.
+func CrossValidate(s Solver, b *Basis, points [][]float64, f []float64, folds, maxLambda int) (*CVResult, error) {
+	return core.CrossValidate(s, NewDesign(b, points), f, folds, maxLambda)
+}
+
+// RelativeRMSError is the modeling-error metric of the paper's evaluation.
+func RelativeRMSError(pred, truth []float64) float64 {
+	return stats.RelativeRMSError(pred, truth)
+}
+
+// Mean returns the model's exact mean under ΔY ~ N(0, I).
+func Mean(m *Model, b *Basis) float64 { return yield.ModelMean(m, b) }
+
+// Std returns the model's exact standard deviation under ΔY ~ N(0, I).
+func Std(m *Model, b *Basis) float64 { return yield.ModelStd(m, b) }
+
+// SobolTotal returns per-variable total sensitivity indices.
+func SobolTotal(m *Model, b *Basis) []float64 { return yield.SobolTotal(m, b) }
+
+// NewYieldAnalyzer wraps fitted per-metric models for distribution and
+// yield estimation.
+func NewYieldAnalyzer(b *Basis, models map[string]*Model) (*YieldAnalyzer, error) {
+	return yield.NewAnalyzer(b, models)
+}
+
+// NewRand returns a deterministic random source for yield estimation.
+func NewRand(seed int64) *rng.Source { return rng.New(seed) }
+
+// Circuits exposes the built-in testbenches.
+var Circuits = struct {
+	// OpAmp builds the 630-factor two-stage amplifier (analytic evaluation).
+	OpAmp func() (Simulator, error)
+	// SpiceOpAmp builds the transistor-level amplifier (DC + AC per sample).
+	SpiceOpAmp func() (Simulator, error)
+	// SRAM builds the read-path testbench with the given cell array size.
+	SRAM func(rows, cols int) (Simulator, error)
+	// RingOscillator builds the dense-model negative control.
+	RingOscillator func(stages int) (Simulator, error)
+	// Synthetic builds a known-ground-truth sparse benchmark.
+	Synthetic func(seed int64, dim, degree, nnz int, noise float64) (Simulator, error)
+}{
+	OpAmp:      func() (Simulator, error) { return circuit.NewOpAmp() },
+	SpiceOpAmp: func() (Simulator, error) { return circuit.NewSpiceOpAmp() },
+	SRAM: func(rows, cols int) (Simulator, error) {
+		return circuit.NewSRAM(circuit.SRAMConfig{Rows: rows, Cols: cols})
+	},
+	RingOscillator: func(stages int) (Simulator, error) { return circuit.NewRingOscillator(stages) },
+	Synthetic: func(seed int64, dim, degree, nnz int, noise float64) (Simulator, error) {
+		return circuit.NewSynthetic(seed, dim, degree, nnz, noise)
+	},
+}

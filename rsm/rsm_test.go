@@ -1,0 +1,112 @@
+package rsm_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/rsm"
+)
+
+func TestSolverConstructors(t *testing.T) {
+	for _, tc := range []struct {
+		s    rsm.Solver
+		name string
+	}{
+		{rsm.NewOMP(), "OMP"},
+		{rsm.NewLAR(), "LAR"},
+		{rsm.NewLasso(), "LAR"},
+		{rsm.NewSTAR(), "STAR"},
+		{rsm.NewCD(), "CD"},
+		{rsm.NewStOMP(), "StOMP"},
+	} {
+		if tc.s.Name() != tc.name {
+			t.Errorf("solver name %q, want %q", tc.s.Name(), tc.name)
+		}
+	}
+}
+
+func TestBasisConstructors(t *testing.T) {
+	if got := rsm.LinearBasis(10).Size(); got != 11 {
+		t.Errorf("LinearBasis(10) size %d, want 11", got)
+	}
+	if got := rsm.QuadraticBasis(10).Size(); got != 66 {
+		t.Errorf("QuadraticBasis(10) size %d, want 66", got)
+	}
+	if got := rsm.TotalDegreeBasis(3, 3).Size(); got != 20 {
+		t.Errorf("TotalDegreeBasis(3,3) size %d, want 20", got)
+	}
+}
+
+func TestCircuitsRegistry(t *testing.T) {
+	sram, err := rsm.Circuits.SRAM(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sram.Dim() != 82 {
+		t.Errorf("SRAM(4,3) Dim %d, want 82", sram.Dim())
+	}
+	ro, err := rsm.Circuits.RingOscillator(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ro.Metrics()) != 1 || ro.Metrics()[0] != "period" {
+		t.Errorf("RO metrics %v", ro.Metrics())
+	}
+	if _, err := rsm.Circuits.RingOscillator(4); err == nil {
+		t.Error("even stage count must error")
+	}
+	amp, err := rsm.Circuits.OpAmp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amp.Dim() != 630 {
+		t.Errorf("OpAmp Dim %d, want 630", amp.Dim())
+	}
+}
+
+func TestEndToEndThroughFacade(t *testing.T) {
+	sim, err := rsm.Circuits.Synthetic(42, 30, 1, 3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict := rsm.LinearBasis(30)
+	train, err := rsm.Sample(sim, 120, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := train.Metric("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, solver := range []rsm.Solver{rsm.NewOMP(), rsm.NewLasso(), rsm.NewCD(), rsm.NewStOMP()} {
+		cv, err := rsm.CrossValidate(solver, dict, train.Points, f, 4, 10)
+		if err != nil {
+			t.Errorf("%s: %v", solver.Name(), err)
+			continue
+		}
+		test, err := rsm.Sample(sim, 400, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fTest, _ := test.Metric("f")
+		pred := cv.Model.Predict(rsm.NewDesign(dict, test.Points))
+		if e := rsm.RelativeRMSError(pred, fTest); e > 0.1 {
+			t.Errorf("%s: held-out error %g too large", solver.Name(), e)
+		}
+	}
+}
+
+func TestFacadeMomentsConsistency(t *testing.T) {
+	dict := rsm.QuadraticBasis(5)
+	m := &rsm.Model{M: dict.Size(), Support: []int{0, 2}, Coef: []float64{1, 3}}
+	if rsm.Mean(m, dict) != 1 {
+		t.Error("Mean wrong")
+	}
+	if math.Abs(rsm.Std(m, dict)-3) > 1e-12 {
+		t.Error("Std wrong")
+	}
+	s := rsm.SobolTotal(m, dict)
+	if math.Abs(s[1]-1) > 1e-12 {
+		t.Errorf("Sobol %v", s)
+	}
+}
