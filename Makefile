@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt-check bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the concurrent surfaces: the serving daemon's handlers and
+# worker pools, the model registry, batched prediction, and the sampling
+# engine.
+race:
+	$(GO) test -race ./internal/server/... ./internal/registry/... ./internal/core/... ./internal/mc/... ./rsm/...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# The serving hot-path baseline (see internal/core/bench_test.go).
+bench:
+	$(GO) test -run=NONE -bench=BenchmarkPredictHotPath -benchmem ./internal/core/
+
+ci: vet fmt-check build test race

@@ -1,0 +1,72 @@
+// Command rsmd is the model-serving daemon: it holds a versioned registry
+// of fitted sparse response-surface models and serves batched prediction,
+// parametric-yield and asynchronous fitting over a JSON HTTP API. Models
+// survive restarts when -store points at a directory.
+//
+// Example session:
+//
+//	rsmd -addr :8080 -store ./models &
+//	mcgen -circuit synthetic -n 300 -seed 1 > train.csv
+//	curl -s -X POST localhost:8080/v1/fit \
+//	     -d "$(jq -n --rawfile csv train.csv '{name:"demo", solver:"omp", csv:$csv}')"
+//	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -s -X POST localhost:8080/v1/models/demo/predict -d '{"points":[[0.1,0,...]]}'
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rsmd: ")
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		store       = flag.String("store", "", "model persistence directory (empty = in-memory only)")
+		fitWorkers  = flag.Int("fit-workers", 2, "async fit worker pool size")
+		queueDepth  = flag.Int("queue", 16, "max pending fit jobs")
+		predWorkers = flag.Int("predict-workers", 0, "prediction fan-out per request (0 = GOMAXPROCS)")
+		maxBatch    = flag.Int("max-batch", 100000, "max points per predict request")
+	)
+	flag.Parse()
+
+	reg, err := registry.Open(*store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(reg, server.Config{
+		FitWorkers:     *fitWorkers,
+		QueueDepth:     *queueDepth,
+		PredictWorkers: *predWorkers,
+		MaxBatch:       *maxBatch,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Print("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutCtx)
+	}()
+
+	log.Printf("serving %d model(s) on %s (store=%q)", reg.Len(), *addr, *store)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	srv.Close() // drain in-flight fit jobs
+}

@@ -1,12 +1,18 @@
 // Command rsmfit fits a sparse response surface model to a CSV dataset
 // (as produced by mcgen): it selects the important basis functions with the
 // chosen solver, picks the sparsity level by cross-validation, and prints
-// the selected bases with their coefficients.
+// the selected bases with their coefficients. With -out the fitted model is
+// saved as a versioned envelope (coefficients + basis descriptor + fit
+// provenance) that rsmd can serve and -model can reload.
 //
 // Example:
 //
 //	mcgen -circuit opamp -n 600 -seed 1 > train.csv
-//	rsmfit -metric offset -solver omp -degree 1 < train.csv
+//	rsmfit -metric offset -solver omp -degree 1 -out offset.json < train.csv
+//
+//	# Later, without refitting — the offline mirror of rsmd's predict
+//	# endpoint (prints one prediction per row of points.csv):
+//	rsmfit -model offset.json -predict points.csv
 package main
 
 import (
@@ -30,23 +36,24 @@ func main() {
 		folds     = flag.Int("folds", 4, "cross-validation folds")
 		maxLambda = flag.Int("lambda", 50, "maximum number of selected basis functions")
 		input     = flag.String("in", "-", "input CSV path (- for stdin)")
-		output    = flag.String("out", "", "write the fitted model as JSON to this path")
+		output    = flag.String("out", "", "write the fitted model envelope as JSON to this path")
+		modelPath = flag.String("model", "", "load a saved model envelope instead of fitting")
+		predict   = flag.String("predict", "", "with -model: predict at the points of this CSV (- for stdin)")
 	)
 	flag.Parse()
 
-	r := os.Stdin
-	if *input != "-" {
-		f, err := os.Open(*input)
-		if err != nil {
-			log.Fatalf("rsmfit: %v", err)
+	if *modelPath != "" {
+		if *predict == "" {
+			log.Fatal("rsmfit: -model requires -predict points.csv")
 		}
-		defer f.Close()
-		r = f
+		runPredict(*modelPath, *predict)
+		return
 	}
-	ds, err := mc.ReadCSV(r)
-	if err != nil {
-		log.Fatalf("rsmfit: %v", err)
+	if *predict != "" {
+		log.Fatal("rsmfit: -predict requires -model model.json")
 	}
+
+	ds := readDataset(*input)
 	if ds.Len() == 0 {
 		log.Fatal("rsmfit: empty dataset")
 	}
@@ -70,22 +77,9 @@ func main() {
 		log.Fatalf("rsmfit: unsupported degree %d", *degree)
 	}
 
-	var fitter core.PathFitter
-	switch *solver {
-	case "omp":
-		fitter = &core.OMP{}
-	case "lar":
-		fitter = &core.LAR{}
-	case "lasso":
-		fitter = &core.LAR{Lasso: true}
-	case "star":
-		fitter = &core.STAR{}
-	case "cd":
-		fitter = &core.CD{Refit: true}
-	case "stomp":
-		fitter = &core.StOMP{}
-	default:
-		log.Fatalf("rsmfit: unknown solver %q", *solver)
+	fitter, err := core.SolverByName(*solver)
+	if err != nil {
+		log.Fatalf("rsmfit: %v", err)
 	}
 
 	d := basis.NewLazyDesign(b, ds.Points)
@@ -113,9 +107,79 @@ func main() {
 			log.Fatalf("rsmfit: %v", err)
 		}
 		defer out.Close()
-		if err := model.WriteJSON(out); err != nil {
+		env := &core.Envelope{
+			Model: model,
+			Basis: b.Desc,
+			Prov: core.Provenance{
+				Solver:  fitter.Name(),
+				Lambda:  cv.BestLambda,
+				CVError: cv.ErrCurve[cv.BestLambda-1],
+				Folds:   *folds,
+				Samples: ds.Len(),
+				Metric:  name,
+			},
+		}
+		if err := core.WriteEnvelope(out, env); err != nil {
 			log.Fatalf("rsmfit: %v", err)
 		}
-		fmt.Printf("\nmodel written to %s\n", *output)
+		fmt.Printf("\nmodel envelope written to %s\n", *output)
+	}
+}
+
+// readDataset loads a CSV dataset from a path or stdin.
+func readDataset(path string) *mc.Dataset {
+	r := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatalf("rsmfit: %v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	ds, err := mc.ReadCSV(r)
+	if err != nil {
+		log.Fatalf("rsmfit: %v", err)
+	}
+	return ds
+}
+
+// runPredict reloads a saved model envelope and evaluates it at every point
+// of a CSV file, printing one prediction per line. When the CSV also
+// contains the model's metric column, the relative RMS error against it is
+// reported on stderr.
+func runPredict(modelPath, pointsPath string) {
+	mf, err := os.Open(modelPath)
+	if err != nil {
+		log.Fatalf("rsmfit: %v", err)
+	}
+	env, err := core.ReadEnvelope(mf)
+	mf.Close()
+	if err != nil {
+		log.Fatalf("rsmfit: %v", err)
+	}
+	if env.Basis.IsZero() {
+		log.Fatalf("rsmfit: %s is a legacy model without a basis descriptor; refit with -out to upgrade it", modelPath)
+	}
+	b, err := env.Basis.Build()
+	if err != nil {
+		log.Fatalf("rsmfit: %v", err)
+	}
+	ds := readDataset(pointsPath)
+	if ds.Len() == 0 {
+		log.Fatal("rsmfit: empty points file")
+	}
+	if len(ds.Points[0]) != b.Dim {
+		log.Fatalf("rsmfit: points have dimension %d but model basis is %s", len(ds.Points[0]), env.Basis)
+	}
+	pred := env.Model.PredictBatch(b, nil, ds.Points, 0)
+	for _, v := range pred {
+		fmt.Printf("%.17g\n", v)
+	}
+	if env.Prov.Metric != "" {
+		if truth, err := ds.Metric(env.Prov.Metric); err == nil {
+			log.Printf("rsmfit: relative RMS error vs %q column: %.3f%%",
+				env.Prov.Metric, 100*stats.RelativeRMSError(pred, truth))
+		}
 	}
 }

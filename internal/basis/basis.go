@@ -26,6 +26,10 @@ type Basis struct {
 	Dim int
 	// Terms are the basis functions g₁…g_M in order.
 	Terms []hermite.Term
+	// Desc records how a systematically generated basis was constructed so
+	// it can be serialized and rebuilt elsewhere. Zero for explicit term
+	// lists built with New.
+	Desc Descriptor
 
 	maxOrder int
 }
@@ -47,14 +51,37 @@ func New(dim int, terms []hermite.Term) *Basis {
 }
 
 // Linear returns the degree-1 basis over n variables (M = n+1).
-func Linear(n int) *Basis { return New(n, hermite.LinearTerms(n)) }
+func Linear(n int) *Basis {
+	b := New(n, hermite.LinearTerms(n))
+	b.Desc = Descriptor{Kind: KindLinear, Dim: n}
+	return b
+}
 
 // Quadratic returns the total-degree-2 basis over n variables
 // (M = 1 + n + n(n+1)/2).
-func Quadratic(n int) *Basis { return New(n, hermite.QuadraticTerms(n)) }
+func Quadratic(n int) *Basis {
+	b := New(n, hermite.QuadraticTerms(n))
+	b.Desc = Descriptor{Kind: KindQuadratic, Dim: n}
+	return b
+}
 
 // TotalDegree returns the total-degree-deg basis over n variables.
-func TotalDegree(n, deg int) *Basis { return New(n, hermite.TotalDegreeTerms(n, deg)) }
+func TotalDegree(n, deg int) *Basis {
+	b := New(n, hermite.TotalDegreeTerms(n, deg))
+	b.Desc = Descriptor{Kind: KindTotalDegree, Dim: n, Degree: deg}
+	return b
+}
+
+// AutoDesign builds the design matrix view for the sampled points, choosing
+// dense storage for moderate sizes and lazy re-evaluation beyond it (the
+// paper-scale regime where G must never be materialized).
+func AutoDesign(b *Basis, points [][]float64) Design {
+	const denseLimit = 48 << 20
+	if len(points)*b.Size() <= denseLimit {
+		return NewDenseDesign(b, points)
+	}
+	return NewLazyDesign(b, points)
+}
 
 // Size returns the number of basis functions M.
 func (b *Basis) Size() int { return len(b.Terms) }

@@ -1,0 +1,115 @@
+package basis
+
+import "fmt"
+
+// Descriptor is a compact, serializable recipe for reconstructing a Basis.
+// It is what the versioned model envelope (internal/core) and the model
+// registry (internal/registry) persist alongside the sparse coefficients so
+// that a stored model can be re-evaluated later — and by other processes —
+// without out-of-band knowledge of the dictionary it was fit against.
+//
+// Only the systematically generated dictionaries are describable; a Basis
+// assembled from an explicit term list via New has a zero Descriptor and
+// cannot be serialized.
+type Descriptor struct {
+	// Kind names the generator: "linear", "quadratic" or "total-degree".
+	Kind string `json:"kind"`
+	// Dim is the number of input variables N.
+	Dim int `json:"dim"`
+	// Degree is the total degree for "total-degree" dictionaries; it is
+	// implied (1, 2) and omitted for the other kinds.
+	Degree int `json:"degree,omitempty"`
+}
+
+// Descriptor kinds.
+const (
+	KindLinear      = "linear"
+	KindQuadratic   = "quadratic"
+	KindTotalDegree = "total-degree"
+)
+
+// IsZero reports whether the descriptor is unset (an undescribable basis).
+func (d Descriptor) IsZero() bool { return d == Descriptor{} }
+
+// Validate checks that the descriptor names a constructible dictionary.
+func (d Descriptor) Validate() error {
+	if d.Dim <= 0 {
+		return fmt.Errorf("basis: descriptor dimension %d must be positive", d.Dim)
+	}
+	switch d.Kind {
+	case KindLinear, KindQuadratic:
+		return nil
+	case KindTotalDegree:
+		if d.Degree < 1 {
+			return fmt.Errorf("basis: total-degree descriptor needs degree ≥ 1, got %d", d.Degree)
+		}
+		return nil
+	default:
+		return fmt.Errorf("basis: unknown descriptor kind %q", d.Kind)
+	}
+}
+
+// Size returns the dictionary size M implied by the descriptor without
+// building the term list: n+1 (linear), 1+n+n(n+1)/2 (quadratic) or
+// C(n+d, d) (total degree). It returns -1 when the count overflows int,
+// and 0 for an invalid descriptor.
+func (d Descriptor) Size() int {
+	if d.Validate() != nil {
+		return 0
+	}
+	n := d.Dim
+	switch d.Kind {
+	case KindLinear:
+		return n + 1
+	case KindQuadratic:
+		return 1 + n + n*(n+1)/2
+	default:
+		return binomial(n+d.Degree, d.Degree)
+	}
+}
+
+// Build reconstructs the basis the descriptor names.
+func (d Descriptor) Build() (*Basis, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	switch d.Kind {
+	case KindLinear:
+		return Linear(d.Dim), nil
+	case KindQuadratic:
+		return Quadratic(d.Dim), nil
+	default:
+		return TotalDegree(d.Dim, d.Degree), nil
+	}
+}
+
+// String renders the descriptor for logs and error messages.
+func (d Descriptor) String() string {
+	if d.IsZero() {
+		return "basis<unknown>"
+	}
+	if d.Kind == KindTotalDegree {
+		return fmt.Sprintf("%s(dim=%d, degree=%d)", d.Kind, d.Dim, d.Degree)
+	}
+	return fmt.Sprintf("%s(dim=%d)", d.Kind, d.Dim)
+}
+
+// binomial computes C(n, k) with overflow detection (-1 on overflow).
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1
+	for i := 1; i <= k; i++ {
+		// c = c * (n-k+i) / i, exactly divisible at each step.
+		f := n - k + i
+		if c > (1<<62)/f {
+			return -1
+		}
+		c = c * f / i
+	}
+	return c
+}

@@ -1,0 +1,76 @@
+package basis
+
+import "testing"
+
+func TestDescriptorRoundTrip(t *testing.T) {
+	cases := []*Basis{Linear(7), Quadratic(5), TotalDegree(4, 3)}
+	for _, b := range cases {
+		d := b.Desc
+		if d.IsZero() {
+			t.Fatalf("%s: constructor did not record a descriptor", d)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if got := d.Size(); got != b.Size() {
+			t.Errorf("%s: Size() = %d, want %d", d, got, b.Size())
+		}
+		rebuilt, err := d.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if rebuilt.Size() != b.Size() || rebuilt.Dim != b.Dim {
+			t.Fatalf("%s: rebuilt (dim=%d, M=%d), want (dim=%d, M=%d)",
+				d, rebuilt.Dim, rebuilt.Size(), b.Dim, b.Size())
+		}
+		// Term-by-term agreement: evaluating both at a fixed point must give
+		// identical rows.
+		y := make([]float64, b.Dim)
+		for i := range y {
+			y[i] = 0.3 * float64(i+1)
+		}
+		want := b.EvalRow(nil, y)
+		got := rebuilt.EvalRow(nil, y)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%s: rebuilt basis disagrees at term %d: %g vs %g", d, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDescriptorExplicitBasisIsZero(t *testing.T) {
+	b := New(3, Linear(3).Terms)
+	if !b.Desc.IsZero() {
+		t.Fatalf("explicit basis has descriptor %v, want zero", b.Desc)
+	}
+}
+
+func TestDescriptorValidateRejects(t *testing.T) {
+	bad := []Descriptor{
+		{},
+		{Kind: "linear", Dim: 0},
+		{Kind: "hexagonal", Dim: 3},
+		{Kind: KindTotalDegree, Dim: 3, Degree: 0},
+		{Kind: KindLinear, Dim: -1},
+	}
+	for _, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("%+v: expected validation error", d)
+		}
+		if _, err := d.Build(); err == nil {
+			t.Errorf("%+v: expected build error", d)
+		}
+	}
+}
+
+func TestDescriptorSizeOverflow(t *testing.T) {
+	d := Descriptor{Kind: KindTotalDegree, Dim: 1000, Degree: 6}
+	if sz := d.Size(); sz <= 0 {
+		t.Fatalf("C(1006,6) should fit in int, got %d", sz)
+	}
+	huge := Descriptor{Kind: KindTotalDegree, Dim: 1 << 40, Degree: 6}
+	if sz := huge.Size(); sz != -1 {
+		t.Fatalf("expected overflow sentinel -1, got %d", sz)
+	}
+}

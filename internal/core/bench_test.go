@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/basis"
+	"repro/internal/rng"
+)
+
+// The serving hot path is batched model evaluation: rsmd's predict endpoint
+// fans a batch across workers that reuse per-worker Hermite scratch tables
+// restricted to the support's variables. These benchmarks pin the baseline
+// for later perf PRs: the naive single-point loop (PredictPoint re-derives
+// every Hermite value per term) against PredictBatch, serial and at
+// GOMAXPROCS workers.
+//
+// Two support shapes matter. "scattered" draws the support uniformly over
+// the dictionary, so its terms touch most variables — the worst case for
+// scratch reuse. "concentrated" confines the support to a few dominant
+// variables, which is what the paper's fitted models actually look like
+// (a handful of devices dominate each metric) and where the shared table
+// pays off.
+//
+// Workload: quadratic basis over 50 variables (M = 1326), 20 non-zero
+// coefficients, 1000-point batch — the shape of a busy predict request.
+
+const (
+	benchDim   = 50
+	benchNNZ   = 20
+	benchBatch = 1000
+)
+
+// concentratedModel builds a model whose support only references the first
+// few variables.
+func concentratedModel(dim, maxVar, nnz int, seed int64) (*Model, *basis.Basis) {
+	b := basis.Quadratic(dim)
+	src := rng.New(seed)
+	var eligible []int
+	for idx, t := range b.Terms {
+		ok := true
+		for _, vp := range t {
+			if vp.Var >= maxVar {
+				ok = false
+				break
+			}
+		}
+		if ok && t.Degree() > 0 {
+			eligible = append(eligible, idx)
+		}
+	}
+	perm := src.Perm(len(eligible))[:nnz]
+	support := make([]int, nnz)
+	coef := make([]float64, nnz)
+	for i, p := range perm {
+		support[i] = eligible[p]
+		coef[i] = src.Norm()
+	}
+	return &Model{M: b.Size(), Support: support, Coef: coef}, b
+}
+
+func benchPoints(dim, n int, seed int64) [][]float64 {
+	src := rng.New(seed)
+	points := make([][]float64, n)
+	for k := range points {
+		points[k] = src.NormVec(nil, dim)
+	}
+	return points
+}
+
+func BenchmarkPredictHotPath(b *testing.B) {
+	scattered, dict, _ := randomModelAndPoints(benchDim, benchNNZ, 1, 42)
+	concentrated, _ := concentratedModel(benchDim, 8, benchNNZ, 42)
+	points := benchPoints(benchDim, benchBatch, 43)
+	out := make([]float64, benchBatch)
+
+	shapes := []struct {
+		name  string
+		model *Model
+	}{
+		{"scattered", scattered},
+		{"concentrated", concentrated},
+	}
+	for _, shape := range shapes {
+		m := shape.model
+		b.Run("single-point/"+shape.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for k, y := range points {
+					out[k] = m.PredictPoint(dict, y)
+				}
+			}
+		})
+		b.Run("batch-serial/"+shape.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.PredictBatch(dict, out, points, 1)
+			}
+		})
+		b.Run("batch-parallel/"+shape.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.PredictBatch(dict, out, points, 0)
+			}
+		})
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/basis"
+	"repro/internal/rng"
+)
+
+// randomModelAndPoints builds a quadratic-basis model with nnz random
+// support terms and n standard-normal points.
+func randomModelAndPoints(dim, nnz, n int, seed int64) (*Model, *basis.Basis, [][]float64) {
+	b := basis.Quadratic(dim)
+	src := rng.New(seed)
+	support := src.Perm(b.Size())[:nnz]
+	coef := make([]float64, nnz)
+	for i := range coef {
+		coef[i] = src.Norm()
+	}
+	m := &Model{M: b.Size(), Support: support, Coef: coef}
+	points := make([][]float64, n)
+	for k := range points {
+		points[k] = src.NormVec(nil, dim)
+	}
+	return m, b, points
+}
+
+func TestPredictBatchMatchesPredictPoint(t *testing.T) {
+	m, b, points := randomModelAndPoints(8, 12, 257, 7)
+	for _, workers := range []int{0, 1, 3, 16} {
+		got := m.PredictBatch(b, nil, points, workers)
+		if len(got) != len(points) {
+			t.Fatalf("workers=%d: %d values for %d points", workers, len(got), len(points))
+		}
+		for k, y := range points {
+			want := m.PredictPoint(b, y)
+			if math.Abs(got[k]-want) > 1e-12*math.Max(1, math.Abs(want)) {
+				t.Fatalf("workers=%d point %d: %g, want %g", workers, k, got[k], want)
+			}
+		}
+	}
+}
+
+func TestPredictBatchEmptyAndDst(t *testing.T) {
+	m, b, points := randomModelAndPoints(4, 3, 10, 1)
+	if got := m.PredictBatch(b, nil, nil, 4); len(got) != 0 {
+		t.Fatalf("empty batch returned %d values", len(got))
+	}
+	dst := make([]float64, len(points))
+	out := m.PredictBatch(b, dst, points, 2)
+	if &out[0] != &dst[0] {
+		t.Fatal("PredictBatch did not reuse dst")
+	}
+}
+
+func TestSolverByName(t *testing.T) {
+	for _, name := range []string{"omp", "LAR", "lasso", "star", "cd", "stomp"} {
+		s, err := SolverByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		} else if s.Name() == "" {
+			t.Errorf("%s: empty solver name", name)
+		}
+	}
+	if _, err := SolverByName("newton"); err == nil {
+		t.Error("expected error for unknown solver")
+	}
+}

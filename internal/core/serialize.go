@@ -4,47 +4,168 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/basis"
 )
 
-// modelJSON is the stable on-disk form of a fitted model.
-type modelJSON struct {
-	// M is the dictionary size the model was fit against.
-	M int `json:"m"`
-	// Support and Coef are the sparse coefficients, aligned.
-	Support []int     `json:"support"`
-	Coef    []float64 `json:"coef"`
+// EnvelopeVersion is the current on-disk model format version.
+const EnvelopeVersion = 1
+
+// Provenance records how a model was fit — enough to audit a stored model
+// and to reproduce the fit. All fields are optional.
+type Provenance struct {
+	// Solver names the path fitter (OMP, LAR, …).
+	Solver string `json:"solver,omitempty"`
+	// Lambda is the selected sparsity level ‖α‖₀.
+	Lambda int `json:"lambda,omitempty"`
+	// CVError is the cross-validation relative RMS error at Lambda.
+	CVError float64 `json:"cv_error,omitempty"`
+	// Folds is the cross-validation fold count (0 when λ was fixed).
+	Folds int `json:"folds,omitempty"`
+	// Samples is the training sample count K.
+	Samples int `json:"samples,omitempty"`
+	// Metric names the modeled response column.
+	Metric string `json:"metric,omitempty"`
+}
+
+// Envelope is the versioned serialized form of a fitted model: the sparse
+// coefficients plus the basis descriptor needed to re-evaluate it and the
+// fit provenance. It is the unit stored by the model registry and shipped
+// over the rsmd wire protocol.
+type Envelope struct {
+	// Model is the fitted sparse model.
+	Model *Model
+	// Basis describes the dictionary the model was fit against. Zero for
+	// legacy files that predate the envelope (such models cannot be
+	// re-evaluated without out-of-band basis knowledge).
+	Basis basis.Descriptor
+	// Prov is the optional fit provenance.
+	Prov Provenance
+}
+
+// envelopeJSON is the on-disk form. Version 0 (absent) is the legacy
+// model-only layout {m, support, coef}; version 1 adds basis + provenance.
+type envelopeJSON struct {
+	Version int               `json:"version,omitempty"`
+	M       int               `json:"m"`
+	Support []int             `json:"support"`
+	Coef    []float64         `json:"coef"`
+	Basis   *basis.Descriptor `json:"basis,omitempty"`
+	Prov    *Provenance       `json:"provenance,omitempty"`
+}
+
+// Validate checks the envelope's internal consistency: a well-formed model,
+// and (when a basis descriptor is present) agreement between the model's
+// dictionary size and the size implied by the descriptor.
+func (e *Envelope) Validate() error {
+	if e.Model == nil {
+		return fmt.Errorf("core: envelope has no model")
+	}
+	if err := validateModel(e.Model); err != nil {
+		return err
+	}
+	if !e.Basis.IsZero() {
+		if err := e.Basis.Validate(); err != nil {
+			return err
+		}
+		if sz := e.Basis.Size(); sz != e.Model.M {
+			return fmt.Errorf("core: basis %s has %d functions but model dictionary is %d", e.Basis, sz, e.Model.M)
+		}
+	}
+	return nil
+}
+
+// WriteEnvelope serializes the envelope in the current versioned format.
+func WriteEnvelope(w io.Writer, e *Envelope) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	ej := envelopeJSON{
+		Version: EnvelopeVersion,
+		M:       e.Model.M,
+		Support: e.Model.Support,
+		Coef:    e.Model.Coef,
+	}
+	if !e.Basis.IsZero() {
+		d := e.Basis
+		ej.Basis = &d
+	}
+	if e.Prov != (Provenance{}) {
+		p := e.Prov
+		ej.Prov = &p
+	}
+	return json.NewEncoder(w).Encode(ej)
+}
+
+// ReadEnvelope parses a serialized model in either the current versioned
+// format or the legacy un-versioned {m, support, coef} form, validating its
+// internal consistency.
+func ReadEnvelope(r io.Reader) (*Envelope, error) {
+	var ej envelopeJSON
+	if err := json.NewDecoder(r).Decode(&ej); err != nil {
+		return nil, fmt.Errorf("core: decode model: %w", err)
+	}
+	if ej.Version > EnvelopeVersion {
+		return nil, fmt.Errorf("core: model format version %d is newer than supported %d", ej.Version, EnvelopeVersion)
+	}
+	e := &Envelope{Model: &Model{M: ej.M, Support: ej.Support, Coef: ej.Coef}}
+	if e.Model.Support == nil {
+		e.Model.Support = []int{}
+	}
+	if e.Model.Coef == nil {
+		e.Model.Coef = []float64{}
+	}
+	if ej.Basis != nil {
+		e.Basis = *ej.Basis
+	}
+	if ej.Prov != nil {
+		e.Prov = *ej.Prov
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
 }
 
 // WriteJSON serializes the model so it can be reused without refitting
-// (e.g. by a yield flow running long after the expensive sampling).
+// (e.g. by a yield flow running long after the expensive sampling). It emits
+// the legacy model-only layout; prefer WriteEnvelope, which also records the
+// basis descriptor and provenance.
 func (m *Model) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	return enc.Encode(modelJSON{M: m.M, Support: m.Support, Coef: m.Coef})
+	if err := validateModel(m); err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(envelopeJSON{M: m.M, Support: m.Support, Coef: m.Coef})
 }
 
-// ReadModelJSON parses a model written by WriteJSON and validates its
-// internal consistency.
+// ReadModelJSON parses a model written by WriteJSON or WriteEnvelope and
+// validates its internal consistency, discarding any basis/provenance
+// metadata.
 func ReadModelJSON(r io.Reader) (*Model, error) {
-	var mj modelJSON
-	dec := json.NewDecoder(r)
-	if err := dec.Decode(&mj); err != nil {
-		return nil, fmt.Errorf("core: decode model: %w", err)
+	e, err := ReadEnvelope(r)
+	if err != nil {
+		return nil, err
 	}
-	if len(mj.Support) != len(mj.Coef) {
-		return nil, fmt.Errorf("core: model has %d support entries but %d coefficients", len(mj.Support), len(mj.Coef))
+	return e.Model, nil
+}
+
+// validateModel checks the sparse coefficient structure.
+func validateModel(m *Model) error {
+	if len(m.Support) != len(m.Coef) {
+		return fmt.Errorf("core: model has %d support entries but %d coefficients", len(m.Support), len(m.Coef))
 	}
-	if mj.M <= 0 {
-		return nil, fmt.Errorf("core: model dictionary size %d invalid", mj.M)
+	if m.M <= 0 {
+		return fmt.Errorf("core: model dictionary size %d invalid", m.M)
 	}
-	seen := make(map[int]bool, len(mj.Support))
-	for _, s := range mj.Support {
-		if s < 0 || s >= mj.M {
-			return nil, fmt.Errorf("core: support index %d outside [0, %d)", s, mj.M)
+	seen := make(map[int]bool, len(m.Support))
+	for _, s := range m.Support {
+		if s < 0 || s >= m.M {
+			return fmt.Errorf("core: support index %d outside [0, %d)", s, m.M)
 		}
 		if seen[s] {
-			return nil, fmt.Errorf("core: duplicate support index %d", s)
+			return fmt.Errorf("core: duplicate support index %d", s)
 		}
 		seen[s] = true
 	}
-	return &Model{M: mj.M, Support: mj.Support, Coef: mj.Coef}, nil
+	return nil
 }

@@ -1,0 +1,246 @@
+// Package registry is the model store behind the rsmd serving daemon: a
+// concurrency-safe, versioned map from model name to fitted-model envelopes
+// (sparse coefficients + basis descriptor + fit provenance), optionally
+// persisted as one JSON file per version under a directory so a restarted
+// daemon comes back with its models.
+//
+// Entries are immutable once stored; publishing a new model under an
+// existing name allocates the next version and leaves prior versions
+// readable. The registry lazily reconstructs each entry's Basis from its
+// descriptor on first use and caches it, so the serving hot path never
+// rebuilds dictionaries.
+package registry
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/basis"
+	"repro/internal/core"
+)
+
+// nameRE constrains model names to filesystem- and URL-safe tokens.
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// ValidateName reports whether name is usable as a model name.
+func ValidateName(name string) error {
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("registry: invalid model name %q (want [A-Za-z0-9][A-Za-z0-9._-]{0,63})", name)
+	}
+	return nil
+}
+
+// Entry is one immutable stored model version.
+type Entry struct {
+	// Name is the model's registry name.
+	Name string
+	// Version is the 1-based version number within the name.
+	Version int
+	// Envelope holds the model, basis descriptor and provenance.
+	Envelope *core.Envelope
+	// CreatedAt is the time the version was stored.
+	CreatedAt time.Time
+
+	buildOnce sync.Once
+	basis     *basis.Basis
+	buildErr  error
+}
+
+// Basis reconstructs (once) and returns the dictionary the model was fit
+// against.
+func (e *Entry) Basis() (*basis.Basis, error) {
+	e.buildOnce.Do(func() {
+		e.basis, e.buildErr = e.Envelope.Basis.Build()
+	})
+	return e.basis, e.buildErr
+}
+
+// Model is a shorthand for the stored sparse model.
+func (e *Entry) Model() *core.Model { return e.Envelope.Model }
+
+// Registry is the versioned model store. The zero value is not usable; call
+// Open (persistent) or New (in-memory).
+type Registry struct {
+	dir string
+
+	mu     sync.RWMutex
+	models map[string][]*Entry // versions in ascending order
+}
+
+// New returns an in-memory registry with no persistence.
+func New() *Registry { return &Registry{models: make(map[string][]*Entry)} }
+
+// Open returns a registry persisted under dir (created when missing),
+// loading every model version already stored there. An empty dir means
+// in-memory only.
+func Open(dir string) (*Registry, error) {
+	r := New()
+	if dir == "" {
+		return r, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: create store dir: %w", err)
+	}
+	r.dir = dir
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("registry: scan store dir: %w", err)
+	}
+	for _, path := range names {
+		name, version, ok := parseEntryFile(filepath.Base(path))
+		if !ok {
+			continue // foreign file; leave it alone
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("registry: read %s: %w", path, err)
+		}
+		env, err := core.ReadEnvelope(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("registry: load %s: %w", path, err)
+		}
+		if env.Basis.IsZero() {
+			return nil, fmt.Errorf("registry: %s has no basis descriptor", path)
+		}
+		info, err := os.Stat(path)
+		created := time.Now()
+		if err == nil {
+			created = info.ModTime()
+		}
+		r.models[name] = append(r.models[name], &Entry{
+			Name: name, Version: version, Envelope: env, CreatedAt: created,
+		})
+	}
+	for _, versions := range r.models {
+		sort.Slice(versions, func(i, j int) bool { return versions[i].Version < versions[j].Version })
+	}
+	return r, nil
+}
+
+// entryFile renders the per-version file name, e.g. "gain@v3.json".
+func entryFile(name string, version int) string {
+	return fmt.Sprintf("%s@v%d.json", name, version)
+}
+
+// parseEntryFile inverts entryFile.
+func parseEntryFile(base string) (name string, version int, ok bool) {
+	base = strings.TrimSuffix(base, ".json")
+	i := strings.LastIndex(base, "@v")
+	if i <= 0 {
+		return "", 0, false
+	}
+	v, err := strconv.Atoi(base[i+2:])
+	if err != nil || v < 1 {
+		return "", 0, false
+	}
+	name = base[:i]
+	if ValidateName(name) != nil {
+		return "", 0, false
+	}
+	return name, v, true
+}
+
+// Put stores env as the next version of name and returns the new entry.
+// The envelope must validate and carry a basis descriptor — a model without
+// one cannot be served.
+func (r *Registry) Put(name string, env *core.Envelope) (*Entry, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	if env.Basis.IsZero() {
+		return nil, fmt.Errorf("registry: model %q has no basis descriptor; re-serialize it with the versioned envelope", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := &Entry{
+		Name:      name,
+		Version:   len(r.models[name]) + 1,
+		Envelope:  env,
+		CreatedAt: time.Now(),
+	}
+	if r.dir != "" {
+		var buf bytes.Buffer
+		if err := core.WriteEnvelope(&buf, env); err != nil {
+			return nil, err
+		}
+		path := filepath.Join(r.dir, entryFile(name, e.Version))
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			return nil, fmt.Errorf("registry: persist %s: %w", path, err)
+		}
+	}
+	r.models[name] = append(r.models[name], e)
+	return e, nil
+}
+
+// Get returns the latest version of name.
+func (r *Registry) Get(name string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	versions := r.models[name]
+	if len(versions) == 0 {
+		return nil, false
+	}
+	return versions[len(versions)-1], true
+}
+
+// GetVersion returns a specific version of name.
+func (r *Registry) GetVersion(name string, version int) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	versions := r.models[name]
+	if version < 1 || version > len(versions) {
+		return nil, false
+	}
+	return versions[version-1], true
+}
+
+// List returns the latest version of every model, sorted by name.
+func (r *Registry) List() []*Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Entry, 0, len(r.models))
+	for _, versions := range r.models {
+		out = append(out, versions[len(versions)-1])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of distinct model names.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.models)
+}
+
+// Delete removes every version of name, including persisted files. Deleting
+// an unknown name is an error.
+func (r *Registry) Delete(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	versions := r.models[name]
+	if len(versions) == 0 {
+		return fmt.Errorf("registry: unknown model %q", name)
+	}
+	if r.dir != "" {
+		for _, e := range versions {
+			path := filepath.Join(r.dir, entryFile(name, e.Version))
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("registry: remove %s: %w", path, err)
+			}
+		}
+	}
+	delete(r.models, name)
+	return nil
+}

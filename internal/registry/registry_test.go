@@ -1,0 +1,192 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/basis"
+	"repro/internal/core"
+)
+
+// testEnvelope builds a valid envelope over a linear basis of dim
+// variables, with a coefficient marking the version for identity checks.
+func testEnvelope(dim int, mark float64) *core.Envelope {
+	b := basis.Linear(dim)
+	return &core.Envelope{
+		Model: &core.Model{M: b.Size(), Support: []int{1}, Coef: []float64{mark}},
+		Basis: b.Desc,
+		Prov:  core.Provenance{Solver: "OMP", Lambda: 1, Samples: 100},
+	}
+}
+
+func TestRegistryVersioning(t *testing.T) {
+	r := New()
+	for v := 1; v <= 3; v++ {
+		e, err := r.Put("gain", testEnvelope(4, float64(v)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Version != v {
+			t.Fatalf("version %d, want %d", e.Version, v)
+		}
+	}
+	latest, ok := r.Get("gain")
+	if !ok || latest.Version != 3 || latest.Model().Coef[0] != 3 {
+		t.Fatalf("latest = %+v", latest)
+	}
+	v1, ok := r.GetVersion("gain", 1)
+	if !ok || v1.Model().Coef[0] != 1 {
+		t.Fatalf("v1 = %+v", v1)
+	}
+	if _, ok := r.GetVersion("gain", 4); ok {
+		t.Fatal("version 4 should not exist")
+	}
+	if _, ok := r.Get("phase"); ok {
+		t.Fatal("unknown name should miss")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestRegistryRejects(t *testing.T) {
+	r := New()
+	if _, err := r.Put("../evil", testEnvelope(4, 1)); err == nil {
+		t.Error("path-traversal name accepted")
+	}
+	if _, err := r.Put("", testEnvelope(4, 1)); err == nil {
+		t.Error("empty name accepted")
+	}
+	// Basis-less envelope (legacy form) cannot be served.
+	env := testEnvelope(4, 1)
+	env.Basis = basis.Descriptor{}
+	if _, err := r.Put("legacy", env); err == nil {
+		t.Error("basis-less envelope accepted")
+	}
+	// Inconsistent descriptor/model sizes.
+	env = testEnvelope(4, 1)
+	env.Basis.Dim = 9
+	if _, err := r.Put("skewed", env); err == nil {
+		t.Error("size-mismatched envelope accepted")
+	}
+}
+
+func TestRegistryPersistenceReload(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v <= 2; v++ {
+		if _, err := r.Put("gain", testEnvelope(4, float64(v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Put("delay", testEnvelope(7, 10)); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("reloaded %d names, want 2", re.Len())
+	}
+	gain, ok := re.Get("gain")
+	if !ok || gain.Version != 2 || gain.Model().Coef[0] != 2 {
+		t.Fatalf("reloaded gain = %+v", gain)
+	}
+	if gain.Envelope.Prov.Solver != "OMP" {
+		t.Errorf("provenance lost on reload: %+v", gain.Envelope.Prov)
+	}
+	b, err := gain.Basis()
+	if err != nil || b.Dim != 4 {
+		t.Fatalf("reloaded basis dim %v, err %v", b, err)
+	}
+	// New versions continue the sequence after reload.
+	e, err := re.Put("gain", testEnvelope(4, 3))
+	if err != nil || e.Version != 3 {
+		t.Fatalf("post-reload Put: %+v, %v", e, err)
+	}
+
+	if err := re.Delete("gain"); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Delete("gain"); err == nil {
+		t.Fatal("double delete should fail")
+	}
+	re2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := re2.Get("gain"); ok {
+		t.Fatal("deleted model survived reload")
+	}
+	if _, ok := re2.Get("delay"); !ok {
+		t.Fatal("unrelated model lost")
+	}
+}
+
+// TestRegistryConcurrentHammer drives parallel writers, readers and listers
+// at the registry; run with -race to check the locking.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	r := New()
+	const (
+		names      = 4
+		perName    = 8
+		readers    = 8
+		iterations = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < names; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("model-%d", w)
+			for v := 1; v <= perName; v++ {
+				if _, err := r.Put(name, testEnvelope(3+w, float64(v))); err != nil {
+					t.Errorf("put %s: %v", name, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				name := fmt.Sprintf("model-%d", i%names)
+				if e, ok := r.Get(name); ok {
+					// Versions are dense and monotonically published.
+					if e.Version < 1 || e.Version > perName {
+						t.Errorf("impossible version %d", e.Version)
+						return
+					}
+					if _, err := e.Basis(); err != nil {
+						t.Errorf("basis: %v", err)
+						return
+					}
+				}
+				for _, e := range r.List() {
+					if e.Name == "" {
+						t.Error("empty name in listing")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != names {
+		t.Fatalf("Len = %d, want %d", r.Len(), names)
+	}
+	for w := 0; w < names; w++ {
+		e, ok := r.Get(fmt.Sprintf("model-%d", w))
+		if !ok || e.Version != perName {
+			t.Fatalf("model-%d final version %v", w, e)
+		}
+	}
+}

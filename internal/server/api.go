@@ -1,0 +1,138 @@
+package server
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/basis"
+	"repro/internal/core"
+)
+
+// This file defines the rsmd wire protocol: the JSON request and response
+// bodies of every /v1 endpoint. The rsm.Client speaks exactly these types.
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// UploadRequest publishes a pre-fitted model (POST /v1/models). Model is a
+// serialized envelope as written by core.WriteEnvelope / rsmfit -out; it
+// must carry a basis descriptor.
+type UploadRequest struct {
+	Name  string          `json:"name"`
+	Model json.RawMessage `json:"model"`
+}
+
+// ModelInfo summarizes one stored model version (GET /v1/models,
+// GET /v1/models/{name}, upload responses).
+type ModelInfo struct {
+	Name       string           `json:"name"`
+	Version    int              `json:"version"`
+	M          int              `json:"m"`
+	NNZ        int              `json:"nnz"`
+	Basis      basis.Descriptor `json:"basis"`
+	Provenance core.Provenance  `json:"provenance,omitempty"`
+	CreatedAt  time.Time        `json:"created_at"`
+}
+
+// ListResponse is the body of GET /v1/models.
+type ListResponse struct {
+	Models []ModelInfo `json:"models"`
+}
+
+// FitRequest submits an asynchronous fitting job (POST /v1/fit). The
+// dataset is either inline CSV (the mcgen format: header y0..yN-1 then
+// metric columns) or explicit Points plus a single response column Values.
+type FitRequest struct {
+	// Name registers the fitted model under this registry name.
+	Name string `json:"name"`
+	// Solver is omp|lar|lasso|star|cd|stomp (default omp).
+	Solver string `json:"solver,omitempty"`
+	// Degree of the Hermite dictionary: 1 (linear), 2 (quadratic) or
+	// higher total degrees. Default 1.
+	Degree int `json:"degree,omitempty"`
+	// Folds is the cross-validation fold count (default 4).
+	Folds int `json:"folds,omitempty"`
+	// MaxLambda bounds the selected sparsity (default 50).
+	MaxLambda int `json:"max_lambda,omitempty"`
+	// CSV is the dataset in mcgen CSV form; Metric picks the response
+	// column (default: the first metric column).
+	CSV    string `json:"csv,omitempty"`
+	Metric string `json:"metric,omitempty"`
+	// Points/Values are the explicit-dataset alternative to CSV.
+	Points [][]float64 `json:"points,omitempty"`
+	Values []float64   `json:"values,omitempty"`
+}
+
+// FitResponse acknowledges an accepted fit job (202).
+type FitResponse struct {
+	JobID string `json:"job_id"`
+	State string `json:"state"`
+}
+
+// FitResult is the outcome of a completed fit job.
+type FitResult struct {
+	Model   ModelInfo `json:"model"`
+	Lambda  int       `json:"lambda"`
+	CVError float64   `json:"cv_error"`
+	// FitSeconds is the wall-clock fitting time.
+	FitSeconds float64 `json:"fit_seconds"`
+}
+
+// JobStatus reports a job's lifecycle (GET /v1/jobs/{id}).
+type JobStatus struct {
+	ID        string     `json:"id"`
+	State     string     `json:"state"` // pending | running | done | failed
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Result    *FitResult `json:"result,omitempty"`
+}
+
+// PredictRequest evaluates the model at a batch of points
+// (POST /v1/models/{name}/predict).
+type PredictRequest struct {
+	Points [][]float64 `json:"points"`
+}
+
+// PredictResponse carries the batched model values, aligned with the
+// request points.
+type PredictResponse struct {
+	Model   string    `json:"model"`
+	Version int       `json:"version"`
+	Values  []float64 `json:"values"`
+}
+
+// YieldRequest estimates spec-threshold parametric yield and quantiles by
+// virtual Monte Carlo over the stored model (POST /v1/models/{name}/yield).
+// Low/High bound the acceptance window (nil = unbounded on that side); when
+// both are nil no yield is computed and only moments/quantiles are
+// returned.
+type YieldRequest struct {
+	Low       *float64  `json:"low,omitempty"`
+	High      *float64  `json:"high,omitempty"`
+	N         int       `json:"n,omitempty"`    // virtual samples (default 100000)
+	Seed      int64     `json:"seed,omitempty"` // RNG seed (default 1)
+	Quantiles []float64 `json:"quantiles,omitempty"`
+}
+
+// YieldResponse reports closed-form moments plus the requested Monte Carlo
+// estimates. Quantiles is aligned with the request's Quantiles.
+type YieldResponse struct {
+	Model     string    `json:"model"`
+	Version   int       `json:"version"`
+	Mean      float64   `json:"mean"`
+	Std       float64   `json:"std"`
+	N         int       `json:"n"`
+	Yield     *float64  `json:"yield,omitempty"`
+	Quantiles []float64 `json:"quantiles,omitempty"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Models        int     `json:"models"`
+}

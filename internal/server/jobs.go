@@ -1,0 +1,260 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/basis"
+	"repro/internal/core"
+	"repro/internal/mc"
+)
+
+// Job states.
+const (
+	JobPending = "pending"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// job is one queued fit request and its lifecycle record. The mutex-guarded
+// fields are updated by the worker and read by status polls.
+type job struct {
+	id  string
+	req FitRequest
+
+	mu        sync.Mutex
+	state     string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	err       string
+	result    *FitResult
+}
+
+// status snapshots the job as an API JobStatus.
+func (j *job) status() *JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := &JobStatus{ID: j.id, State: j.state, Submitted: j.submitted, Error: j.err, Result: j.result}
+	if !j.started.IsZero() {
+		t := j.started
+		s.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.Finished = &t
+	}
+	return s
+}
+
+// jobQueue is a bounded FIFO of fit jobs drained by a fixed worker pool.
+type jobQueue struct {
+	mu     sync.Mutex
+	byID   map[string]*job
+	nextID int
+	closed bool
+
+	queue chan *job
+	wg    sync.WaitGroup
+}
+
+func newJobQueue(depth int) *jobQueue {
+	if depth < 1 {
+		depth = 1
+	}
+	return &jobQueue{byID: make(map[string]*job), queue: make(chan *job, depth)}
+}
+
+// submit enqueues a job, failing when the queue is full or closed.
+func (q *jobQueue) submit(req FitRequest) (*job, error) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil, fmt.Errorf("server: shutting down")
+	}
+	q.nextID++
+	j := &job{id: fmt.Sprintf("job-%06d", q.nextID), req: req, state: JobPending, submitted: time.Now()}
+	select {
+	case q.queue <- j:
+		q.byID[j.id] = j
+		q.mu.Unlock()
+		return j, nil
+	default:
+		q.nextID--
+		q.mu.Unlock()
+		return nil, fmt.Errorf("server: fit queue full (%d pending)", cap(q.queue))
+	}
+}
+
+// get looks a job up by id.
+func (q *jobQueue) get(id string) (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.byID[id]
+	return j, ok
+}
+
+// close stops accepting jobs and waits for in-flight ones to finish.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	q.mu.Unlock()
+	close(q.queue)
+	q.wg.Wait()
+}
+
+// startWorkers launches n goroutines running fn per dequeued job.
+func (q *jobQueue) startWorkers(n int, fn func(*job)) {
+	for i := 0; i < n; i++ {
+		q.wg.Add(1)
+		go func() {
+			defer q.wg.Done()
+			for j := range q.queue {
+				fn(j)
+			}
+		}()
+	}
+}
+
+// fitDataset resolves a FitRequest's dataset into points and a response
+// vector, from either inline CSV or explicit arrays.
+func fitDataset(req *FitRequest) (points [][]float64, f []float64, metric string, err error) {
+	switch {
+	case req.CSV != "" && req.Points != nil:
+		return nil, nil, "", fmt.Errorf("csv and points are mutually exclusive")
+	case req.CSV != "":
+		ds, err := mc.ReadCSV(strings.NewReader(req.CSV))
+		if err != nil {
+			return nil, nil, "", err
+		}
+		if ds.Len() == 0 {
+			return nil, nil, "", fmt.Errorf("empty dataset")
+		}
+		if len(ds.Metrics) == 0 {
+			return nil, nil, "", fmt.Errorf("dataset has no metric columns")
+		}
+		metric = req.Metric
+		if metric == "" {
+			metric = ds.Metrics[0]
+		}
+		f, err := ds.Metric(metric)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return ds.Points, f, metric, nil
+	case len(req.Points) > 0:
+		if len(req.Values) != len(req.Points) {
+			return nil, nil, "", fmt.Errorf("%d points but %d values", len(req.Points), len(req.Values))
+		}
+		dim := len(req.Points[0])
+		if dim == 0 {
+			return nil, nil, "", fmt.Errorf("zero-dimensional points")
+		}
+		for i, p := range req.Points {
+			if len(p) != dim {
+				return nil, nil, "", fmt.Errorf("point %d has dimension %d, want %d", i, len(p), dim)
+			}
+		}
+		metric = req.Metric
+		if metric == "" {
+			metric = "f"
+		}
+		return req.Points, req.Values, metric, nil
+	default:
+		return nil, nil, "", fmt.Errorf("no dataset: provide csv or points+values")
+	}
+}
+
+// fitBasis builds the request's Hermite dictionary over dim variables.
+func fitBasis(degree, dim int) (*basis.Basis, error) {
+	switch {
+	case degree == 1:
+		return basis.Linear(dim), nil
+	case degree == 2:
+		return basis.Quadratic(dim), nil
+	case degree >= 3 && degree <= 6:
+		d := basis.Descriptor{Kind: basis.KindTotalDegree, Dim: dim, Degree: degree}
+		if sz := d.Size(); sz < 0 || sz > 1<<26 {
+			return nil, fmt.Errorf("degree-%d dictionary over %d variables is too large", degree, dim)
+		}
+		return d.Build()
+	default:
+		return nil, fmt.Errorf("unsupported degree %d (want 1..6)", degree)
+	}
+}
+
+// runFit executes one fit job end to end: dataset → cross-validated sparse
+// fit → registry publication.
+func (s *Server) runFit(j *job) {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	fail := func(err error) {
+		j.mu.Lock()
+		j.state = JobFailed
+		j.err = err.Error()
+		j.finished = time.Now()
+		j.mu.Unlock()
+		s.metrics.countJob(0, 0, 1)
+	}
+
+	req := j.req
+	points, f, metric, err := fitDataset(&req)
+	if err != nil {
+		fail(fmt.Errorf("dataset: %w", err))
+		return
+	}
+	b, err := fitBasis(req.Degree, len(points[0]))
+	if err != nil {
+		fail(err)
+		return
+	}
+	fitter, err := core.SolverByName(req.Solver)
+	if err != nil {
+		fail(err)
+		return
+	}
+	start := time.Now()
+	cv, err := core.CrossValidate(fitter, basis.AutoDesign(b, points), f, req.Folds, req.MaxLambda)
+	if err != nil {
+		fail(fmt.Errorf("fit: %w", err))
+		return
+	}
+	env := &core.Envelope{
+		Model: cv.Model,
+		Basis: b.Desc,
+		Prov: core.Provenance{
+			Solver:  fitter.Name(),
+			Lambda:  cv.BestLambda,
+			CVError: cv.ErrCurve[cv.BestLambda-1],
+			Folds:   req.Folds,
+			Samples: len(points),
+			Metric:  metric,
+		},
+	}
+	entry, err := s.registry.Put(req.Name, env)
+	if err != nil {
+		fail(err)
+		return
+	}
+	j.mu.Lock()
+	j.state = JobDone
+	j.finished = time.Now()
+	j.result = &FitResult{
+		Model:      modelInfo(entry),
+		Lambda:     cv.BestLambda,
+		CVError:    cv.ErrCurve[cv.BestLambda-1],
+		FitSeconds: time.Since(start).Seconds(),
+	}
+	j.mu.Unlock()
+	s.metrics.countJob(0, 1, 0)
+}

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// latencyBounds are the histogram bucket upper bounds in seconds; an
+// implicit +Inf bucket catches the rest. Chosen to straddle the expected
+// range from in-memory predict calls to multi-second fits.
+var latencyBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+// routeStats accumulates per-endpoint request counts and latencies.
+type routeStats struct {
+	count   int64
+	errors  int64 // responses with status ≥ 400
+	sumSec  float64
+	buckets []int64 // len(latencyBounds)+1, last is +Inf
+}
+
+// metrics is the daemon's stdlib-only observability state, exported as
+// expvar-style JSON by GET /metrics. All methods are safe for concurrent
+// use.
+type metrics struct {
+	start time.Time
+
+	mu          sync.Mutex
+	routes      map[string]*routeStats
+	predictions map[string]int64 // model name → points predicted
+	jobs        struct{ submitted, completed, failed int64 }
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:       time.Now(),
+		routes:      make(map[string]*routeStats),
+		predictions: make(map[string]int64),
+	}
+}
+
+// observe records one request against the labeled route.
+func (m *metrics) observe(route string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.routes[route]
+	if rs == nil {
+		rs = &routeStats{buckets: make([]int64, len(latencyBounds)+1)}
+		m.routes[route] = rs
+	}
+	rs.count++
+	if status >= 400 {
+		rs.errors++
+	}
+	sec := d.Seconds()
+	rs.sumSec += sec
+	i := sort.SearchFloat64s(latencyBounds, sec)
+	rs.buckets[i]++
+}
+
+// countPredictions adds n served points to the model's counter.
+func (m *metrics) countPredictions(model string, n int) {
+	m.mu.Lock()
+	m.predictions[model] += int64(n)
+	m.mu.Unlock()
+}
+
+// countJob tracks fit-job lifecycle transitions.
+func (m *metrics) countJob(submitted, completed, failed int64) {
+	m.mu.Lock()
+	m.jobs.submitted += submitted
+	m.jobs.completed += completed
+	m.jobs.failed += failed
+	m.mu.Unlock()
+}
+
+// Snapshot renders the current state as a JSON-encodable tree.
+func (m *metrics) Snapshot(models int) map[string]any {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	routes := make(map[string]any, len(m.routes))
+	for route, rs := range m.routes {
+		buckets := make(map[string]int64, len(rs.buckets))
+		for i, b := range latencyBounds {
+			buckets["le_"+strconv.FormatFloat(b, 'g', -1, 64)] = rs.buckets[i]
+		}
+		buckets["le_inf"] = rs.buckets[len(latencyBounds)]
+		routes[route] = map[string]any{
+			"count":               rs.count,
+			"errors":              rs.errors,
+			"latency_seconds_sum": rs.sumSec,
+			"latency_buckets":     buckets,
+		}
+	}
+	predictions := make(map[string]int64, len(m.predictions))
+	for name, n := range m.predictions {
+		predictions[name] = n
+	}
+	return map[string]any{
+		"uptime_seconds": time.Since(m.start).Seconds(),
+		"models":         models,
+		"requests":       routes,
+		"predictions":    predictions,
+		"jobs": map[string]int64{
+			"submitted": m.jobs.submitted,
+			"completed": m.jobs.completed,
+			"failed":    m.jobs.failed,
+		},
+	}
+}
+
+// statusRecorder captures the response status code for instrumentation.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with latency and status accounting under the
+// given route label.
+func (m *metrics) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, req)
+		m.observe(route, rec.status, time.Since(start))
+	}
+}

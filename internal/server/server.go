@@ -1,0 +1,397 @@
+// Package server implements the rsmd HTTP serving layer: a JSON API over a
+// model registry that turns fitted sparse response-surface models into a
+// long-lived, concurrent service. Fits run as asynchronous jobs on a
+// bounded worker pool; predictions are batched and fanned across workers
+// that reuse per-worker basis-evaluation scratch; yield queries reuse the
+// internal/yield virtual Monte Carlo machinery. Everything is stdlib-only.
+//
+// Endpoints:
+//
+//	POST /v1/models                  upload a serialized model envelope
+//	GET  /v1/models                  list stored models
+//	GET  /v1/models/{name}           describe the latest version
+//	POST /v1/models/{name}/predict   batched f(ΔY) evaluation
+//	POST /v1/models/{name}/yield     parametric yield + quantiles
+//	POST /v1/fit                     submit an async fit job
+//	GET  /v1/jobs/{id}               poll a fit job
+//	GET  /metrics                    expvar-style JSON counters
+//	GET  /healthz                    liveness
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+	"repro/internal/rng"
+	"repro/internal/yield"
+)
+
+// Config tunes the server; zero values select the documented defaults.
+type Config struct {
+	// FitWorkers is the async fit worker-pool size (default 2).
+	FitWorkers int
+	// QueueDepth bounds pending fit jobs; submissions beyond it get 503
+	// (default 16).
+	QueueDepth int
+	// PredictWorkers is the per-request prediction fan-out (default
+	// GOMAXPROCS via core.PredictBatch).
+	PredictWorkers int
+	// MaxBatch bounds points per predict request (default 100000).
+	MaxBatch int
+	// MaxYieldSamples bounds virtual MC samples per yield request
+	// (default 2000000).
+	MaxYieldSamples int
+	// MaxBodyBytes bounds request bodies (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.FitWorkers <= 0 {
+		c.FitWorkers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 100000
+	}
+	if c.MaxYieldSamples <= 0 {
+		c.MaxYieldSamples = 2000000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server wires the registry, job queue and metrics behind an http.Handler.
+type Server struct {
+	cfg      Config
+	registry *registry.Registry
+	jobs     *jobQueue
+	metrics  *metrics
+	mux      *http.ServeMux
+}
+
+// New builds a server over the given registry and starts its fit workers.
+// Call Close to drain them.
+func New(reg *registry.Registry, cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg.withDefaults(),
+		registry: reg,
+		metrics:  newMetrics(),
+	}
+	s.jobs = newJobQueue(s.cfg.QueueDepth)
+	s.jobs.startWorkers(s.cfg.FitWorkers, s.runFit)
+
+	mux := http.NewServeMux()
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.metrics.instrument(pattern, h))
+	}
+	route("POST /v1/models", s.handleUpload)
+	route("GET /v1/models", s.handleList)
+	route("GET /v1/models/{name}", s.handleModelInfo)
+	route("POST /v1/models/{name}/predict", s.handlePredict)
+	route("POST /v1/models/{name}/yield", s.handleYield)
+	route("POST /v1/fit", s.handleFit)
+	route("GET /v1/jobs/{id}", s.handleJob)
+	route("GET /metrics", s.handleMetrics)
+	route("GET /healthz", s.handleHealth)
+	s.mux = mux
+	return s
+}
+
+// Close stops accepting fit jobs and waits for running ones.
+func (s *Server) Close() { s.jobs.close() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON emits a JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr emits the uniform error body.
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody strictly parses the request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// modelInfo summarizes a registry entry for API responses.
+func modelInfo(e *registry.Entry) ModelInfo {
+	return ModelInfo{
+		Name:       e.Name,
+		Version:    e.Version,
+		M:          e.Model().M,
+		NNZ:        e.Model().NNZ(),
+		Basis:      e.Envelope.Basis,
+		Provenance: e.Envelope.Prov,
+		CreatedAt:  e.CreatedAt,
+	}
+}
+
+// lookupModel resolves the {name} path segment against the registry.
+func (s *Server) lookupModel(w http.ResponseWriter, r *http.Request) (*registry.Entry, bool) {
+	name := r.PathValue("name")
+	e, ok := s.registry.Get(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown model %q", name)
+		return nil, false
+	}
+	return e, true
+}
+
+// handleUpload stores a pre-fitted serialized model under a name.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	var req UploadRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := registry.ValidateName(req.Name); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Model) == 0 {
+		writeErr(w, http.StatusBadRequest, "missing model envelope")
+		return
+	}
+	env, err := core.ReadEnvelope(bytes.NewReader(req.Model))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if env.Basis.IsZero() {
+		writeErr(w, http.StatusBadRequest, "model envelope has no basis descriptor; re-serialize it with the versioned format (rsmfit -out)")
+		return
+	}
+	entry, err := s.registry.Put(req.Name, env)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, modelInfo(entry))
+}
+
+// handleList returns the latest version of every stored model.
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	entries := s.registry.List()
+	resp := ListResponse{Models: make([]ModelInfo, len(entries))}
+	for i, e := range entries {
+		resp.Models[i] = modelInfo(e)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleModelInfo describes the latest version of one model.
+func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookupModel(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, modelInfo(e))
+}
+
+// handlePredict evaluates the model at a batch of points, fanned across the
+// prediction worker pool.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookupModel(w, r)
+	if !ok {
+		return
+	}
+	var req PredictRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Points) == 0 {
+		writeErr(w, http.StatusBadRequest, "no points")
+		return
+	}
+	if len(req.Points) > s.cfg.MaxBatch {
+		writeErr(w, http.StatusRequestEntityTooLarge, "batch of %d points exceeds limit %d", len(req.Points), s.cfg.MaxBatch)
+		return
+	}
+	b, err := e.Basis()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "rebuild basis: %v", err)
+		return
+	}
+	for i, p := range req.Points {
+		if len(p) != b.Dim {
+			writeErr(w, http.StatusBadRequest, "point %d has dimension %d, want %d", i, len(p), b.Dim)
+			return
+		}
+	}
+	values := e.Model().PredictBatch(b, nil, req.Points, s.cfg.PredictWorkers)
+	s.metrics.countPredictions(e.Name, len(req.Points))
+	writeJSON(w, http.StatusOK, PredictResponse{Model: e.Name, Version: e.Version, Values: values})
+}
+
+// handleYield estimates parametric yield, moments and quantiles for one
+// model via virtual Monte Carlo.
+func (s *Server) handleYield(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookupModel(w, r)
+	if !ok {
+		return
+	}
+	var req YieldRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.N == 0 {
+		req.N = 100000
+	}
+	if req.N < 0 || req.N > s.cfg.MaxYieldSamples {
+		writeErr(w, http.StatusBadRequest, "n=%d outside (0, %d]", req.N, s.cfg.MaxYieldSamples)
+		return
+	}
+	for _, p := range req.Quantiles {
+		if p <= 0 || p >= 1 {
+			writeErr(w, http.StatusBadRequest, "quantile %g outside (0, 1)", p)
+			return
+		}
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	b, err := e.Basis()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "rebuild basis: %v", err)
+		return
+	}
+	an, err := yield.NewAnalyzer(b, map[string]*core.Model{e.Name: e.Model()})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp := YieldResponse{
+		Model:   e.Name,
+		Version: e.Version,
+		Mean:    yield.ModelMean(e.Model(), b),
+		Std:     yield.ModelStd(e.Model(), b),
+		N:       req.N,
+	}
+	if req.Low != nil || req.High != nil {
+		spec := yield.Spec{Low: math.Inf(-1), High: math.Inf(1)}
+		if req.Low != nil {
+			spec.Low = *req.Low
+		}
+		if req.High != nil {
+			spec.High = *req.High
+		}
+		res, err := an.Yield(rng.New(req.Seed), req.N, map[string]yield.Spec{e.Name: spec})
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		resp.Yield = &res.Yield
+	}
+	if len(req.Quantiles) > 0 {
+		qs, err := an.Quantiles(rng.New(req.Seed), req.N, e.Name, req.Quantiles)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		resp.Quantiles = qs
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleFit validates and enqueues an async fit job.
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	var req FitRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := registry.ValidateName(req.Name); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Normalize defaults and reject cheaply detectable bad requests
+	// synchronously; dataset-dependent validation happens in the worker.
+	if req.Solver == "" {
+		req.Solver = "omp"
+	}
+	if _, err := core.SolverByName(req.Solver); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Degree == 0 {
+		req.Degree = 1
+	}
+	if req.Degree < 1 || req.Degree > 6 {
+		writeErr(w, http.StatusBadRequest, "unsupported degree %d (want 1..6)", req.Degree)
+		return
+	}
+	if req.Folds == 0 {
+		req.Folds = 4
+	}
+	if req.Folds < 2 {
+		writeErr(w, http.StatusBadRequest, "folds=%d, need ≥ 2", req.Folds)
+		return
+	}
+	if req.MaxLambda == 0 {
+		req.MaxLambda = 50
+	}
+	if req.MaxLambda < 1 {
+		writeErr(w, http.StatusBadRequest, "max_lambda=%d, need ≥ 1", req.MaxLambda)
+		return
+	}
+	if req.CSV == "" && len(req.Points) == 0 {
+		writeErr(w, http.StatusBadRequest, "no dataset: provide csv or points+values")
+		return
+	}
+	j, err := s.jobs.submit(req)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.metrics.countJob(1, 0, 0)
+	writeJSON(w, http.StatusAccepted, FitResponse{JobID: j.id, State: JobPending})
+}
+
+// handleJob reports a fit job's status.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleMetrics dumps the expvar-style counter tree.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.registry.Len()))
+}
+
+// handleHealth is the liveness probe.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
+		Models:        s.registry.Len(),
+	})
+}

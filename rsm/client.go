@@ -1,0 +1,195 @@
+package rsm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// Serving-layer types, re-exported so callers never import internals.
+type (
+	// Envelope is the versioned serialized model: coefficients + basis
+	// descriptor + fit provenance. It is what rsmd stores and serves.
+	Envelope = core.Envelope
+	// Provenance records how a stored model was fit.
+	Provenance = core.Provenance
+	// FitRequest submits an asynchronous server-side fit.
+	FitRequest = server.FitRequest
+	// FitResult is a completed fit job's outcome.
+	FitResult = server.FitResult
+	// JobStatus reports an async fit job's lifecycle.
+	JobStatus = server.JobStatus
+	// ModelInfo summarizes a stored model version.
+	ModelInfo = server.ModelInfo
+	// YieldRequest configures a server-side yield/quantile query.
+	YieldRequest = server.YieldRequest
+	// YieldResponse reports yield, moments and quantiles.
+	YieldResponse = server.YieldResponse
+)
+
+// Client is a thin HTTP client for an rsmd daemon.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTP is the underlying client (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// do runs one JSON round trip. A non-2xx status is surfaced as an error
+// carrying the server's error body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("rsm: encode %s %s: %w", method, path, err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("rsm: %s %s: %w", method, path, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("rsm: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e server.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("rsm: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("rsm: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("rsm: decode %s %s: %w", method, path, err)
+	}
+	return nil
+}
+
+// Health checks daemon liveness.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// UploadModel publishes a fitted model envelope under name and returns the
+// stored version's summary.
+func (c *Client) UploadModel(ctx context.Context, name string, env *Envelope) (*ModelInfo, error) {
+	var buf bytes.Buffer
+	if err := core.WriteEnvelope(&buf, env); err != nil {
+		return nil, err
+	}
+	var info ModelInfo
+	req := server.UploadRequest{Name: name, Model: json.RawMessage(buf.Bytes())}
+	if err := c.do(ctx, http.MethodPost, "/v1/models", req, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Models lists the latest version of every stored model.
+func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
+	var resp server.ListResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/models", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Models, nil
+}
+
+// SubmitFit enqueues an async fit job and returns its id.
+func (c *Client) SubmitFit(ctx context.Context, req FitRequest) (string, error) {
+	var resp server.FitResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/fit", req, &resp); err != nil {
+		return "", err
+	}
+	return resp.JobID, nil
+}
+
+// Job polls one fit job.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// WaitJob polls the job every interval until it finishes (done or failed)
+// or ctx expires. A failed job is returned alongside an error carrying its
+// message.
+func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration) (*JobStatus, error) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case server.JobDone:
+			return st, nil
+		case server.JobFailed:
+			return st, fmt.Errorf("rsm: job %s failed: %s", id, st.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Predict evaluates the named model at a batch of points.
+func (c *Client) Predict(ctx context.Context, name string, points [][]float64) ([]float64, error) {
+	var resp server.PredictResponse
+	req := server.PredictRequest{Points: points}
+	if err := c.do(ctx, http.MethodPost, "/v1/models/"+name+"/predict", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Values, nil
+}
+
+// Yield runs a server-side yield/quantile query against the named model.
+func (c *Client) Yield(ctx context.Context, name string, req YieldRequest) (*YieldResponse, error) {
+	var resp YieldResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/models/"+name+"/yield", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Metrics fetches the daemon's counter snapshot.
+func (c *Client) Metrics(ctx context.Context) (map[string]any, error) {
+	var m map[string]any
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

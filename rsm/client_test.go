@@ -1,0 +1,194 @@
+package rsm_test
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/server"
+	"repro/rsm"
+)
+
+// TestServeEndToEnd is the serving subsystem's acceptance test: it starts
+// the rsmd service on a random port, submits an async fit job for a
+// synthetic sparse dataset, polls it to completion, batch-predicts 1 000
+// held-out points through the API, and checks that the served model matches
+// an offline fit of the same data exactly — then exercises upload, yield
+// and the metrics counters through the same client.
+func TestServeEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	// Synthetic ground truth: 8 non-zero coefficients hidden in a quadratic
+	// dictionary over 16 variables (M = 153), light noise.
+	sim, err := rsm.Circuits.Synthetic(3, 16, 2, 8, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := rsm.Sample(sim, 1300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.Split(300)
+	trainF, err := train.Metric("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	testF, err := test.Metric("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Offline reference: the same cross-validated OMP fit the server will
+	// run.
+	b := rsm.QuadraticBasis(16)
+	cv, err := rsm.CrossValidate(rsm.NewOMP(), b, train.Points, trainF, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offlinePred := cv.Model.PredictBatch(b, nil, test.Points, 0)
+	offlineErr := rsm.RelativeRMSError(offlinePred, testF)
+	if offlineErr > 0.05 {
+		t.Fatalf("offline fit is poor (%.2f%%); test setup broken", 100*offlineErr)
+	}
+
+	// Start the daemon on a random port and speak to it only through the
+	// public client.
+	srv := server.New(registry.New(), server.Config{FitWorkers: 2})
+	hs := httptest.NewServer(srv)
+	defer func() {
+		hs.Close()
+		srv.Close()
+	}()
+	c := rsm.NewClient(hs.URL)
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Async fit job: submit, poll to completion.
+	jobID, err := c.SubmitFit(ctx, rsm.FitRequest{
+		Name: "synth", Solver: "omp", Degree: 2, Folds: 4, MaxLambda: 20,
+		Points: train.Points, Values: trainF,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.WaitJob(ctx, jobID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Result.Lambda != cv.BestLambda {
+		t.Errorf("server selected λ=%d, offline λ=%d", st.Result.Lambda, cv.BestLambda)
+	}
+
+	// Batch-predict 1 000 held-out points and compare with the offline fit.
+	served, err := c.Predict(ctx, "synth", test.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(served) != len(test.Points) {
+		t.Fatalf("served %d values for %d points", len(served), len(test.Points))
+	}
+	servedErr := rsm.RelativeRMSError(served, testF)
+	if math.Abs(servedErr-offlineErr) > 1e-9 {
+		t.Fatalf("served error %.6f%% != offline %.6f%%", 100*servedErr, 100*offlineErr)
+	}
+	for k := range served {
+		if math.Abs(served[k]-offlinePred[k]) > 1e-9*math.Max(1, math.Abs(offlinePred[k])) {
+			t.Fatalf("point %d: served %g, offline %g", k, served[k], offlinePred[k])
+		}
+	}
+
+	// Upload the offline model as a second registry entry and check it
+	// lists with its provenance.
+	info, err := c.UploadModel(ctx, "offline", &rsm.Envelope{
+		Model: cv.Model,
+		Basis: b.Desc,
+		Prov:  rsm.Provenance{Solver: "OMP", Lambda: cv.BestLambda, Samples: train.Len(), Metric: "f"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 || info.NNZ != cv.Model.NNZ() {
+		t.Fatalf("upload info %+v", info)
+	}
+	models, err := c.Models(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 2 {
+		t.Fatalf("listed %d models, want 2", len(models))
+	}
+
+	// Yield endpoint: exact moments plus a Monte Carlo quantile sweep.
+	mid := rsm.Mean(cv.Model, b)
+	yr, err := c.Yield(ctx, "synth", rsm.YieldRequest{
+		Low: &mid, N: 200000, Quantiles: []float64{0.05, 0.5, 0.95},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yr.Yield == nil || *yr.Yield < 0.35 || *yr.Yield > 0.65 {
+		t.Errorf("yield above the mean = %v, want ≈ 0.5", yr.Yield)
+	}
+	if !(yr.Quantiles[0] < yr.Quantiles[1] && yr.Quantiles[1] < yr.Quantiles[2]) {
+		t.Errorf("quantiles not monotone: %v", yr.Quantiles)
+	}
+	wantStd := rsm.Std(cv.Model, b)
+	if math.Abs(yr.Std-wantStd) > 1e-9 {
+		t.Errorf("served std %g, closed-form %g", yr.Std, wantStd)
+	}
+
+	// /metrics must reflect everything this test just did.
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := m["predictions"].(map[string]any)
+	if got := preds["synth"].(float64); got != 1000 {
+		t.Errorf("prediction counter %v, want 1000", got)
+	}
+	jobs := m["jobs"].(map[string]any)
+	if jobs["submitted"].(float64) != 1 || jobs["completed"].(float64) != 1 || jobs["failed"].(float64) != 0 {
+		t.Errorf("job counters %v", jobs)
+	}
+	if m["models"].(float64) != 2 {
+		t.Errorf("model count %v, want 2", m["models"])
+	}
+	requests := m["requests"].(map[string]any)
+	fitRoute := requests["POST /v1/fit"].(map[string]any)
+	if fitRoute["count"].(float64) != 1 {
+		t.Errorf("fit route count %v", fitRoute)
+	}
+	predictRoute := requests["POST /v1/models/{name}/predict"].(map[string]any)
+	if predictRoute["count"].(float64) != 1 || predictRoute["errors"].(float64) != 0 {
+		t.Errorf("predict route stats %v", predictRoute)
+	}
+}
+
+// TestClientErrorSurfacing checks that server-side errors arrive as typed
+// client errors, not silent zero values.
+func TestClientErrorSurfacing(t *testing.T) {
+	ctx := context.Background()
+	srv := server.New(registry.New(), server.Config{})
+	hs := httptest.NewServer(srv)
+	defer func() {
+		hs.Close()
+		srv.Close()
+	}()
+	c := rsm.NewClient(hs.URL)
+
+	if _, err := c.Predict(ctx, "ghost", [][]float64{{1}}); err == nil {
+		t.Fatal("predict against unknown model should fail")
+	}
+	if _, err := c.Job(ctx, "job-424242"); err == nil {
+		t.Fatal("unknown job should fail")
+	}
+	if _, err := c.SubmitFit(ctx, rsm.FitRequest{Name: "x", Solver: "newton",
+		Points: [][]float64{{1}}, Values: []float64{1}}); err == nil {
+		t.Fatal("unknown solver should fail at submit")
+	}
+}

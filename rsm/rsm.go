@@ -47,6 +47,9 @@ type (
 	Spec = yield.Spec
 	// YieldAnalyzer estimates distributions and yield from fitted models.
 	YieldAnalyzer = yield.Analyzer
+	// BasisDescriptor is the serializable recipe for rebuilding a basis;
+	// it travels inside model envelopes (see Envelope in client.go).
+	BasisDescriptor = basis.Descriptor
 )
 
 // LinearBasis returns the degree-1 Hermite dictionary over n variables
@@ -88,11 +91,7 @@ func Sample(sim Simulator, n int, seed int64) (*Dataset, error) {
 // NewDesign builds the design matrix view for the sampled points, choosing
 // dense or lazy storage by size.
 func NewDesign(b *Basis, points [][]float64) Design {
-	const denseLimit = 48 << 20
-	if len(points)*b.Size() <= denseLimit {
-		return basis.NewDenseDesign(b, points)
-	}
-	return basis.NewLazyDesign(b, points)
+	return basis.AutoDesign(b, points)
 }
 
 // Fit fits a sparse model with exactly lambda basis functions using OMP.
