@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench ci
+.PHONY: all build test race vet fmt-check bench chaos ci
 
 all: build
 
@@ -29,4 +29,10 @@ fmt-check:
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkPredictHotPath -benchmem ./internal/core/
 
-ci: vet fmt-check build test race
+# Fault-injection suite: drives the daemon through injected solver panics,
+# mid-write registry crashes, stalled jobs and saturation (internal/server
+# chaos_test.go, cmd/rsmd drain tests) under the race detector.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestDraining|TestDaemon' ./internal/server/ ./cmd/rsmd/
+
+ci: vet fmt-check build test race chaos

@@ -12,19 +12,27 @@
 //	curl -s localhost:8080/v1/jobs/job-000001
 //	curl -s -X POST localhost:8080/v1/models/demo/predict -d '{"points":[[0.1,0,...]]}'
 //	curl -s localhost:8080/metrics
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: /healthz flips to 503 so
+// load balancers rotate it out, the listener stops accepting, and in-flight
+// fit jobs get the -drain-timeout budget to finish before being canceled.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/registry"
 	"repro/internal/server"
 )
@@ -32,41 +40,92 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rsmd: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the testable daemon body: it parses args, opens the store, serves
+// until ctx is canceled, then drains within the -drain-timeout budget.
+// ready, when non-nil, is called with the bound listen address once the
+// daemon is accepting connections (tests use it with -addr 127.0.0.1:0).
+func run(ctx context.Context, args []string, logw io.Writer, ready func(addr string)) error {
+	fs := flag.NewFlagSet("rsmd", flag.ContinueOnError)
+	fs.SetOutput(logw)
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		store       = flag.String("store", "", "model persistence directory (empty = in-memory only)")
-		fitWorkers  = flag.Int("fit-workers", 2, "async fit worker pool size")
-		queueDepth  = flag.Int("queue", 16, "max pending fit jobs")
-		predWorkers = flag.Int("predict-workers", 0, "prediction fan-out per request (0 = GOMAXPROCS)")
-		maxBatch    = flag.Int("max-batch", 100000, "max points per predict request")
+		addr         = fs.String("addr", ":8080", "listen address")
+		store        = fs.String("store", "", "model persistence directory (empty = in-memory only)")
+		fitWorkers   = fs.Int("fit-workers", 2, "async fit worker pool size")
+		queueDepth   = fs.Int("queue", 16, "max pending fit jobs")
+		predWorkers  = fs.Int("predict-workers", 0, "prediction fan-out per request (0 = GOMAXPROCS)")
+		maxBatch     = fs.Int("max-batch", 100000, "max points per predict request")
+		reqTimeout   = fs.Duration("request-timeout", 30*time.Second, "per-request handler deadline")
+		fitTimeout   = fs.Duration("fit-timeout", 5*time.Minute, "per-job fit deadline")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight work")
+		faults       = fs.String("faults", os.Getenv("RSMD_FAULTS"),
+			"fault-injection spec for chaos testing, e.g. server.fit=panic#1 (default $RSMD_FAULTS)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *faults != "" {
+		if err := faultinject.Configure(*faults); err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+		log.Printf("fault injection armed: %s", *faults)
+	}
 
 	reg, err := registry.Open(*store)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	srv := server.New(reg, server.Config{
 		FitWorkers:     *fitWorkers,
 		QueueDepth:     *queueDepth,
 		PredictWorkers: *predWorkers,
 		MaxBatch:       *maxBatch,
+		RequestTimeout: *reqTimeout,
+		FitTimeout:     *fitTimeout,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	go func() {
-		<-ctx.Done()
-		log.Print("shutting down")
-		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		_ = httpSrv.Shutdown(shutCtx)
-	}()
-
-	log.Printf("serving %d model(s) on %s (store=%q)", reg.Len(), *addr, *store)
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
 	}
-	srv.Close() // drain in-flight fit jobs
+	httpSrv := &http.Server{Handler: srv}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	log.Printf("serving %d model(s) on %s (store=%q)", reg.Len(), ln.Addr(), *store)
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: readiness first (new traffic routes elsewhere), then the
+	// listener and in-flight requests, then the fit workers — all under one
+	// shared budget. Jobs still running when it expires are canceled and
+	// land in state canceled.
+	log.Print("shutting down")
+	srv.BeginDrain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	httpErr := httpSrv.Shutdown(shutCtx)
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("drain budget exhausted; canceled remaining fit jobs (%v)", err)
+	}
+	if httpErr != nil && !errors.Is(httpErr, http.ErrServerClosed) {
+		return httpErr
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/server"
+	"repro/rsm"
+)
+
+// startDaemon runs the daemon body on a random port and returns its base
+// URL, the cancel that triggers graceful shutdown, and the exit channel.
+func startDaemon(t *testing.T, extraArgs ...string) (string, context.CancelFunc, <-chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, args, io.Discard, func(a string) { addrCh <- a })
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, cancel, done
+	case err := <-done:
+		cancel()
+		t.Fatalf("daemon exited before becoming ready: %v", err)
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("daemon never became ready")
+	}
+	return "", cancel, done
+}
+
+// TestDaemonStartsAndStopsClean checks the no-load lifecycle: the daemon
+// comes up healthy and a graceful shutdown with nothing in flight returns
+// promptly and without error.
+func TestDaemonStartsAndStopsClean(t *testing.T) {
+	base, cancel, done := startDaemon(t)
+	c := rsm.NewClient(base)
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("daemon not healthy: %v", err)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("clean shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestDaemonGracefulShutdownCancelsStalledJob is the drain acceptance test:
+// a fit job stalled by an injected 60s delay must not hold shutdown past the
+// -drain-timeout budget — the drain cancels it and the daemon exits cleanly
+// well inside the stall time.
+func TestDaemonGracefulShutdownCancelsStalledJob(t *testing.T) {
+	defer faultinject.Reset()
+	base, cancel, done := startDaemon(t,
+		"-fit-workers", "1", "-drain-timeout", "2s", "-faults", "server.fit=delay:60s")
+	defer cancel()
+	ctx := context.Background()
+	c := rsm.NewClient(base)
+
+	id, err := c.SubmitFit(ctx, rsm.FitRequest{Name: "stall", Folds: 2, MaxLambda: 4,
+		Points: [][]float64{{0.1, 0.2}, {0.3, -0.4}, {-0.5, 0.6}, {0.7, 0.8}},
+		Values: []float64{1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker has picked the job up and is inside the stall.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == server.JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started running (state %s)", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon hung in shutdown behind the stalled job")
+	}
+	// The stall is 60s and the drain budget 2s: finishing quickly proves
+	// the in-flight job was canceled rather than waited out.
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("shutdown took %v, want well under the 60s stall", elapsed)
+	}
+}
+
+// TestDaemonRejectsBadFaultSpec checks that a malformed -faults value is a
+// startup error, not a silently unarmed harness.
+func TestDaemonRejectsBadFaultSpec(t *testing.T) {
+	defer faultinject.Reset()
+	err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-faults", "no-equals-sign"},
+		io.Discard, nil)
+	if err == nil {
+		t.Fatal("bad -faults spec should fail startup")
+	}
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
@@ -91,12 +90,20 @@ func (c *CD) FitLambda(d basis.Design, f []float64, mu float64) (*Model, error) 
 	}
 	st := newCDState(d, f)
 	st.l2 = c.L2 / float64(d.Rows())
-	st.solve(mu, c.sweeps(), c.tol())
+	if err := st.solve(nil, mu, c.sweeps(), c.tol()); err != nil {
+		return nil, err
+	}
 	return st.model(d, f, c.Refit), nil
 }
 
 // FitPath implements PathFitter.
 func (c *CD) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error) {
+	return c.FitPathCtx(nil, d, f, maxLambda)
+}
+
+// FitPathCtx implements ContextFitter: fc is polled once per coordinate
+// sweep, the unit of work on the μ grid.
+func (c *CD) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda int) (*Path, error) {
 	if err := checkProblem(d, f, maxLambda); err != nil {
 		return nil, err
 	}
@@ -111,6 +118,9 @@ func (c *CD) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error) 
 	st.l2 = c.L2 / float64(d.Rows())
 	// μ_max: the smallest penalty at which every coefficient is zero.
 	corr := d.MulTransVec(nil, f)
+	if err := checkFiniteVec("design correlation", corr); err != nil {
+		return nil, err
+	}
 	muMax := 0.0
 	for j, v := range corr {
 		if st.z[j] == 0 {
@@ -121,13 +131,15 @@ func (c *CD) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error) 
 		}
 	}
 	if muMax == 0 {
-		return nil, errors.New("core: CD response is uncorrelated with every basis vector")
+		return nil, errDegenerate("CD", "response is uncorrelated with every basis vector")
 	}
 	path := &Path{}
 	muMin := muMax * math.Pow(10, -float64(c.decades()))
 	lastNNZ := 0
 	for mu := muMax * c.grid(); mu > muMin; mu *= c.grid() {
-		st.solve(mu, c.sweeps(), c.tol())
+		if err := st.solve(fc, mu, c.sweeps(), c.tol()); err != nil {
+			return nil, err
+		}
 		nnz := st.nnz()
 		if nnz > maxLambda {
 			break
@@ -144,7 +156,7 @@ func (c *CD) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error) 
 		}
 	}
 	if len(path.Models) == 0 {
-		return nil, errors.New("core: CD selected no basis vectors; increase Decades")
+		return nil, errDegenerate("CD", "selected no basis vectors; increase Decades")
 	}
 	return path, nil
 }
@@ -191,12 +203,15 @@ func (st *cdState) column(j int) []float64 {
 }
 
 // solve runs cyclic coordinate descent at penalty mu from the current warm
-// start.
-func (st *cdState) solve(mu float64, maxSweeps int, tol float64) {
+// start, polling fc once per sweep.
+func (st *cdState) solve(fc *FitContext, mu float64, maxSweeps int, tol float64) error {
 	m := len(st.alpha)
 	kf := float64(st.k)
 	corr := make([]float64, m)
 	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if err := fc.Err(); err != nil {
+			return fmt.Errorf("core: CD fit stopped: %w", err)
+		}
 		maxDelta := 0.0
 		// A full sweep re-scans every coordinate; the correlation vector is
 		// recomputed in one pass, then coordinates update against the live
@@ -234,9 +249,10 @@ func (st *cdState) solve(mu float64, maxSweeps int, tol float64) {
 			}
 		}
 		if maxDelta <= tol*(1+linalg.NormInf(st.alpha)) {
-			return
+			return nil
 		}
 	}
+	return nil
 }
 
 func (st *cdState) nnz() int {
@@ -267,4 +283,4 @@ func (st *cdState) model(d basis.Design, f []float64, refit bool) *Model {
 	return m
 }
 
-var _ PathFitter = (*CD)(nil)
+var _ ContextFitter = (*CD)(nil)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/basis"
@@ -92,6 +93,13 @@ type CVResult struct {
 // interleaved (sample k goes to fold k mod Q); shuffle the samples
 // beforehand when they are not already exchangeable.
 func CrossValidate(fitter PathFitter, d basis.Design, f []float64, folds, maxLambda int) (*CVResult, error) {
+	return CrossValidateCtx(context.Background(), fitter, d, f, folds, maxLambda)
+}
+
+// CrossValidateCtx is CrossValidate under a context: cancellation is checked
+// between folds and, for ContextFitter solvers, inside each fold's path fit,
+// so an expired job deadline abandons the cross-validation mid-fold.
+func CrossValidateCtx(ctx context.Context, fitter PathFitter, d basis.Design, f []float64, folds, maxLambda int) (*CVResult, error) {
 	if err := checkProblem(d, f, maxLambda); err != nil {
 		return nil, err
 	}
@@ -122,7 +130,7 @@ func CrossValidate(fitter PathFitter, d basis.Design, f []float64, folds, maxLam
 		trainF := gather(f, trainRows)
 		testF := gather(f, testRows)
 
-		path, err := fitter.FitPath(trainD, trainF, maxLambda)
+		path, err := FitPathContext(ctx, fitter, trainD, trainF, maxLambda)
 		if err != nil {
 			return nil, fmt.Errorf("core: cross-validation fold %d: %w", q, err)
 		}
@@ -172,7 +180,7 @@ func CrossValidate(fitter PathFitter, d basis.Design, f []float64, folds, maxLam
 	// BestLambda because batch solvers (StOMP, CD) admit several bases per
 	// step: capping admission at BestLambda could truncate a batch, whereas
 	// indexing the full path returns the same model the folds scored.
-	path, err := fitter.FitPath(d, f, maxLambda)
+	path, err := FitPathContext(ctx, fitter, d, f, maxLambda)
 	if err != nil {
 		return nil, fmt.Errorf("core: final refit: %w", err)
 	}

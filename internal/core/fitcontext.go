@@ -1,0 +1,107 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/basis"
+)
+
+// Typed solver failures. Callers branch on these with errors.Is: the serving
+// layer maps ErrDegenerate and ErrNonFinite to client errors (the dataset is
+// at fault) while other failures stay internal. Before these existed the
+// degenerate paths — rank-deficient active sets, all-zero responses, NaN
+// measurements — were a mix of ad-hoc errors and panics deep in the linear
+// algebra, and one bad fit request could take the whole daemon down.
+var (
+	// ErrDegenerate marks problems on which the solver cannot select any
+	// basis: rank-deficient active sets, responses uncorrelated with the
+	// whole dictionary, or exhausted dictionaries.
+	ErrDegenerate = errors.New("degenerate problem: no admissible basis vector")
+	// ErrNonFinite marks NaN or ±Inf values in the response vector or the
+	// design matrix.
+	ErrNonFinite = errors.New("non-finite value (NaN or Inf) in input")
+)
+
+// degenEps is the relative correlation floor below which greedy solvers
+// treat a candidate basis as uncorrelated with the residual: selecting such a
+// column fits floating-point noise and, on an all-zero response, used to
+// admit arbitrary columns with zero coefficients.
+const degenEps = 1e-12
+
+// errDegenerate wraps ErrDegenerate with solver context.
+func errDegenerate(solver, detail string) error {
+	return fmt.Errorf("core: %s: %s: %w", solver, detail, ErrDegenerate)
+}
+
+// checkFiniteVec returns ErrNonFinite when v contains NaN or ±Inf. label
+// names the vector in the error ("response", "correlation", …).
+func checkFiniteVec(label string, v []float64) error {
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("core: %s entry %d is %v: %w", label, i, x, ErrNonFinite)
+		}
+	}
+	return nil
+}
+
+// FitContext threads cancellation from a context.Context into solver inner
+// loops. Solvers call Err at the top of each path iteration (and sweep);
+// the poll is amortized over checkStride calls so it stays cheap even when
+// sprinkled into tight loops. A nil *FitContext never cancels, which is the
+// zero-overhead path used by the context-free FitPath entry points.
+type FitContext struct {
+	ctx context.Context
+	n   uint
+}
+
+// checkStride is how many Err calls are skipped between context polls. Solver
+// iterations each cost at least one O(K·M) pass, so even a stride of 1 would
+// be invisible; 8 keeps the hook harmless inside tighter per-candidate loops.
+const checkStride = 8
+
+// NewFitContext wraps ctx for solver consumption. A nil ctx behaves like
+// context.Background().
+func NewFitContext(ctx context.Context) *FitContext {
+	if ctx == nil {
+		return nil
+	}
+	return &FitContext{ctx: ctx}
+}
+
+// Err polls the underlying context every few calls and returns its error once
+// canceled or past its deadline. It is safe on a nil receiver.
+func (fc *FitContext) Err() error {
+	if fc == nil {
+		return nil
+	}
+	fc.n++
+	if fc.n != 1 && fc.n%checkStride != 0 {
+		return nil
+	}
+	return fc.ctx.Err()
+}
+
+// ContextFitter is implemented by solvers whose path fit cooperatively checks
+// a FitContext, so a canceled HTTP request or an expired job deadline stops
+// the fit mid-path instead of after it.
+type ContextFitter interface {
+	PathFitter
+	// FitPathCtx is FitPath with cooperative cancellation. fc may be nil.
+	FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda int) (*Path, error)
+}
+
+// FitPathContext runs fitter's path fit under ctx. Solvers implementing
+// ContextFitter are canceled cooperatively mid-fit; for foreign fitters the
+// context is only checked up front.
+func FitPathContext(ctx context.Context, fitter PathFitter, d basis.Design, f []float64, maxLambda int) (*Path, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cf, ok := fitter.(ContextFitter); ok {
+		return cf.FitPathCtx(NewFitContext(ctx), d, f, maxLambda)
+	}
+	return fitter.FitPath(d, f, maxLambda)
+}

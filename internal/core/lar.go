@@ -68,6 +68,12 @@ func (st *larState) rebuild() error {
 
 // FitPath implements PathFitter.
 func (l *LAR) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error) {
+	return l.FitPathCtx(nil, d, f, maxLambda)
+}
+
+// FitPathCtx implements ContextFitter: the path walk polls fc at every
+// breakpoint so cancellation stops the fit promptly.
+func (l *LAR) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda int) (*Path, error) {
 	if err := checkProblem(d, f, maxLambda); err != nil {
 		return nil, err
 	}
@@ -122,10 +128,20 @@ func (l *LAR) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error)
 
 	const eps = 1e-12
 	for len(st.support) < maxLambda {
+		if err := fc.Err(); err != nil {
+			return nil, fmt.Errorf("core: LAR fit stopped: %w", err)
+		}
 		// Correlations with the current residual (normalized columns).
 		d.MulTransVec(c, res)
 		for j := range c {
 			c[j] /= norms[j]
+		}
+		if len(st.support) == 0 {
+			// Res == F on the first breakpoint: a NaN/Inf design or response
+			// entry shows up here, before it can corrupt the path state.
+			if err := checkFiniteVec("design correlation", c); err != nil {
+				return nil, err
+			}
 		}
 		// Highest correlation among inactive, admissible columns.
 		sel := -1
@@ -177,7 +193,7 @@ func (l *LAR) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error)
 		}
 		sv := linalg.Dot(signs, v)
 		if sv <= 0 {
-			return nil, errors.New("core: LAR equiangular normalization failed")
+			return nil, errDegenerate("LAR", "equiangular normalization failed (rank-deficient active set)")
 		}
 		aa := 1 / math.Sqrt(sv) // A_A in Efron et al. notation
 		// u = A_A · G_A · v (unit equiangular vector).
@@ -247,7 +263,7 @@ func (l *LAR) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error)
 		}
 	}
 	if len(path.Models) == 0 {
-		return nil, errors.New("core: LAR could not select any basis vector")
+		return nil, errDegenerate("LAR", "could not select any basis vector")
 	}
 	return path, nil
 }
@@ -265,4 +281,4 @@ func refitOnSupport(d basis.Design, f []float64, support []int) ([]float64, erro
 	return linalg.SolveLeastSquares(g, f)
 }
 
-var _ PathFitter = (*LAR)(nil)
+var _ ContextFitter = (*LAR)(nil)

@@ -135,6 +135,9 @@ func checkProblem(d basis.Design, f []float64, maxLambda int) error {
 	if maxLambda < 1 {
 		return fmt.Errorf("core: maxLambda must be ≥ 1, got %d", maxLambda)
 	}
+	if err := checkFiniteVec("response", f); err != nil {
+		return err
+	}
 	return nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/basis"
 	"repro/internal/linalg"
@@ -42,6 +43,12 @@ func (o *OMP) Fit(d basis.Design, f []float64, lambda int) (*Model, error) {
 // FitPath implements PathFitter: it records the nested models produced after
 // each OMP iteration.
 func (o *OMP) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error) {
+	return o.FitPathCtx(nil, d, f, maxLambda)
+}
+
+// FitPathCtx implements ContextFitter: the selection loop polls fc between
+// iterations so job deadlines and cancellations stop the fit promptly.
+func (o *OMP) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda int) (*Path, error) {
 	if err := checkProblem(d, f, maxLambda); err != nil {
 		return nil, err
 	}
@@ -67,9 +74,19 @@ func (o *OMP) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error)
 	path := &Path{}
 
 	for len(support) < maxLambda {
+		if err := fc.Err(); err != nil {
+			return nil, fmt.Errorf("core: OMP fit stopped: %w", err)
+		}
 		// Step 3: ξ_m = (1/K)·G_mᵀ·Res for every m.
 		d.MulTransVec(xi, res)
 		// (The 1/K factor does not change the argmax; skip it.)
+		if len(support) == 0 {
+			// Res == F here, so a NaN/Inf design entry surfaces in ξ; catch it
+			// once up front instead of silently never selecting that column.
+			if err := checkFiniteVec("design correlation", xi); err != nil {
+				return nil, err
+			}
+		}
 
 		// Step 4: pick the most correlated admissible basis vector. Columns
 		// that proved linearly dependent on the active set are excluded.
@@ -77,10 +94,13 @@ func (o *OMP) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error)
 		selected := -1
 		for {
 			s := argmaxAbsExcluding(xi, excluded)
+			if s != -1 && math.Abs(xi[s]) <= degenEps*(1+fNorm) {
+				s = -1 // residual uncorrelated with every remaining basis
+			}
 			if s == -1 {
 				// Dictionary exhausted.
 				if len(support) == 0 {
-					return nil, errors.New("core: OMP could not select any basis vector")
+					return nil, errDegenerate("OMP", "could not select any basis vector")
 				}
 				return path, nil
 			}
@@ -129,4 +149,4 @@ func (o *OMP) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error)
 	return path, nil
 }
 
-var _ PathFitter = (*OMP)(nil)
+var _ ContextFitter = (*OMP)(nil)

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"errors"
+	"fmt"
+	"math"
 
 	"repro/internal/basis"
 	"repro/internal/linalg"
@@ -36,6 +37,11 @@ func (s *STAR) Fit(d basis.Design, f []float64, lambda int) (*Model, error) {
 
 // FitPath implements PathFitter.
 func (s *STAR) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error) {
+	return s.FitPathCtx(nil, d, f, maxLambda)
+}
+
+// FitPathCtx implements ContextFitter.
+func (s *STAR) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda int) (*Path, error) {
 	if err := checkProblem(d, f, maxLambda); err != nil {
 		return nil, err
 	}
@@ -54,11 +60,22 @@ func (s *STAR) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error
 	path := &Path{}
 
 	for len(support) < maxLambda {
+		if err := fc.Err(); err != nil {
+			return nil, fmt.Errorf("core: STAR fit stopped: %w", err)
+		}
 		d.MulTransVec(xi, res)
+		if len(support) == 0 {
+			if err := checkFiniteVec("design correlation", xi); err != nil {
+				return nil, err
+			}
+		}
 		sel := argmaxAbsExcluding(xi, used)
+		if sel != -1 && math.Abs(xi[sel]) <= degenEps*(1+fNorm) {
+			sel = -1 // residual uncorrelated with every remaining basis
+		}
 		if sel == -1 {
 			if len(support) == 0 {
-				return nil, errors.New("core: STAR could not select any basis vector")
+				return nil, errDegenerate("STAR", "could not select any basis vector")
 			}
 			return path, nil
 		}
@@ -86,4 +103,4 @@ func (s *STAR) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error
 	return path, nil
 }
 
-var _ PathFitter = (*STAR)(nil)
+var _ ContextFitter = (*STAR)(nil)

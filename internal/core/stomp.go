@@ -60,6 +60,12 @@ func (s *StOMP) Fit(d basis.Design, f []float64, lambda int) (*Model, error) {
 // recorded model corresponds to one stage; intermediate sparsity levels
 // reuse the stage model that covers them.
 func (s *StOMP) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error) {
+	return s.FitPathCtx(nil, d, f, maxLambda)
+}
+
+// FitPathCtx implements ContextFitter: fc is polled per stage and per
+// admission candidate (a stage can admit hundreds of columns).
+func (s *StOMP) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda int) (*Path, error) {
 	if err := checkProblem(d, f, maxLambda); err != nil {
 		return nil, err
 	}
@@ -83,7 +89,15 @@ func (s *StOMP) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, erro
 	path := &Path{}
 
 	for stage := 0; stage < s.stages() && len(support) < maxLambda; stage++ {
+		if err := fc.Err(); err != nil {
+			return nil, fmt.Errorf("core: StOMP fit stopped: %w", err)
+		}
 		d.MulTransVec(xi, res)
+		if stage == 0 {
+			if err := checkFiniteVec("design correlation", xi); err != nil {
+				return nil, err
+			}
+		}
 		// Admission threshold: t·σ where σ = ‖res‖/√K estimates the
 		// residual noise scale (correlations of pure-noise columns are
 		// ≈ σ·√K ⇒ compare |ξ|/K against t·σ/√K, i.e. |ξ| against t·σ·√K).
@@ -114,6 +128,9 @@ func (s *StOMP) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, erro
 		for _, c := range cands {
 			if len(support) >= maxLambda {
 				break
+			}
+			if err := fc.Err(); err != nil {
+				return nil, fmt.Errorf("core: StOMP fit stopped: %w", err)
 			}
 			col := d.Column(nil, c.j)
 			cross := make([]float64, len(cols))
@@ -159,7 +176,7 @@ func (s *StOMP) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, erro
 		}
 	}
 	if len(path.Models) == 0 {
-		return nil, errors.New("core: StOMP could not select any basis vector")
+		return nil, errDegenerate("StOMP", "could not select any basis vector")
 	}
 	return path, nil
 }
@@ -196,4 +213,4 @@ func sortCandsDesc(c []stompCand) {
 	}
 }
 
-var _ PathFitter = (*StOMP)(nil)
+var _ ContextFitter = (*StOMP)(nil)

@@ -1,0 +1,100 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestUnarmedIsNoop(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("enabled with nothing armed")
+	}
+	if err := Fire("anything"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+}
+
+func TestErrorFaultWithCount(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm("p", Fault{Err: ErrInjected, Count: 2})
+	for i := 0; i < 2; i++ {
+		if err := Fire("p"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("fire %d: %v, want ErrInjected", i, err)
+		}
+	}
+	if err := Fire("p"); err != nil {
+		t.Fatalf("count exhausted but still fired: %v", err)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm("boom", Fault{Panic: true})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic message %v", r)
+		}
+	}()
+	_ = Fire("boom")
+}
+
+func TestDelayHonorsContext(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm("slow", Fault{Delay: time.Minute, Err: ErrInjected})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := FireCtx(ctx, "slow"); err != nil {
+		t.Fatalf("context-cut delay should not return the fault error, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("delay ignored the context")
+	}
+}
+
+func TestConfigure(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	err := Configure("a=panic#1; b=error:disk full; c=delay:5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("not enabled after Configure")
+	}
+	if err := Fire("b"); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("error fault: %v", err)
+	}
+	start := time.Now()
+	if err := Fire("c"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("delay fault did not delay")
+	}
+	func() {
+		defer func() { _ = recover() }()
+		_ = Fire("a")
+		t.Error("armed panic did not panic")
+	}()
+	// a's count is exhausted now.
+	if err := Fire("a"); err != nil {
+		t.Fatalf("exhausted panic point fired: %v", err)
+	}
+	for _, bad := range []string{"nope", "x=frob", "x=panic#0", "x=delay:zz"} {
+		if err := Configure(bad); err == nil {
+			t.Errorf("Configure(%q) accepted", bad)
+		}
+	}
+}

@@ -9,11 +9,19 @@
 // readable. The registry lazily reconstructs each entry's Basis from its
 // descriptor on first use and caches it, so the serving hot path never
 // rebuilds dictionaries.
+//
+// Persistence is crash-safe: versions are written with the
+// write-temp→fsync→rename sequence, so an interrupted write can never leave
+// a truncated file under a live name, and files that are nevertheless
+// damaged (torn by an older daemon, bit-rotted, hand-edited) are quarantined
+// into the store's corrupt/ subdirectory at startup instead of preventing
+// boot.
 package registry
 
 import (
 	"bytes"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -25,6 +33,7 @@ import (
 
 	"repro/internal/basis"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 )
 
 // nameRE constrains model names to filesystem- and URL-safe tokens.
@@ -81,6 +90,12 @@ func New() *Registry { return &Registry{models: make(map[string][]*Entry)} }
 // Open returns a registry persisted under dir (created when missing),
 // loading every model version already stored there. An empty dir means
 // in-memory only.
+//
+// Crash recovery: stale "*.json.tmp" files (debris of a write interrupted
+// before its atomic rename) are deleted, and envelope files that fail to
+// read, parse, or validate are quarantined into dir/corrupt/ — each with a
+// log line — instead of refusing to boot. A store with one damaged version
+// therefore still serves every healthy model.
 func Open(dir string) (*Registry, error) {
 	r := New()
 	if dir == "" {
@@ -90,6 +105,13 @@ func Open(dir string) (*Registry, error) {
 		return nil, fmt.Errorf("registry: create store dir: %w", err)
 	}
 	r.dir = dir
+	if stale, err := filepath.Glob(filepath.Join(dir, "*.json.tmp")); err == nil {
+		for _, path := range stale {
+			if err := os.Remove(path); err == nil {
+				log.Printf("registry: removed stale temp file %s (interrupted write)", path)
+			}
+		}
+	}
 	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
 	if err != nil {
 		return nil, fmt.Errorf("registry: scan store dir: %w", err)
@@ -99,16 +121,13 @@ func Open(dir string) (*Registry, error) {
 		if !ok {
 			continue // foreign file; leave it alone
 		}
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return nil, fmt.Errorf("registry: read %s: %w", path, err)
-		}
-		env, err := core.ReadEnvelope(bytes.NewReader(data))
-		if err != nil {
-			return nil, fmt.Errorf("registry: load %s: %w", path, err)
-		}
-		if env.Basis.IsZero() {
-			return nil, fmt.Errorf("registry: %s has no basis descriptor", path)
+		env, loadErr := loadEnvelopeFile(path)
+		if loadErr != nil {
+			if qErr := quarantine(dir, path); qErr != nil {
+				return nil, fmt.Errorf("registry: quarantine %s (unreadable: %v): %w", path, loadErr, qErr)
+			}
+			log.Printf("registry: quarantined %s into corrupt/: %v", path, loadErr)
+			continue
 		}
 		info, err := os.Stat(path)
 		created := time.Now()
@@ -123,6 +142,32 @@ func Open(dir string) (*Registry, error) {
 		sort.Slice(versions, func(i, j int) bool { return versions[i].Version < versions[j].Version })
 	}
 	return r, nil
+}
+
+// loadEnvelopeFile reads and validates one persisted envelope.
+func loadEnvelopeFile(path string) (*core.Envelope, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	env, err := core.ReadEnvelope(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	if env.Basis.IsZero() {
+		return nil, fmt.Errorf("no basis descriptor")
+	}
+	return env, nil
+}
+
+// quarantine moves a damaged store file into dir/corrupt/ so it stops
+// shadowing its version slot but stays available for inspection.
+func quarantine(dir, path string) error {
+	cdir := filepath.Join(dir, "corrupt")
+	if err := os.MkdirAll(cdir, 0o755); err != nil {
+		return err
+	}
+	return os.Rename(path, filepath.Join(cdir, filepath.Base(path)))
 }
 
 // entryFile renders the per-version file name, e.g. "gain@v3.json".
@@ -163,9 +208,16 @@ func (r *Registry) Put(name string, env *core.Envelope) (*Entry, error) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// Version numbers continue from the highest loaded version: quarantined
+	// or deleted versions leave gaps that must never be reused, or a stale
+	// file in corrupt/ could be confused with a live one.
+	next := 1
+	if vs := r.models[name]; len(vs) > 0 {
+		next = vs[len(vs)-1].Version + 1
+	}
 	e := &Entry{
 		Name:      name,
-		Version:   len(r.models[name]) + 1,
+		Version:   next,
 		Envelope:  env,
 		CreatedAt: time.Now(),
 	}
@@ -174,13 +226,54 @@ func (r *Registry) Put(name string, env *core.Envelope) (*Entry, error) {
 		if err := core.WriteEnvelope(&buf, env); err != nil {
 			return nil, err
 		}
-		path := filepath.Join(r.dir, entryFile(name, e.Version))
-		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
-			return nil, fmt.Errorf("registry: persist %s: %w", path, err)
+		if err := persistAtomic(r.dir, entryFile(name, e.Version), buf.Bytes()); err != nil {
+			return nil, err
 		}
 	}
 	r.models[name] = append(r.models[name], e)
 	return e, nil
+}
+
+// persistAtomic writes data as dir/base via the write-temp→fsync→rename
+// sequence, so a crash at any point leaves either the complete file or only
+// removable ".tmp" debris — never a truncated envelope under the live name.
+func persistAtomic(dir, base string, data []byte) error {
+	path := filepath.Join(dir, base)
+	tmp := path + ".tmp"
+	fail := func(stage string, err error) error {
+		os.Remove(tmp)
+		return fmt.Errorf("registry: persist %s (%s): %w", path, stage, err)
+	}
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fail("create temp", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fail("write", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fail("fsync", err)
+	}
+	if err := f.Close(); err != nil {
+		return fail("close", err)
+	}
+	// Chaos hook: a failure here models a crash between temp write and
+	// rename — the caller sees an error and the live name stays untouched.
+	if err := faultinject.Fire("registry.write"); err != nil {
+		return fail("rename", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fail("rename", err)
+	}
+	// Persist the rename itself; best-effort, as not all filesystems
+	// support fsync on directories.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // Get returns the latest version of name.
@@ -194,15 +287,17 @@ func (r *Registry) Get(name string) (*Entry, bool) {
 	return versions[len(versions)-1], true
 }
 
-// GetVersion returns a specific version of name.
+// GetVersion returns a specific version of name. Version numbers may be
+// sparse when damaged versions were quarantined at startup.
 func (r *Registry) GetVersion(name string, version int) (*Entry, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	versions := r.models[name]
-	if version < 1 || version > len(versions) {
-		return nil, false
+	for _, e := range r.models[name] {
+		if e.Version == version {
+			return e, true
+		}
 	}
-	return versions[version-1], true
+	return nil, false
 }
 
 // List returns the latest version of every model, sorted by name.

@@ -1,12 +1,16 @@
 package registry
 
 import (
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
 	"repro/internal/basis"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 )
 
 // testEnvelope builds a valid envelope over a linear basis of dim
@@ -188,5 +192,112 @@ func TestRegistryConcurrentHammer(t *testing.T) {
 		if !ok || e.Version != perName {
 			t.Fatalf("model-%d final version %v", w, e)
 		}
+	}
+}
+
+// TestRegistryQuarantinesCorruptFiles simulates a crash mid-write: a
+// truncated envelope under a live name must be quarantined at Open, not
+// block the boot, and its version slot must never be reused.
+func TestRegistryQuarantinesCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v <= 3; v++ {
+		if _, err := r.Put("gain", testEnvelope(4, float64(v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Truncate v2 to simulate a torn write, and plant unparseable junk as a
+	// second model's only version.
+	if err := os.WriteFile(filepath.Join(dir, "gain@v2.json"), []byte(`{"model":{"m":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "junk@v1.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open with corrupt files must not fail: %v", err)
+	}
+	if re.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (junk has no healthy versions)", re.Len())
+	}
+	if _, ok := re.Get("junk"); ok {
+		t.Fatal("fully corrupt model served")
+	}
+	latest, ok := re.Get("gain")
+	if !ok || latest.Version != 3 {
+		t.Fatalf("latest gain %+v", latest)
+	}
+	if _, ok := re.GetVersion("gain", 2); ok {
+		t.Fatal("quarantined version still served")
+	}
+	if v1, ok := re.GetVersion("gain", 1); !ok || v1.Model().Coef[0] != 1 {
+		t.Fatalf("healthy v1 lost: %+v", v1)
+	}
+	// The damaged files moved into corrupt/ for inspection.
+	for _, base := range []string{"gain@v2.json", "junk@v1.json"} {
+		if _, err := os.Stat(filepath.Join(dir, "corrupt", base)); err != nil {
+			t.Errorf("%s not quarantined: %v", base, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, base)); !os.IsNotExist(err) {
+			t.Errorf("%s still in the live store", base)
+		}
+	}
+	// Version numbering continues past the quarantined slot.
+	e, err := re.Put("gain", testEnvelope(4, 9))
+	if err != nil || e.Version != 4 {
+		t.Fatalf("post-quarantine Put: %+v, %v", e, err)
+	}
+}
+
+// TestRegistryAtomicWrite checks the persistence invariant directly: after
+// an injected failure between temp write and rename, the live name is
+// untouched and no temp debris survives a reopen.
+func TestRegistryAtomicWrite(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Put("gain", testEnvelope(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Arm("registry.write", faultinject.Fault{Err: faultinject.ErrInjected, Count: 1})
+	t.Cleanup(faultinject.Reset)
+	if _, err := r.Put("gain", testEnvelope(4, 2)); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Put under write fault: %v", err)
+	}
+	// The failed version must not exist under its live name, in memory or on
+	// disk, and v1 must be intact.
+	if e, _ := r.Get("gain"); e.Version != 1 {
+		t.Fatalf("failed Put published version %d", e.Version)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "gain@v2.json")); !os.IsNotExist(err) {
+		t.Fatal("torn write reached the live name")
+	}
+
+	// Leave simulated crash debris and reopen: it is swept, and the next Put
+	// succeeds with the same version number.
+	if err := os.WriteFile(filepath.Join(dir, "gain@v2.json.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "gain@v2.json.tmp")); !os.IsNotExist(err) {
+		t.Fatal("stale temp file survived reopen")
+	}
+	e, err := re.Put("gain", testEnvelope(4, 2))
+	if err != nil || e.Version != 2 {
+		t.Fatalf("Put after recovery: %+v, %v", e, err)
+	}
+	if env, err := loadEnvelopeFile(filepath.Join(dir, "gain@v2.json")); err != nil || env.Model.Coef[0] != 2 {
+		t.Fatalf("persisted v2 unreadable: %v", err)
 	}
 }

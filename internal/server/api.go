@@ -63,6 +63,10 @@ type FitRequest struct {
 	// Points/Values are the explicit-dataset alternative to CSV.
 	Points [][]float64 `json:"points,omitempty"`
 	Values []float64   `json:"values,omitempty"`
+	// TimeoutSeconds caps this job's fit time; the effective deadline is
+	// min(TimeoutSeconds, server FitTimeout). Zero means the server cap
+	// alone. A job past its deadline lands in state timed_out.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
 }
 
 // FitResponse acknowledges an accepted fit job (202).
@@ -83,7 +87,7 @@ type FitResult struct {
 // JobStatus reports a job's lifecycle (GET /v1/jobs/{id}).
 type JobStatus struct {
 	ID        string     `json:"id"`
-	State     string     `json:"state"` // pending | running | done | failed
+	State     string     `json:"state"` // pending | running | done | failed | canceled | timed_out
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`
 	Finished  *time.Time `json:"finished,omitempty"`

@@ -1,0 +1,433 @@
+package server
+
+// Chaos suite (make chaos): each test arms a fault through the
+// internal/faultinject harness, drives the daemon into it over real HTTP,
+// and verifies the blast radius stayed contained — the daemon keeps
+// answering /healthz, keeps predicting, and the incident shows up in
+// /metrics. These tests are the executable form of the package's
+// robustness contract and run under -race in CI.
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/registry"
+)
+
+// armFaults resets the harness, arms spec, and schedules cleanup so no
+// fault leaks into another test.
+func armFaults(t *testing.T, spec string) {
+	t.Helper()
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	if err := faultinject.Configure(spec); err != nil {
+		t.Fatalf("arm %q: %v", spec, err)
+	}
+}
+
+// chaosFitBody is a small well-posed fit request over 2 variables.
+func chaosFitBody(name string) string {
+	return fmt.Sprintf(`{"name":%q,"folds":2,"max_lambda":3,
+		"points":[[0.1,0.2],[0.3,-0.4],[-0.5,0.6],[0.7,0.8],[0.2,-0.6],[-0.3,0.5]],
+		"values":[1,2,3,4,5,6]}`, name)
+}
+
+// submitChaosFit enqueues a fit and returns the job id.
+func submitChaosFit(t *testing.T, baseURL, name string) string {
+	t.Helper()
+	resp := post(t, baseURL+"/v1/fit", chaosFitBody(name))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	return decode[FitResponse](t, resp).JobID
+}
+
+// getJobStatus polls one job over HTTP.
+func getJobStatus(t *testing.T, baseURL, id string) *JobStatus {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job %s: HTTP %d", id, resp.StatusCode)
+	}
+	st := decode[JobStatus](t, resp)
+	return &st
+}
+
+// waitTerminal polls until the job reaches a terminal state.
+func waitTerminal(t *testing.T, baseURL, id string, budget time.Duration) *JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(budget)
+	for {
+		st := getJobStatus(t, baseURL, id)
+		if terminalState(st.State) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", id, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// waitRunning polls until the worker has picked the job up.
+func waitRunning(t *testing.T, baseURL, id string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := getJobStatus(t, baseURL, id)
+		if st.State != JobPending {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never left pending", id)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// assertHealthy fails unless /healthz answers 200 — the post-incident
+// liveness check every chaos test ends with.
+func assertHealthy(t *testing.T, baseURL string) {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/healthz")
+	if err != nil {
+		t.Fatalf("daemon unreachable after fault: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz HTTP %d after fault, want 200", resp.StatusCode)
+	}
+}
+
+// assertPredicts fails unless the named uploaded model (dim 3, f = 2y0−3y1)
+// still evaluates correctly.
+func assertPredicts(t *testing.T, baseURL, name string) {
+	t.Helper()
+	resp := post(t, baseURL+"/v1/models/"+name+"/predict", `{"points":[[1,1,0]]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict after fault: HTTP %d", resp.StatusCode)
+	}
+	pr := decode[PredictResponse](t, resp)
+	if len(pr.Values) != 1 || pr.Values[0] != -1 {
+		t.Fatalf("predict after fault: values %v, want [-1]", pr.Values)
+	}
+}
+
+// metricInt digs an integer counter out of the /metrics tree.
+func metricInt(t *testing.T, baseURL string, path ...string) int64 {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := any(decode[map[string]any](t, resp))
+	for _, key := range path {
+		m, ok := node.(map[string]any)
+		if !ok {
+			t.Fatalf("metrics path %v: %T is not an object", path, node)
+		}
+		if node, ok = m[key]; !ok {
+			t.Fatalf("metrics path %v: missing %q", path, key)
+		}
+	}
+	f, ok := node.(float64)
+	if !ok {
+		t.Fatalf("metrics path %v: %T is not a number", path, node)
+	}
+	return int64(f)
+}
+
+// cancelJob drives DELETE /v1/jobs/{id} and returns the response.
+func cancelJob(t *testing.T, baseURL, id string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, baseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestChaosFitPanicIsolated injects a panic into the fit worker: the job
+// must fail with the incident recorded while the daemon keeps serving, and
+// the next fit (fault exhausted) must succeed.
+func TestChaosFitPanicIsolated(t *testing.T) {
+	armFaults(t, "server.fit=panic#1")
+	_, hs := newTestServer(t, Config{FitWorkers: 1})
+	uploadModel(t, hs.URL, "lin", 3)
+
+	id := submitChaosFit(t, hs.URL, "chaosfit")
+	st := waitTerminal(t, hs.URL, id, 10*time.Second)
+	if st.State != JobFailed || !strings.Contains(st.Error, "panicked") {
+		t.Fatalf("state %s error %q, want failed with panic message", st.State, st.Error)
+	}
+
+	assertHealthy(t, hs.URL)
+	assertPredicts(t, hs.URL, "lin")
+	if n := metricInt(t, hs.URL, "incidents", "panics_recovered"); n < 1 {
+		t.Fatalf("panics_recovered = %d, want ≥ 1", n)
+	}
+
+	// The worker survived the panic: it must pick up and complete this one.
+	id2 := submitChaosFit(t, hs.URL, "chaosfit")
+	if st2 := waitTerminal(t, hs.URL, id2, 30*time.Second); st2.State != JobDone {
+		t.Fatalf("post-panic fit state %s (%s), want done", st2.State, st2.Error)
+	}
+}
+
+// TestChaosPredictPanicIsolated injects a panic into the predict handler:
+// the request gets a 500 (counted against the route), not a dead daemon.
+func TestChaosPredictPanicIsolated(t *testing.T) {
+	armFaults(t, "server.predict=panic#1")
+	_, hs := newTestServer(t, Config{})
+	uploadModel(t, hs.URL, "lin", 3)
+
+	resp := post(t, hs.URL+"/v1/models/lin/predict", `{"points":[[1,1,0]]}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("HTTP %d, want 500 from injected panic", resp.StatusCode)
+	}
+	if e := decode[ErrorResponse](t, resp); !strings.Contains(e.Error, "panicked") {
+		t.Fatalf("error body %q, want panic incident message", e.Error)
+	}
+
+	assertHealthy(t, hs.URL)
+	assertPredicts(t, hs.URL, "lin")
+	if n := metricInt(t, hs.URL, "incidents", "panics_recovered"); n != 1 {
+		t.Fatalf("panics_recovered = %d, want 1", n)
+	}
+	if n := metricInt(t, hs.URL, "requests", "POST /v1/models/{name}/predict", "errors"); n < 1 {
+		t.Fatalf("predict route errors = %d, want the recovered 500 counted", n)
+	}
+}
+
+// TestChaosRegistryWriteFailure makes the first persistence attempt die
+// between temp write and rename (a simulated crash): that job fails, the
+// store stays clean, and the next fit persists and serves normally.
+func TestChaosRegistryWriteFailure(t *testing.T) {
+	armFaults(t, "registry.write=error#1")
+	dir := t.TempDir()
+	reg, err := registry.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, Config{FitWorkers: 1})
+	hs := httptest.NewServer(s)
+	t.Cleanup(func() { hs.Close(); s.Close() })
+
+	id := submitChaosFit(t, hs.URL, "chaoswr")
+	st := waitTerminal(t, hs.URL, id, 10*time.Second)
+	if st.State != JobFailed || !strings.Contains(st.Error, "injected") {
+		t.Fatalf("state %s error %q, want failed with injected write error", st.State, st.Error)
+	}
+	assertHealthy(t, hs.URL)
+
+	// The fault is exhausted: the same fit must now persist and serve.
+	id2 := submitChaosFit(t, hs.URL, "chaoswr")
+	if st2 := waitTerminal(t, hs.URL, id2, 30*time.Second); st2.State != JobDone {
+		t.Fatalf("post-crash fit state %s (%s), want done", st2.State, st2.Error)
+	}
+	resp, err := http.Get(hs.URL + "/v1/models/chaoswr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := decode[ModelInfo](t, resp)
+	if info.Version != 1 {
+		t.Fatalf("version %d, want 1 (failed write must not burn a version)", info.Version)
+	}
+
+	// A fresh registry over the same store must load cleanly: no torn file.
+	reg2, err := registry.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen store after simulated crash: %v", err)
+	}
+	if _, ok := reg2.Get("chaoswr"); !ok {
+		t.Fatal("model missing after store reopen")
+	}
+}
+
+// TestChaosStalledJobTimesOut stalls the fit worker far past the per-job
+// deadline: the job must land in timed_out, not wedge the worker.
+func TestChaosStalledJobTimesOut(t *testing.T) {
+	armFaults(t, "server.fit=delay:60s")
+	_, hs := newTestServer(t, Config{FitWorkers: 1, FitTimeout: 300 * time.Millisecond})
+
+	id := submitChaosFit(t, hs.URL, "chaosstall")
+	st := waitTerminal(t, hs.URL, id, 10*time.Second)
+	if st.State != JobTimedOut {
+		t.Fatalf("state %s (%s), want timed_out", st.State, st.Error)
+	}
+	assertHealthy(t, hs.URL)
+	if n := metricInt(t, hs.URL, "jobs", "timed_out"); n != 1 {
+		t.Fatalf("jobs.timed_out = %d, want 1", n)
+	}
+	// Worker survived the timeout: with the stall disarmed it must pick up
+	// and complete the next job.
+	faultinject.Reset()
+	id2 := submitChaosFit(t, hs.URL, "chaosstall")
+	if st2 := waitTerminal(t, hs.URL, id2, 30*time.Second); st2.State != JobDone {
+		t.Fatalf("post-stall fit state %s (%s), want done", st2.State, st2.Error)
+	}
+}
+
+// TestChaosStalledJobCanceledViaDelete cancels a stalled running job through
+// the API: cancellation must cut the 60s stall short.
+func TestChaosStalledJobCanceledViaDelete(t *testing.T) {
+	armFaults(t, "server.fit=delay:60s")
+	_, hs := newTestServer(t, Config{FitWorkers: 1})
+
+	id := submitChaosFit(t, hs.URL, "chaoscancel")
+	waitRunning(t, hs.URL, id)
+
+	resp := cancelJob(t, hs.URL, id)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: HTTP %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	start := time.Now()
+	st := waitTerminal(t, hs.URL, id, 10*time.Second)
+	if st.State != JobCanceled {
+		t.Fatalf("state %s (%s), want canceled", st.State, st.Error)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v against a 60s stall", elapsed)
+	}
+	assertHealthy(t, hs.URL)
+	if n := metricInt(t, hs.URL, "jobs", "canceled"); n != 1 {
+		t.Fatalf("jobs.canceled = %d, want 1", n)
+	}
+
+	if resp := cancelJob(t, hs.URL, "job-424242"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown job: HTTP %d, want 404", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestChaosLoadSheddingWithRetryAfter saturates the fit queue behind a
+// stalled worker: further fits and interactive predict traffic must be shed
+// with 503 + Retry-After instead of queuing unboundedly, and service must
+// resume once the backlog clears.
+func TestChaosLoadSheddingWithRetryAfter(t *testing.T) {
+	armFaults(t, "server.fit=delay:60s")
+	_, hs := newTestServer(t, Config{FitWorkers: 1, QueueDepth: 1})
+	uploadModel(t, hs.URL, "lin", 3)
+
+	// Job 1 occupies the lone worker (stalled); job 2 fills the queue.
+	id1 := submitChaosFit(t, hs.URL, "chaosshed")
+	waitRunning(t, hs.URL, id1)
+	id2 := submitChaosFit(t, hs.URL, "chaosshed")
+
+	// Queue saturated: fit submissions bounce with Retry-After...
+	resp := post(t, hs.URL+"/v1/fit", chaosFitBody("chaosshed"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("fit on full queue: HTTP %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("fit 503 carries no Retry-After header")
+	}
+	resp.Body.Close()
+
+	// ...and so does predict traffic, which must fail fast, not slow.
+	resp = post(t, hs.URL+"/v1/models/lin/predict", `{"points":[[1,1,0]]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("predict while saturated: HTTP %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("shed predict carries no Retry-After header")
+	}
+	if e := decode[ErrorResponse](t, resp); !strings.Contains(e.Error, "overloaded") {
+		t.Fatalf("shed body %q", e.Error)
+	}
+	if n := metricInt(t, hs.URL, "incidents", "requests_shed"); n < 1 {
+		t.Fatalf("requests_shed = %d, want ≥ 1", n)
+	}
+
+	// Clear the backlog; predicts must flow again.
+	for _, id := range []string{id2, id1} {
+		resp := cancelJob(t, hs.URL, id)
+		resp.Body.Close()
+	}
+	waitTerminal(t, hs.URL, id1, 10*time.Second)
+	waitTerminal(t, hs.URL, id2, 10*time.Second)
+	assertPredicts(t, hs.URL, "lin")
+	assertHealthy(t, hs.URL)
+}
+
+// TestChaosPredictDeadline stalls the predict handler past the per-request
+// deadline: the caller gets a 504, not an indefinite hang.
+func TestChaosPredictDeadline(t *testing.T) {
+	armFaults(t, "server.predict=delay:60s")
+	_, hs := newTestServer(t, Config{RequestTimeout: 200 * time.Millisecond})
+	uploadModel(t, hs.URL, "lin", 3)
+
+	start := time.Now()
+	resp := post(t, hs.URL+"/v1/models/lin/predict", `{"points":[[1,1,0]]}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("HTTP %d, want 504", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline response took %v against a 60s stall", elapsed)
+	}
+	faultinject.Reset()
+	assertPredicts(t, hs.URL, "lin")
+	assertHealthy(t, hs.URL)
+}
+
+// TestDrainingHealthz checks the readiness flip: a draining daemon answers
+// 503/"draining" so load balancers rotate it out while work finishes.
+func TestDrainingHealthz(t *testing.T) {
+	s, hs := newTestServer(t, Config{})
+	assertHealthy(t, hs.URL)
+	s.BeginDrain()
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: HTTP %d, want 503", resp.StatusCode)
+	}
+	if h := decode[HealthResponse](t, resp); h.Status != "draining" {
+		t.Fatalf("draining healthz status %q", h.Status)
+	}
+}
+
+// TestPredictRejectsNonFinitePoints is the input-validation check: NaN/Inf
+// coordinates are rejected with the offending row and column named. Strict
+// JSON cannot express NaN, so the validator is exercised directly; the HTTP
+// layer is checked with an out-of-range literal, which must also 400.
+func TestPredictRejectsNonFinitePoints(t *testing.T) {
+	err := validatePoints([][]float64{{1, 1, 0}, {0, math.NaN(), 0}}, 3)
+	if err == nil || !strings.Contains(err.Error(), "point 1 coordinate 1") {
+		t.Fatalf("NaN point: %v, want error naming row 1 col 1", err)
+	}
+	if err := validatePoints([][]float64{{math.Inf(1), 0}}, 2); err == nil {
+		t.Fatal("Inf point should be rejected")
+	}
+	if err := validatePoints([][]float64{{1, 0}, {1}}, 2); err == nil || !strings.Contains(err.Error(), "point 1") {
+		t.Fatalf("short point: %v, want error naming row 1", err)
+	}
+	if err := validatePoints([][]float64{{0.5, -0.5}}, 2); err != nil {
+		t.Fatalf("finite well-shaped points rejected: %v", err)
+	}
+
+	_, hs := newTestServer(t, Config{})
+	uploadModel(t, hs.URL, "lin", 3)
+	resp := post(t, hs.URL+"/v1/models/lin/predict", `{"points":[[1,1e999,0]]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range literal: HTTP %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

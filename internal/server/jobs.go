@@ -1,29 +1,50 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"log"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/basis"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/mc"
 )
 
-// Job states.
+// Job states. Pending and running are live; the other four are terminal.
 const (
-	JobPending = "pending"
-	JobRunning = "running"
-	JobDone    = "done"
-	JobFailed  = "failed"
+	JobPending  = "pending"
+	JobRunning  = "running"
+	JobDone     = "done"
+	JobFailed   = "failed"
+	JobCanceled = "canceled"  // DELETE /v1/jobs/{id} or daemon drain
+	JobTimedOut = "timed_out" // per-job deadline expired mid-fit
 )
 
+// terminalState reports whether a job state is final.
+func terminalState(state string) bool {
+	switch state {
+	case JobDone, JobFailed, JobCanceled, JobTimedOut:
+		return true
+	}
+	return false
+}
+
 // job is one queued fit request and its lifecycle record. The mutex-guarded
-// fields are updated by the worker and read by status polls.
+// fields are updated by the worker and read by status polls; ctx is canceled
+// by DELETE /v1/jobs/{id} and by queue shutdown, and the worker layers the
+// per-job deadline on top of it.
 type job struct {
 	id  string
 	req FitRequest
+
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu        sync.Mutex
 	state     string
@@ -50,6 +71,51 @@ func (j *job) status() *JobStatus {
 	return s
 }
 
+// begin transitions pending → running; it fails when the job was canceled
+// while queued, in which case the worker must skip it.
+func (j *job) begin() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobPending {
+		return false
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish records a terminal state; later transitions are ignored.
+func (j *job) finish(state, errMsg string, result *FitResult) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if terminalState(j.state) {
+		return false
+	}
+	j.state = state
+	j.err = errMsg
+	j.result = result
+	j.finished = time.Now()
+	return true
+}
+
+// requestCancel asks the job to stop. A pending job transitions to canceled
+// immediately (the worker will skip it); a running job is interrupted
+// through its context and reaches a terminal state when the solver notices.
+// Canceling a terminal job is a no-op. Reports whether the job went straight
+// from pending to canceled.
+func (j *job) requestCancel(reason string) bool {
+	j.mu.Lock()
+	wasPending := j.state == JobPending
+	if wasPending {
+		j.state = JobCanceled
+		j.err = reason
+		j.finished = time.Now()
+	}
+	j.mu.Unlock()
+	j.cancel()
+	return wasPending
+}
+
 // jobQueue is a bounded FIFO of fit jobs drained by a fixed worker pool.
 type jobQueue struct {
 	mu     sync.Mutex
@@ -57,15 +123,16 @@ type jobQueue struct {
 	nextID int
 	closed bool
 
-	queue chan *job
-	wg    sync.WaitGroup
+	queue      chan *job
+	wg         sync.WaitGroup
+	onTerminal func(state string) // metrics hook for queue-side transitions
 }
 
-func newJobQueue(depth int) *jobQueue {
+func newJobQueue(depth int, onTerminal func(state string)) *jobQueue {
 	if depth < 1 {
 		depth = 1
 	}
-	return &jobQueue{byID: make(map[string]*job), queue: make(chan *job, depth)}
+	return &jobQueue{byID: make(map[string]*job), queue: make(chan *job, depth), onTerminal: onTerminal}
 }
 
 // submit enqueues a job, failing when the queue is full or closed.
@@ -76,7 +143,12 @@ func (q *jobQueue) submit(req FitRequest) (*job, error) {
 		return nil, fmt.Errorf("server: shutting down")
 	}
 	q.nextID++
-	j := &job{id: fmt.Sprintf("job-%06d", q.nextID), req: req, state: JobPending, submitted: time.Now()}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id: fmt.Sprintf("job-%06d", q.nextID), req: req,
+		ctx: ctx, cancel: cancel,
+		state: JobPending, submitted: time.Now(),
+	}
 	select {
 	case q.queue <- j:
 		q.byID[j.id] = j
@@ -85,6 +157,7 @@ func (q *jobQueue) submit(req FitRequest) (*job, error) {
 	default:
 		q.nextID--
 		q.mu.Unlock()
+		cancel()
 		return nil, fmt.Errorf("server: fit queue full (%d pending)", cap(q.queue))
 	}
 }
@@ -97,17 +170,64 @@ func (q *jobQueue) get(id string) (*job, bool) {
 	return j, ok
 }
 
-// close stops accepting jobs and waits for in-flight ones to finish.
-func (q *jobQueue) close() {
-	q.mu.Lock()
-	if q.closed {
-		q.mu.Unlock()
-		return
+// saturated reports whether the pending-job channel is full — the signal the
+// server's load shedding keys off.
+func (q *jobQueue) saturated() bool { return len(q.queue) == cap(q.queue) }
+
+// cancel requests cancellation of the job with the given id.
+func (q *jobQueue) cancelJob(id, reason string) (*job, bool) {
+	j, ok := q.get(id)
+	if !ok {
+		return nil, false
 	}
-	q.closed = true
+	if j.requestCancel(reason) && q.onTerminal != nil {
+		q.onTerminal(JobCanceled)
+	}
+	return j, true
+}
+
+// cancelAll requests cancellation of every live job (drain path).
+func (q *jobQueue) cancelAll(reason string) {
+	q.mu.Lock()
+	jobs := make([]*job, 0, len(q.byID))
+	for _, j := range q.byID {
+		jobs = append(jobs, j)
+	}
 	q.mu.Unlock()
-	close(q.queue)
-	q.wg.Wait()
+	for _, j := range jobs {
+		if j.requestCancel(reason) && q.onTerminal != nil {
+			q.onTerminal(JobCanceled)
+		}
+	}
+}
+
+// close stops accepting jobs and waits for in-flight ones to finish, however
+// long they take. Shutdown is the bounded variant.
+func (q *jobQueue) close() { _ = q.shutdown(context.Background()) }
+
+// shutdown stops accepting jobs and drains the workers. Jobs still live when
+// ctx expires are canceled (the solvers' cooperative checks make the workers
+// return promptly) and the workers are then awaited unconditionally.
+func (q *jobQueue) shutdown(ctx context.Context) error {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.queue)
+	}
+	q.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	q.cancelAll("canceled: daemon shutting down")
+	<-done
+	return ctx.Err()
 }
 
 // startWorkers launches n goroutines running fn per dequeued job.
@@ -190,21 +310,62 @@ func fitBasis(degree, dim int) (*basis.Basis, error) {
 	}
 }
 
-// runFit executes one fit job end to end: dataset → cross-validated sparse
-// fit → registry publication.
-func (s *Server) runFit(j *job) {
-	j.mu.Lock()
-	j.state = JobRunning
-	j.started = time.Now()
-	j.mu.Unlock()
+// jobDeadline resolves the effective fit deadline: the server-wide cap,
+// tightened by the request's own timeout_seconds when smaller.
+func (s *Server) jobDeadline(req *FitRequest) time.Duration {
+	d := s.cfg.FitTimeout
+	if req.TimeoutSeconds > 0 {
+		if r := time.Duration(req.TimeoutSeconds * float64(time.Second)); r < d {
+			d = r
+		}
+	}
+	return d
+}
 
+// runFit executes one fit job end to end: dataset → cross-validated sparse
+// fit → registry publication. It is the worker's unit of work and must never
+// let a failure escape: solver panics are contained here (the incident is
+// counted and the job fails, the worker survives), cancellation and deadline
+// expiry land the job in canceled/timed_out, and everything else in failed.
+func (s *Server) runFit(j *job) {
+	if !j.begin() {
+		return // canceled while queued
+	}
+	ctx, cancelCtx := context.WithTimeout(j.ctx, s.jobDeadline(&j.req))
+	defer cancelCtx()
+
+	finish := func(state, errMsg string, result *FitResult) {
+		if j.finish(state, errMsg, result) {
+			s.metrics.countJobEnd(state)
+		}
+	}
 	fail := func(err error) {
-		j.mu.Lock()
-		j.state = JobFailed
-		j.err = err.Error()
-		j.finished = time.Now()
-		j.mu.Unlock()
-		s.metrics.countJob(0, 0, 1)
+		switch {
+		case errors.Is(err, context.Canceled):
+			finish(JobCanceled, err.Error(), nil)
+		case errors.Is(err, context.DeadlineExceeded):
+			finish(JobTimedOut, fmt.Sprintf("deadline %s exceeded: %v", s.jobDeadline(&j.req), err), nil)
+		default:
+			finish(JobFailed, err.Error(), nil)
+		}
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.metrics.countPanic()
+			log.Printf("server: fit %s panicked: %v\n%s", j.id, rec, debug.Stack())
+			finish(JobFailed, fmt.Sprintf("internal: fit panicked: %v (incident logged)", rec), nil)
+		}
+	}()
+
+	// Chaos hook: injected panics exercise the recovery above, injected
+	// delays stall the job against its deadline.
+	if err := faultinject.FireCtx(ctx, "server.fit"); err != nil {
+		fail(err)
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		fail(err)
+		return
 	}
 
 	req := j.req
@@ -224,7 +385,7 @@ func (s *Server) runFit(j *job) {
 		return
 	}
 	start := time.Now()
-	cv, err := core.CrossValidate(fitter, basis.AutoDesign(b, points), f, req.Folds, req.MaxLambda)
+	cv, err := core.CrossValidateCtx(ctx, fitter, basis.AutoDesign(b, points), f, req.Folds, req.MaxLambda)
 	if err != nil {
 		fail(fmt.Errorf("fit: %w", err))
 		return
@@ -246,15 +407,10 @@ func (s *Server) runFit(j *job) {
 		fail(err)
 		return
 	}
-	j.mu.Lock()
-	j.state = JobDone
-	j.finished = time.Now()
-	j.result = &FitResult{
+	finish(JobDone, "", &FitResult{
 		Model:      modelInfo(entry),
 		Lambda:     cv.BestLambda,
 		CVError:    cv.ErrCurve[cv.BestLambda-1],
 		FitSeconds: time.Since(start).Seconds(),
-	}
-	j.mu.Unlock()
-	s.metrics.countJob(0, 1, 0)
+	})
 }

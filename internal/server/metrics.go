@@ -30,7 +30,9 @@ type metrics struct {
 	mu          sync.Mutex
 	routes      map[string]*routeStats
 	predictions map[string]int64 // model name → points predicted
-	jobs        struct{ submitted, completed, failed int64 }
+	jobs        struct{ submitted, completed, failed, canceled, timedOut int64 }
+	panics      int64 // recovered panics (handlers + fit workers)
+	shed        int64 // requests rejected by load shedding
 }
 
 func newMetrics() *metrics {
@@ -67,12 +69,41 @@ func (m *metrics) countPredictions(model string, n int) {
 	m.mu.Unlock()
 }
 
-// countJob tracks fit-job lifecycle transitions.
-func (m *metrics) countJob(submitted, completed, failed int64) {
+// countJobSubmitted tracks one accepted fit job.
+func (m *metrics) countJobSubmitted() {
 	m.mu.Lock()
-	m.jobs.submitted += submitted
-	m.jobs.completed += completed
-	m.jobs.failed += failed
+	m.jobs.submitted++
+	m.mu.Unlock()
+}
+
+// countJobEnd tracks one job reaching the given terminal state.
+func (m *metrics) countJobEnd(state string) {
+	m.mu.Lock()
+	switch state {
+	case JobDone:
+		m.jobs.completed++
+	case JobFailed:
+		m.jobs.failed++
+	case JobCanceled:
+		m.jobs.canceled++
+	case JobTimedOut:
+		m.jobs.timedOut++
+	}
+	m.mu.Unlock()
+}
+
+// countPanic tracks one recovered panic — an incident that would have
+// crashed the daemon before panic isolation existed.
+func (m *metrics) countPanic() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
+// countShed tracks one request rejected because the daemon was saturated.
+func (m *metrics) countShed() {
+	m.mu.Lock()
+	m.shed++
 	m.mu.Unlock()
 }
 
@@ -107,6 +138,12 @@ func (m *metrics) Snapshot(models int) map[string]any {
 			"submitted": m.jobs.submitted,
 			"completed": m.jobs.completed,
 			"failed":    m.jobs.failed,
+			"canceled":  m.jobs.canceled,
+			"timed_out": m.jobs.timedOut,
+		},
+		"incidents": map[string]int64{
+			"panics_recovered": m.panics,
+			"requests_shed":    m.shed,
 		},
 	}
 }

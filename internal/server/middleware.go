@@ -1,0 +1,52 @@
+package server
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"runtime/debug"
+)
+
+// protect wraps a handler in the per-route robustness envelope: a request
+// deadline on the context (handlers and faultinject hooks observe it through
+// r.Context()) and panic isolation. A recovered panic becomes a 500 with the
+// stack logged and the incident counted in /metrics — never a crashed
+// daemon. protect sits inside metrics.instrument so the synthesized 500 is
+// visible in the route's error counters.
+func (s *Server) protect(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler { //nolint:errorlint // sentinel, compared by identity
+				panic(rec) // net/http's own abort protocol; not an incident
+			}
+			s.metrics.countPanic()
+			log.Printf("server: panic serving %s: %v\n%s", route, rec, debug.Stack())
+			// Best-effort: if the handler already wrote a body this write
+			// fails silently, but the connection still terminates cleanly.
+			writeErr(w, http.StatusInternalServerError, "internal error: handler panicked (incident logged)")
+		}()
+		h(w, r)
+	}
+}
+
+// shed rejects the request with 503 + Retry-After when the daemon is
+// saturated, so interactive traffic fails fast instead of queuing behind a
+// full fit backlog. Returns true when the request was shed.
+func (s *Server) shed(w http.ResponseWriter) bool {
+	if !s.jobs.saturated() {
+		return false
+	}
+	s.metrics.countShed()
+	w.Header().Set("Retry-After", "1")
+	writeErr(w, http.StatusServiceUnavailable, "overloaded: fit queue saturated, retry shortly")
+	return true
+}

@@ -12,21 +12,31 @@
 //	GET  /v1/models/{name}           describe the latest version
 //	POST /v1/models/{name}/predict   batched f(ΔY) evaluation
 //	POST /v1/models/{name}/yield     parametric yield + quantiles
-//	POST /v1/fit                     submit an async fit job
-//	GET  /v1/jobs/{id}               poll a fit job
-//	GET  /metrics                    expvar-style JSON counters
-//	GET  /healthz                    liveness
+//	POST   /v1/fit                     submit an async fit job
+//	GET    /v1/jobs/{id}               poll a fit job
+//	DELETE /v1/jobs/{id}               cancel a fit job
+//	GET    /metrics                    expvar-style JSON counters
+//	GET    /healthz                    liveness (503 while draining)
+//
+// Robustness: every route runs under a request deadline with panic
+// isolation (recovered panics become 500s and count as incidents in
+// /metrics), fit jobs carry per-job deadlines and cooperative cancellation
+// down into the solver inner loops, and predict/yield traffic is shed with
+// Retry-After when the fit queue saturates.
 package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/registry"
 	"repro/internal/rng"
 	"repro/internal/yield"
@@ -49,6 +59,13 @@ type Config struct {
 	MaxYieldSamples int
 	// MaxBodyBytes bounds request bodies (default 64 MiB).
 	MaxBodyBytes int64
+	// RequestTimeout is the per-request handler deadline (default 30s;
+	// negative disables). Fit jobs are bounded by FitTimeout instead — the
+	// request only enqueues them.
+	RequestTimeout time.Duration
+	// FitTimeout caps each fit job's run time (default 5m; negative
+	// disables). Requests may tighten it per job via timeout_seconds.
+	FitTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +84,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	switch {
+	case c.RequestTimeout == 0:
+		c.RequestTimeout = 30 * time.Second
+	case c.RequestTimeout < 0:
+		c.RequestTimeout = 0 // explicit opt-out
+	}
+	switch {
+	case c.FitTimeout == 0:
+		c.FitTimeout = 5 * time.Minute
+	case c.FitTimeout < 0:
+		c.FitTimeout = 1000 * time.Hour // effectively unbounded
+	}
 	return c
 }
 
@@ -77,22 +106,25 @@ type Server struct {
 	jobs     *jobQueue
 	metrics  *metrics
 	mux      *http.ServeMux
+	draining atomic.Bool
 }
 
 // New builds a server over the given registry and starts its fit workers.
-// Call Close to drain them.
+// Call Close (or the bounded Shutdown) to drain them.
 func New(reg *registry.Registry, cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg.withDefaults(),
 		registry: reg,
 		metrics:  newMetrics(),
 	}
-	s.jobs = newJobQueue(s.cfg.QueueDepth)
+	s.jobs = newJobQueue(s.cfg.QueueDepth, s.metrics.countJobEnd)
 	s.jobs.startWorkers(s.cfg.FitWorkers, s.runFit)
 
 	mux := http.NewServeMux()
 	route := func(pattern string, h http.HandlerFunc) {
-		mux.HandleFunc(pattern, s.metrics.instrument(pattern, h))
+		// protect sits inside instrument so that panics recovered into 500s
+		// still show up in the per-route error counters.
+		mux.HandleFunc(pattern, s.metrics.instrument(pattern, s.protect(pattern, h)))
 	}
 	route("POST /v1/models", s.handleUpload)
 	route("GET /v1/models", s.handleList)
@@ -101,14 +133,32 @@ func New(reg *registry.Registry, cfg Config) *Server {
 	route("POST /v1/models/{name}/yield", s.handleYield)
 	route("POST /v1/fit", s.handleFit)
 	route("GET /v1/jobs/{id}", s.handleJob)
+	route("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	route("GET /metrics", s.handleMetrics)
 	route("GET /healthz", s.handleHealth)
 	s.mux = mux
 	return s
 }
 
-// Close stops accepting fit jobs and waits for running ones.
-func (s *Server) Close() { s.jobs.close() }
+// Close stops accepting fit jobs and waits for running ones, however long
+// they take. Shutdown is the bounded variant.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.jobs.close()
+}
+
+// BeginDrain flips /healthz to 503 so load balancers stop routing here,
+// without yet refusing work. Call it at the start of a graceful shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Shutdown drains the daemon within ctx's budget: new fit submissions are
+// refused, in-flight jobs get until ctx expires to finish, and stragglers
+// are then canceled (landing in state canceled) and awaited. It returns
+// ctx.Err() when the budget ran out, nil when everything drained in time.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.jobs.shutdown(ctx)
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -150,6 +200,25 @@ func modelInfo(e *registry.Entry) ModelInfo {
 		Provenance: e.Envelope.Prov,
 		CreatedAt:  e.CreatedAt,
 	}
+}
+
+// validatePoints checks a predict batch against the basis dimension and
+// rejects non-finite coordinates, naming the offending row (and column) so
+// the caller can fix the exact input. NaN/Inf cannot arrive through strict
+// JSON today, but the check keeps the hot path safe against any future
+// ingestion format.
+func validatePoints(points [][]float64, dim int) error {
+	for i, p := range points {
+		if len(p) != dim {
+			return fmt.Errorf("point %d has dimension %d, want %d", i, len(p), dim)
+		}
+		for j, x := range p {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("point %d coordinate %d is %v (must be finite)", i, j, x)
+			}
+		}
+	}
+	return nil
 }
 
 // lookupModel resolves the {name} path segment against the registry.
@@ -214,8 +283,14 @@ func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 // handlePredict evaluates the model at a batch of points, fanned across the
-// prediction worker pool.
+// prediction worker pool. It is the latency-sensitive path: it sheds load
+// when the fit queue is saturated and rejects malformed batches (wrong
+// dimension, NaN/Inf coordinates) with the offending row index before any
+// evaluation work happens.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w) {
+		return
+	}
 	e, ok := s.lookupModel(w, r)
 	if !ok {
 		return
@@ -237,11 +312,19 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "rebuild basis: %v", err)
 		return
 	}
-	for i, p := range req.Points {
-		if len(p) != b.Dim {
-			writeErr(w, http.StatusBadRequest, "point %d has dimension %d, want %d", i, len(p), b.Dim)
-			return
-		}
+	if err := validatePoints(req.Points, b.Dim); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Chaos hook: injected delays exercise the request deadline below,
+	// injected panics exercise the recovery middleware.
+	if err := faultinject.FireCtx(r.Context(), "server.predict"); err != nil {
+		writeErr(w, http.StatusInternalServerError, "injected fault: %v", err)
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		writeErr(w, http.StatusGatewayTimeout, "request deadline exceeded: %v", err)
+		return
 	}
 	values := e.Model().PredictBatch(b, nil, req.Points, s.cfg.PredictWorkers)
 	s.metrics.countPredictions(e.Name, len(req.Points))
@@ -251,6 +334,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 // handleYield estimates parametric yield, moments and quantiles for one
 // model via virtual Monte Carlo.
 func (s *Server) handleYield(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w) {
+		return
+	}
 	e, ok := s.lookupModel(w, r)
 	if !ok {
 		return
@@ -358,16 +444,21 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "max_lambda=%d, need ≥ 1", req.MaxLambda)
 		return
 	}
+	if req.TimeoutSeconds < 0 {
+		writeErr(w, http.StatusBadRequest, "timeout_seconds=%g, need ≥ 0", req.TimeoutSeconds)
+		return
+	}
 	if req.CSV == "" && len(req.Points) == 0 {
 		writeErr(w, http.StatusBadRequest, "no dataset: provide csv or points+values")
 		return
 	}
 	j, err := s.jobs.submit(req)
 	if err != nil {
+		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	s.metrics.countJob(1, 0, 0)
+	s.metrics.countJobSubmitted()
 	writeJSON(w, http.StatusAccepted, FitResponse{JobID: j.id, State: JobPending})
 }
 
@@ -382,16 +473,38 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.status())
 }
 
+// handleJobCancel cancels a fit job. A pending job is canceled immediately;
+// a running one is interrupted through its context and reaches state
+// canceled when the solver's next cooperative check fires. Canceling a job
+// that already finished is a no-op that returns its terminal status.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.cancelJob(id, "canceled by client request")
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
 // handleMetrics dumps the expvar-style counter tree.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.registry.Len()))
 }
 
-// handleHealth is the liveness probe.
+// handleHealth is the liveness/readiness probe. A draining daemon answers
+// 503 with status "draining" so load balancers rotate it out while
+// in-flight jobs finish.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
 		Models:        s.registry.Len(),
-	})
+	}
+	if s.draining.Load() {
+		resp.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

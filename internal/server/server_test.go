@@ -296,7 +296,7 @@ func TestFitJobFailureIsReported(t *testing.T) {
 }
 
 func TestJobQueueBackpressure(t *testing.T) {
-	q := newJobQueue(2) // no workers draining
+	q := newJobQueue(2, nil) // no workers draining
 	if _, err := q.submit(FitRequest{Name: "a"}); err != nil {
 		t.Fatal(err)
 	}

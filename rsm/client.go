@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,12 +37,65 @@ type (
 	YieldResponse = server.YieldResponse
 )
 
-// Client is a thin HTTP client for an rsmd daemon.
+// RetryPolicy tunes the client's retry loop for idempotent requests. The
+// zero value selects the defaults noted per field; set MaxAttempts to 1 to
+// disable retries entirely.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (default 3).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps any single backoff, including server-directed
+	// Retry-After waits (default 1s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 3
+	}
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	return p
+}
+
+// backoff computes the pause before the given retry (attempt ≥ 1):
+// exponential in the attempt number with equal jitter, stretched to any
+// server-directed Retry-After, and capped at MaxDelay.
+func (p RetryPolicy) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := p.BaseDelay << (attempt - 1)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+// Client is a thin HTTP client for an rsmd daemon. Idempotent requests
+// (everything except UploadModel and SubmitFit) are retried per Retry on
+// transport errors and on 429/502/503/504 responses — the statuses rsmd
+// uses for load shedding and drain — honoring Retry-After headers and the
+// request context's deadline.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://localhost:8080".
 	BaseURL string
 	// HTTP is the underlying client (http.DefaultClient when nil).
 	HTTP *http.Client
+	// Retry tunes retries for idempotent requests (zero value = defaults).
+	Retry RetryPolicy
 }
 
 // NewClient returns a client for the daemon at baseURL.
@@ -48,22 +103,92 @@ func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
 }
 
-// do runs one JSON round trip. A non-2xx status is surfaced as an error
-// carrying the server's error body.
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+// retryStatus reports whether a response status signals a transient
+// condition worth retrying.
+func retryStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// do runs one JSON exchange. A non-2xx status is surfaced as an error
+// carrying the server's error body. Idempotent exchanges are retried with
+// backoff; non-idempotent ones (uploads, fit submissions) get exactly one
+// attempt, since a transport error leaves it unknown whether the server
+// acted.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(in); err != nil {
 			return fmt.Errorf("rsm: encode %s %s: %w", method, path, err)
 		}
+	}
+	pol := c.Retry.withDefaults()
+	attempts := pol.MaxAttempts
+	if !idempotent {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(pol.backoff(attempt, lastRetryAfter(lastErr)))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return lastErr
+			case <-t.C:
+			}
+		}
+		status, err := c.doOnce(ctx, method, path, data, in != nil, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return lastErr
+		}
+		if status != 0 && !retryStatus(status) {
+			return lastErr // definitive server answer; retrying can't help
+		}
+	}
+	return lastErr
+}
+
+// httpError is a non-2xx response, keeping the status and any Retry-After
+// hint available to the retry loop.
+type httpError struct {
+	msg        string
+	status     int
+	retryAfter time.Duration
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// lastRetryAfter extracts the Retry-After hint from a previous attempt's
+// error, if any.
+func lastRetryAfter(err error) time.Duration {
+	if he, ok := err.(*httpError); ok {
+		return he.retryAfter
+	}
+	return 0
+}
+
+// doOnce runs a single HTTP round trip. status is 0 when the request never
+// produced a response (transport error).
+func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, hasBody bool, out any) (int, error) {
+	var body io.Reader
+	if hasBody {
 		body = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
-		return fmt.Errorf("rsm: %s %s: %w", method, path, err)
+		return 0, fmt.Errorf("rsm: %s %s: %w", method, path, err)
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	hc := c.HTTP
@@ -72,28 +197,35 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("rsm: %s %s: %w", method, path, err)
+		return 0, fmt.Errorf("rsm: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
+		he := &httpError{status: resp.StatusCode}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			he.retryAfter = time.Duration(secs) * time.Second
+		}
 		var e server.ErrorResponse
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("rsm: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+			he.msg = fmt.Sprintf("rsm: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		} else {
+			he.msg = fmt.Sprintf("rsm: %s %s: HTTP %d", method, path, resp.StatusCode)
 		}
-		return fmt.Errorf("rsm: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return resp.StatusCode, he
 	}
 	if out == nil {
-		return nil
+		return resp.StatusCode, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("rsm: decode %s %s: %w", method, path, err)
+		return resp.StatusCode, fmt.Errorf("rsm: decode %s %s: %w", method, path, err)
 	}
-	return nil
+	return resp.StatusCode, nil
 }
 
-// Health checks daemon liveness.
+// Health checks daemon liveness. A draining daemon reports unhealthy
+// (/healthz answers 503).
 func (c *Client) Health(ctx context.Context) error {
-	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil, true)
 }
 
 // UploadModel publishes a fitted model envelope under name and returns the
@@ -105,7 +237,7 @@ func (c *Client) UploadModel(ctx context.Context, name string, env *Envelope) (*
 	}
 	var info ModelInfo
 	req := server.UploadRequest{Name: name, Model: json.RawMessage(buf.Bytes())}
-	if err := c.do(ctx, http.MethodPost, "/v1/models", req, &info); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/models", req, &info, false); err != nil {
 		return nil, err
 	}
 	return &info, nil
@@ -114,7 +246,7 @@ func (c *Client) UploadModel(ctx context.Context, name string, env *Envelope) (*
 // Models lists the latest version of every stored model.
 func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
 	var resp server.ListResponse
-	if err := c.do(ctx, http.MethodGet, "/v1/models", nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/models", nil, &resp, true); err != nil {
 		return nil, err
 	}
 	return resp.Models, nil
@@ -123,7 +255,7 @@ func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
 // SubmitFit enqueues an async fit job and returns its id.
 func (c *Client) SubmitFit(ctx context.Context, req FitRequest) (string, error) {
 	var resp server.FitResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/fit", req, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/fit", req, &resp, false); err != nil {
 		return "", err
 	}
 	return resp.JobID, nil
@@ -132,15 +264,27 @@ func (c *Client) SubmitFit(ctx context.Context, req FitRequest) (string, error) 
 // Job polls one fit job.
 func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
 	var st JobStatus
-	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st, true); err != nil {
 		return nil, err
 	}
 	return &st, nil
 }
 
-// WaitJob polls the job every interval until it finishes (done or failed)
-// or ctx expires. A failed job is returned alongside an error carrying its
-// message.
+// CancelJob asks the daemon to cancel a fit job and returns its (possibly
+// already terminal) status. Cancellation is idempotent: a finished or
+// already-canceled job is returned unchanged.
+func (c *Client) CancelJob(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st, true); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// WaitJob polls the job every interval until it reaches any terminal state
+// (done, failed, canceled or timed_out) or ctx expires. It returns promptly
+// on every terminal state; unsuccessful ones come back alongside an error
+// carrying the state and the job's message.
 func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration) (*JobStatus, error) {
 	if interval <= 0 {
 		interval = 50 * time.Millisecond
@@ -155,8 +299,8 @@ func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration)
 		switch st.State {
 		case server.JobDone:
 			return st, nil
-		case server.JobFailed:
-			return st, fmt.Errorf("rsm: job %s failed: %s", id, st.Error)
+		case server.JobFailed, server.JobCanceled, server.JobTimedOut:
+			return st, fmt.Errorf("rsm: job %s %s: %s", id, st.State, st.Error)
 		}
 		select {
 		case <-ctx.Done():
@@ -170,7 +314,7 @@ func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration)
 func (c *Client) Predict(ctx context.Context, name string, points [][]float64) ([]float64, error) {
 	var resp server.PredictResponse
 	req := server.PredictRequest{Points: points}
-	if err := c.do(ctx, http.MethodPost, "/v1/models/"+name+"/predict", req, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/models/"+name+"/predict", req, &resp, true); err != nil {
 		return nil, err
 	}
 	return resp.Values, nil
@@ -179,7 +323,7 @@ func (c *Client) Predict(ctx context.Context, name string, points [][]float64) (
 // Yield runs a server-side yield/quantile query against the named model.
 func (c *Client) Yield(ctx context.Context, name string, req YieldRequest) (*YieldResponse, error) {
 	var resp YieldResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/models/"+name+"/yield", req, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/models/"+name+"/yield", req, &resp, true); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -188,7 +332,7 @@ func (c *Client) Yield(ctx context.Context, name string, req YieldRequest) (*Yie
 // Metrics fetches the daemon's counter snapshot.
 func (c *Client) Metrics(ctx context.Context) (map[string]any, error) {
 	var m map[string]any
-	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m, true); err != nil {
 		return nil, err
 	}
 	return m, nil

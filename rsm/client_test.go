@@ -2,8 +2,12 @@ package rsm_test
 
 import (
 	"context"
+	"encoding/json"
 	"math"
+	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -190,5 +194,196 @@ func TestClientErrorSurfacing(t *testing.T) {
 	if _, err := c.SubmitFit(ctx, rsm.FitRequest{Name: "x", Solver: "newton",
 		Points: [][]float64{{1}}, Values: []float64{1}}); err == nil {
 		t.Fatal("unknown solver should fail at submit")
+	}
+}
+
+// fastRetry keeps retry-path tests quick.
+var fastRetry = rsm.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+
+// TestClientRetriesIdempotent checks that transient 503s on an idempotent
+// call are retried until the daemon recovers.
+func TestClientRetriesIdempotent(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(server.ListResponse{})
+	}))
+	defer hs.Close()
+	c := rsm.NewClient(hs.URL)
+	c.Retry = fastRetry
+	if _, err := c.Models(context.Background()); err != nil {
+		t.Fatalf("third attempt should have succeeded: %v", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d calls, want 3", n)
+	}
+}
+
+// TestClientDoesNotRetrySubmit checks that non-idempotent calls get exactly
+// one attempt: a retried fit submission could enqueue the job twice.
+func TestClientDoesNotRetrySubmit(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+	}))
+	defer hs.Close()
+	c := rsm.NewClient(hs.URL)
+	c.Retry = fastRetry
+	if _, err := c.SubmitFit(context.Background(), rsm.FitRequest{Name: "x",
+		Points: [][]float64{{1}}, Values: []float64{1}}); err == nil {
+		t.Fatal("submit against a saturated daemon should fail")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("server saw %d submit attempts, want 1", n)
+	}
+}
+
+// TestClientDoesNotRetryClientErrors checks that definitive answers (404)
+// come back immediately, with no retry churn.
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"unknown job"}`, http.StatusNotFound)
+	}))
+	defer hs.Close()
+	c := rsm.NewClient(hs.URL)
+	c.Retry = fastRetry
+	if _, err := c.Job(context.Background(), "job-000001"); err == nil {
+		t.Fatal("404 should surface as an error")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("server saw %d calls, want 1", n)
+	}
+}
+
+// TestClientRetryHonorsRetryAfter checks that a server-directed Retry-After
+// stretches the backoff beyond the computed exponential delay.
+func TestClientRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(server.ListResponse{})
+	}))
+	defer hs.Close()
+	c := rsm.NewClient(hs.URL)
+	c.Retry = rsm.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Second}
+	start := time.Now()
+	if _, err := c.Models(context.Background()); err != nil {
+		t.Fatalf("retry should have succeeded: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retried after %v, want ≥ ~1s per Retry-After", elapsed)
+	}
+}
+
+// TestClientRetryStopsOnContextDone checks that a canceled context cuts the
+// retry loop short instead of sleeping through the remaining backoff.
+func TestClientRetryStopsOnContextDone(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+	}))
+	defer hs.Close()
+	c := rsm.NewClient(hs.URL)
+	c.Retry = rsm.RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Second, MaxDelay: 10 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Models(ctx)
+	if err == nil {
+		t.Fatal("expected failure against a permanently overloaded daemon")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop kept sleeping %v past context deadline", elapsed)
+	}
+}
+
+// TestWaitJobReturnsOnTerminalStates checks that WaitJob stops polling the
+// moment a job reaches any terminal state — failed, canceled or timed_out —
+// rather than spinning until its context deadline.
+func TestWaitJobReturnsOnTerminalStates(t *testing.T) {
+	for _, state := range []string{server.JobFailed, server.JobCanceled, server.JobTimedOut} {
+		var calls atomic.Int64
+		hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			calls.Add(1)
+			_ = json.NewEncoder(w).Encode(server.JobStatus{ID: "job-000001", State: state, Error: "boom"})
+		}))
+		c := rsm.NewClient(hs.URL)
+		start := time.Now()
+		st, err := c.WaitJob(context.Background(), "job-000001", time.Minute)
+		hs.Close()
+		if err == nil || !strings.Contains(err.Error(), state) {
+			t.Fatalf("state %s: want error naming the state, got %v", state, err)
+		}
+		if st == nil || st.State != state {
+			t.Fatalf("state %s: status %+v", state, st)
+		}
+		if n := calls.Load(); n != 1 {
+			t.Fatalf("state %s: WaitJob polled %d times, want 1", state, n)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("state %s: WaitJob took %v despite terminal first poll", state, elapsed)
+		}
+	}
+}
+
+// TestCancelJobRoundTrip drives DELETE /v1/jobs/{id} through the client
+// against a real server: canceling a queued job lands it in state canceled
+// and WaitJob notices immediately.
+func TestCancelJobRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	// One worker, deep queue, and two jobs: the second is guaranteed to
+	// still be queued (or just starting) when we cancel it.
+	srv := server.New(registry.New(), server.Config{FitWorkers: 1, QueueDepth: 8})
+	hs := httptest.NewServer(srv)
+	defer func() {
+		hs.Close()
+		srv.Close()
+	}()
+	c := rsm.NewClient(hs.URL)
+	req := rsm.FitRequest{Name: "cjob", Degree: 2, Folds: 2, MaxLambda: 20,
+		Points: [][]float64{{0.1, 0.2}, {0.3, -0.4}, {-0.5, 0.6}, {0.7, 0.8},
+			{-0.9, 0.1}, {0.2, -0.3}, {0.4, 0.5}, {-0.6, -0.7}},
+		Values: []float64{1, 2, 3, 4, 5, 6, 7, 8}}
+	if _, err := c.SubmitFit(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	id2, err := c.SubmitFit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CancelJob(ctx, id2); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.WaitJob(ctx, id2, 10*time.Millisecond)
+	switch st.State {
+	case server.JobCanceled:
+		if err == nil || !strings.Contains(err.Error(), server.JobCanceled) {
+			t.Fatalf("canceled job should surface an error naming the state, got %v", err)
+		}
+	case server.JobDone:
+		// The single worker got to the job before the cancel; a completed
+		// job stays completed, which is the documented no-op behavior.
+		if err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatalf("state %s after cancel (err %v)", st.State, err)
+	}
+	// Canceling again (or canceling a finished job) is idempotent.
+	st2, err := c.CancelJob(ctx, id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != st.State {
+		t.Fatalf("second cancel changed state %s → %s", st.State, st2.State)
 	}
 }
