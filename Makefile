@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench chaos ci
+.PHONY: all build test race vet fmt-check bench chaos obs ci
 
 all: build
 
@@ -35,4 +35,11 @@ bench:
 chaos:
 	$(GO) test -race -run 'TestChaos|TestDraining|TestDaemon' ./internal/server/ ./cmd/rsmd/
 
-ci: vet fmt-check build test race chaos
+# Observability smoke check: boots the serving stack in-process, drives a
+# fit + predictions through it, scrapes /metrics in Prometheus text format
+# and validates the exposition (cumulative le buckets, TYPE metadata, +Inf
+# terminators) — failing on any malformed output.
+obs:
+	$(GO) run ./cmd/obscheck
+
+ci: vet fmt-check build test race chaos obs

@@ -1,0 +1,122 @@
+// Command obscheck is the observability smoke check behind `make obs`: it
+// boots the rsmd serving stack in-process on a loopback port, drives real
+// traffic through it (model upload, predictions, one async fit job to
+// completion), then scrapes GET /metrics in Prometheus text format and
+// validates the exposition promtool-style — well-formed sample lines, TYPE
+// metadata, ascending cumulative `le` buckets, +Inf terminators matching
+// _count. Any malformed output, missing metric family, or zero fit
+// histogram is a non-zero exit, so CI fails the moment the exposition
+// regresses.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/registry"
+	"repro/internal/server"
+	"repro/rsm"
+)
+
+func main() {
+	if err := check(); err != nil {
+		fmt.Fprintln(os.Stderr, "obscheck: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("obscheck: OK — Prometheus exposition valid")
+}
+
+func check() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	srv := server.New(registry.New(), server.Config{FitWorkers: 1, Logger: logger})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	c := rsm.NewClient(base)
+
+	// Drive enough traffic to populate every metric family: a fit job (fit
+	// and queue histograms, job counters, telemetry) and predictions.
+	id, err := c.SubmitFit(ctx, rsm.FitRequest{Name: "obscheck", Folds: 2, MaxLambda: 3,
+		Points: [][]float64{{0.1, 0.2}, {0.3, -0.4}, {-0.5, 0.6}, {0.7, 0.8}, {0.2, -0.6}, {-0.3, 0.5}},
+		Values: []float64{1, 2, 3, 4, 5, 6}})
+	if err != nil {
+		return fmt.Errorf("submit fit: %w", err)
+	}
+	st, err := c.WaitJob(ctx, id, 20*time.Millisecond)
+	if err != nil {
+		return fmt.Errorf("fit job: %w", err)
+	}
+	if len(st.Events) == 0 {
+		return fmt.Errorf("completed fit job %s has no telemetry events", id)
+	}
+	if _, err := c.Predict(ctx, "obscheck", [][]float64{{0.0, 0.0}, {0.5, -0.5}}); err != nil {
+		return fmt.Errorf("predict: %w", err)
+	}
+
+	// Scrape exactly as Prometheus would.
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/plain;version=0.0.4;q=0.5,*/*;q=0.1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		return fmt.Errorf("scrape content type %q, want text exposition 0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("scrape read: %w", err)
+	}
+
+	if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+		return fmt.Errorf("malformed exposition: %w", err)
+	}
+	for _, family := range []string{
+		"rsmd_uptime_seconds", "rsmd_http_requests_total",
+		"rsmd_http_request_duration_seconds_bucket", "rsmd_predictions_total",
+		"rsmd_jobs_total", "rsmd_fit_duration_seconds_bucket", "rsmd_fit_iterations_bucket",
+		"rsmd_job_queue_depth", "rsmd_job_queue_wait_seconds_bucket",
+		"rsmd_goroutines", "rsmd_heap_alloc_bytes", "rsmd_gc_cycles_total",
+	} {
+		if !strings.Contains(string(body), family) {
+			return fmt.Errorf("exposition missing family %s", family)
+		}
+	}
+	for _, pat := range []string{
+		`rsmd_jobs_total\{state="done"\} 1`,
+		`rsmd_fit_duration_seconds_count [1-9]`,
+		`rsmd_job_queue_wait_seconds_count [1-9]`,
+		`rsmd_predictions_total\{model="obscheck"\} 2`,
+	} {
+		if !regexp.MustCompile(pat).MatchString(string(body)) {
+			return fmt.Errorf("exposition does not reflect driven traffic: no match for %s", pat)
+		}
+	}
+	return nil
+}

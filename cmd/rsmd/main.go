@@ -12,6 +12,12 @@
 //	curl -s localhost:8080/v1/jobs/job-000001
 //	curl -s -X POST localhost:8080/v1/models/demo/predict -d '{"points":[[0.1,0,...]]}'
 //	curl -s localhost:8080/metrics
+//	curl -s -H 'Accept: text/plain' localhost:8080/metrics   # Prometheus exposition
+//
+// Observability: logs are structured (-log-format text|json, -log-level
+// debug|info|warn|error) and every request/log line carries an
+// X-Request-Id; -pprof-addr starts an opt-in net/http/pprof endpoint on a
+// separate listener so profiling is never exposed on the serving port.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: /healthz flips to 503 so
 // load balancers rotate it out, the listener stops accepting, and in-flight
@@ -24,26 +30,26 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/server"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("rsmd: ")
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(os.Stderr, "rsmd:", err)
+		os.Exit(1)
 	}
 }
 
@@ -64,20 +70,31 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		reqTimeout   = fs.Duration("request-timeout", 30*time.Second, "per-request handler deadline")
 		fitTimeout   = fs.Duration("fit-timeout", 5*time.Minute, "per-job fit deadline")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight work")
+		logLevel     = fs.String("log-level", "info", "log verbosity: debug|info|warn|error (debug includes per-request access logs)")
+		logFormat    = fs.String("log-format", "text", "log encoding: text|json")
+		pprofAddr    = fs.String("pprof-addr", "", "listen address for net/http/pprof (empty = disabled)")
 		faults       = fs.String("faults", os.Getenv("RSMD_FAULTS"),
 			"fault-injection spec for chaos testing, e.g. server.fit=panic#1 (default $RSMD_FAULTS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return fmt.Errorf("-log-level: %w", err)
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		return fmt.Errorf("-log-format: unknown format %q (want text|json)", *logFormat)
+	}
+	logger := obs.NewLogger(logw, level, *logFormat)
 	if *faults != "" {
 		if err := faultinject.Configure(*faults); err != nil {
 			return fmt.Errorf("-faults: %w", err)
 		}
-		log.Printf("fault injection armed: %s", *faults)
+		logger.Warn("fault injection armed", "spec", *faults)
 	}
 
-	reg, err := registry.Open(*store)
+	reg, err := registry.OpenWith(*store, logger)
 	if err != nil {
 		return err
 	}
@@ -88,6 +105,7 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		MaxBatch:       *maxBatch,
 		RequestTimeout: *reqTimeout,
 		FitTimeout:     *fitTimeout,
+		Logger:         logger,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -95,9 +113,34 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 	}
 	httpSrv := &http.Server{Handler: srv}
 
+	// Profiling is opt-in and on its own listener: the serving port never
+	// exposes pprof, and the endpoint dies with the daemon.
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("-pprof-addr: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Handler: pmux}
+		go func() {
+			if err := pprofSrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof server failed", "error", err)
+			}
+		}()
+		logger.Info("pprof enabled", "addr", pln.Addr().String())
+	}
+
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
-	log.Printf("serving %d model(s) on %s (store=%q)", reg.Len(), ln.Addr(), *store)
+	logger.Info("serving", "models", reg.Len(), "addr", ln.Addr().String(), "store", *store,
+		"log_level", level.String(), "log_format", *logFormat)
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
@@ -105,6 +148,9 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 	select {
 	case err := <-serveErr:
 		srv.Close()
+		if pprofSrv != nil {
+			pprofSrv.Close()
+		}
 		return err
 	case <-ctx.Done():
 	}
@@ -113,13 +159,16 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 	// listener and in-flight requests, then the fit workers — all under one
 	// shared budget. Jobs still running when it expires are canceled and
 	// land in state canceled.
-	log.Print("shutting down")
+	logger.Info("shutting down")
 	srv.BeginDrain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	httpErr := httpSrv.Shutdown(shutCtx)
 	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Printf("drain budget exhausted; canceled remaining fit jobs (%v)", err)
+		logger.Warn("drain budget exhausted; canceled remaining fit jobs", "error", err)
+	}
+	if pprofSrv != nil {
+		pprofSrv.Close()
 	}
 	if httpErr != nil && !errors.Is(httpErr, http.ErrServerClosed) {
 		return httpErr

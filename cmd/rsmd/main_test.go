@@ -1,12 +1,19 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/rsm"
 )
@@ -115,4 +122,163 @@ func TestDaemonRejectsBadFaultSpec(t *testing.T) {
 	if err == nil {
 		t.Fatal("bad -faults spec should fail startup")
 	}
+}
+
+// pickPort reserves a free TCP port and releases it for the daemon to bind.
+// A race against another process is theoretically possible but harmless in
+// practice for tests.
+func pickPort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestDaemonPrometheusScrape drives a full fit through the daemon over HTTP
+// and then scrapes /metrics the way Prometheus does (Accept: text/plain):
+// the exposition must validate and reflect the completed job.
+func TestDaemonPrometheusScrape(t *testing.T) {
+	base, cancel, done := startDaemon(t, "-log-level", "error")
+	defer func() { cancel(); <-done }()
+	ctx := context.Background()
+	c := rsm.NewClient(base)
+
+	id, err := c.SubmitFit(ctx, rsm.FitRequest{Name: "scrape", Folds: 2, MaxLambda: 3,
+		Points: [][]float64{{0.1, 0.2}, {0.3, -0.4}, {-0.5, 0.6}, {0.7, 0.8}, {0.2, -0.6}, {-0.3, 0.5}},
+		Values: []float64{1, 2, 3, 4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.WaitJob(ctx, id, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Events) == 0 {
+		t.Fatal("completed fit job reports no telemetry events over the wire")
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q, want Prometheus text exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+		t.Fatalf("daemon exposition invalid: %v", err)
+	}
+	if !strings.Contains(string(body), `rsmd_jobs_total{state="done"} 1`) {
+		t.Fatalf("exposition missing completed-job counter:\n%.2000s", body)
+	}
+	if resp.Header.Get(obs.RequestIDHeader) == "" {
+		t.Fatal("metrics response carries no X-Request-Id")
+	}
+}
+
+// TestDaemonPprofOptIn: without -pprof-addr nothing listens; with it, the
+// pprof index answers on the side listener and never on the serving port.
+func TestDaemonPprofOptIn(t *testing.T) {
+	pprofAddr := pickPort(t)
+	base, cancel, done := startDaemon(t, "-log-level", "error", "-pprof-addr", pprofAddr)
+	defer func() { cancel(); <-done }()
+
+	// The serving mux must not expose pprof.
+	resp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("serving port exposes /debug/pprof/")
+	}
+
+	// The side listener must.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err = http.Get("http://" + pprofAddr + "/debug/pprof/")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pprof endpoint never came up: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index: HTTP %d, body %.200s", resp.StatusCode, body)
+	}
+}
+
+// TestDaemonLogFlags: json logs must be JSON; bad -log-level and -log-format
+// values must fail startup.
+func TestDaemonLogFlags(t *testing.T) {
+	var buf syncBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	ready := make(chan string, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-log-format", "json"}, &buf,
+			func(a string) { ready <- a })
+	}()
+	select {
+	case <-ready:
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("daemon never ready")
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("non-JSON log line with -log-format json: %q", line)
+		}
+		if m["msg"] == nil || m["level"] == nil {
+			t.Fatalf("JSON log line missing msg/level: %q", line)
+		}
+	}
+
+	if err := run(context.Background(), []string{"-log-level", "loud"}, io.Discard, nil); err == nil {
+		t.Fatal("bad -log-level should fail startup")
+	}
+	if err := run(context.Background(), []string{"-log-format", "xml"}, io.Discard, nil); err == nil {
+		t.Fatal("bad -log-format should fail startup")
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the daemon goroutine writes
+// log lines while the test reads after shutdown.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }

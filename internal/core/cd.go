@@ -153,6 +153,7 @@ func (c *CD) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda i
 				path.Residual = append(path.Residual, linalg.Norm2(st.res))
 				lastNNZ++
 			}
+			fc.Observe(-1, nnz, linalg.Norm2(st.res)) // grid step: no single basis
 		}
 	}
 	if len(path.Models) == 0 {

@@ -130,7 +130,7 @@ func CrossValidateCtx(ctx context.Context, fitter PathFitter, d basis.Design, f 
 		trainF := gather(f, trainRows)
 		testF := gather(f, testRows)
 
-		path, err := FitPathContext(ctx, fitter, trainD, trainF, maxLambda)
+		path, err := FitPathContext(WithFitStage(ctx, fmt.Sprintf("cv-fold-%d", q)), fitter, trainD, trainF, maxLambda)
 		if err != nil {
 			return nil, fmt.Errorf("core: cross-validation fold %d: %w", q, err)
 		}
@@ -180,7 +180,7 @@ func CrossValidateCtx(ctx context.Context, fitter PathFitter, d basis.Design, f 
 	// BestLambda because batch solvers (StOMP, CD) admit several bases per
 	// step: capping admission at BestLambda could truncate a batch, whereas
 	// indexing the full path returns the same model the folds scored.
-	path, err := FitPathContext(ctx, fitter, d, f, maxLambda)
+	path, err := FitPathContext(WithFitStage(ctx, "final"), fitter, d, f, maxLambda)
 	if err != nil {
 		return nil, fmt.Errorf("core: final refit: %w", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/basis"
 )
@@ -47,14 +48,71 @@ func checkFiniteVec(label string, v []float64) error {
 	return nil
 }
 
+// FitEvent is one solver path iteration, as reported to a FitObserver. It
+// is the paper-faithful telemetry unit: OMP/LAR/STAR walk the dictionary
+// one basis selection at a time (Efron et al. 2004; Li DAC'09), so each
+// event names the chosen basis, the active-set size and the residual norm
+// after the step. Batch solvers (StOMP stages, CD grid points) admit
+// several bases per step and report Basis = -1.
+type FitEvent struct {
+	// Stage labels which fit produced the event when a higher-level driver
+	// runs several (cross-validation folds, the final refit); "" otherwise.
+	Stage string
+	// Iter is the 1-based iteration number within one path fit.
+	Iter int
+	// Basis is the selected basis index, or -1 for batch steps.
+	Basis int
+	// Active is the active-set size after the iteration.
+	Active int
+	// Residual is ‖res‖₂ after the iteration.
+	Residual float64
+	// Elapsed is the wall-clock time since the path fit started.
+	Elapsed time.Duration
+}
+
+// FitObserver receives per-iteration solver telemetry. Observers are called
+// synchronously from the solver goroutine and must be fast; anything
+// expensive belongs behind a channel or a mutex-guarded append.
+type FitObserver func(FitEvent)
+
+// observerKey/stageKey carry fit telemetry configuration in a context.
+type obsCtxKey int
+
+const (
+	observerCtxKey obsCtxKey = iota
+	stageCtxKey
+)
+
+// WithFitObserver arranges for solver path fits run under ctx (through
+// FitPathContext, CrossValidateCtx, or any ContextFitter) to report each
+// iteration to obs.
+func WithFitObserver(ctx context.Context, obs FitObserver) context.Context {
+	return context.WithValue(ctx, observerCtxKey, obs)
+}
+
+// WithFitStage labels events emitted under ctx with a stage name.
+// CrossValidateCtx uses it to distinguish fold fits from the final refit.
+func WithFitStage(ctx context.Context, stage string) context.Context {
+	return context.WithValue(ctx, stageCtxKey, stage)
+}
+
 // FitContext threads cancellation from a context.Context into solver inner
 // loops. Solvers call Err at the top of each path iteration (and sweep);
 // the poll is amortized over checkStride calls so it stays cheap even when
 // sprinkled into tight loops. A nil *FitContext never cancels, which is the
 // zero-overhead path used by the context-free FitPath entry points.
+//
+// A FitContext also carries the optional telemetry observer (see
+// WithFitObserver): solvers report each completed path iteration through
+// Observe, which is a nil check when no observer is armed.
 type FitContext struct {
 	ctx context.Context
 	n   uint
+
+	observer FitObserver
+	stage    string
+	start    time.Time
+	iter     int
 }
 
 // checkStride is how many Err calls are skipped between context polls. Solver
@@ -68,7 +126,32 @@ func NewFitContext(ctx context.Context) *FitContext {
 	if ctx == nil {
 		return nil
 	}
-	return &FitContext{ctx: ctx}
+	fc := &FitContext{ctx: ctx}
+	if obs, ok := ctx.Value(observerCtxKey).(FitObserver); ok && obs != nil {
+		fc.observer = obs
+		fc.start = time.Now()
+		fc.stage, _ = ctx.Value(stageCtxKey).(string)
+	}
+	return fc
+}
+
+// Observe reports one completed path iteration to the armed observer:
+// basis is the selected dictionary index (-1 for batch admissions), active
+// the active-set size and residual ‖res‖₂ after the step. It is safe on a
+// nil receiver and free when no observer is armed.
+func (fc *FitContext) Observe(basis, active int, residual float64) {
+	if fc == nil || fc.observer == nil {
+		return
+	}
+	fc.iter++
+	fc.observer(FitEvent{
+		Stage:    fc.stage,
+		Iter:     fc.iter,
+		Basis:    basis,
+		Active:   active,
+		Residual: residual,
+		Elapsed:  time.Since(fc.start),
+	})
 }
 
 // Err polls the underlying context every few calls and returns its error once

@@ -258,6 +258,7 @@ func (l *LAR) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda 
 		}
 
 		record()
+		fc.Observe(sel, len(st.support), path.Residual[len(path.Residual)-1])
 		if l.Tol > 0 && fNorm > 0 && linalg.Norm2(res) <= l.Tol*fNorm {
 			break
 		}

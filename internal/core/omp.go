@@ -141,6 +141,7 @@ func (o *OMP) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda 
 		model := &Model{M: m, Support: append([]int(nil), support...), Coef: coef}
 		path.Models = append(path.Models, model)
 		path.Residual = append(path.Residual, linalg.Norm2(res))
+		fc.Observe(selected, len(support), path.Residual[len(path.Residual)-1])
 
 		if o.Tol > 0 && fNorm > 0 && linalg.Norm2(res) <= o.Tol*fNorm {
 			break

@@ -95,6 +95,7 @@ func (s *STAR) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda
 		}
 		path.Models = append(path.Models, model)
 		path.Residual = append(path.Residual, linalg.Norm2(res))
+		fc.Observe(sel, len(support), path.Residual[len(path.Residual)-1])
 
 		if s.Tol > 0 && fNorm > 0 && linalg.Norm2(res) <= s.Tol*fNorm {
 			break

@@ -171,6 +171,7 @@ func (s *StOMP) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambd
 		model := &Model{M: m, Support: append([]int(nil), support...), Coef: coef}
 		path.Models = append(path.Models, model)
 		path.Residual = append(path.Residual, curRes)
+		fc.Observe(-1, len(support), curRes) // batch admission: no single basis
 		if s.Tol > 0 && fNorm > 0 && curRes <= s.Tol*fNorm {
 			break
 		}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Histogram is a fixed-bucket histogram safe for concurrent use. Bucket
+// counts are stored per interval internally and rendered cumulatively on
+// snapshot, matching the Prometheus `le` contract (each bucket counts every
+// observation ≤ its bound, and the implicit +Inf bucket equals the total
+// observation count).
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+
+	mu     sync.Mutex
+	counts []int64 // len(bounds)+1; last is the +Inf overflow interval
+	sum    float64
+	count  int64
+}
+
+// NewHistogram builds a histogram over the given strictly ascending upper
+// bounds. It panics on an unsorted bound list — bucket layouts are
+// compile-time decisions, not runtime input.
+func NewHistogram(bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Snapshot returns a consistent cumulative view of the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return cumulate(h.bounds, h.counts, h.sum, h.count)
+}
+
+// HistogramSnapshot is a point-in-time cumulative histogram view.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; the +Inf bucket is implicit.
+	Bounds []float64
+	// Cumulative[i] counts observations ≤ Bounds[i]; the final entry is the
+	// +Inf bucket and always equals Count.
+	Cumulative []int64
+	// Sum is the sum of all observed values.
+	Sum float64
+	// Count is the total number of observations.
+	Count int64
+}
+
+// cumulate converts per-interval counts into a cumulative snapshot.
+func cumulate(bounds []float64, counts []int64, sum float64, count int64) HistogramSnapshot {
+	cum := make([]int64, len(counts))
+	var running int64
+	for i, c := range counts {
+		running += c
+		cum[i] = running
+	}
+	return HistogramSnapshot{
+		Bounds:     append([]float64(nil), bounds...),
+		Cumulative: cum,
+		Sum:        sum,
+		Count:      count,
+	}
+}
+
+// CumulativeSnapshot builds a snapshot from externally held per-interval
+// counts (len(bounds)+1, last interval is the +Inf overflow). It lets
+// callers that guard their counters with their own lock render the same
+// cumulative views as Histogram.
+func CumulativeSnapshot(bounds []float64, counts []int64, sum float64) HistogramSnapshot {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return cumulate(bounds, counts, sum, total)
+}
+
+// JSONBuckets renders the snapshot's cumulative buckets as the expvar-style
+// map used by the /metrics JSON view: {"le_0.005": 3, ..., "le_inf": 17}.
+func (s HistogramSnapshot) JSONBuckets() map[string]int64 {
+	out := make(map[string]int64, len(s.Cumulative))
+	for i, b := range s.Bounds {
+		out["le_"+strconv.FormatFloat(b, 'g', -1, 64)] = s.Cumulative[i]
+	}
+	out["le_inf"] = s.Cumulative[len(s.Cumulative)-1]
+	return out
+}
+
+// JSON renders the full snapshot (cumulative buckets, sum, count) as a
+// JSON-encodable tree.
+func (s HistogramSnapshot) JSON() map[string]any {
+	return map[string]any{
+		"count":   s.Count,
+		"sum":     s.Sum,
+		"buckets": s.JSONBuckets(),
+	}
+}

@@ -1,0 +1,80 @@
+// Package obs is the cross-cutting observability layer shared by the
+// serving stack (cmd/rsmd, internal/server, internal/registry, rsm): it
+// provides structured logging on log/slog with context propagation,
+// X-Request-Id generation and plumbing, self-locking latency/size
+// histograms with Prometheus-correct cumulative buckets, a text-format
+// exposition writer plus a promtool-style validator, and runtime gauges.
+// Everything is stdlib-only, mirroring the rest of the repository.
+//
+// The conventions it encodes:
+//
+//   - every HTTP exchange carries an X-Request-Id (client-supplied or
+//     server-assigned) that is echoed on the response, stamped on every log
+//     line touching the request, and recorded on any fit job it spawns;
+//   - histograms are exposed in two views — the expvar-style JSON tree and
+//     Prometheus text exposition — and both render *cumulative* `le`
+//     buckets, exactly as the Prometheus histogram contract requires;
+//   - loggers travel in the context; code below the middleware asks
+//     obs.Log(ctx) and transparently inherits the request's attributes.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ctxKey keys the package's context values.
+type ctxKey int
+
+const (
+	loggerKey ctxKey = iota
+	requestIDKey
+)
+
+// NewLogger builds a leveled slog.Logger writing to w. format is "text" or
+// "json"; anything else falls back to text.
+func NewLogger(w io.Writer, level slog.Level, format string) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if strings.EqualFold(format, "json") {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h)
+}
+
+// ParseLevel maps a flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// WithLogger stores l in the context for retrieval with Log.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey, l)
+}
+
+// Log returns the context's logger, falling back to slog.Default. Handlers
+// and workers use it so every line inherits the request attributes
+// (request_id, route, ...) attached by the middleware.
+func Log(ctx context.Context) *slog.Logger {
+	if ctx != nil {
+		if l, ok := ctx.Value(loggerKey).(*slog.Logger); ok && l != nil {
+			return l
+		}
+	}
+	return slog.Default()
+}

@@ -1,0 +1,365 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromWriter renders Prometheus text exposition format (version 0.0.4). It
+// accumulates the first write error and keeps going, so call sites can emit
+// the whole page and check Flush once.
+type PromWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewPromWriter wraps w for exposition output.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: bufio.NewWriter(w)}
+}
+
+// printf appends formatted output, latching the first error.
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Meta emits the # HELP and # TYPE comments for a metric family. typ is
+// counter|gauge|histogram|summary|untyped.
+func (p *PromWriter) Meta(name, typ, help string) {
+	if help != "" {
+		p.printf("# HELP %s %s\n", name, escapeHelp(help))
+	}
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Sample emits one sample line. labels is a pre-rendered pair list (use
+// Labels), "" for none.
+func (p *PromWriter) Sample(name, labels string, v float64) {
+	if labels == "" {
+		p.printf("%s %s\n", name, FormatValue(v))
+		return
+	}
+	p.printf("%s{%s} %s\n", name, labels, FormatValue(v))
+}
+
+// Histogram emits a full cumulative histogram family: one _bucket line per
+// bound plus the mandatory le="+Inf" bucket, then _sum and _count. labels
+// are merged before the le pair.
+func (p *PromWriter) Histogram(name, labels string, s HistogramSnapshot) {
+	join := func(le string) string {
+		pair := `le="` + le + `"`
+		if labels == "" {
+			return pair
+		}
+		return labels + "," + pair
+	}
+	for i, b := range s.Bounds {
+		p.Sample(name+"_bucket", join(FormatValue(b)), float64(s.Cumulative[i]))
+	}
+	p.Sample(name+"_bucket", join("+Inf"), float64(s.Cumulative[len(s.Cumulative)-1]))
+	p.Sample(name+"_sum", labels, s.Sum)
+	p.Sample(name+"_count", labels, float64(s.Count))
+}
+
+// Flush drains the buffer and reports the first error encountered.
+func (p *PromWriter) Flush() error {
+	if p.err != nil {
+		return p.err
+	}
+	return p.w.Flush()
+}
+
+// Label renders one escaped label pair, e.g. Label("route", `GET /x`) →
+// `route="GET /x"`.
+func Label(name, value string) string {
+	return name + `="` + escapeLabel(value) + `"`
+}
+
+// Labels joins alternating name, value arguments into a rendered pair list.
+func Labels(kv ...string) string {
+	if len(kv)%2 != 0 {
+		panic("obs: Labels needs name/value pairs")
+	}
+	parts := make([]string, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		parts = append(parts, Label(kv[i], kv[i+1]))
+	}
+	return strings.Join(parts, ",")
+}
+
+// FormatValue renders a float the way the exposition format expects,
+// including +Inf/-Inf/NaN spellings.
+func FormatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition grammar.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a HELP text per the exposition grammar.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// Exposition-validation machinery: a promtool-lite lint used by the obs
+// tests and the `make obs` CI gate. It checks line syntax, metric-name
+// grammar, TYPE placement, and — the part that actually catches bugs — the
+// histogram contract: per-series cumulative `le` buckets ending in a +Inf
+// bucket that matches _count.
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRE     = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)(?:\s+(-?\d+))?$`)
+	labelPairRE  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// histSeries accumulates one histogram series' buckets during validation.
+type histSeries struct {
+	lastLE    float64
+	lastCount float64
+	sawInf    bool
+	infCount  float64
+	hasCount  bool
+	count     float64
+}
+
+// ValidateExposition parses Prometheus text exposition and returns an error
+// naming the first malformed line or violated histogram invariant. It is
+// deliberately strict about the things rsmd emits (it is a lint for our own
+// output, not a general scraper): every sample must follow a # TYPE for its
+// family, histogram buckets must be cumulative and ascending in le, the
+// +Inf bucket must be present, and _count must equal it.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	types := make(map[string]string)      // family → declared type
+	hists := make(map[string]*histSeries) // family + label-set (sans le) → state
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, types); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := validateSample(line, types, hists); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, h := range hists {
+		if !h.sawInf {
+			return fmt.Errorf("histogram series %s has no le=\"+Inf\" bucket", key)
+		}
+		if h.hasCount && h.count != h.infCount {
+			return fmt.Errorf("histogram series %s: _count %g != +Inf bucket %g", key, h.count, h.infCount)
+		}
+	}
+	return nil
+}
+
+// validateComment checks # HELP / # TYPE lines and records declared types.
+func validateComment(line string, types map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment; legal
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !metricNameRE.MatchString(fields[2]) {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+	case "TYPE":
+		if len(fields) != 4 || !metricNameRE.MatchString(fields[2]) {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		if _, dup := types[fields[2]]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", fields[2])
+		}
+		types[fields[2]] = fields[3]
+	}
+	return nil
+}
+
+// familyOf strips histogram/summary sample suffixes down to the declared
+// family name.
+func familyOf(name string, types map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if t := types[base]; t == "histogram" || t == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// validateSample checks one sample line and feeds histogram bookkeeping.
+func validateSample(line string, types map[string]string, hists map[string]*histSeries) error {
+	m := sampleRE.FindStringSubmatch(line)
+	if m == nil {
+		return fmt.Errorf("malformed sample line %q", line)
+	}
+	name, rawLabels, rawValue := m[1], m[2], m[3]
+	value, err := parseValue(rawValue)
+	if err != nil {
+		return fmt.Errorf("sample %s: %w", name, err)
+	}
+	labels, err := parseLabels(rawLabels)
+	if err != nil {
+		return fmt.Errorf("sample %s: %w", name, err)
+	}
+	family := familyOf(name, types)
+	typ, declared := types[family]
+	if !declared {
+		return fmt.Errorf("sample %s has no preceding # TYPE", name)
+	}
+	if typ != "histogram" {
+		return nil
+	}
+	key := family + "{" + labelsKeyWithout(labels, "le") + "}"
+	h := hists[key]
+	if h == nil {
+		h = &histSeries{lastLE: math.Inf(-1)}
+		hists[key] = h
+	}
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		leStr, ok := labels["le"]
+		if !ok {
+			return fmt.Errorf("histogram bucket %s has no le label", name)
+		}
+		le, err := parseValue(leStr)
+		if err != nil {
+			return fmt.Errorf("histogram bucket %s: bad le %q", name, leStr)
+		}
+		if le <= h.lastLE {
+			return fmt.Errorf("histogram %s: le %q not ascending", key, leStr)
+		}
+		if value < h.lastCount {
+			return fmt.Errorf("histogram %s: bucket le=%q count %g below previous %g (buckets must be cumulative)",
+				key, leStr, value, h.lastCount)
+		}
+		h.lastLE, h.lastCount = le, value
+		if math.IsInf(le, 1) {
+			h.sawInf = true
+			h.infCount = value
+		}
+	case strings.HasSuffix(name, "_count"):
+		h.hasCount = true
+		h.count = value
+	}
+	return nil
+}
+
+// parseValue parses an exposition float, accepting the +Inf/-Inf/NaN
+// spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels splits a rendered label list back into a map.
+func parseLabels(raw string) (map[string]string, error) {
+	labels := make(map[string]string)
+	if raw == "" {
+		return labels, nil
+	}
+	for _, pair := range splitLabelPairs(raw) {
+		m := labelPairRE.FindStringSubmatch(pair)
+		if m == nil {
+			return nil, fmt.Errorf("malformed label pair %q", pair)
+		}
+		labels[m[1]] = m[2]
+	}
+	return labels, nil
+}
+
+// splitLabelPairs splits on commas outside quoted values.
+func splitLabelPairs(raw string) []string {
+	var parts []string
+	var sb strings.Builder
+	inQuotes, escaped := false, false
+	for _, r := range raw {
+		switch {
+		case escaped:
+			escaped = false
+			sb.WriteRune(r)
+		case r == '\\' && inQuotes:
+			escaped = true
+			sb.WriteRune(r)
+		case r == '"':
+			inQuotes = !inQuotes
+			sb.WriteRune(r)
+		case r == ',' && !inQuotes:
+			parts = append(parts, sb.String())
+			sb.Reset()
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	if sb.Len() > 0 {
+		parts = append(parts, sb.String())
+	}
+	return parts
+}
+
+// labelsKeyWithout renders a deterministic key of the label set minus one
+// label, for grouping histogram series.
+func labelsKeyWithout(labels map[string]string, drop string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != drop {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return strings.Join(parts, ",")
+}

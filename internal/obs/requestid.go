@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// RequestIDHeader is the trace-propagation header: the rsm client stamps it
+// on every exchange, the rsmd middleware honors or assigns it, and every
+// response echoes it back.
+const RequestIDHeader = "X-Request-Id"
+
+// maxRequestIDLen bounds accepted client-supplied IDs so a hostile header
+// cannot bloat logs or job records.
+const maxRequestIDLen = 64
+
+// NewRequestID returns a fresh 16-hex-character request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID is still
+		// serviceable for correlation if it somehow does.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SanitizeRequestID validates a client-supplied request ID: printable,
+// header-safe tokens up to 64 chars pass through; anything else returns ""
+// so the caller assigns a fresh ID instead of propagating junk into logs.
+func SanitizeRequestID(id string) string {
+	if id == "" || len(id) > maxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.' || c == ':':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// WithRequestID stores the request ID in the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the context's request ID, or "" when none was attached.
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}

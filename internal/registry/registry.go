@@ -21,7 +21,7 @@ package registry
 import (
 	"bytes"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -79,25 +79,37 @@ func (e *Entry) Model() *core.Model { return e.Envelope.Model }
 // Open (persistent) or New (in-memory).
 type Registry struct {
 	dir string
+	log *slog.Logger
 
 	mu     sync.RWMutex
 	models map[string][]*Entry // versions in ascending order
 }
 
 // New returns an in-memory registry with no persistence.
-func New() *Registry { return &Registry{models: make(map[string][]*Entry)} }
+func New() *Registry {
+	return &Registry{models: make(map[string][]*Entry), log: slog.Default()}
+}
 
 // Open returns a registry persisted under dir (created when missing),
 // loading every model version already stored there. An empty dir means
-// in-memory only.
+// in-memory only. Crash-recovery incidents are logged to slog.Default();
+// OpenWith accepts an explicit logger.
+func Open(dir string) (*Registry, error) { return OpenWith(dir, nil) }
+
+// OpenWith is Open with an explicit structured logger (nil means
+// slog.Default()) so the daemon's recovery log lines carry its configured
+// handler, level and format.
 //
 // Crash recovery: stale "*.json.tmp" files (debris of a write interrupted
 // before its atomic rename) are deleted, and envelope files that fail to
 // read, parse, or validate are quarantined into dir/corrupt/ — each with a
 // log line — instead of refusing to boot. A store with one damaged version
 // therefore still serves every healthy model.
-func Open(dir string) (*Registry, error) {
+func OpenWith(dir string, logger *slog.Logger) (*Registry, error) {
 	r := New()
+	if logger != nil {
+		r.log = logger
+	}
 	if dir == "" {
 		return r, nil
 	}
@@ -108,7 +120,7 @@ func Open(dir string) (*Registry, error) {
 	if stale, err := filepath.Glob(filepath.Join(dir, "*.json.tmp")); err == nil {
 		for _, path := range stale {
 			if err := os.Remove(path); err == nil {
-				log.Printf("registry: removed stale temp file %s (interrupted write)", path)
+				r.log.Warn("registry: removed stale temp file (interrupted write)", "path", path)
 			}
 		}
 	}
@@ -126,7 +138,8 @@ func Open(dir string) (*Registry, error) {
 			if qErr := quarantine(dir, path); qErr != nil {
 				return nil, fmt.Errorf("registry: quarantine %s (unreadable: %v): %w", path, loadErr, qErr)
 			}
-			log.Printf("registry: quarantined %s into corrupt/: %v", path, loadErr)
+			r.log.Warn("registry: quarantined damaged store file into corrupt/",
+				"path", path, "error", loadErr.Error())
 			continue
 		}
 		info, err := os.Stat(path)

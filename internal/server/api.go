@@ -84,15 +84,33 @@ type FitResult struct {
 	FitSeconds float64 `json:"fit_seconds"`
 }
 
-// JobStatus reports a job's lifecycle (GET /v1/jobs/{id}).
+// FitEventInfo is one solver telemetry event in a job's timeline: a path
+// iteration (or batch admission) observed inside the fit. Stage labels the
+// cross-validation phase ("cv-fold-N" or "final"); Basis is the dictionary
+// index the greedy solvers chose, or -1 for batch solvers (StOMP, CD) that
+// admit several bases per step.
+type FitEventInfo struct {
+	Stage          string  `json:"stage"`
+	Iter           int     `json:"iter"`
+	Basis          int     `json:"basis"`
+	Active         int     `json:"active"`
+	Residual       float64 `json:"residual"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// JobStatus reports a job's lifecycle (GET /v1/jobs/{id}). RequestID is the
+// trace ID of the submitting request; Events is the solver telemetry
+// timeline (populated once the job starts running, capped server-side).
 type JobStatus struct {
-	ID        string     `json:"id"`
-	State     string     `json:"state"` // pending | running | done | failed | canceled | timed_out
-	Submitted time.Time  `json:"submitted"`
-	Started   *time.Time `json:"started,omitempty"`
-	Finished  *time.Time `json:"finished,omitempty"`
-	Error     string     `json:"error,omitempty"`
-	Result    *FitResult `json:"result,omitempty"`
+	ID        string         `json:"id"`
+	RequestID string         `json:"request_id,omitempty"`
+	State     string         `json:"state"` // pending | running | done | failed | canceled | timed_out
+	Submitted time.Time      `json:"submitted"`
+	Started   *time.Time     `json:"started,omitempty"`
+	Finished  *time.Time     `json:"finished,omitempty"`
+	Error     string         `json:"error,omitempty"`
+	Result    *FitResult     `json:"result,omitempty"`
+	Events    []FitEventInfo `json:"events,omitempty"`
 }
 
 // PredictRequest evaluates the model at a batch of points

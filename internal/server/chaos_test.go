@@ -8,15 +8,18 @@ package server
 // robustness contract and run under -race in CI.
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/registry"
 )
 
@@ -430,4 +433,109 @@ func TestPredictRejectsNonFinitePoints(t *testing.T) {
 		t.Fatalf("out-of-range literal: HTTP %d, want 400", resp.StatusCode)
 	}
 	resp.Body.Close()
+}
+
+// TestChaosMetricsScrapeUnderFire hammers /metrics in both representations
+// from concurrent scrapers while fit jobs run, predict traffic flows, and
+// injected panics fire — the regime where a torn snapshot or data race in
+// the metrics path would surface. Every Prometheus body must validate and
+// every JSON body must parse, throughout. Runs under -race in make chaos.
+func TestChaosMetricsScrapeUnderFire(t *testing.T) {
+	armFaults(t, "server.predict=panic#5")
+	_, hs := newTestServer(t, Config{FitWorkers: 2})
+	uploadModel(t, hs.URL, "lin", 3)
+
+	const (
+		scrapers   = 4
+		scrapeN    = 25
+		predictors = 4
+		predictN   = 25
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, scrapers*2+predictors+1)
+
+	scrapeProm := func() error {
+		resp, err := http.Get(hs.URL + "/metrics?format=prometheus")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("prometheus scrape: HTTP %d", resp.StatusCode)
+		}
+		if err := obs.ValidateExposition(resp.Body); err != nil {
+			return fmt.Errorf("mid-fire exposition invalid: %w", err)
+		}
+		return nil
+	}
+	scrapeJSON := func() error {
+		resp, err := http.Get(hs.URL + "/metrics")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			return fmt.Errorf("mid-fire JSON snapshot invalid: %w", err)
+		}
+		return nil
+	}
+
+	for i := 0; i < scrapers; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < scrapeN; n++ {
+				if err := scrapeProm(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for n := 0; n < scrapeN; n++ {
+				if err := scrapeJSON(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < predictors; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < predictN; n++ {
+				// Panics injected into some of these land as 500s; both
+				// outcomes are legitimate traffic for the scrape.
+				resp := post(t, hs.URL+"/v1/models/lin/predict", `{"points":[[1,1,0]]}`)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ids := []string{
+			submitChaosFit(t, hs.URL, "chaosscrape"),
+			submitChaosFit(t, hs.URL, "chaosscrape"),
+		}
+		for _, id := range ids {
+			waitTerminal(t, hs.URL, id, 30*time.Second)
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	assertHealthy(t, hs.URL)
+	if n := metricInt(t, hs.URL, "incidents", "panics_recovered"); n < 1 {
+		t.Fatalf("panics_recovered = %d, want ≥ 1 (faults never fired)", n)
+	}
+	if err := scrapeProm(); err != nil {
+		t.Fatalf("post-fire scrape: %v", err)
+	}
 }

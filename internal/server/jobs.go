@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
 	"runtime/debug"
 	"strings"
 	"sync"
@@ -15,6 +14,12 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/mc"
 )
+
+// maxJobEvents caps the per-job fit timeline so a pathological request
+// (huge max_lambda × many folds) cannot grow a job record without bound.
+// Later events are dropped; the cap comfortably covers the default
+// max_lambda of 50 across any fold count.
+const maxJobEvents = 4096
 
 // Job states. Pending and running are live; the other four are terminal.
 const (
@@ -40,8 +45,9 @@ func terminalState(state string) bool {
 // by DELETE /v1/jobs/{id} and by queue shutdown, and the worker layers the
 // per-job deadline on top of it.
 type job struct {
-	id  string
-	req FitRequest
+	id        string
+	requestID string // trace ID of the submitting request
+	req       FitRequest
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -53,13 +59,17 @@ type job struct {
 	finished  time.Time
 	err       string
 	result    *FitResult
+	events    []FitEventInfo // solver telemetry timeline, capped at maxJobEvents
 }
 
 // status snapshots the job as an API JobStatus.
 func (j *job) status() *JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	s := &JobStatus{ID: j.id, State: j.state, Submitted: j.submitted, Error: j.err, Result: j.result}
+	s := &JobStatus{
+		ID: j.id, RequestID: j.requestID, State: j.state,
+		Submitted: j.submitted, Error: j.err, Result: j.result,
+	}
 	if !j.started.IsZero() {
 		t := j.started
 		s.Started = &t
@@ -68,7 +78,28 @@ func (j *job) status() *JobStatus {
 		t := j.finished
 		s.Finished = &t
 	}
+	if len(j.events) > 0 {
+		s.Events = append([]FitEventInfo(nil), j.events...)
+	}
 	return s
+}
+
+// addEvent appends one solver telemetry event to the job timeline. It is
+// the core.FitObserver for this job's fit, called from the worker goroutine
+// while status polls read concurrently.
+func (j *job) addEvent(ev core.FitEvent) {
+	j.mu.Lock()
+	if len(j.events) < maxJobEvents {
+		j.events = append(j.events, FitEventInfo{
+			Stage:          ev.Stage,
+			Iter:           ev.Iter,
+			Basis:          ev.Basis,
+			Active:         ev.Active,
+			Residual:       ev.Residual,
+			ElapsedSeconds: ev.Elapsed.Seconds(),
+		})
+	}
+	j.mu.Unlock()
 }
 
 // begin transitions pending → running; it fails when the job was canceled
@@ -135,8 +166,11 @@ func newJobQueue(depth int, onTerminal func(state string)) *jobQueue {
 	return &jobQueue{byID: make(map[string]*job), queue: make(chan *job, depth), onTerminal: onTerminal}
 }
 
-// submit enqueues a job, failing when the queue is full or closed.
-func (q *jobQueue) submit(req FitRequest) (*job, error) {
+// submit enqueues a job, failing when the queue is full or closed. The
+// requestID of the submitting HTTP request is stamped on the job so its
+// whole lifecycle — submission log line, worker log lines, status polls —
+// correlates back to one trace.
+func (q *jobQueue) submit(req FitRequest, requestID string) (*job, error) {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
@@ -145,7 +179,7 @@ func (q *jobQueue) submit(req FitRequest) (*job, error) {
 	q.nextID++
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
-		id: fmt.Sprintf("job-%06d", q.nextID), req: req,
+		id: fmt.Sprintf("job-%06d", q.nextID), requestID: requestID, req: req,
 		ctx: ctx, cancel: cancel,
 		state: JobPending, submitted: time.Now(),
 	}
@@ -173,6 +207,10 @@ func (q *jobQueue) get(id string) (*job, bool) {
 // saturated reports whether the pending-job channel is full — the signal the
 // server's load shedding keys off.
 func (q *jobQueue) saturated() bool { return len(q.queue) == cap(q.queue) }
+
+// depth reports the number of jobs queued but not yet picked up by a
+// worker — the rsmd_job_queue_depth gauge.
+func (q *jobQueue) depth() int { return len(q.queue) }
 
 // cancel requests cancellation of the job with the given id.
 func (q *jobQueue) cancelJob(id, reason string) (*job, bool) {
@@ -331,12 +369,27 @@ func (s *Server) runFit(j *job) {
 	if !j.begin() {
 		return // canceled while queued
 	}
+	queueWait := j.started.Sub(j.submitted)
+	s.metrics.observeQueueWait(queueWait)
+	logger := s.log.With("job_id", j.id, "request_id", j.requestID)
+	logger.Info("fit job started",
+		"solver", j.req.Solver, "degree", j.req.Degree, "folds", j.req.Folds,
+		"max_lambda", j.req.MaxLambda, "queue_wait_ms", float64(queueWait.Microseconds())/1000.0)
 	ctx, cancelCtx := context.WithTimeout(j.ctx, s.jobDeadline(&j.req))
 	defer cancelCtx()
+	ctx = core.WithFitObserver(ctx, j.addEvent)
 
 	finish := func(state, errMsg string, result *FitResult) {
-		if j.finish(state, errMsg, result) {
-			s.metrics.countJobEnd(state)
+		if !j.finish(state, errMsg, result) {
+			return
+		}
+		s.metrics.countJobEnd(state)
+		dur := j.finished.Sub(j.started)
+		if state == JobDone {
+			logger.Info("fit job done", "state", state, "duration_ms", float64(dur.Microseconds())/1000.0)
+		} else {
+			logger.Warn("fit job ended", "state", state, "error", errMsg,
+				"duration_ms", float64(dur.Microseconds())/1000.0)
 		}
 	}
 	fail := func(err error) {
@@ -352,7 +405,7 @@ func (s *Server) runFit(j *job) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			s.metrics.countPanic()
-			log.Printf("server: fit %s panicked: %v\n%s", j.id, rec, debug.Stack())
+			logger.Error("fit panicked", "panic", rec, "stack", string(debug.Stack()))
 			finish(JobFailed, fmt.Sprintf("internal: fit panicked: %v (incident logged)", rec), nil)
 		}
 	}()
@@ -407,10 +460,26 @@ func (s *Server) runFit(j *job) {
 		fail(err)
 		return
 	}
+	fitDur := time.Since(start)
+	s.metrics.observeFit(fitDur, finalIterations(j))
 	finish(JobDone, "", &FitResult{
 		Model:      modelInfo(entry),
 		Lambda:     cv.BestLambda,
 		CVError:    cv.ErrCurve[cv.BestLambda-1],
-		FitSeconds: time.Since(start).Seconds(),
+		FitSeconds: fitDur.Seconds(),
 	})
+}
+
+// finalIterations counts the final-refit path steps in the job's timeline —
+// the per-job sample for the rsmd_fit_iterations histogram.
+func finalIterations(j *job) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for _, ev := range j.events {
+		if ev.Stage == "final" {
+			n++
+		}
+	}
+	return n
 }

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"io"
 	"net/http"
 	"sort"
-	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // latencyBounds are the histogram bucket upper bounds in seconds; an
@@ -13,7 +15,21 @@ import (
 // range from in-memory predict calls to multi-second fits.
 var latencyBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
 
-// routeStats accumulates per-endpoint request counts and latencies.
+// fitDurationBounds cover fit jobs: sub-second toy fits through the 5m
+// default deadline.
+var fitDurationBounds = []float64{0.01, 0.05, 0.25, 1, 5, 30, 120, 600}
+
+// fitIterationBounds cover path lengths: λ is rarely above the default
+// max_lambda of 50, but operators can raise it.
+var fitIterationBounds = []float64{1, 2, 5, 10, 25, 50, 100, 250}
+
+// queueWaitBounds cover the pending-job wait: instant pickup through the
+// multi-minute backlog a saturated daemon accumulates.
+var queueWaitBounds = []float64{0.001, 0.01, 0.1, 1, 10, 60, 300}
+
+// routeStats accumulates per-endpoint request counts and latencies. The
+// buckets hold per-interval counts; both exposition formats render them
+// cumulatively (Prometheus `le` semantics).
 type routeStats struct {
 	count   int64
 	errors  int64 // responses with status ≥ 400
@@ -22,8 +38,8 @@ type routeStats struct {
 }
 
 // metrics is the daemon's stdlib-only observability state, exported as
-// expvar-style JSON by GET /metrics. All methods are safe for concurrent
-// use.
+// expvar-style JSON and Prometheus text exposition by GET /metrics. All
+// methods are safe for concurrent use.
 type metrics struct {
 	start time.Time
 
@@ -33,13 +49,22 @@ type metrics struct {
 	jobs        struct{ submitted, completed, failed, canceled, timedOut int64 }
 	panics      int64 // recovered panics (handlers + fit workers)
 	shed        int64 // requests rejected by load shedding
+
+	// Self-locking histograms for the fit pipeline; kept outside mu so the
+	// fit workers never contend with request accounting.
+	fitDuration   *obs.Histogram
+	fitIterations *obs.Histogram
+	queueWait     *obs.Histogram
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		start:       time.Now(),
-		routes:      make(map[string]*routeStats),
-		predictions: make(map[string]int64),
+		start:         time.Now(),
+		routes:        make(map[string]*routeStats),
+		predictions:   make(map[string]int64),
+		fitDuration:   obs.NewHistogram(fitDurationBounds...),
+		fitIterations: obs.NewHistogram(fitIterationBounds...),
+		queueWait:     obs.NewHistogram(queueWaitBounds...),
 	}
 }
 
@@ -107,48 +132,171 @@ func (m *metrics) countShed() {
 	m.mu.Unlock()
 }
 
-// Snapshot renders the current state as a JSON-encodable tree.
-func (m *metrics) Snapshot(models int) map[string]any {
+// observeQueueWait records how long a job sat pending before a worker
+// picked it up.
+func (m *metrics) observeQueueWait(d time.Duration) {
+	m.queueWait.Observe(d.Seconds())
+}
+
+// observeFit records one completed fit job: wall-clock duration and the
+// number of final-refit path iterations.
+func (m *metrics) observeFit(d time.Duration, iterations int) {
+	m.fitDuration.Observe(d.Seconds())
+	m.fitIterations.Observe(float64(iterations))
+}
+
+// Snapshot renders the current state as a JSON-encodable tree. Histogram
+// buckets are cumulative, matching their Prometheus-style `le` naming.
+func (m *metrics) Snapshot(models, queueDepth int) map[string]any {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	routes := make(map[string]any, len(m.routes))
 	for route, rs := range m.routes {
-		buckets := make(map[string]int64, len(rs.buckets))
-		for i, b := range latencyBounds {
-			buckets["le_"+strconv.FormatFloat(b, 'g', -1, 64)] = rs.buckets[i]
-		}
-		buckets["le_inf"] = rs.buckets[len(latencyBounds)]
+		snap := obs.CumulativeSnapshot(latencyBounds, rs.buckets, rs.sumSec)
 		routes[route] = map[string]any{
 			"count":               rs.count,
 			"errors":              rs.errors,
 			"latency_seconds_sum": rs.sumSec,
-			"latency_buckets":     buckets,
+			"latency_buckets":     snap.JSONBuckets(),
 		}
 	}
 	predictions := make(map[string]int64, len(m.predictions))
 	for name, n := range m.predictions {
 		predictions[name] = n
 	}
+	jobs := map[string]int64{
+		"submitted": m.jobs.submitted,
+		"completed": m.jobs.completed,
+		"failed":    m.jobs.failed,
+		"canceled":  m.jobs.canceled,
+		"timed_out": m.jobs.timedOut,
+	}
+	incidents := map[string]int64{
+		"panics_recovered": m.panics,
+		"requests_shed":    m.shed,
+	}
+	m.mu.Unlock()
+
 	return map[string]any{
 		"uptime_seconds": time.Since(m.start).Seconds(),
 		"models":         models,
 		"requests":       routes,
 		"predictions":    predictions,
-		"jobs": map[string]int64{
-			"submitted": m.jobs.submitted,
-			"completed": m.jobs.completed,
-			"failed":    m.jobs.failed,
-			"canceled":  m.jobs.canceled,
-			"timed_out": m.jobs.timedOut,
+		"jobs":           jobs,
+		"incidents":      incidents,
+		"fit": map[string]any{
+			"duration_seconds": m.fitDuration.Snapshot().JSON(),
+			"iterations":       m.fitIterations.Snapshot().JSON(),
 		},
-		"incidents": map[string]int64{
-			"panics_recovered": m.panics,
-			"requests_shed":    m.shed,
+		"queue": map[string]any{
+			"depth":        queueDepth,
+			"wait_seconds": m.queueWait.Snapshot().JSON(),
 		},
+		"runtime": obs.ReadRuntimeStats().JSON(),
 	}
 }
 
-// statusRecorder captures the response status code for instrumentation.
+// writePrometheus renders the same state as Prometheus text exposition
+// (format version 0.0.4) with cumulative le buckets.
+func (m *metrics) writePrometheus(w io.Writer, models, queueDepth int) error {
+	pw := obs.NewPromWriter(w)
+
+	pw.Meta("rsmd_uptime_seconds", "gauge", "Seconds since the daemon started.")
+	pw.Sample("rsmd_uptime_seconds", "", time.Since(m.start).Seconds())
+	pw.Meta("rsmd_models", "gauge", "Distinct model names in the registry.")
+	pw.Sample("rsmd_models", "", float64(models))
+
+	m.mu.Lock()
+	routeNames := make([]string, 0, len(m.routes))
+	for route := range m.routes {
+		routeNames = append(routeNames, route)
+	}
+	sort.Strings(routeNames)
+	type routeSnap struct {
+		route string
+		rs    routeStats
+		hist  obs.HistogramSnapshot
+	}
+	routes := make([]routeSnap, 0, len(routeNames))
+	for _, route := range routeNames {
+		rs := m.routes[route]
+		routes = append(routes, routeSnap{
+			route: route,
+			rs:    routeStats{count: rs.count, errors: rs.errors, sumSec: rs.sumSec},
+			hist:  obs.CumulativeSnapshot(latencyBounds, rs.buckets, rs.sumSec),
+		})
+	}
+	modelNames := make([]string, 0, len(m.predictions))
+	for name := range m.predictions {
+		modelNames = append(modelNames, name)
+	}
+	sort.Strings(modelNames)
+	predictions := make([]int64, len(modelNames))
+	for i, name := range modelNames {
+		predictions[i] = m.predictions[name]
+	}
+	jobs := m.jobs
+	panics, shed := m.panics, m.shed
+	m.mu.Unlock()
+
+	pw.Meta("rsmd_http_requests_total", "counter", "Requests served, by route.")
+	for _, r := range routes {
+		pw.Sample("rsmd_http_requests_total", obs.Label("route", r.route), float64(r.rs.count))
+	}
+	pw.Meta("rsmd_http_request_errors_total", "counter", "Responses with status >= 400, by route.")
+	for _, r := range routes {
+		pw.Sample("rsmd_http_request_errors_total", obs.Label("route", r.route), float64(r.rs.errors))
+	}
+	pw.Meta("rsmd_http_request_duration_seconds", "histogram", "Request latency, by route.")
+	for _, r := range routes {
+		pw.Histogram("rsmd_http_request_duration_seconds", obs.Label("route", r.route), r.hist)
+	}
+
+	pw.Meta("rsmd_predictions_total", "counter", "Points predicted, by model.")
+	for i, name := range modelNames {
+		pw.Sample("rsmd_predictions_total", obs.Label("model", name), float64(predictions[i]))
+	}
+
+	pw.Meta("rsmd_jobs_submitted_total", "counter", "Fit jobs accepted into the queue.")
+	pw.Sample("rsmd_jobs_submitted_total", "", float64(jobs.submitted))
+	pw.Meta("rsmd_jobs_total", "counter", "Fit jobs reaching a terminal state, by state.")
+	pw.Sample("rsmd_jobs_total", obs.Label("state", JobDone), float64(jobs.completed))
+	pw.Sample("rsmd_jobs_total", obs.Label("state", JobFailed), float64(jobs.failed))
+	pw.Sample("rsmd_jobs_total", obs.Label("state", JobCanceled), float64(jobs.canceled))
+	pw.Sample("rsmd_jobs_total", obs.Label("state", JobTimedOut), float64(jobs.timedOut))
+
+	pw.Meta("rsmd_panics_recovered_total", "counter", "Recovered panics (handlers and fit workers).")
+	pw.Sample("rsmd_panics_recovered_total", "", float64(panics))
+	pw.Meta("rsmd_requests_shed_total", "counter", "Requests rejected by load shedding.")
+	pw.Sample("rsmd_requests_shed_total", "", float64(shed))
+
+	pw.Meta("rsmd_fit_duration_seconds", "histogram", "Completed fit job wall-clock time.")
+	pw.Histogram("rsmd_fit_duration_seconds", "", m.fitDuration.Snapshot())
+	pw.Meta("rsmd_fit_iterations", "histogram", "Final-refit path iterations per completed fit job.")
+	pw.Histogram("rsmd_fit_iterations", "", m.fitIterations.Snapshot())
+
+	pw.Meta("rsmd_job_queue_depth", "gauge", "Fit jobs currently pending in the queue.")
+	pw.Sample("rsmd_job_queue_depth", "", float64(queueDepth))
+	pw.Meta("rsmd_job_queue_wait_seconds", "histogram", "Time jobs sat queued before a worker picked them up.")
+	pw.Histogram("rsmd_job_queue_wait_seconds", "", m.queueWait.Snapshot())
+
+	rt := obs.ReadRuntimeStats()
+	pw.Meta("rsmd_goroutines", "gauge", "Live goroutines.")
+	pw.Sample("rsmd_goroutines", "", float64(rt.Goroutines))
+	pw.Meta("rsmd_heap_alloc_bytes", "gauge", "Live heap bytes.")
+	pw.Sample("rsmd_heap_alloc_bytes", "", float64(rt.HeapAllocBytes))
+	pw.Meta("rsmd_heap_sys_bytes", "gauge", "Heap bytes obtained from the OS.")
+	pw.Sample("rsmd_heap_sys_bytes", "", float64(rt.HeapSysBytes))
+	pw.Meta("rsmd_gc_pause_seconds_total", "counter", "Cumulative GC stop-the-world pause time.")
+	pw.Sample("rsmd_gc_pause_seconds_total", "", rt.GCPauseTotalSeconds)
+	pw.Meta("rsmd_gc_cycles_total", "counter", "Completed GC cycles.")
+	pw.Sample("rsmd_gc_cycles_total", "", float64(rt.GCCycles))
+
+	return pw.Flush()
+}
+
+// statusRecorder captures the response status code for instrumentation
+// while passing the optional http.Flusher capability through, so streaming
+// handlers are not silently broken by the middleware.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
@@ -159,13 +307,16 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with latency and status accounting under the
-// given route label.
-func (m *metrics) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, req *http.Request) {
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		start := time.Now()
-		h(rec, req)
-		m.observe(route, rec.status, time.Since(start))
+// Flush forwards to the underlying writer when it supports flushing; a
+// no-op otherwise. Embedding alone would swallow the interface entirely.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
 	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, which
+// discovers capabilities (flush, deadlines, hijack) through it.
+func (r *statusRecorder) Unwrap() http.ResponseWriter {
+	return r.ResponseWriter
 }

@@ -2,17 +2,66 @@ package server
 
 import (
 	"context"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
+	"time"
+
+	"repro/internal/obs"
 )
+
+// trace is the outermost per-route middleware: it assigns or honors the
+// X-Request-Id header, stamps it on the response and on a request-scoped
+// slog.Logger carried in the context, records the route's latency and
+// status in /metrics, and emits one access-log line per request (Debug for
+// success, Warn for client errors, Error for server errors). Handlers and
+// inner middleware retrieve the logger with obs.Log(r.Context()).
+func (s *Server) trace(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := obs.SanitizeRequestID(r.Header.Get(obs.RequestIDHeader))
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set(obs.RequestIDHeader, id)
+
+		logger := s.log.With("request_id", id, "route", route)
+		ctx := obs.WithRequestID(obs.WithLogger(r.Context(), logger), id)
+		r = r.WithContext(ctx)
+
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		elapsed := time.Since(start)
+		s.metrics.observe(route, rec.status, elapsed)
+
+		level := slogLevelForStatus(rec.status)
+		logger.Log(ctx, level, "request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration_ms", float64(elapsed.Microseconds())/1000.0,
+		)
+	}
+}
+
+// slogLevelForStatus maps a response status to an access-log level.
+func slogLevelForStatus(status int) slog.Level {
+	switch {
+	case status >= 500:
+		return slog.LevelError
+	case status >= 400:
+		return slog.LevelWarn
+	default:
+		return slog.LevelDebug
+	}
+}
 
 // protect wraps a handler in the per-route robustness envelope: a request
 // deadline on the context (handlers and faultinject hooks observe it through
 // r.Context()) and panic isolation. A recovered panic becomes a 500 with the
 // stack logged and the incident counted in /metrics — never a crashed
-// daemon. protect sits inside metrics.instrument so the synthesized 500 is
-// visible in the route's error counters.
+// daemon. protect sits inside trace so the synthesized 500 is visible in the
+// route's error counters and the panic log line carries the request ID.
 func (s *Server) protect(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.cfg.RequestTimeout > 0 {
@@ -29,7 +78,8 @@ func (s *Server) protect(route string, h http.HandlerFunc) http.HandlerFunc {
 				panic(rec) // net/http's own abort protocol; not an incident
 			}
 			s.metrics.countPanic()
-			log.Printf("server: panic serving %s: %v\n%s", route, rec, debug.Stack())
+			obs.Log(r.Context()).Error("panic recovered",
+				"where", route, "panic", rec, "stack", string(debug.Stack()))
 			// Best-effort: if the handler already wrote a body this write
 			// fails silently, but the connection still terminates cleanly.
 			writeErr(w, http.StatusInternalServerError, "internal error: handler panicked (incident logged)")

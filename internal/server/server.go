@@ -15,7 +15,9 @@
 //	POST   /v1/fit                     submit an async fit job
 //	GET    /v1/jobs/{id}               poll a fit job
 //	DELETE /v1/jobs/{id}               cancel a fit job
-//	GET    /metrics                    expvar-style JSON counters
+//	GET    /metrics                    counters: JSON, or Prometheus text
+//	                                   exposition via ?format=prometheus or
+//	                                   Accept: text/plain
 //	GET    /healthz                    liveness (503 while draining)
 //
 // Robustness: every route runs under a request deadline with panic
@@ -23,6 +25,11 @@
 // /metrics), fit jobs carry per-job deadlines and cooperative cancellation
 // down into the solver inner loops, and predict/yield traffic is shed with
 // Retry-After when the fit queue saturates.
+//
+// Observability: every request is assigned (or keeps) an X-Request-Id,
+// echoed on the response and stamped on every log line; fit jobs inherit
+// the submitting request's ID and expose a per-iteration solver telemetry
+// timeline through GET /v1/jobs/{id}.
 package server
 
 import (
@@ -30,13 +37,16 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/rng"
 	"repro/internal/yield"
@@ -66,6 +76,9 @@ type Config struct {
 	// FitTimeout caps each fit job's run time (default 5m; negative
 	// disables). Requests may tighten it per job via timeout_seconds.
 	FitTimeout time.Duration
+	// Logger receives the server's structured logs (default slog.Default()).
+	// Request-scoped loggers derived from it carry request_id and route.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +118,7 @@ type Server struct {
 	registry *registry.Registry
 	jobs     *jobQueue
 	metrics  *metrics
+	log      *slog.Logger
 	mux      *http.ServeMux
 	draining atomic.Bool
 }
@@ -117,14 +131,19 @@ func New(reg *registry.Registry, cfg Config) *Server {
 		registry: reg,
 		metrics:  newMetrics(),
 	}
+	s.log = s.cfg.Logger
+	if s.log == nil {
+		s.log = slog.Default()
+	}
 	s.jobs = newJobQueue(s.cfg.QueueDepth, s.metrics.countJobEnd)
 	s.jobs.startWorkers(s.cfg.FitWorkers, s.runFit)
 
 	mux := http.NewServeMux()
 	route := func(pattern string, h http.HandlerFunc) {
-		// protect sits inside instrument so that panics recovered into 500s
-		// still show up in the per-route error counters.
-		mux.HandleFunc(pattern, s.metrics.instrument(pattern, s.protect(pattern, h)))
+		// protect sits inside trace so that panics recovered into 500s still
+		// show up in the per-route error counters and panic log lines carry
+		// the request ID.
+		mux.HandleFunc(pattern, s.trace(pattern, s.protect(pattern, h)))
 	}
 	route("POST /v1/models", s.handleUpload)
 	route("GET /v1/models", s.handleList)
@@ -452,13 +471,15 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "no dataset: provide csv or points+values")
 		return
 	}
-	j, err := s.jobs.submit(req)
+	j, err := s.jobs.submit(req, obs.RequestID(r.Context()))
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
 	s.metrics.countJobSubmitted()
+	obs.Log(r.Context()).Info("fit job submitted",
+		"job_id", j.id, "solver", req.Solver, "name", req.Name, "queue_depth", s.jobs.depth())
 	writeJSON(w, http.StatusAccepted, FitResponse{JobID: j.id, State: JobPending})
 }
 
@@ -487,9 +508,37 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.status())
 }
 
-// handleMetrics dumps the expvar-style counter tree.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.registry.Len()))
+// handleMetrics serves the daemon's counters. The default body is the
+// expvar-style JSON tree; Prometheus text exposition (format 0.0.4, with
+// cumulative le buckets) is selected by ?format=prometheus or an Accept
+// header preferring text/plain — what a Prometheus scraper sends.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.metrics.writePrometheus(w, s.registry.Len(), s.jobs.depth()); err != nil {
+			obs.Log(r.Context()).Error("metrics exposition write failed", "error", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.registry.Len(), s.jobs.depth()))
+}
+
+// wantsPrometheus decides the /metrics representation: the explicit
+// format=prometheus query parameter wins; otherwise an Accept header that
+// mentions text/plain (or the OpenMetrics type) without asking for JSON
+// selects the exposition format.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, "application/json") {
+		return false
+	}
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "application/openmetrics-text")
 }
 
 // handleHealth is the liveness/readiness probe. A draining daemon answers

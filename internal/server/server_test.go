@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -16,9 +18,14 @@ import (
 	"repro/internal/rng"
 )
 
-// newTestServer spins up a server over an in-memory registry.
+// newTestServer spins up a server over an in-memory registry. Logs are
+// discarded unless the config brings its own logger (tests asserting on log
+// output do).
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := New(registry.New(), cfg)
 	hs := httptest.NewServer(s)
 	t.Cleanup(func() {
@@ -297,13 +304,13 @@ func TestFitJobFailureIsReported(t *testing.T) {
 
 func TestJobQueueBackpressure(t *testing.T) {
 	q := newJobQueue(2, nil) // no workers draining
-	if _, err := q.submit(FitRequest{Name: "a"}); err != nil {
+	if _, err := q.submit(FitRequest{Name: "a"}, ""); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := q.submit(FitRequest{Name: "b"}); err != nil {
+	if _, err := q.submit(FitRequest{Name: "b"}, ""); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := q.submit(FitRequest{Name: "c"}); err == nil {
+	if _, err := q.submit(FitRequest{Name: "c"}, ""); err == nil {
 		t.Fatal("third submit should hit the queue bound")
 	}
 	q.startWorkers(1, func(j *job) {
@@ -321,7 +328,7 @@ func TestJobQueueBackpressure(t *testing.T) {
 			t.Fatalf("%s state %s", id, j.status().State)
 		}
 	}
-	if _, err := q.submit(FitRequest{Name: "d"}); err == nil {
+	if _, err := q.submit(FitRequest{Name: "d"}, ""); err == nil {
 		t.Fatal("submit after close should fail")
 	}
 }
@@ -377,7 +384,7 @@ func TestConcurrentPredicts(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	snap := s.metrics.Snapshot(1)
+	snap := s.metrics.Snapshot(1, 0)
 	preds := snap["predictions"].(map[string]int64)
 	if preds["lin"] != clients*20*2 {
 		t.Fatalf("prediction counter %d, want %d", preds["lin"], clients*20*2)

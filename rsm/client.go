@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -132,6 +133,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 	if !idempotent {
 		attempts = 1
 	}
+	// One trace ID covers every attempt of the exchange, so the daemon's
+	// logs show the retries of a single logical call under one request_id.
+	requestID := obs.NewRequestID()
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
@@ -143,7 +147,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 			case <-t.C:
 			}
 		}
-		status, err := c.doOnce(ctx, method, path, data, in != nil, out)
+		status, err := c.doOnce(ctx, method, path, requestID, data, in != nil, out)
 		if err == nil {
 			return nil
 		}
@@ -158,15 +162,27 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 	return lastErr
 }
 
-// httpError is a non-2xx response, keeping the status and any Retry-After
-// hint available to the retry loop.
+// httpError is a non-2xx response, keeping the status, any Retry-After
+// hint, and the exchange's trace ID available to the retry loop and to
+// callers via RequestID.
 type httpError struct {
 	msg        string
 	status     int
 	retryAfter time.Duration
+	requestID  string
 }
 
 func (e *httpError) Error() string { return e.msg }
+
+// RequestID extracts the X-Request-Id of the failed exchange from an error
+// returned by a Client method, or "" when the error carries none. Quote it
+// when correlating a client-side failure with the daemon's logs.
+func RequestID(err error) string {
+	if he, ok := err.(*httpError); ok {
+		return he.requestID
+	}
+	return ""
+}
 
 // lastRetryAfter extracts the Retry-After hint from a previous attempt's
 // error, if any.
@@ -179,7 +195,7 @@ func lastRetryAfter(err error) time.Duration {
 
 // doOnce runs a single HTTP round trip. status is 0 when the request never
 // produced a response (transport error).
-func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, hasBody bool, out any) (int, error) {
+func (c *Client) doOnce(ctx context.Context, method, path, requestID string, data []byte, hasBody bool, out any) (int, error) {
 	var body io.Reader
 	if hasBody {
 		body = bytes.NewReader(data)
@@ -188,6 +204,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, h
 	if err != nil {
 		return 0, fmt.Errorf("rsm: %s %s: %w", method, path, err)
 	}
+	req.Header.Set(obs.RequestIDHeader, requestID)
 	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
@@ -201,15 +218,20 @@ func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, h
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
-		he := &httpError{status: resp.StatusCode}
+		he := &httpError{status: resp.StatusCode, requestID: requestID}
+		// Prefer the ID the server actually used (it echoes ours back, but a
+		// proxy could have replaced it).
+		if echoed := resp.Header.Get(obs.RequestIDHeader); echoed != "" {
+			he.requestID = echoed
+		}
 		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
 			he.retryAfter = time.Duration(secs) * time.Second
 		}
 		var e server.ErrorResponse
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			he.msg = fmt.Sprintf("rsm: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+			he.msg = fmt.Sprintf("rsm: %s %s: %s (HTTP %d, request %s)", method, path, e.Error, resp.StatusCode, he.requestID)
 		} else {
-			he.msg = fmt.Sprintf("rsm: %s %s: HTTP %d", method, path, resp.StatusCode)
+			he.msg = fmt.Sprintf("rsm: %s %s: HTTP %d (request %s)", method, path, resp.StatusCode, he.requestID)
 		}
 		return resp.StatusCode, he
 	}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -385,5 +386,83 @@ func TestCancelJobRoundTrip(t *testing.T) {
 	}
 	if st2.State != st.State {
 		t.Fatalf("second cancel changed state %s → %s", st.State, st2.State)
+	}
+}
+
+// TestClientRequestIDPropagation: the client stamps one X-Request-Id on
+// every attempt of an exchange, and surfaces the ID on errors through
+// rsm.RequestID so callers can quote it against daemon logs.
+func TestClientRequestIDPropagation(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		mu.Lock()
+		seen = append(seen, id)
+		mu.Unlock()
+		w.Header().Set("X-Request-Id", id)
+		http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+	}))
+	defer hs.Close()
+	c := rsm.NewClient(hs.URL)
+	c.Retry = fastRetry
+
+	_, err := c.Models(context.Background())
+	if err == nil {
+		t.Fatal("all-503 exchange should fail")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != fastRetry.MaxAttempts {
+		t.Fatalf("server saw %d attempts, want %d", len(seen), fastRetry.MaxAttempts)
+	}
+	if seen[0] == "" {
+		t.Fatal("client sent no X-Request-Id")
+	}
+	for i, id := range seen {
+		if id != seen[0] {
+			t.Fatalf("attempt %d used ID %q, want the first attempt's %q (one trace per exchange)", i, id, seen[0])
+		}
+	}
+	if got := rsm.RequestID(err); got != seen[0] {
+		t.Fatalf("rsm.RequestID(err) = %q, want %q", got, seen[0])
+	}
+	if !strings.Contains(err.Error(), seen[0]) {
+		t.Fatalf("error text %q does not quote the request ID", err)
+	}
+
+	// Non-httpError values carry no ID.
+	if got := rsm.RequestID(context.Canceled); got != "" {
+		t.Fatalf("RequestID on foreign error = %q, want empty", got)
+	}
+}
+
+// TestClientRequestIDAgainstDaemon checks the full loop against the real
+// server: the ID the client generated comes back on the job record.
+func TestClientRequestIDAgainstDaemon(t *testing.T) {
+	ctx := context.Background()
+	srv := server.New(registry.New(), server.Config{FitWorkers: 1})
+	hs := httptest.NewServer(srv)
+	defer func() {
+		hs.Close()
+		srv.Close()
+	}()
+	c := rsm.NewClient(hs.URL)
+
+	id, err := c.SubmitFit(ctx, rsm.FitRequest{Name: "trace", Folds: 2, MaxLambda: 3,
+		Points: [][]float64{{0.1, 0.2}, {0.3, -0.4}, {-0.5, 0.6}, {0.7, 0.8}, {0.2, -0.6}, {-0.3, 0.5}},
+		Values: []float64{1, 2, 3, 4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.WaitJob(ctx, id, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RequestID == "" {
+		t.Fatal("job record carries no request_id")
+	}
+	if len(st.Events) == 0 {
+		t.Fatal("job record carries no fit telemetry events")
 	}
 }
