@@ -63,7 +63,8 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 	var (
 		addr         = fs.String("addr", ":8080", "listen address")
 		store        = fs.String("store", "", "model persistence directory (empty = in-memory only)")
-		fitWorkers   = fs.Int("fit-workers", 2, "async fit worker pool size")
+		fitJobs      = fs.Int("fit-jobs", 2, "async fit worker pool size (concurrent fit jobs)")
+		fitWorkers   = fs.Int("fit-workers", 0, "solver engine correlation-sweep goroutines per fit (0 = GOMAXPROCS)")
 		queueDepth   = fs.Int("queue", 16, "max pending fit jobs")
 		predWorkers  = fs.Int("predict-workers", 0, "prediction fan-out per request (0 = GOMAXPROCS)")
 		maxBatch     = fs.Int("max-batch", 100000, "max points per predict request")
@@ -99,7 +100,8 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		return err
 	}
 	srv := server.New(reg, server.Config{
-		FitWorkers:     *fitWorkers,
+		FitWorkers:     *fitJobs,
+		FitParallel:    *fitWorkers,
 		QueueDepth:     *queueDepth,
 		PredictWorkers: *predWorkers,
 		MaxBatch:       *maxBatch,

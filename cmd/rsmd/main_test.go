@@ -69,7 +69,7 @@ func TestDaemonStartsAndStopsClean(t *testing.T) {
 func TestDaemonGracefulShutdownCancelsStalledJob(t *testing.T) {
 	defer faultinject.Reset()
 	base, cancel, done := startDaemon(t,
-		"-fit-workers", "1", "-drain-timeout", "2s", "-faults", "server.fit=delay:60s")
+		"-fit-jobs", "1", "-drain-timeout", "2s", "-faults", "server.fit=delay:60s")
 	defer cancel()
 	ctx := context.Background()
 	c := rsm.NewClient(base)
@@ -183,6 +183,71 @@ func TestDaemonPrometheusScrape(t *testing.T) {
 	}
 	if resp.Header.Get(obs.RequestIDHeader) == "" {
 		t.Fatal("metrics response carries no X-Request-Id")
+	}
+}
+
+// TestDaemonFitWorkersFlag: -fit-workers must thread through the job context
+// to the solver engine (job telemetry reports the effective sweep worker
+// count) and surface in both /metrics views.
+func TestDaemonFitWorkersFlag(t *testing.T) {
+	base, cancel, done := startDaemon(t, "-log-level", "error", "-fit-workers", "3")
+	defer func() { cancel(); <-done }()
+	ctx := context.Background()
+	c := rsm.NewClient(base)
+
+	id, err := c.SubmitFit(ctx, rsm.FitRequest{Name: "workers", Folds: 2, MaxLambda: 3,
+		Points: [][]float64{{0.1, 0.2}, {0.3, -0.4}, {-0.5, 0.6}, {0.7, 0.8}, {0.2, -0.6}, {-0.3, 0.5}},
+		Values: []float64{1, 2, 3, 4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.WaitJob(ctx, id, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.JobDone {
+		t.Fatalf("job state %s: %s", st.State, st.Error)
+	}
+	if len(st.Events) == 0 {
+		t.Fatal("job reports no telemetry events")
+	}
+	for _, ev := range st.Events {
+		if ev.ParallelWorkers != 3 {
+			t.Fatalf("event reports parallel_workers=%d, want 3", ev.ParallelWorkers)
+		}
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Fit struct {
+			ParallelWorkers int `json:"parallel_workers"`
+		} `json:"fit"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Fit.ParallelWorkers != 3 {
+		t.Fatalf("metrics fit.parallel_workers = %d, want 3", snap.Fit.ParallelWorkers)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "rsmd_fit_parallel_workers 3") {
+		t.Fatalf("exposition missing rsmd_fit_parallel_workers gauge:\n%.2000s", body)
 	}
 }
 

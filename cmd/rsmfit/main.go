@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,15 +31,16 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		metric    = flag.String("metric", "", "metric column to model (default: first)")
-		solver    = flag.String("solver", "omp", "solver: omp|lar|lasso|star|cd|stomp")
-		degree    = flag.Int("degree", 1, "polynomial degree of the Hermite basis (1 or 2)")
-		folds     = flag.Int("folds", 4, "cross-validation folds")
-		maxLambda = flag.Int("lambda", 50, "maximum number of selected basis functions")
-		input     = flag.String("in", "-", "input CSV path (- for stdin)")
-		output    = flag.String("out", "", "write the fitted model envelope as JSON to this path")
-		modelPath = flag.String("model", "", "load a saved model envelope instead of fitting")
-		predict   = flag.String("predict", "", "with -model: predict at the points of this CSV (- for stdin)")
+		metric     = flag.String("metric", "", "metric column to model (default: first)")
+		solver     = flag.String("solver", "omp", "solver: omp|lar|lasso|star|cd|stomp")
+		degree     = flag.Int("degree", 1, "polynomial degree of the Hermite basis (1 or 2)")
+		folds      = flag.Int("folds", 4, "cross-validation folds")
+		maxLambda  = flag.Int("lambda", 50, "maximum number of selected basis functions")
+		input      = flag.String("in", "-", "input CSV path (- for stdin)")
+		output     = flag.String("out", "", "write the fitted model envelope as JSON to this path")
+		modelPath  = flag.String("model", "", "load a saved model envelope instead of fitting")
+		predict    = flag.String("predict", "", "with -model: predict at the points of this CSV (- for stdin)")
+		fitWorkers = flag.Int("fit-workers", 0, "solver engine correlation-sweep goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -83,7 +85,8 @@ func main() {
 	}
 
 	d := basis.NewLazyDesign(b, ds.Points)
-	cv, err := core.CrossValidate(fitter, d, f, *folds, *maxLambda)
+	ctx := core.WithFitWorkers(context.Background(), *fitWorkers)
+	cv, err := core.CrossValidateCtx(ctx, fitter, d, f, *folds, *maxLambda)
 	if err != nil {
 		log.Fatalf("rsmfit: %v", err)
 	}

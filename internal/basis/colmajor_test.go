@@ -1,0 +1,103 @@
+package basis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomDense builds a dense design over a quadratic basis with seeded
+// normal points.
+func randomDense(t *testing.T, dim, k int, seed int64) (*Basis, *DenseDesign) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	b := Quadratic(dim)
+	pts := make([][]float64, k)
+	for i := range pts {
+		pts[i] = make([]float64, dim)
+		for j := range pts[i] {
+			pts[i][j] = r.NormFloat64()
+		}
+	}
+	return b, NewDenseDesign(b, pts)
+}
+
+func TestColMajorMatchesDense(t *testing.T) {
+	// dim=30 gives M=496, which spans two 256-column blocks — the block
+	// boundary is the interesting case for ColSlice offsets.
+	_, d := randomDense(t, 30, 37, 7)
+	cm := NewColMajor(d)
+	if cm.Rows() != d.Rows() || cm.Cols() != d.Cols() {
+		t.Fatalf("dims %dx%d, want %dx%d", cm.Rows(), cm.Cols(), d.Rows(), d.Cols())
+	}
+	for _, j := range []int{0, 1, 255, 256, 257, cm.Cols() - 1} {
+		want := d.Column(nil, j)
+		got := cm.ColSlice(j)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("column %d row %d: %g, want %g", j, i, got[i], want[i])
+			}
+		}
+		if copied := cm.Column(nil, j); copied[len(copied)-1] != want[len(want)-1] {
+			t.Fatalf("Column copy mismatch at %d", j)
+		}
+	}
+}
+
+func TestColMajorMulTransVecBitIdentical(t *testing.T) {
+	// The engine relies on ColMajor's per-column ascending-row summation
+	// matching the row-streaming implementations bit for bit, so that
+	// swapping storage never perturbs solver selections.
+	_, d := randomDense(t, 30, 41, 11)
+	cm := NewColMajor(d)
+	r := rand.New(rand.NewSource(13))
+	x := make([]float64, d.Rows())
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	want := d.MulTransVec(nil, x)
+	got := cm.MulTransVec(nil, x)
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("MulTransVec[%d] = %.17g, want %.17g", j, got[j], want[j])
+		}
+	}
+	// Range form over an arbitrary split must agree with the full sweep.
+	ranged := make([]float64, cm.Cols())
+	cm.MulTransVecRange(ranged, x, 0, 100)
+	cm.MulTransVecRange(ranged, x, 100, cm.Cols())
+	for j := range want {
+		if ranged[j] != want[j] {
+			t.Fatalf("MulTransVecRange[%d] = %.17g, want %.17g", j, ranged[j], want[j])
+		}
+	}
+}
+
+func TestColMajorVisitRows(t *testing.T) {
+	_, d := randomDense(t, 30, 9, 17)
+	cm := NewColMajor(d)
+	visited := 0
+	cm.VisitRows(func(k int, row []float64) {
+		visited++
+		for _, j := range []int{0, 300, cm.Cols() - 1} {
+			want := d.Column(nil, j)[k]
+			if math.Abs(row[j]-want) != 0 {
+				t.Fatalf("row %d col %d: %g, want %g", k, j, row[j], want)
+			}
+		}
+	})
+	if visited != d.Rows() {
+		t.Fatalf("visited %d rows, want %d", visited, d.Rows())
+	}
+}
+
+func TestColMajorColSliceBoundsPanic(t *testing.T) {
+	_, d := randomDense(t, 5, 4, 19)
+	cm := NewColMajor(d)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range column")
+		}
+	}()
+	cm.ColSlice(cm.Cols())
+}

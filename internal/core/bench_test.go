@@ -67,6 +67,83 @@ func benchPoints(dim, n int, seed int64) [][]float64 {
 	return points
 }
 
+// Fit-path benchmarks pin the solver engine at paper scale: a quadratic
+// Hermite dictionary over 99 variables (M = 5050) against K = 500 Monte
+// Carlo samples — the underdetermined regime of eq. (11) where the Gᵀ·res
+// correlation sweep dominates every path iteration. The fixed sparsity
+// budget keeps one benchmark iteration at λ sweeps, so ns/op tracks the
+// engine's sweep cost across PRs.
+
+const (
+	fitBenchDim    = 99 // quadratic dictionary: M = 5050
+	fitBenchK      = 500
+	fitBenchLambda = 20
+)
+
+// fitBenchProblem builds the K×M benchmark problem once per process.
+func fitBenchProblem(b *testing.B) (basis.Design, []float64) {
+	b.Helper()
+	dict := basis.Quadratic(fitBenchDim)
+	src := rng.New(77)
+	points := make([][]float64, fitBenchK)
+	for k := range points {
+		points[k] = src.NormVec(nil, fitBenchDim)
+	}
+	// Sparse ground truth over 12 scattered bases plus mild noise.
+	support := src.Perm(dict.Size())[:12]
+	coef := src.NormVec(nil, 12)
+	d := basis.NewDenseDesign(dict, points)
+	truth := &Model{M: dict.Size(), Support: support, Coef: coef}
+	f := truth.Predict(d)
+	for i := range f {
+		f[i] += 0.01 * src.Norm()
+	}
+	return d, f
+}
+
+func benchFitPath(b *testing.B, fitter PathFitter) {
+	d, f := fitBenchProblem(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fitter.FitPath(d, f, fitBenchLambda); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitPathOMP(b *testing.B)  { benchFitPath(b, &OMP{}) }
+func BenchmarkFitPathLAR(b *testing.B)  { benchFitPath(b, &LAR{}) }
+func BenchmarkFitPathSTAR(b *testing.B) { benchFitPath(b, &STAR{}) }
+
+// BenchmarkCorrelateSweep isolates the engine's Gᵀ·x kernel on the same
+// K×M problem: the serial column-major sweep against the goroutine-sharded
+// parallel one (GOMAXPROCS workers). On a single-core host the two coincide;
+// the parallel gain shows on ≥2 cores.
+func BenchmarkCorrelateSweep(b *testing.B) {
+	d, f := fitBenchProblem(b)
+	cm := basis.NewColMajor(d)
+	dst := make([]float64, cm.Cols())
+	b.Run("serial", func(b *testing.B) {
+		c := newCorrelator(cm, 1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Apply(dst, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		c := newCorrelator(cm, ResolveFitWorkers(0))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Apply(dst, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkPredictHotPath(b *testing.B) {
 	scattered, dict, _ := randomModelAndPoints(benchDim, benchNNZ, 1, 42)
 	concentrated, _ := concentratedModel(benchDim, 8, benchNNZ, 42)

@@ -18,6 +18,12 @@ import (
 // grows, which yields an (approximately nested) Path compatible with
 // cross-validation. CD is an independent cross-check of the LAR solver: on
 // the same μ the two must agree, which TestCDMatchesLassoLAR asserts.
+//
+// CD keeps its own working set (dense α, warm starts across the μ grid don't
+// fit the ActiveSet's strictly growing support), but its full-dictionary
+// correlation sweeps — the per-sweep Gᵀ·res scan and the μ_max computation —
+// run through the engine's shared Correlator kernel, so CD picks up the
+// parallel column-sharded sweep like every other solver.
 type CD struct {
 	// L2 adds an elastic-net ridge term (µ₂/2K)·‖α‖₂² to the objective:
 	// the soft-threshold denominator becomes z_j + µ₂/K, which stabilizes
@@ -88,7 +94,7 @@ func (c *CD) FitLambda(d basis.Design, f []float64, mu float64) (*Model, error) 
 	if mu < 0 {
 		return nil, fmt.Errorf("core: CD penalty μ=%g must be non-negative", mu)
 	}
-	st := newCDState(d, f)
+	st := newCDState(d, f, ResolveFitWorkers(0))
 	st.l2 = c.L2 / float64(d.Rows())
 	if err := st.solve(nil, mu, c.sweeps(), c.tol()); err != nil {
 		return nil, err
@@ -114,11 +120,13 @@ func (c *CD) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda i
 	if maxLambda > d.Cols() {
 		maxLambda = d.Cols()
 	}
-	st := newCDState(d, f)
+	st := newCDState(d, f, fc.engine().Workers())
 	st.l2 = c.L2 / float64(d.Rows())
-	// μ_max: the smallest penalty at which every coefficient is zero.
-	corr := d.MulTransVec(nil, f)
-	if err := checkFiniteVec("design correlation", corr); err != nil {
+	// μ_max: the smallest penalty at which every coefficient is zero. The
+	// correlator's first sweep validates the result for NaN/Inf, so a
+	// non-finite design or response entry surfaces here.
+	corr, err := st.corr.Apply(nil, f)
+	if err != nil {
 		return nil, err
 	}
 	muMax := 0.0
@@ -165,26 +173,26 @@ func (c *CD) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda i
 // cdState is the reusable coordinate-descent working set.
 type cdState struct {
 	d     basis.Design
+	corr  *Correlator // engine sweep kernel for the full-dictionary Gᵀ·x scans
 	k     int
 	l2    float64 // elastic-net ridge term, already scaled by 1/K
 	alpha []float64
 	res   []float64 // F − G·α
 	z     []float64 // (1/K)·‖G_j‖²
-	col   []float64
 	// cols caches materialized columns for the coordinates that have ever
 	// been active or updated, bounding repeated Column calls on lazy designs.
 	cols map[int][]float64
 }
 
-func newCDState(d basis.Design, f []float64) *cdState {
+func newCDState(d basis.Design, f []float64, workers int) *cdState {
 	k := d.Rows()
 	st := &cdState{
 		d:     d,
+		corr:  newCorrelator(d, workers),
 		k:     k,
 		alpha: make([]float64, d.Cols()),
 		res:   linalg.Clone(f),
 		z:     make([]float64, d.Cols()),
-		col:   make([]float64, k),
 		cols:  make(map[int][]float64),
 	}
 	basis.SquaredColumnNorms(d, st.z)
@@ -215,9 +223,11 @@ func (st *cdState) solve(fc *FitContext, mu float64, maxSweeps int, tol float64)
 		}
 		maxDelta := 0.0
 		// A full sweep re-scans every coordinate; the correlation vector is
-		// recomputed in one pass, then coordinates update against the live
-		// residual.
-		st.d.MulTransVec(corr, st.res)
+		// recomputed in one engine-kernel pass, then coordinates update
+		// against the live residual.
+		if _, err := st.corr.Apply(corr, st.res); err != nil {
+			return err
+		}
 		for j := 0; j < m; j++ {
 			if st.z[j] == 0 {
 				continue

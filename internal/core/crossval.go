@@ -116,6 +116,10 @@ func CrossValidateCtx(ctx context.Context, fitter PathFitter, d basis.Design, f 
 		FoldErr:  make([][]float64, folds),
 	}
 	counts := make([]int, maxLambda)
+	// One engine for the whole cross-validation: every fold fit and the final
+	// refit run sequentially, so they share a single set of correlation and
+	// residual buffers instead of allocating Q+1 of them.
+	eng := NewEngine(FitWorkersFromContext(ctx))
 	for q := 0; q < folds; q++ {
 		var trainRows, testRows []int
 		for i := 0; i < k; i++ {
@@ -130,7 +134,7 @@ func CrossValidateCtx(ctx context.Context, fitter PathFitter, d basis.Design, f 
 		trainF := gather(f, trainRows)
 		testF := gather(f, testRows)
 
-		path, err := FitPathContext(WithFitStage(ctx, fmt.Sprintf("cv-fold-%d", q)), fitter, trainD, trainF, maxLambda)
+		path, err := fitPathWithEngine(WithFitStage(ctx, fmt.Sprintf("cv-fold-%d", q)), eng, fitter, trainD, trainF, maxLambda)
 		if err != nil {
 			return nil, fmt.Errorf("core: cross-validation fold %d: %w", q, err)
 		}
@@ -180,7 +184,7 @@ func CrossValidateCtx(ctx context.Context, fitter PathFitter, d basis.Design, f 
 	// BestLambda because batch solvers (StOMP, CD) admit several bases per
 	// step: capping admission at BestLambda could truncate a batch, whereas
 	// indexing the full path returns the same model the folds scored.
-	path, err := FitPathContext(WithFitStage(ctx, "final"), fitter, d, f, maxLambda)
+	path, err := fitPathWithEngine(WithFitStage(ctx, "final"), eng, fitter, d, f, maxLambda)
 	if err != nil {
 		return nil, fmt.Errorf("core: final refit: %w", err)
 	}

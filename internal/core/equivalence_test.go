@@ -1,0 +1,175 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/basis"
+)
+
+// The solver-equivalence suite pins every solver's exact path behavior on
+// seeded synthetic problems: the fixtures in testdata/solver_golden.json were
+// captured from the pre-engine implementations (PR 3 state), so any refactor
+// of the shared active-set machinery must reproduce the identical supports
+// (bit-for-bit, including selection order) and coefficients within 1e-10.
+//
+// Regenerate with:
+//
+//	go test ./internal/core/ -run TestSolverEquivalence -update-golden
+//
+// but only when a behavior change is intended and understood.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/solver_golden.json from the current solvers")
+
+const goldenPath = "testdata/solver_golden.json"
+
+// goldenStep is one recorded path step: the active support in selection
+// order and the aligned coefficients.
+type goldenStep struct {
+	Support  []int     `json:"support"`
+	Coef     []float64 `json:"coef"`
+	Residual float64   `json:"residual"`
+}
+
+type goldenFixture struct {
+	Problem string       `json:"problem"`
+	Solver  string       `json:"solver"`
+	Steps   []goldenStep `json:"steps"`
+}
+
+// equivalenceProblem is one seeded synthetic regression problem.
+type equivalenceProblem struct {
+	d basis.Design
+	f []float64
+}
+
+// equivalenceProblems are the seeded synthetic problems the suite runs. The
+// shapes cover the regimes that exercise different engine paths: noiseless
+// exact recovery, noisy underdetermined selection, and a quadratic dictionary
+// with correlated columns.
+func equivalenceProblems() map[string]equivalenceProblem {
+	out := make(map[string]equivalenceProblem)
+	_, d1, f1, _ := synthProblem(201, 60, 90, false, []int{3, 17, 42, 51}, []float64{2, -1.5, 0.8, 3.2}, 0)
+	out["linear-noiseless"] = equivalenceProblem{d1, f1}
+	_, d2, f2, _ := synthProblem(202, 80, 70, false, []int{5, 19, 33, 60, 71}, []float64{1.2, -2, 0.5, 0.9, -1.4}, 0.05)
+	out["linear-noisy"] = equivalenceProblem{d2, f2}
+	_, d3, f3, _ := synthProblem(203, 10, 60, true, []int{2, 7, 23, 40}, []float64{1.5, -0.75, 2.2, 0.6}, 0.02)
+	out["quad-noisy"] = equivalenceProblem{d3, f3}
+	return out
+}
+
+// equivalenceSolvers returns the solver set under golden pinning, in a fixed
+// order so regenerated fixtures diff cleanly.
+func equivalenceSolvers() []PathFitter {
+	return []PathFitter{
+		&OMP{},
+		&STAR{},
+		&LAR{},
+		&LAR{Lasso: true, Refit: true},
+		&StOMP{},
+		&CD{Refit: true},
+	}
+}
+
+func solverLabel(f PathFitter) string {
+	if l, ok := f.(*LAR); ok && l.Lasso {
+		return "LASSO"
+	}
+	return f.Name()
+}
+
+const equivalenceMaxLambda = 8
+
+// runEquivalenceFixtures fits every (problem, solver) pair and returns the
+// recorded paths.
+func runEquivalenceFixtures(t *testing.T) []goldenFixture {
+	t.Helper()
+	problems := equivalenceProblems()
+	names := []string{"linear-noiseless", "linear-noisy", "quad-noisy"}
+	var out []goldenFixture
+	for _, pname := range names {
+		p := problems[pname]
+		for _, fitter := range equivalenceSolvers() {
+			path, err := fitter.FitPath(p.d, p.f, equivalenceMaxLambda)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", solverLabel(fitter), pname, err)
+			}
+			fx := goldenFixture{Problem: pname, Solver: solverLabel(fitter)}
+			for i, m := range path.Models {
+				fx.Steps = append(fx.Steps, goldenStep{
+					Support:  append([]int(nil), m.Support...),
+					Coef:     append([]float64(nil), m.Coef...),
+					Residual: path.Residual[i],
+				})
+			}
+			out = append(out, fx)
+		}
+	}
+	return out
+}
+
+func TestSolverEquivalenceGolden(t *testing.T) {
+	got := runEquivalenceFixtures(t)
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d fixtures", goldenPath, len(got))
+		return
+	}
+
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden fixtures (run with -update-golden to create): %v", err)
+	}
+	var want []goldenFixture
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fixture count changed: got %d, want %d", len(got), len(want))
+	}
+	const tol = 1e-10
+	for i, wf := range want {
+		gf := got[i]
+		label := wf.Solver + "/" + wf.Problem
+		if gf.Solver != wf.Solver || gf.Problem != wf.Problem {
+			t.Fatalf("fixture %d is %s/%s, want %s", i, gf.Solver, gf.Problem, label)
+		}
+		if len(gf.Steps) != len(wf.Steps) {
+			t.Errorf("%s: path length %d, want %d", label, len(gf.Steps), len(wf.Steps))
+			continue
+		}
+		for s, ws := range wf.Steps {
+			gs := gf.Steps[s]
+			if len(gs.Support) != len(ws.Support) {
+				t.Errorf("%s step %d: support size %d, want %d", label, s, len(gs.Support), len(ws.Support))
+				continue
+			}
+			for j := range ws.Support {
+				if gs.Support[j] != ws.Support[j] {
+					t.Errorf("%s step %d: support[%d] = %d, want %d (selection order must be identical)",
+						label, s, j, gs.Support[j], ws.Support[j])
+				}
+				if math.Abs(gs.Coef[j]-ws.Coef[j]) > tol {
+					t.Errorf("%s step %d: coef[%d] = %.17g, want %.17g (Δ=%g)",
+						label, s, j, gs.Coef[j], ws.Coef[j], math.Abs(gs.Coef[j]-ws.Coef[j]))
+				}
+			}
+			if math.Abs(gs.Residual-ws.Residual) > tol*(1+ws.Residual) {
+				t.Errorf("%s step %d: residual %.17g, want %.17g", label, s, gs.Residual, ws.Residual)
+			}
+		}
+	}
+}

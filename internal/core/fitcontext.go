@@ -68,6 +68,9 @@ type FitEvent struct {
 	Residual float64
 	// Elapsed is the wall-clock time since the path fit started.
 	Elapsed time.Duration
+	// Workers is the effective goroutine count of the engine's parallel
+	// correlation sweep for this fit (1 = serial).
+	Workers int
 }
 
 // FitObserver receives per-iteration solver telemetry. Observers are called
@@ -109,6 +112,13 @@ type FitContext struct {
 	ctx context.Context
 	n   uint
 
+	// eng is the solver engine serving this fit: correlation scratch,
+	// residual buffer and parallel-sweep worker count. It is created
+	// lazily on first use; CrossValidateCtx pre-attaches one shared
+	// engine so all fold fits reuse a single allocation.
+	eng     *Engine
+	workers int // requested sweep workers from WithFitWorkers (0 = auto)
+
 	observer FitObserver
 	stage    string
 	start    time.Time
@@ -126,13 +136,26 @@ func NewFitContext(ctx context.Context) *FitContext {
 	if ctx == nil {
 		return nil
 	}
-	fc := &FitContext{ctx: ctx}
+	fc := &FitContext{ctx: ctx, workers: FitWorkersFromContext(ctx)}
 	if obs, ok := ctx.Value(observerCtxKey).(FitObserver); ok && obs != nil {
 		fc.observer = obs
 		fc.start = time.Now()
 		fc.stage, _ = ctx.Value(stageCtxKey).(string)
 	}
 	return fc
+}
+
+// engine returns the fit's solver engine, creating one on first use. A nil
+// FitContext (the context-free FitPath entry points) gets a fresh automatic
+// engine per call.
+func (fc *FitContext) engine() *Engine {
+	if fc == nil {
+		return NewEngine(0)
+	}
+	if fc.eng == nil {
+		fc.eng = NewEngine(fc.workers)
+	}
+	return fc.eng
 }
 
 // Observe reports one completed path iteration to the armed observer:
@@ -151,6 +174,7 @@ func (fc *FitContext) Observe(basis, active int, residual float64) {
 		Active:   active,
 		Residual: residual,
 		Elapsed:  time.Since(fc.start),
+		Workers:  fc.engine().Workers(),
 	})
 }
 
@@ -180,11 +204,23 @@ type ContextFitter interface {
 // ContextFitter are canceled cooperatively mid-fit; for foreign fitters the
 // context is only checked up front.
 func FitPathContext(ctx context.Context, fitter PathFitter, d basis.Design, f []float64, maxLambda int) (*Path, error) {
+	return fitPathWithEngine(ctx, nil, fitter, d, f, maxLambda)
+}
+
+// fitPathWithEngine is FitPathContext with an optional pre-built engine,
+// letting a sequential driver (CrossValidateCtx) share one engine's scratch
+// buffers across many path fits. A nil eng falls back to lazy per-fit
+// creation.
+func fitPathWithEngine(ctx context.Context, eng *Engine, fitter PathFitter, d basis.Design, f []float64, maxLambda int) (*Path, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if cf, ok := fitter.(ContextFitter); ok {
-		return cf.FitPathCtx(NewFitContext(ctx), d, f, maxLambda)
+		fc := NewFitContext(ctx)
+		if fc != nil && eng != nil {
+			fc.eng = eng
+		}
+		return cf.FitPathCtx(fc, d, f, maxLambda)
 	}
 	return fitter.FitPath(d, f, maxLambda)
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
@@ -18,7 +17,11 @@ import (
 //
 // Columns are normalized to unit Euclidean norm internally (the basis
 // functions are orthonormal in expectation, but their Monte Carlo basis
-// vectors are not), and coefficients are rescaled back on output.
+// vectors are not), and coefficients are rescaled back on output. The
+// normalization, correlation sweeps, Gram factor and drop/refactorization all
+// come from the shared engine (ActiveSet with cfg.normalize); this file keeps
+// LAR's own step rule — the equiangular direction, the breakpoint step γ and
+// the lasso sign-crossing drop.
 type LAR struct {
 	// Lasso enables the lasso modification: a coefficient whose sign would
 	// flip is removed from the active set at the crossing point, yielding
@@ -43,29 +46,6 @@ func (l *LAR) Fit(d basis.Design, f []float64, lambda int) (*Model, error) {
 	return path.Models[len(path.Models)-1], nil
 }
 
-// larState carries the active set of the path walk.
-type larState struct {
-	support []int       // active basis indices, in entry order
-	cols    [][]float64 // normalized active columns
-	chol    *linalg.Cholesky
-}
-
-// rebuild refactorizes the active Gram matrix from scratch (used after a
-// lasso drop, which removes a column from the middle of the factor).
-func (st *larState) rebuild() error {
-	st.chol = linalg.NewCholesky()
-	for i, c := range st.cols {
-		cross := make([]float64, i)
-		for j := 0; j < i; j++ {
-			cross[j] = linalg.Dot(st.cols[j], c)
-		}
-		if err := st.chol.Append(cross, linalg.Dot(c, c)); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // FitPath implements PathFitter.
 func (l *LAR) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error) {
 	return l.FitPathCtx(nil, d, f, maxLambda)
@@ -74,120 +54,66 @@ func (l *LAR) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error)
 // FitPathCtx implements ContextFitter: the path walk polls fc at every
 // breakpoint so cancellation stops the fit promptly.
 func (l *LAR) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda int) (*Path, error) {
-	if err := checkProblem(d, f, maxLambda); err != nil {
+	as, err := newActiveSet(fc, d, f, maxLambda, activeSetConfig{
+		solver: "LAR", clampRows: true, normalize: true, gram: true,
+	})
+	if err != nil {
 		return nil, err
 	}
-	k, m := d.Rows(), d.Cols()
-	if maxLambda > m {
-		maxLambda = m
-	}
-	if maxLambda > k {
-		maxLambda = k
-	}
-
-	// Column norms for internal normalization; zero-norm columns can never
-	// be selected. One row-streaming pass — a per-column loop would cost M
-	// full column materializations, which is prohibitive on lazy/generated
-	// designs.
-	norms := basis.SquaredColumnNorms(d, nil)
-	colBuf := make([]float64, k)
-	excluded := make([]bool, m)
-	for j, n := range norms {
-		if n <= 0 {
-			excluded[j] = true
-			norms[j] = 1 // avoid division by zero; column is excluded anyway
-		} else {
-			norms[j] = math.Sqrt(n)
-		}
-	}
-
-	fNorm := linalg.Norm2(f)
-	res := linalg.Clone(f)
-	beta := make([]float64, m) // coefficients in normalized-column space
-	active := make([]bool, m)
-	st := &larState{chol: linalg.NewCholesky()}
-	c := make([]float64, m)
-	a := make([]float64, m)
+	beta := make([]float64, as.m) // coefficients in normalized-column space
+	a := make([]float64, as.m)    // G_jᵀ·u sweep scratch
+	u := make([]float64, as.k)    // unit equiangular vector
 	path := &Path{}
 
-	record := func() {
-		support := append([]int(nil), st.support...)
-		coef := make([]float64, len(support))
-		for i, idx := range support {
-			coef[i] = beta[idx] / norms[idx] // undo normalization
+	record := func(sel int) {
+		coef := make([]float64, as.Size())
+		for i, idx := range as.support {
+			coef[i] = beta[idx] / as.norms[idx] // undo normalization
 		}
-		model := &Model{M: m, Support: support, Coef: coef}
 		if l.Refit {
-			if refit, err := refitOnSupport(d, f, support); err == nil {
-				model.Coef = refit
+			if refit, err := refitOnSupport(d, f, as.support); err == nil {
+				coef = refit
 			}
 		}
-		path.Models = append(path.Models, model)
-		path.Residual = append(path.Residual, linalg.Norm2(res))
+		as.Record(path, coef, sel)
 	}
 
 	const eps = 1e-12
-	for len(st.support) < maxLambda {
-		if err := fc.Err(); err != nil {
-			return nil, fmt.Errorf("core: LAR fit stopped: %w", err)
+	for as.Size() < as.MaxLambda() {
+		if err := as.Err(); err != nil {
+			return nil, err
 		}
 		// Correlations with the current residual (normalized columns).
-		d.MulTransVec(c, res)
-		for j := range c {
-			c[j] /= norms[j]
-		}
-		if len(st.support) == 0 {
-			// Res == F on the first breakpoint: a NaN/Inf design or response
-			// entry shows up here, before it can corrupt the path state.
-			if err := checkFiniteVec("design correlation", c); err != nil {
-				return nil, err
-			}
+		c, err := as.CorrelateResidual()
+		if err != nil {
+			return nil, err
 		}
 		// Highest correlation among inactive, admissible columns.
-		sel := -1
-		selAbs := 0.0
-		for j := range c {
-			if active[j] || excluded[j] {
-				continue
-			}
-			if abs := math.Abs(c[j]); sel == -1 || abs > selAbs {
-				sel, selAbs = j, abs
-			}
-		}
-		if sel == -1 || selAbs <= eps*(1+fNorm) {
+		sel := as.SelectMostCorrelated(c)
+		if sel == -1 {
 			break // dictionary exhausted or residual uncorrelated
 		}
-		// Append the new column to the active factorization.
-		d.Column(colBuf, sel)
-		newCol := make([]float64, k)
-		for i := range colBuf {
-			newCol[i] = colBuf[i] / norms[sel]
+		selAbs := math.Abs(c[sel])
+		// Append the new column to the active factorization; a dependent
+		// column is excluded by TryAppend and the breakpoint re-runs.
+		ok, err := as.TryAppend(sel)
+		if err != nil {
+			return nil, err
 		}
-		cross := make([]float64, len(st.cols))
-		for i, col := range st.cols {
-			cross[i] = linalg.Dot(col, newCol)
+		if !ok {
+			continue
 		}
-		if err := st.chol.Append(cross, linalg.Dot(newCol, newCol)); err != nil {
-			if errors.Is(err, linalg.ErrNotPositiveDefinite) {
-				excluded[sel] = true
-				continue
-			}
-			return nil, fmt.Errorf("core: LAR Gram update: %w", err)
-		}
-		st.support = append(st.support, sel)
-		st.cols = append(st.cols, newCol)
-		active[sel] = true
 
 		// Equiangular direction: solve (G_AᵀG_A)·v = s_A.
-		signs := make([]float64, len(st.support))
-		for i, idx := range st.support {
+		signs := make([]float64, as.Size())
+		for i, idx := range as.support {
 			if c[idx] >= 0 {
 				signs[i] = 1
 			} else {
 				signs[i] = -1
 			}
 		}
-		v, err := st.chol.Solve(signs)
+		v, err := as.SolveGram(signs)
 		if err != nil {
 			return nil, fmt.Errorf("core: LAR equiangular solve: %w", err)
 		}
@@ -197,14 +123,15 @@ func (l *LAR) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda 
 		}
 		aa := 1 / math.Sqrt(sv) // A_A in Efron et al. notation
 		// u = A_A · G_A · v (unit equiangular vector).
-		u := make([]float64, k)
-		for i, col := range st.cols {
+		for i := range u {
+			u[i] = 0
+		}
+		for i, col := range as.cols {
 			linalg.Axpy(aa*v[i], col, u)
 		}
 		// a_j = G_jᵀ·u for every j (normalized).
-		d.MulTransVec(a, u)
-		for j := range a {
-			a[j] /= norms[j]
+		if _, err := as.Correlate(a, u); err != nil {
+			return nil, err
 		}
 
 		// C = current common absolute correlation of the active set.
@@ -212,7 +139,7 @@ func (l *LAR) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda 
 		gammaMax := bigC / aa // distance to the full least-squares point
 		gamma := gammaMax
 		for j := range c {
-			if active[j] || excluded[j] {
+			if as.active[j] || as.excluded[j] {
 				continue
 			}
 			if g := (bigC - c[j]) / (aa - a[j]); g > eps && g < gamma {
@@ -227,7 +154,7 @@ func (l *LAR) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda 
 		// variable (Efron et al., Section 3.1).
 		dropIdx := -1
 		if l.Lasso {
-			for i, idx := range st.support {
+			for i, idx := range as.support {
 				step := aa * v[i] // Δβ_idx per unit γ
 				if step == 0 {
 					continue
@@ -240,31 +167,26 @@ func (l *LAR) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda 
 		}
 
 		// Advance the path: β_A += γ·A_A·v, residual −= γ·u.
-		for i, idx := range st.support {
+		for i, idx := range as.support {
 			beta[idx] += gamma * aa * v[i]
 		}
-		linalg.Axpy(-gamma, u, res)
+		linalg.Axpy(-gamma, u, as.res)
 
 		if dropIdx >= 0 {
-			idx := st.support[dropIdx]
-			beta[idx] = 0
-			active[idx] = false
-			st.support = append(st.support[:dropIdx], st.support[dropIdx+1:]...)
-			st.cols = append(st.cols[:dropIdx], st.cols[dropIdx+1:]...)
-			if err := st.rebuild(); err != nil {
-				return nil, fmt.Errorf("core: LAR refactorization after drop: %w", err)
+			beta[as.support[dropIdx]] = 0
+			if err := as.Drop(dropIdx); err != nil {
+				return nil, err
 			}
 			continue // a drop does not produce a new path model
 		}
 
-		record()
-		fc.Observe(sel, len(st.support), path.Residual[len(path.Residual)-1])
-		if l.Tol > 0 && fNorm > 0 && linalg.Norm2(res) <= l.Tol*fNorm {
+		record(sel)
+		if as.BelowTol(l.Tol) {
 			break
 		}
 	}
 	if len(path.Models) == 0 {
-		return nil, errDegenerate("LAR", "could not select any basis vector")
+		return nil, as.errDegenerateNoSelection()
 	}
 	return path, nil
 }

@@ -124,42 +124,6 @@ type PathFitter interface {
 	Name() string
 }
 
-// checkProblem validates solver inputs shared by all fitters.
-func checkProblem(d basis.Design, f []float64, maxLambda int) error {
-	if d.Rows() != len(f) {
-		return fmt.Errorf("core: design has %d rows but response has %d entries", d.Rows(), len(f))
-	}
-	if d.Rows() == 0 {
-		return fmt.Errorf("core: empty sample set")
-	}
-	if maxLambda < 1 {
-		return fmt.Errorf("core: maxLambda must be ≥ 1, got %d", maxLambda)
-	}
-	if err := checkFiniteVec("response", f); err != nil {
-		return err
-	}
-	return nil
-}
-
-// argmaxAbsExcluding returns the index with the largest |v| whose excluded
-// flag is unset, or -1 when every index is excluded.
-func argmaxAbsExcluding(v []float64, excluded []bool) int {
-	best, bestAbs := -1, 0.0
-	for i, x := range v {
-		if excluded[i] {
-			continue
-		}
-		a := x
-		if a < 0 {
-			a = -a
-		}
-		if best == -1 || a > bestAbs {
-			best, bestAbs = i, a
-		}
-	}
-	return best
-}
-
 // Gradient evaluates ∇f(y) of the fitted model at a point using the exact
 // Hermite derivative identity H̃ₙ' = √n·H̃ₙ₋₁. dst is allocated when nil.
 // The gradient drives sensitivity analysis and worst-case corner search on

@@ -1,12 +1,7 @@
 package core
 
 import (
-	"errors"
-	"fmt"
-	"math"
-
 	"repro/internal/basis"
-	"repro/internal/linalg"
 )
 
 // OMP is the orthogonal matching pursuit solver of Algorithm 1: at each
@@ -15,16 +10,14 @@ import (
 // *all* selected bases (Step 6, eq. 22) — the re-fit that distinguishes it
 // from STAR.
 //
-// The active-set least-squares problem is solved through a growable Cholesky
-// factorization of the active Gram matrix, so each iteration costs one
-// Gᵀ·res product plus O(p²) for the triangular solves.
+// The whole inner machinery — correlation sweep, active-set bookkeeping,
+// growable-Cholesky Gram factor, residual maintenance — lives in the shared
+// engine (ActiveSet); this file keeps only OMP's rule: take the single best
+// admissible column, then re-fit everything.
 type OMP struct {
 	// Tol stops the path early once the relative residual
 	// ‖res‖/‖F‖ falls below it. Zero means no early stop.
 	Tol float64
-	// Refit is unused for OMP (coefficients are always re-fit); it exists
-	// so OMP and LAR share configuration shape in the experiment harness.
-	Refit bool
 }
 
 // Name implements PathFitter.
@@ -49,101 +42,55 @@ func (o *OMP) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error)
 // FitPathCtx implements ContextFitter: the selection loop polls fc between
 // iterations so job deadlines and cancellations stop the fit promptly.
 func (o *OMP) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda int) (*Path, error) {
-	if err := checkProblem(d, f, maxLambda); err != nil {
+	as, err := newActiveSet(fc, d, f, maxLambda, activeSetConfig{
+		solver: "OMP", clampRows: true, gram: true,
+	})
+	if err != nil {
 		return nil, err
 	}
-	k, m := d.Rows(), d.Cols()
-	if maxLambda > k {
-		// Selecting more bases than samples would make the LS step
-		// underdetermined; Algorithm 1 implicitly requires λ ≤ K.
-		maxLambda = k
-	}
-	if maxLambda > m {
-		maxLambda = m
-	}
-
-	fNorm := linalg.Norm2(f)
-	res := linalg.Clone(f) // Step 2: Res = F
-	xi := make([]float64, m)
-	excluded := make([]bool, m)
-
-	chol := linalg.NewCholesky()         // factor of the active Gram matrix
-	var support []int                    // Ω, in selection order
-	var cols []([]float64)               // materialized active columns G_i
-	gtf := make([]float64, 0, maxLambda) // Gᵀ_Ω·F restricted to the support
 	path := &Path{}
-
-	for len(support) < maxLambda {
-		if err := fc.Err(); err != nil {
-			return nil, fmt.Errorf("core: OMP fit stopped: %w", err)
+	for as.Size() < as.MaxLambda() {
+		if err := as.Err(); err != nil {
+			return nil, err
 		}
-		// Step 3: ξ_m = (1/K)·G_mᵀ·Res for every m.
-		d.MulTransVec(xi, res)
-		// (The 1/K factor does not change the argmax; skip it.)
-		if len(support) == 0 {
-			// Res == F here, so a NaN/Inf design entry surfaces in ξ; catch it
-			// once up front instead of silently never selecting that column.
-			if err := checkFiniteVec("design correlation", xi); err != nil {
-				return nil, err
-			}
+		// Step 3: ξ_m = (1/K)·G_mᵀ·Res for every m. (The 1/K factor does not
+		// change the argmax; skip it.)
+		xi, err := as.CorrelateResidual()
+		if err != nil {
+			return nil, err
 		}
-
-		// Step 4: pick the most correlated admissible basis vector. Columns
-		// that proved linearly dependent on the active set are excluded.
-		var newCol []float64
+		// Step 4/5: admit the most correlated admissible basis vector;
+		// columns that prove linearly dependent on the active set are
+		// excluded by TryAppend and the next best is tried.
 		selected := -1
 		for {
-			s := argmaxAbsExcluding(xi, excluded)
-			if s != -1 && math.Abs(xi[s]) <= degenEps*(1+fNorm) {
-				s = -1 // residual uncorrelated with every remaining basis
-			}
+			s := as.SelectMostCorrelated(xi)
 			if s == -1 {
 				// Dictionary exhausted.
-				if len(support) == 0 {
-					return nil, errDegenerate("OMP", "could not select any basis vector")
+				if as.Size() == 0 {
+					return nil, as.errDegenerateNoSelection()
 				}
 				return path, nil
 			}
-			c := d.Column(nil, s)
-			cross := make([]float64, len(support))
-			for i, col := range cols {
-				cross[i] = linalg.Dot(col, c)
+			ok, err := as.TryAppend(s)
+			if err != nil {
+				return nil, err
 			}
-			err := chol.Append(cross, linalg.Dot(c, c))
-			if err == nil {
-				selected, newCol = s, c
-				gtf = append(gtf, linalg.Dot(c, f))
+			if ok {
+				selected = s
 				break
 			}
-			if errors.Is(err, linalg.ErrNotPositiveDefinite) {
-				excluded[s] = true // dependent column, try the next best
-				continue
-			}
-			return nil, fmt.Errorf("core: OMP Gram update: %w", err)
 		}
-		// Step 5: Ω ← Ω ∪ {s}.
-		support = append(support, selected)
-		cols = append(cols, newCol)
-		excluded[selected] = true // never reselect
-
 		// Step 6: re-solve all active coefficients (eq. 22).
-		coef, err := chol.Solve(gtf)
+		coef, err := as.RefitActive()
 		if err != nil {
-			return nil, fmt.Errorf("core: OMP coefficient solve: %w", err)
+			return nil, err
 		}
-
 		// Step 7: Res = F − Σ αᵢ·Gᵢ (eq. 23).
-		copy(res, f)
-		for i, col := range cols {
-			linalg.Axpy(-coef[i], col, res)
-		}
+		as.RecomputeResidual(coef)
 
-		model := &Model{M: m, Support: append([]int(nil), support...), Coef: coef}
-		path.Models = append(path.Models, model)
-		path.Residual = append(path.Residual, linalg.Norm2(res))
-		fc.Observe(selected, len(support), path.Residual[len(path.Residual)-1])
-
-		if o.Tol > 0 && fNorm > 0 && linalg.Norm2(res) <= o.Tol*fNorm {
+		as.Record(path, coef, selected)
+		if as.BelowTol(o.Tol) {
 			break
 		}
 	}

@@ -1,9 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"math"
-
 	"repro/internal/basis"
 	"repro/internal/linalg"
 )
@@ -18,6 +15,10 @@ import (
 // ξ_s = (1/K)·G_sᵀ·Res, earlier coefficients are never revisited, which is
 // exactly the weakness the paper's OMP addresses (and the source of STAR's
 // larger modeling error in Figs. 4 and Tables II/IV).
+//
+// As an engine strategy, STAR is the degenerate case: correlate + select
+// from the shared ActiveSet, no Gram factor, and a one-column residual
+// update as its step rule.
 type STAR struct {
 	// Tol stops the path early once the relative residual falls below it.
 	Tol float64
@@ -42,62 +43,36 @@ func (s *STAR) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, error
 
 // FitPathCtx implements ContextFitter.
 func (s *STAR) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda int) (*Path, error) {
-	if err := checkProblem(d, f, maxLambda); err != nil {
+	as, err := newActiveSet(fc, d, f, maxLambda, activeSetConfig{solver: "STAR"})
+	if err != nil {
 		return nil, err
 	}
-	k, m := d.Rows(), d.Cols()
-	if maxLambda > m {
-		maxLambda = m
-	}
-	fNorm := linalg.Norm2(f)
-	res := linalg.Clone(f)
-	xi := make([]float64, m)
-	used := make([]bool, m)
-	col := make([]float64, k)
-
-	var support []int
 	var coef []float64
 	path := &Path{}
-
-	for len(support) < maxLambda {
-		if err := fc.Err(); err != nil {
-			return nil, fmt.Errorf("core: STAR fit stopped: %w", err)
+	for as.Size() < as.MaxLambda() {
+		if err := as.Err(); err != nil {
+			return nil, err
 		}
-		d.MulTransVec(xi, res)
-		if len(support) == 0 {
-			if err := checkFiniteVec("design correlation", xi); err != nil {
-				return nil, err
-			}
+		xi, err := as.CorrelateResidual()
+		if err != nil {
+			return nil, err
 		}
-		sel := argmaxAbsExcluding(xi, used)
-		if sel != -1 && math.Abs(xi[sel]) <= degenEps*(1+fNorm) {
-			sel = -1 // residual uncorrelated with every remaining basis
-		}
+		sel := as.SelectMostCorrelated(xi)
 		if sel == -1 {
-			if len(support) == 0 {
-				return nil, errDegenerate("STAR", "could not select any basis vector")
+			if as.Size() == 0 {
+				return nil, as.errDegenerateNoSelection()
 			}
-			return path, nil
+			return path, nil // residual uncorrelated with every remaining basis
 		}
-		used[sel] = true
 		// Coefficient straight from the inner-product estimator (eq. 18):
-		// α_s = (1/K)·G_sᵀ·Res.
-		alpha := xi[sel] / float64(k)
-		d.Column(col, sel)
-		linalg.Axpy(-alpha, col, res)
+		// α_s = (1/K)·G_sᵀ·Res — no re-fit, so no Gram bookkeeping.
+		alpha := xi[sel] / float64(as.k)
+		col := as.AppendFree(sel)
+		linalg.Axpy(-alpha, col, as.res)
 
-		support = append(support, sel)
 		coef = append(coef, alpha)
-		model := &Model{
-			M:       m,
-			Support: append([]int(nil), support...),
-			Coef:    append([]float64(nil), coef...),
-		}
-		path.Models = append(path.Models, model)
-		path.Residual = append(path.Residual, linalg.Norm2(res))
-		fc.Observe(sel, len(support), path.Residual[len(path.Residual)-1])
-
-		if s.Tol > 0 && fNorm > 0 && linalg.Norm2(res) <= s.Tol*fNorm {
+		as.Record(path, append([]float64(nil), coef...), sel)
+		if as.BelowTol(s.Tol) {
 			break
 		}
 	}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"errors"
-	"fmt"
 	"math"
 
 	"repro/internal/basis"
@@ -20,6 +18,9 @@ import (
 // paper's M ≈ 10⁵…10⁶ dictionaries, where those passes dominate. The price
 // is coarser selection: bases enter in batches, so the path is piecewise
 // (recorded per stage) rather than per-basis.
+//
+// As an engine strategy, StOMP shares OMP's whole substrate and differs only
+// in its admission rule: thresholded batches instead of the single argmax.
 type StOMP struct {
 	// Threshold is the admission multiplier t in t·σ_res (default 2.5, the
 	// range Donoho et al. recommend is 2–3).
@@ -66,49 +67,32 @@ func (s *StOMP) FitPath(d basis.Design, f []float64, maxLambda int) (*Path, erro
 // FitPathCtx implements ContextFitter: fc is polled per stage and per
 // admission candidate (a stage can admit hundreds of columns).
 func (s *StOMP) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda int) (*Path, error) {
-	if err := checkProblem(d, f, maxLambda); err != nil {
+	as, err := newActiveSet(fc, d, f, maxLambda, activeSetConfig{
+		solver: "StOMP", clampRows: true, gram: true,
+	})
+	if err != nil {
 		return nil, err
 	}
-	k, m := d.Rows(), d.Cols()
-	if maxLambda > k {
-		maxLambda = k
-	}
-	if maxLambda > m {
-		maxLambda = m
-	}
-	fNorm := linalg.Norm2(f)
-	res := linalg.Clone(f)
-	xi := make([]float64, m)
-	active := make([]bool, m)
-	excluded := make([]bool, m)
-
-	chol := linalg.NewCholesky()
-	var support []int
-	var cols [][]float64
-	var gtf []float64
 	path := &Path{}
-
-	for stage := 0; stage < s.stages() && len(support) < maxLambda; stage++ {
-		if err := fc.Err(); err != nil {
-			return nil, fmt.Errorf("core: StOMP fit stopped: %w", err)
+	for stage := 0; stage < s.stages() && as.Size() < as.MaxLambda(); stage++ {
+		if err := as.Err(); err != nil {
+			return nil, err
 		}
-		d.MulTransVec(xi, res)
-		if stage == 0 {
-			if err := checkFiniteVec("design correlation", xi); err != nil {
-				return nil, err
-			}
+		xi, err := as.CorrelateResidual()
+		if err != nil {
+			return nil, err
 		}
 		// Admission threshold: t·σ where σ = ‖res‖/√K estimates the
 		// residual noise scale (correlations of pure-noise columns are
 		// ≈ σ·√K ⇒ compare |ξ|/K against t·σ/√K, i.e. |ξ| against t·σ·√K).
-		sigma := linalg.Norm2(res) / math.Sqrt(float64(k))
-		thresh := s.threshold() * sigma * math.Sqrt(float64(k))
+		sigma := linalg.Norm2(as.res) / math.Sqrt(float64(as.k))
+		thresh := s.threshold() * sigma * math.Sqrt(float64(as.k))
 		var cands []stompCand
-		for j := range xi {
-			if active[j] || excluded[j] {
+		for j, v := range xi {
+			if as.active[j] || as.excluded[j] {
 				continue
 			}
-			if a := math.Abs(xi[j]); a > thresh {
+			if a := math.Abs(v); a > thresh {
 				cands = append(cands, stompCand{j, a})
 			}
 		}
@@ -116,7 +100,7 @@ func (s *StOMP) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambd
 		if fallback {
 			// Fall back to the single best column so progress is guaranteed
 			// (matching OMP's behaviour when the stage admits nothing).
-			best := argmaxAbsExcludingBoth(xi, active, excluded)
+			best := as.SelectMostCorrelated(xi)
 			if best == -1 {
 				break
 			}
@@ -126,76 +110,44 @@ func (s *StOMP) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambd
 		sortCandsDesc(cands)
 		admitted := 0
 		for _, c := range cands {
-			if len(support) >= maxLambda {
+			if as.Size() >= as.MaxLambda() {
 				break
 			}
-			if err := fc.Err(); err != nil {
-				return nil, fmt.Errorf("core: StOMP fit stopped: %w", err)
+			if err := as.Err(); err != nil {
+				return nil, err
 			}
-			col := d.Column(nil, c.j)
-			cross := make([]float64, len(cols))
-			for i, existing := range cols {
-				cross[i] = linalg.Dot(existing, col)
+			ok, err := as.TryAppend(c.j)
+			if err != nil {
+				return nil, err
 			}
-			if err := chol.Append(cross, linalg.Dot(col, col)); err != nil {
-				if errors.Is(err, linalg.ErrNotPositiveDefinite) {
-					excluded[c.j] = true
-					continue
-				}
-				return nil, fmt.Errorf("core: StOMP Gram update: %w", err)
+			if ok {
+				admitted++
 			}
-			support = append(support, c.j)
-			cols = append(cols, col)
-			gtf = append(gtf, linalg.Dot(col, f))
-			active[c.j] = true
-			admitted++
 		}
 		if admitted == 0 {
 			break
 		}
-		coef, err := chol.Solve(gtf)
+		coef, err := as.RefitActive()
 		if err != nil {
-			return nil, fmt.Errorf("core: StOMP coefficient solve: %w", err)
+			return nil, err
 		}
-		prevRes := linalg.Norm2(res)
-		copy(res, f)
-		for i, col := range cols {
-			linalg.Axpy(-coef[i], col, res)
-		}
-		curRes := linalg.Norm2(res)
+		prevRes := linalg.Norm2(as.res)
+		as.RecomputeResidual(coef)
+		curRes := linalg.Norm2(as.res)
 		// A fallback-only stage that barely reduces the residual is fitting
 		// noise: no remaining basis carries signal, so terminate.
 		if fallback && curRes > 0.9*prevRes {
 			break
 		}
-		model := &Model{M: m, Support: append([]int(nil), support...), Coef: coef}
-		path.Models = append(path.Models, model)
-		path.Residual = append(path.Residual, curRes)
-		fc.Observe(-1, len(support), curRes) // batch admission: no single basis
-		if s.Tol > 0 && fNorm > 0 && curRes <= s.Tol*fNorm {
+		as.Record(path, coef, -1) // batch admission: no single basis
+		if s.Tol > 0 && curRes <= s.Tol*as.fNorm && as.fNorm > 0 {
 			break
 		}
 	}
 	if len(path.Models) == 0 {
-		return nil, errDegenerate("StOMP", "could not select any basis vector")
+		return nil, as.errDegenerateNoSelection()
 	}
 	return path, nil
-}
-
-// argmaxAbsExcludingBoth returns the index with largest |v| that is neither
-// active nor excluded.
-func argmaxAbsExcludingBoth(v []float64, active, excluded []bool) int {
-	best, bestAbs := -1, 0.0
-	for j, x := range v {
-		if active[j] || excluded[j] {
-			continue
-		}
-		a := math.Abs(x)
-		if best == -1 || a > bestAbs {
-			best, bestAbs = j, a
-		}
-	}
-	return best
 }
 
 // stompCand is one admission candidate of a StOMP stage.

@@ -96,6 +96,9 @@ type FitEventInfo struct {
 	Active         int     `json:"active"`
 	Residual       float64 `json:"residual"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// ParallelWorkers is the effective goroutine count of the engine's
+	// correlation sweep for this fit (1 = serial).
+	ParallelWorkers int `json:"parallel_workers,omitempty"`
 }
 
 // JobStatus reports a job's lifecycle (GET /v1/jobs/{id}). RequestID is the

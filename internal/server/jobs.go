@@ -91,12 +91,13 @@ func (j *job) addEvent(ev core.FitEvent) {
 	j.mu.Lock()
 	if len(j.events) < maxJobEvents {
 		j.events = append(j.events, FitEventInfo{
-			Stage:          ev.Stage,
-			Iter:           ev.Iter,
-			Basis:          ev.Basis,
-			Active:         ev.Active,
-			Residual:       ev.Residual,
-			ElapsedSeconds: ev.Elapsed.Seconds(),
+			Stage:           ev.Stage,
+			Iter:            ev.Iter,
+			Basis:           ev.Basis,
+			Active:          ev.Active,
+			Residual:        ev.Residual,
+			ElapsedSeconds:  ev.Elapsed.Seconds(),
+			ParallelWorkers: ev.Workers,
 		})
 	}
 	j.mu.Unlock()
@@ -378,6 +379,7 @@ func (s *Server) runFit(j *job) {
 	ctx, cancelCtx := context.WithTimeout(j.ctx, s.jobDeadline(&j.req))
 	defer cancelCtx()
 	ctx = core.WithFitObserver(ctx, j.addEvent)
+	ctx = core.WithFitWorkers(ctx, s.cfg.FitParallel)
 
 	finish := func(state, errMsg string, result *FitResult) {
 		if !j.finish(state, errMsg, result) {

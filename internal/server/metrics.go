@@ -42,6 +42,10 @@ type routeStats struct {
 // methods are safe for concurrent use.
 type metrics struct {
 	start time.Time
+	// fitParallel is the effective engine sweep worker count per fit job
+	// (core.ResolveFitWorkers of Config.FitParallel). Set once at server
+	// construction, read-only afterwards.
+	fitParallel int
 
 	mu          sync.Mutex
 	routes      map[string]*routeStats
@@ -186,6 +190,7 @@ func (m *metrics) Snapshot(models, queueDepth int) map[string]any {
 		"fit": map[string]any{
 			"duration_seconds": m.fitDuration.Snapshot().JSON(),
 			"iterations":       m.fitIterations.Snapshot().JSON(),
+			"parallel_workers": m.fitParallel,
 		},
 		"queue": map[string]any{
 			"depth":        queueDepth,
@@ -269,6 +274,8 @@ func (m *metrics) writePrometheus(w io.Writer, models, queueDepth int) error {
 	pw.Meta("rsmd_requests_shed_total", "counter", "Requests rejected by load shedding.")
 	pw.Sample("rsmd_requests_shed_total", "", float64(shed))
 
+	pw.Meta("rsmd_fit_parallel_workers", "gauge", "Effective engine correlation-sweep goroutines per fit job.")
+	pw.Sample("rsmd_fit_parallel_workers", "", float64(m.fitParallel))
 	pw.Meta("rsmd_fit_duration_seconds", "histogram", "Completed fit job wall-clock time.")
 	pw.Histogram("rsmd_fit_duration_seconds", "", m.fitDuration.Snapshot())
 	pw.Meta("rsmd_fit_iterations", "histogram", "Final-refit path iterations per completed fit job.")

@@ -54,8 +54,13 @@ import (
 
 // Config tunes the server; zero values select the documented defaults.
 type Config struct {
-	// FitWorkers is the async fit worker-pool size (default 2).
+	// FitWorkers is the async fit worker-pool size — how many fit jobs run
+	// concurrently (default 2).
 	FitWorkers int
+	// FitParallel is the goroutine count of the solver engine's parallel
+	// correlation sweep within each fit (0 = GOMAXPROCS). It threads to
+	// core.WithFitWorkers on every job context.
+	FitParallel int
 	// QueueDepth bounds pending fit jobs; submissions beyond it get 503
 	// (default 16).
 	QueueDepth int
@@ -135,6 +140,7 @@ func New(reg *registry.Registry, cfg Config) *Server {
 	if s.log == nil {
 		s.log = slog.Default()
 	}
+	s.metrics.fitParallel = core.ResolveFitWorkers(s.cfg.FitParallel)
 	s.jobs = newJobQueue(s.cfg.QueueDepth, s.metrics.countJobEnd)
 	s.jobs.startWorkers(s.cfg.FitWorkers, s.runFit)
 
