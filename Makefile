@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-smoke bench-json chaos obs ci
+.PHONY: all build test race vet fmt-check bench bench-smoke bench-json chaos obs fuzz-smoke ci
 
 all: build
 
@@ -25,24 +25,33 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# The serving hot-path and fit-path baselines (see internal/core/bench_test.go).
+# The serving hot-path and fit-path baselines (see internal/core/bench_test.go
+# and internal/server/bench_test.go).
 bench:
-	$(GO) test -run=NONE -bench=. -benchmem ./internal/core/
+	$(GO) test -run=NONE -bench=. -benchmem ./internal/core/ ./internal/server/
 
 # One iteration of every benchmark: catches benchmarks that no longer compile
 # or crash without paying full measurement time. Part of make ci.
 bench-smoke:
-	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/core/
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/core/ ./internal/server/
 
-# Machine-readable fit-path baseline, committed as BENCH_4.json so solver
-# engine regressions diff in review.
+# Short fuzz pass over the envelope parser — the daemon's untrusted upload
+# surface. Long enough to exercise the mutator beyond the seed corpus, short
+# enough for CI. Part of make ci.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzReadEnvelope$$' -fuzztime=5s ./internal/core/
+
+# Machine-readable perf baseline, committed as BENCH_5.json: the solver
+# engine benches (fit path + correlation sweep) plus the serving engine's
+# cold/cached/coalesced predict regimes, so regressions diff in review.
 bench-json:
-	@$(GO) test -run=NONE -bench='BenchmarkFitPath|BenchmarkCorrelateSweep' -benchmem ./internal/core/ \
+	@{ $(GO) test -run=NONE -bench='BenchmarkFitPath|BenchmarkCorrelateSweep' -benchmem ./internal/core/; \
+	   $(GO) test -run=NONE -bench='BenchmarkPredictServed' -benchmem ./internal/server/; } \
 	| awk 'BEGIN{print "["; n=0} \
 		/^Benchmark/{if(n++)printf ",\n"; name=$$1; sub(/-[0-9]+$$/,"",name); \
 		printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $$2, $$3, $$5, $$7} \
-		END{print "\n]"}' > BENCH_4.json
-	@cat BENCH_4.json
+		END{print "\n]"}' > BENCH_5.json
+	@cat BENCH_5.json
 
 # Fault-injection suite: drives the daemon through injected solver panics,
 # mid-write registry crashes, stalled jobs and saturation (internal/server
@@ -57,4 +66,4 @@ chaos:
 obs:
 	$(GO) run ./cmd/obscheck
 
-ci: vet fmt-check build test race chaos obs bench-smoke
+ci: vet fmt-check build test race chaos obs bench-smoke fuzz-smoke

@@ -68,6 +68,9 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		queueDepth   = fs.Int("queue", 16, "max pending fit jobs")
 		predWorkers  = fs.Int("predict-workers", 0, "prediction fan-out per request (0 = GOMAXPROCS)")
 		maxBatch     = fs.Int("max-batch", 100000, "max points per predict request")
+		predCache    = fs.Int("predict-cache", 64, "compiled predictors kept in the serving LRU cache (0 disables caching)")
+		batchWindow  = fs.Duration("batch-window", 0, "predict micro-batching window: concurrent requests for the same model version coalesce for up to this long (0 disables)")
+		batchMax     = fs.Int("batch-max", 4096, "max points coalesced into one micro-batch flush")
 		reqTimeout   = fs.Duration("request-timeout", 30*time.Second, "per-request handler deadline")
 		fitTimeout   = fs.Duration("fit-timeout", 5*time.Minute, "per-job fit deadline")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight work")
@@ -99,15 +102,22 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 	if err != nil {
 		return err
 	}
+	cacheSize := *predCache
+	if cacheSize == 0 {
+		cacheSize = -1 // flag 0 = disabled; Config 0 = default
+	}
 	srv := server.New(reg, server.Config{
-		FitWorkers:     *fitJobs,
-		FitParallel:    *fitWorkers,
-		QueueDepth:     *queueDepth,
-		PredictWorkers: *predWorkers,
-		MaxBatch:       *maxBatch,
-		RequestTimeout: *reqTimeout,
-		FitTimeout:     *fitTimeout,
-		Logger:         logger,
+		FitWorkers:       *fitJobs,
+		FitParallel:      *fitWorkers,
+		QueueDepth:       *queueDepth,
+		PredictWorkers:   *predWorkers,
+		MaxBatch:         *maxBatch,
+		PredictCacheSize: cacheSize,
+		BatchWindow:      *batchWindow,
+		BatchMaxPoints:   *batchMax,
+		RequestTimeout:   *reqTimeout,
+		FitTimeout:       *fitTimeout,
+		Logger:           logger,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

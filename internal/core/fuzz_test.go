@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/basis"
+)
+
+// FuzzReadEnvelope drives the envelope parser — the daemon's untrusted
+// upload surface and the registry's crash-recovery read path — with
+// arbitrary bytes. The invariants: ReadEnvelope must never panic (malformed
+// input is an error, not a crash), an accepted envelope must re-validate,
+// and it must survive a write/read round trip unchanged in its model
+// structure. Seeds cover the current versioned format, the legacy
+// {m,support,coef} layout, truncations of a valid envelope, and structured
+// corruptions (bad version, dangling support, dimension-mismatched basis).
+func FuzzReadEnvelope(f *testing.F) {
+	valid := func() []byte {
+		b := basis.Quadratic(3)
+		env := &Envelope{
+			Model: &Model{M: b.Size(), Support: []int{0, 2, 7}, Coef: []float64{1.5, -0.25, 3}},
+			Basis: b.Desc,
+			Prov:  Provenance{Solver: "OMP", Lambda: 3, CVError: 0.01, Folds: 4, Samples: 500, Metric: "gain"},
+		}
+		var buf bytes.Buffer
+		if err := WriteEnvelope(&buf, env); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                                                                                           // truncated mid-object
+	f.Add([]byte(`{"m":4,"support":[1,3],"coef":[2,-3]}`))                                                                // legacy layout
+	f.Add([]byte(`{"m":4,"support":[],"coef":[]}`))                                                                       // legacy empty model
+	f.Add([]byte(`{"version":99,"m":1,"support":[],"coef":[]}`))                                                          // future version
+	f.Add([]byte(`{"version":-7,"m":1,"support":[0],"coef":[1]}`))                                                        // negative version
+	f.Add([]byte(`{"m":2,"support":[5],"coef":[1]}`))                                                                     // support out of range
+	f.Add([]byte(`{"m":2,"support":[1,1],"coef":[1,2]}`))                                                                 // duplicate support
+	f.Add([]byte(`{"m":2,"support":[0],"coef":[1,2,3]}`))                                                                 // support/coef mismatch
+	f.Add([]byte(`{"m":0,"support":[],"coef":[]}`))                                                                       // empty dictionary
+	f.Add([]byte(`{"m":-1,"support":[],"coef":[]}`))                                                                      // negative dictionary
+	f.Add([]byte(`{"version":1,"m":3,"support":[],"coef":[],"basis":{"kind":"linear","dim":9}}`))                         // size mismatch
+	f.Add([]byte(`{"version":1,"m":4,"support":[],"coef":[],"basis":{"kind":"warp","dim":3}}`))                           // unknown kind
+	f.Add([]byte(`{"version":1,"m":1,"support":[],"coef":[],"basis":{"kind":"total-degree","dim":1000000,"degree":50}}`)) // overflowing size
+	f.Add([]byte(`{"m":1e309,"support":[],"coef":[]}`))                                                                   // out-of-range number
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := ReadEnvelope(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is the expected outcome; it must just not panic
+		}
+		if err := env.Validate(); err != nil {
+			t.Fatalf("accepted envelope fails Validate: %v\ninput: %q", err, data)
+		}
+		var buf bytes.Buffer
+		if err := WriteEnvelope(&buf, env); err != nil {
+			t.Fatalf("accepted envelope fails to re-serialize: %v\ninput: %q", err, data)
+		}
+		back, err := ReadEnvelope(&buf)
+		if err != nil {
+			t.Fatalf("round trip fails to parse: %v\nre-serialized: %q", err, buf.Bytes())
+		}
+		if back.Model.M != env.Model.M ||
+			len(back.Model.Support) != len(env.Model.Support) ||
+			len(back.Model.Coef) != len(env.Model.Coef) ||
+			back.Basis != env.Basis {
+			t.Fatalf("round trip changed the model: %+v -> %+v", env, back)
+		}
+	})
+}

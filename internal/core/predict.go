@@ -2,126 +2,29 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 
 	"repro/internal/basis"
-	"repro/internal/hermite"
 )
 
 // PredictBatch evaluates the model at many input points, writing the values
-// into dst (allocated when nil). It is the serving-path counterpart of
-// PredictPoint: instead of evaluating each support term independently per
-// point, it assembles the compact sub-basis spanned by the support (λ terms
-// instead of M) and shards the points across workers goroutines, each
-// reusing a per-worker Hermite evaluator and row scratch buffer. workers ≤ 0
-// uses GOMAXPROCS.
+// into dst (allocated when nil). It is the one-shot convenience over
+// Model.Compile: the support is lowered into a CompiledPredictor (λ = NNZ
+// terms instead of M, Hermite tables only over the variables the support
+// references) and the points are sharded across workers goroutines.
+// workers ≤ 0 uses GOMAXPROCS. Callers evaluating the same model repeatedly
+// should Compile once and reuse the predictor instead. It panics on a
+// mismatched basis, dst or point dimension — programmer errors on this API.
 func (m *Model) PredictBatch(b *basis.Basis, dst []float64, points [][]float64, workers int) []float64 {
-	if b.Size() != m.M {
-		panic(fmt.Sprintf("core: basis size %d does not match model dictionary %d", b.Size(), m.M))
+	cp, err := m.Compile(b)
+	if err != nil {
+		panic(err.Error())
 	}
-	if dst == nil {
-		dst = make([]float64, len(points))
+	out, err := cp.Predict(dst, points, workers)
+	if err != nil {
+		panic(err.Error())
 	}
-	if len(dst) != len(points) {
-		panic(fmt.Sprintf("core: PredictBatch dst length %d, want %d", len(dst), len(points)))
-	}
-	if len(points) == 0 {
-		return dst
-	}
-	// Restrict evaluation to the support: only λ = NNZ terms are evaluated,
-	// and the per-worker Hermite value table is filled only for the
-	// variables those terms actually reference — each point costs
-	// O(used·maxOrder + λ) instead of O(Dim·maxOrder + M).
-	terms := make([]hermite.Term, len(m.Support))
-	for i, idx := range m.Support {
-		terms[i] = b.Terms[idx]
-	}
-	sub := newSupportEval(b.Dim, terms)
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(points) {
-		workers = len(points)
-	}
-	if workers <= 1 {
-		m.predictRange(sub, dst, points, 0, len(points))
-		return dst
-	}
-	var wg sync.WaitGroup
-	chunk := (len(points) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(points) {
-			hi = len(points)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			m.predictRange(sub, dst, points, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-	return dst
-}
-
-// supportEval is the shared, read-only description of a model's support:
-// the selected terms, the set of variables they touch and the Hermite order
-// needed per table slot. Workers allocate their own scratch over it.
-type supportEval struct {
-	dim      int
-	terms    []hermite.Term
-	used     []int // variables referenced by at least one term, ascending
-	maxOrder int
-}
-
-func newSupportEval(dim int, terms []hermite.Term) *supportEval {
-	se := &supportEval{dim: dim, terms: terms}
-	touched := make([]bool, dim)
-	for _, t := range terms {
-		for _, vp := range t {
-			touched[vp.Var] = true
-			if vp.Pow > se.maxOrder {
-				se.maxOrder = vp.Pow
-			}
-		}
-	}
-	for v, ok := range touched {
-		if ok {
-			se.used = append(se.used, v)
-		}
-	}
-	return se
-}
-
-// predictRange evaluates points [lo, hi) with one per-worker Hermite value
-// table — the unit of work PredictBatch hands each worker. The table
-// herm[v·stride+p] = H̃ₚ(y[v]) is rebuilt per point but only for the
-// variables the support references, so each term costs only lookups and
-// multiplies.
-func (m *Model) predictRange(se *supportEval, dst []float64, points [][]float64, lo, hi int) {
-	stride := se.maxOrder + 1
-	herm := make([]float64, se.dim*stride)
-	for k := lo; k < hi; k++ {
-		y := points[k]
-		for _, v := range se.used {
-			hermite.Eval1DUpTo(herm[v*stride:(v+1)*stride], se.maxOrder, y[v])
-		}
-		s := 0.0
-		for i, t := range se.terms {
-			p := 1.0
-			for _, vp := range t {
-				p *= herm[vp.Var*stride+vp.Pow]
-			}
-			s += m.Coef[i] * p
-		}
-		dst[k] = s
-	}
+	return out
 }
 
 // SolverByName returns the path fitter registered under the given

@@ -83,6 +83,18 @@ type Registry struct {
 
 	mu     sync.RWMutex
 	models map[string][]*Entry // versions in ascending order
+	onPut  func(name string, version int)
+}
+
+// OnPut registers a hook invoked after every successful Put with the new
+// entry's name and version, while the registry lock is still held — so by
+// the time any Get can observe the new version, the hook has already run.
+// The serving layer uses it to invalidate per-model derived state (compiled
+// predictors). The hook must not call back into the registry.
+func (r *Registry) OnPut(fn func(name string, version int)) {
+	r.mu.Lock()
+	r.onPut = fn
+	r.mu.Unlock()
 }
 
 // New returns an in-memory registry with no persistence.
@@ -244,6 +256,9 @@ func (r *Registry) Put(name string, env *core.Envelope) (*Entry, error) {
 		}
 	}
 	r.models[name] = append(r.models[name], e)
+	if r.onPut != nil {
+		r.onPut(name, e.Version)
+	}
 	return e, nil
 }
 

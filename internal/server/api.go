@@ -123,11 +123,14 @@ type PredictRequest struct {
 }
 
 // PredictResponse carries the batched model values, aligned with the
-// request points.
+// request points. Coalesced reports how many concurrent requests the
+// micro-batcher evaluated together with this one (1 = evaluated alone,
+// which is always the case when batching is disabled).
 type PredictResponse struct {
-	Model   string    `json:"model"`
-	Version int       `json:"version"`
-	Values  []float64 `json:"values"`
+	Model     string    `json:"model"`
+	Version   int       `json:"version"`
+	Values    []float64 `json:"values"`
+	Coalesced int       `json:"coalesced,omitempty"`
 }
 
 // YieldRequest estimates spec-threshold parametric yield and quantiles by

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// microBatcher coalesces concurrent small predict requests for the same
+// model version into one compiled-predictor evaluation. Callers enqueue
+// their row group and block; the first arrival for a key opens a window
+// timer, and the group flushes when the window elapses or the pending point
+// count reaches maxPoints, whichever is first. The flush evaluates every
+// still-live caller's rows in a single Predict call and demuxes the values
+// back per caller.
+//
+// Deadlines and cancellation propagate per row group, not per batch: a
+// caller whose context dies while queued (or while the batch is being
+// evaluated) gets its context error, and only that caller — the other row
+// groups in the same flush still receive their values. A single request
+// already carrying ≥ maxPoints rows bypasses coalescing entirely; it has
+// nothing to amortize.
+type microBatcher struct {
+	window    time.Duration
+	maxPoints int
+	workers   int                     // Predict fan-out per flush
+	observe   func(calls, points int) // metrics hook, called once per executed flush
+
+	mu      sync.Mutex
+	pending map[string]*batchGroup
+}
+
+// batchCall is one caller's row group and its result slot. values/err are
+// written exactly once by the flusher before done is closed; a caller that
+// abandons the wait (context death) simply never reads them.
+type batchCall struct {
+	ctx    context.Context
+	points [][]float64
+	done   chan struct{}
+
+	values    []float64
+	coalesced int // callers evaluated together in the flush that served this
+	err       error
+}
+
+// batchGroup accumulates the pending calls for one model version.
+type batchGroup struct {
+	key     string
+	cp      *core.CompiledPredictor
+	calls   []*batchCall
+	points  int
+	timer   *time.Timer
+	flushed bool
+}
+
+// newMicroBatcher returns a batcher, or nil when window ≤ 0 (disabled —
+// callers must treat a nil batcher as the direct path).
+func newMicroBatcher(window time.Duration, maxPoints, workers int, observe func(calls, points int)) *microBatcher {
+	if window <= 0 {
+		return nil
+	}
+	if maxPoints < 1 {
+		maxPoints = 1
+	}
+	return &microBatcher{
+		window:    window,
+		maxPoints: maxPoints,
+		workers:   workers,
+		observe:   observe,
+		pending:   make(map[string]*batchGroup),
+	}
+}
+
+// predict runs one caller's row group through the batcher, blocking until
+// its flush completes or ctx dies. It returns the values aligned with
+// points and the number of callers coalesced into the evaluation (1 when
+// the group ran alone or bypassed coalescing).
+func (b *microBatcher) predict(ctx context.Context, key string, cp *core.CompiledPredictor, points [][]float64) ([]float64, int, error) {
+	if len(points) >= b.maxPoints {
+		values, err := cp.Predict(nil, points, b.workers)
+		return values, 1, err
+	}
+	call := &batchCall{ctx: ctx, points: points, done: make(chan struct{})}
+
+	b.mu.Lock()
+	g := b.pending[key]
+	if g == nil {
+		g = &batchGroup{key: key, cp: cp}
+		b.pending[key] = g
+		g.timer = time.AfterFunc(b.window, func() { b.flush(g) })
+	}
+	g.calls = append(g.calls, call)
+	g.points += len(points)
+	if g.points >= b.maxPoints {
+		// Size-triggered flush: run it on this caller's goroutine — it is
+		// about to block on the result anyway.
+		b.detachLocked(g)
+		b.mu.Unlock()
+		b.run(g)
+	} else {
+		b.mu.Unlock()
+	}
+
+	select {
+	case <-call.done:
+		return call.values, call.coalesced, call.err
+	case <-ctx.Done():
+		// Abandon the wait; the flusher will skip (or discard) this group.
+		return nil, 0, ctx.Err()
+	}
+}
+
+// detachLocked removes g from the pending map and claims the flush. The
+// caller must hold b.mu and must call run(g) iff g was not yet flushed.
+func (b *microBatcher) detachLocked(g *batchGroup) {
+	if b.pending[g.key] == g {
+		delete(b.pending, g.key)
+	}
+	g.flushed = true
+	if g.timer != nil {
+		g.timer.Stop()
+	}
+}
+
+// flush is the window-timer path into run.
+func (b *microBatcher) flush(g *batchGroup) {
+	b.mu.Lock()
+	if g.flushed {
+		b.mu.Unlock()
+		return
+	}
+	b.detachLocked(g)
+	b.mu.Unlock()
+	b.run(g)
+}
+
+// run executes one flushed group: dead callers get their context error, the
+// live row groups are concatenated into a single evaluation, and the values
+// are demuxed back per caller.
+func (b *microBatcher) run(g *batchGroup) {
+	live := g.calls[:0]
+	for _, c := range g.calls {
+		if err := c.ctx.Err(); err != nil {
+			c.err = err
+			close(c.done)
+			continue
+		}
+		live = append(live, c)
+	}
+	if len(live) == 0 {
+		return
+	}
+	total := 0
+	for _, c := range live {
+		total += len(c.points)
+	}
+	all := make([][]float64, 0, total)
+	for _, c := range live {
+		all = append(all, c.points...)
+	}
+	values, err := g.cp.Predict(nil, all, b.workers)
+	if err == nil && b.observe != nil {
+		b.observe(len(live), total)
+	}
+	off := 0
+	for _, c := range live {
+		n := len(c.points)
+		switch {
+		case err != nil:
+			c.err = err
+		case c.ctx.Err() != nil:
+			// The caller's deadline expired while the batch evaluated; its
+			// values are stale to it, and only it.
+			c.err = c.ctx.Err()
+		default:
+			c.values = values[off : off+n : off+n]
+			c.coalesced = len(live)
+		}
+		off += n
+		close(c.done)
+	}
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"io"
+	"log/slog"
+	"testing"
+	"time"
+
+	"repro/internal/basis"
+	"repro/internal/core"
+	"repro/internal/registry"
+	"repro/internal/rng"
+)
+
+// The serving reference model mirrors the fit-path benchmark scale: a
+// quadratic Hermite dictionary over 99 variables (M = 5050) with a
+// 20-term support, the kind of model the K = 500 Monte Carlo fit produces.
+// BenchmarkPredictServed measures a single-point predict request through
+// the serving engine in its three regimes:
+//
+//	cold      — no predictor cache: every request re-lowers the model
+//	            (basis lookup + support compilation) before evaluating
+//	cached    — LRU hit: the compiled predictor is reused as-is
+//	coalesced — micro-batching on: concurrent single-point requests for
+//	            the same model version share one evaluation
+//
+// The acceptance bar for the cache is cached ≥ 2x cold at batch = 1.
+const (
+	servedBenchDim = 99 // quadratic dictionary: M = 5050
+	servedBenchNNZ = 20
+)
+
+func servedBenchRegistry(b *testing.B) (*registry.Registry, *registry.Entry) {
+	b.Helper()
+	dict := basis.Quadratic(servedBenchDim)
+	src := rng.New(41)
+	support := src.Perm(dict.Size())[:servedBenchNNZ]
+	env := &core.Envelope{
+		Model: &core.Model{M: dict.Size(), Support: support, Coef: src.NormVec(nil, servedBenchNNZ)},
+		Basis: dict.Desc,
+		Prov:  core.Provenance{Solver: "LAR", Lambda: servedBenchNNZ, Samples: 500},
+	}
+	reg := registry.New()
+	if _, err := reg.Put("ref", env); err != nil {
+		b.Fatal(err)
+	}
+	e, ok := reg.Get("ref")
+	if !ok {
+		b.Fatal("reference model missing after Put")
+	}
+	return reg, e
+}
+
+func servedBenchServer(b *testing.B, reg *registry.Registry, cfg Config) *Server {
+	b.Helper()
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	s := New(reg, cfg)
+	b.Cleanup(s.Close)
+	return s
+}
+
+func BenchmarkPredictServed(b *testing.B) {
+	reg, e := servedBenchRegistry(b)
+	point := [][]float64{rng.New(7).NormVec(nil, servedBenchDim)}
+
+	b.Run("cold", func(b *testing.B) {
+		s := servedBenchServer(b, reg, Config{PredictCacheSize: -1, PredictWorkers: 1})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cp, err := s.compiled(e)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cp.Predict(nil, point, s.cfg.PredictWorkers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("cached", func(b *testing.B) {
+		s := servedBenchServer(b, reg, Config{PredictWorkers: 1})
+		if _, err := s.compiled(e); err != nil { // warm the LRU
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cp, err := s.compiled(e)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cp.Predict(nil, point, s.cfg.PredictWorkers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("coalesced", func(b *testing.B) {
+		s := servedBenchServer(b, reg, Config{
+			PredictWorkers: 1,
+			BatchWindow:    100 * time.Microsecond,
+			BatchMaxPoints: 256,
+		})
+		cp, err := s.compiled(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		key := predictorKey(e.Name, e.Version)
+		// Micro-batching only pays under concurrency: model the busy-server
+		// regime with many single-point callers per core so each window
+		// flush amortizes across a real coalesced batch.
+		b.SetParallelism(32)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			ctx := b.Context()
+			for pb.Next() {
+				if _, _, err := s.batcher.predict(ctx, key, cp, point); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+}

@@ -27,6 +27,14 @@ var fitIterationBounds = []float64{1, 2, 5, 10, 25, 50, 100, 250}
 // multi-minute backlog a saturated daemon accumulates.
 var queueWaitBounds = []float64{0.001, 0.01, 0.1, 1, 10, 60, 300}
 
+// coalescedCallBounds cover requests-per-flush of the predict
+// micro-batcher: 1 (a request that rode alone) through heavy fan-in.
+var coalescedCallBounds = []float64{1, 2, 4, 8, 16, 32, 64}
+
+// coalescedPointBounds cover total points per coalesced flush, up to the
+// default BatchMaxPoints of 4096 and beyond.
+var coalescedPointBounds = []float64{1, 8, 32, 128, 512, 2048, 8192}
+
 // routeStats accumulates per-endpoint request counts and latencies. The
 // buckets hold per-interval counts; both exposition formats render them
 // cumulatively (Prometheus `le` semantics).
@@ -59,17 +67,31 @@ type metrics struct {
 	fitDuration   *obs.Histogram
 	fitIterations *obs.Histogram
 	queueWait     *obs.Histogram
+
+	// Micro-batcher coalescing histograms, observed once per executed
+	// flush; self-locking for the same reason.
+	coalescedCalls  *obs.Histogram
+	coalescedPoints *obs.Histogram
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		start:         time.Now(),
-		routes:        make(map[string]*routeStats),
-		predictions:   make(map[string]int64),
-		fitDuration:   obs.NewHistogram(fitDurationBounds...),
-		fitIterations: obs.NewHistogram(fitIterationBounds...),
-		queueWait:     obs.NewHistogram(queueWaitBounds...),
+		start:           time.Now(),
+		routes:          make(map[string]*routeStats),
+		predictions:     make(map[string]int64),
+		fitDuration:     obs.NewHistogram(fitDurationBounds...),
+		fitIterations:   obs.NewHistogram(fitIterationBounds...),
+		queueWait:       obs.NewHistogram(queueWaitBounds...),
+		coalescedCalls:  obs.NewHistogram(coalescedCallBounds...),
+		coalescedPoints: obs.NewHistogram(coalescedPointBounds...),
 	}
+}
+
+// observeCoalesced records one executed micro-batch flush: how many
+// requests it coalesced and how many points they totaled.
+func (m *metrics) observeCoalesced(calls, points int) {
+	m.coalescedCalls.Observe(float64(calls))
+	m.coalescedPoints.Observe(float64(points))
 }
 
 // observe records one request against the labeled route.
@@ -151,7 +173,7 @@ func (m *metrics) observeFit(d time.Duration, iterations int) {
 
 // Snapshot renders the current state as a JSON-encodable tree. Histogram
 // buckets are cumulative, matching their Prometheus-style `le` naming.
-func (m *metrics) Snapshot(models, queueDepth int) map[string]any {
+func (m *metrics) Snapshot(models, queueDepth int, cache cacheStats) map[string]any {
 	m.mu.Lock()
 	routes := make(map[string]any, len(m.routes))
 	for route, rs := range m.routes {
@@ -185,8 +207,19 @@ func (m *metrics) Snapshot(models, queueDepth int) map[string]any {
 		"models":         models,
 		"requests":       routes,
 		"predictions":    predictions,
-		"jobs":           jobs,
-		"incidents":      incidents,
+		"predictor_cache": map[string]int64{
+			"hits":      cache.hits,
+			"misses":    cache.misses,
+			"evictions": cache.evictions,
+			"entries":   int64(cache.entries),
+			"capacity":  int64(cache.capacity),
+		},
+		"predict_coalescing": map[string]any{
+			"requests_per_batch": m.coalescedCalls.Snapshot().JSON(),
+			"points_per_batch":   m.coalescedPoints.Snapshot().JSON(),
+		},
+		"jobs":      jobs,
+		"incidents": incidents,
 		"fit": map[string]any{
 			"duration_seconds": m.fitDuration.Snapshot().JSON(),
 			"iterations":       m.fitIterations.Snapshot().JSON(),
@@ -202,7 +235,7 @@ func (m *metrics) Snapshot(models, queueDepth int) map[string]any {
 
 // writePrometheus renders the same state as Prometheus text exposition
 // (format version 0.0.4) with cumulative le buckets.
-func (m *metrics) writePrometheus(w io.Writer, models, queueDepth int) error {
+func (m *metrics) writePrometheus(w io.Writer, models, queueDepth int, cache cacheStats) error {
 	pw := obs.NewPromWriter(w)
 
 	pw.Meta("rsmd_uptime_seconds", "gauge", "Seconds since the daemon started.")
@@ -260,6 +293,22 @@ func (m *metrics) writePrometheus(w io.Writer, models, queueDepth int) error {
 	for i, name := range modelNames {
 		pw.Sample("rsmd_predictions_total", obs.Label("model", name), float64(predictions[i]))
 	}
+
+	pw.Meta("rsmd_predictor_cache_hits_total", "counter", "Compiled-predictor cache hits.")
+	pw.Sample("rsmd_predictor_cache_hits_total", "", float64(cache.hits))
+	pw.Meta("rsmd_predictor_cache_misses_total", "counter", "Compiled-predictor cache misses (each one compiled a predictor).")
+	pw.Sample("rsmd_predictor_cache_misses_total", "", float64(cache.misses))
+	pw.Meta("rsmd_predictor_cache_evictions_total", "counter", "Compiled predictors evicted by LRU capacity pressure.")
+	pw.Sample("rsmd_predictor_cache_evictions_total", "", float64(cache.evictions))
+	pw.Meta("rsmd_predictor_cache_entries", "gauge", "Compiled predictors currently cached.")
+	pw.Sample("rsmd_predictor_cache_entries", "", float64(cache.entries))
+	pw.Meta("rsmd_predictor_cache_capacity", "gauge", "Compiled-predictor cache capacity (0 = caching disabled).")
+	pw.Sample("rsmd_predictor_cache_capacity", "", float64(cache.capacity))
+
+	pw.Meta("rsmd_predict_coalesced_requests", "histogram", "Requests coalesced per executed micro-batch flush.")
+	pw.Histogram("rsmd_predict_coalesced_requests", "", m.coalescedCalls.Snapshot())
+	pw.Meta("rsmd_predict_coalesced_points", "histogram", "Total points per executed micro-batch flush.")
+	pw.Histogram("rsmd_predict_coalesced_points", "", m.coalescedPoints.Snapshot())
 
 	pw.Meta("rsmd_jobs_submitted_total", "counter", "Fit jobs accepted into the queue.")
 	pw.Sample("rsmd_jobs_submitted_total", "", float64(jobs.submitted))

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+)
+
+// predictorCache is a size-bounded LRU of compiled predictors keyed by
+// "name@vN". Compiled predictors are immutable, so the cache never hands
+// out stale values — a new model version gets a new key — but entries for a
+// name are still dropped eagerly when the registry publishes a new version
+// (see Server wiring of registry.OnPut), since traffic moves to the latest
+// version and the old predictor would otherwise squat in the LRU until
+// evicted. All methods are safe for concurrent use.
+type predictorCache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used; values are *cacheEntry
+	byKey     map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// cacheEntry is one cached compiled predictor.
+type cacheEntry struct {
+	key  string // "name@vN"
+	name string // model name, for per-name invalidation
+	cp   *core.CompiledPredictor
+}
+
+// cacheStats is a point-in-time view of the cache counters for /metrics.
+type cacheStats struct {
+	hits, misses, evictions int64
+	entries, capacity       int
+}
+
+// predictorKey renders the cache key of one model version.
+func predictorKey(name string, version int) string {
+	return fmt.Sprintf("%s@v%d", name, version)
+}
+
+func newPredictorCache(capacity int) *predictorCache {
+	return &predictorCache{
+		capacity: capacity,
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached predictor for key, promoting it to most recently
+// used. Every call counts as a hit or a miss.
+func (c *predictorCache) get(key string) (*core.CompiledPredictor, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).cp, true
+}
+
+// put inserts (or refreshes) the predictor under key, evicting from the LRU
+// tail while over capacity.
+func (c *predictorCache) put(key, name string, cp *core.CompiledPredictor) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		// Concurrent misses can compile the same version twice; keep the
+		// first and just refresh recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, name: name, cp: cp})
+	for c.ll.Len() > c.capacity {
+		tail := c.ll.Back()
+		if tail == nil {
+			break
+		}
+		c.removeLocked(tail)
+		c.evictions++
+	}
+}
+
+// invalidate drops every cached version of name, returning how many entries
+// were removed. Dropped entries do not count as evictions — they were
+// removed for correctness hygiene, not capacity pressure.
+func (c *predictorCache) invalidate(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*cacheEntry).name == name {
+			c.removeLocked(el)
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
+func (c *predictorCache) removeLocked(el *list.Element) {
+	delete(c.byKey, el.Value.(*cacheEntry).key)
+	c.ll.Remove(el)
+}
+
+// stats snapshots the counters.
+func (c *predictorCache) stats() cacheStats {
+	if c == nil {
+		return cacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		hits: c.hits, misses: c.misses, evictions: c.evictions,
+		entries: c.ll.Len(), capacity: c.capacity,
+	}
+}
+
+// compileEntry builds a fresh compiled predictor for one stored model
+// version: the entry's (lazily cached) basis plus the support lowering.
+func compileEntry(e *registry.Entry) (*core.CompiledPredictor, error) {
+	b, err := e.Basis()
+	if err != nil {
+		return nil, fmt.Errorf("rebuild basis: %w", err)
+	}
+	cp, err := e.Model().Compile(b)
+	if err != nil {
+		return nil, fmt.Errorf("compile predictor: %w", err)
+	}
+	return cp, nil
+}
+
+// compiled resolves the serving predictor for one model version: an LRU hit
+// when caching is enabled, a fresh compilation otherwise. Concurrent misses
+// on the same version may compile it more than once; the cache keeps one.
+func (s *Server) compiled(e *registry.Entry) (*core.CompiledPredictor, error) {
+	if s.predCache == nil {
+		return compileEntry(e)
+	}
+	key := predictorKey(e.Name, e.Version)
+	if cp, ok := s.predCache.get(key); ok {
+		return cp, nil
+	}
+	cp, err := compileEntry(e)
+	if err != nil {
+		return nil, err
+	}
+	s.predCache.put(key, e.Name, cp)
+	return cp, nil
+}

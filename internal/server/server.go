@@ -69,6 +69,21 @@ type Config struct {
 	PredictWorkers int
 	// MaxBatch bounds points per predict request (default 100000).
 	MaxBatch int
+	// PredictCacheSize bounds the compiled-predictor LRU in entries (one
+	// entry per served model version). 0 selects the default 64; negative
+	// disables caching, so every predict request recompiles its predictor —
+	// the pre-cache behavior, kept reachable for benchmarking.
+	PredictCacheSize int
+	// BatchWindow enables predict micro-batching when positive: concurrent
+	// predict requests for the same model version are held for up to this
+	// long and evaluated as one coalesced batch. 0 (the default) disables
+	// coalescing — every request evaluates immediately.
+	BatchWindow time.Duration
+	// BatchMaxPoints caps the points coalesced into one micro-batch flush
+	// (default 4096); reaching it flushes the window early, and a single
+	// request already this large bypasses coalescing. Ignored when
+	// BatchWindow is 0.
+	BatchMaxPoints int
 	// MaxYieldSamples bounds virtual MC samples per yield request
 	// (default 2000000).
 	MaxYieldSamples int
@@ -99,6 +114,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxYieldSamples <= 0 {
 		c.MaxYieldSamples = 2000000
 	}
+	switch {
+	case c.PredictCacheSize == 0:
+		c.PredictCacheSize = 64
+	case c.PredictCacheSize < 0:
+		c.PredictCacheSize = 0 // explicit opt-out
+	}
+	if c.BatchMaxPoints <= 0 {
+		c.BatchMaxPoints = 4096
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
@@ -119,13 +143,15 @@ func (c Config) withDefaults() Config {
 
 // Server wires the registry, job queue and metrics behind an http.Handler.
 type Server struct {
-	cfg      Config
-	registry *registry.Registry
-	jobs     *jobQueue
-	metrics  *metrics
-	log      *slog.Logger
-	mux      *http.ServeMux
-	draining atomic.Bool
+	cfg       Config
+	registry  *registry.Registry
+	jobs      *jobQueue
+	metrics   *metrics
+	predCache *predictorCache // nil when caching is disabled
+	batcher   *microBatcher   // nil when micro-batching is disabled
+	log       *slog.Logger
+	mux       *http.ServeMux
+	draining  atomic.Bool
 }
 
 // New builds a server over the given registry and starts its fit workers.
@@ -143,6 +169,17 @@ func New(reg *registry.Registry, cfg Config) *Server {
 	s.metrics.fitParallel = core.ResolveFitWorkers(s.cfg.FitParallel)
 	s.jobs = newJobQueue(s.cfg.QueueDepth, s.metrics.countJobEnd)
 	s.jobs.startWorkers(s.cfg.FitWorkers, s.runFit)
+	if s.cfg.PredictCacheSize > 0 {
+		s.predCache = newPredictorCache(s.cfg.PredictCacheSize)
+		// Publishing a new version moves traffic off the old ones; drop the
+		// name's cached predictors so they don't squat in the LRU. The hook
+		// runs under the registry lock, before any Get can see the version.
+		reg.OnPut(func(name string, version int) {
+			s.predCache.invalidate(name)
+		})
+	}
+	s.batcher = newMicroBatcher(s.cfg.BatchWindow, s.cfg.BatchMaxPoints,
+		s.cfg.PredictWorkers, s.metrics.observeCoalesced)
 
 	mux := http.NewServeMux()
 	route := func(pattern string, h http.HandlerFunc) {
@@ -191,11 +228,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// writeJSON emits a JSON response body with the given status.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON emits a JSON response body with the given status. The returned
+// error reports an encode/write failure (typically a vanished client);
+// handlers that maintain served-work counters must check it so a failed
+// write is not counted as served.
+func writeJSON(w http.ResponseWriter, status int, v any) error {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	return json.NewEncoder(w).Encode(v)
 }
 
 // writeErr emits the uniform error body.
@@ -307,11 +347,14 @@ func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, modelInfo(e))
 }
 
-// handlePredict evaluates the model at a batch of points, fanned across the
-// prediction worker pool. It is the latency-sensitive path: it sheds load
-// when the fit queue is saturated and rejects malformed batches (wrong
-// dimension, NaN/Inf coordinates) with the offending row index before any
-// evaluation work happens.
+// handlePredict evaluates the model at a batch of points through the
+// serving prediction engine: the compiled predictor for this model version
+// (LRU-cached across requests) evaluates the batch, optionally after the
+// micro-batcher coalesced it with concurrent requests for the same version.
+// It is the latency-sensitive path: it sheds load when the fit queue is
+// saturated and rejects malformed batches (wrong dimension, NaN/Inf
+// coordinates) with the offending row index before any evaluation work
+// happens.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if s.shed(w) {
 		return
@@ -332,12 +375,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusRequestEntityTooLarge, "batch of %d points exceeds limit %d", len(req.Points), s.cfg.MaxBatch)
 		return
 	}
-	b, err := e.Basis()
+	cp, err := s.compiled(e)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "rebuild basis: %v", err)
+		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	if err := validatePoints(req.Points, b.Dim); err != nil {
+	if err := validatePoints(req.Points, cp.Dim()); err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -351,9 +394,31 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusGatewayTimeout, "request deadline exceeded: %v", err)
 		return
 	}
-	values := e.Model().PredictBatch(b, nil, req.Points, s.cfg.PredictWorkers)
-	s.metrics.countPredictions(e.Name, len(req.Points))
-	writeJSON(w, http.StatusOK, PredictResponse{Model: e.Name, Version: e.Version, Values: values})
+	values, coalesced, err := s.predictValues(r.Context(), e, cp, req.Points)
+	if err != nil {
+		// Only this caller's context death lands here; the other row groups
+		// of a coalesced batch are unaffected.
+		writeErr(w, http.StatusGatewayTimeout, "request deadline exceeded: %v", err)
+		return
+	}
+	resp := PredictResponse{Model: e.Name, Version: e.Version, Values: values, Coalesced: coalesced}
+	// Count served points only after the response body actually went out:
+	// a failed encode (client gone mid-write) must not inflate the
+	// served-prediction counters.
+	if writeJSON(w, http.StatusOK, resp) == nil {
+		s.metrics.countPredictions(e.Name, len(req.Points))
+	}
+}
+
+// predictValues evaluates one request's row group, through the
+// micro-batcher when enabled and directly otherwise. coalesced reports how
+// many requests shared the evaluation (1 = evaluated alone).
+func (s *Server) predictValues(ctx context.Context, e *registry.Entry, cp *core.CompiledPredictor, points [][]float64) (values []float64, coalesced int, err error) {
+	if s.batcher == nil {
+		values, err = cp.Predict(nil, points, s.cfg.PredictWorkers)
+		return values, 1, err
+	}
+	return s.batcher.predict(ctx, predictorKey(e.Name, e.Version), cp, points)
 }
 
 // handleYield estimates parametric yield, moments and quantiles for one
@@ -521,12 +586,12 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if wantsPrometheus(r) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := s.metrics.writePrometheus(w, s.registry.Len(), s.jobs.depth()); err != nil {
+		if err := s.metrics.writePrometheus(w, s.registry.Len(), s.jobs.depth(), s.predCache.stats()); err != nil {
 			obs.Log(r.Context()).Error("metrics exposition write failed", "error", err)
 		}
 		return
 	}
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.registry.Len(), s.jobs.depth()))
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.registry.Len(), s.jobs.depth(), s.predCache.stats()))
 }
 
 // wantsPrometheus decides the /metrics representation: the explicit

@@ -384,7 +384,7 @@ func TestConcurrentPredicts(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	snap := s.metrics.Snapshot(1, 0)
+	snap := s.metrics.Snapshot(1, 0, s.predCache.stats())
 	preds := snap["predictions"].(map[string]int64)
 	if preds["lin"] != clients*20*2 {
 		t.Fatalf("prediction counter %d, want %d", preds["lin"], clients*20*2)

@@ -32,6 +32,9 @@ type (
 	JobStatus = server.JobStatus
 	// ModelInfo summarizes a stored model version.
 	ModelInfo = server.ModelInfo
+	// PredictResponse carries batched model values plus the version that
+	// produced them and the micro-batch coalescing count.
+	PredictResponse = server.PredictResponse
 	// YieldRequest configures a server-side yield/quantile query.
 	YieldRequest = server.YieldRequest
 	// YieldResponse reports yield, moments and quantiles.
@@ -334,12 +337,25 @@ func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration)
 
 // Predict evaluates the named model at a batch of points.
 func (c *Client) Predict(ctx context.Context, name string, points [][]float64) ([]float64, error) {
-	var resp server.PredictResponse
+	resp, err := c.PredictInfo(ctx, name, points)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Values, nil
+}
+
+// PredictInfo evaluates the named model at a batch of points and returns
+// the full response: the values plus the model version they came from and
+// how many concurrent requests the daemon's micro-batcher coalesced with
+// this one. Callers that pin results to versions (e.g. under concurrent
+// re-publication of a model) should use this over Predict.
+func (c *Client) PredictInfo(ctx context.Context, name string, points [][]float64) (*PredictResponse, error) {
+	var resp PredictResponse
 	req := server.PredictRequest{Points: points}
 	if err := c.do(ctx, http.MethodPost, "/v1/models/"+name+"/predict", req, &resp, true); err != nil {
 		return nil, err
 	}
-	return resp.Values, nil
+	return &resp, nil
 }
 
 // Yield runs a server-side yield/quantile query against the named model.
