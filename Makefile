@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-smoke bench-json chaos obs fuzz-smoke ci
+.PHONY: all build test race vet fmt-check bench bench-smoke bench-json chaos obs fuzz-smoke pipeline-smoke ci
 
 all: build
 
@@ -14,7 +14,7 @@ test:
 # worker pools, the model registry, batched prediction, and the sampling
 # engine.
 race:
-	$(GO) test -race ./internal/server/... ./internal/registry/... ./internal/core/... ./internal/mc/... ./rsm/...
+	$(GO) test -race ./internal/server/... ./internal/registry/... ./internal/core/... ./internal/mc/... ./internal/pipeline/... ./rsm/...
 
 vet:
 	$(GO) vet ./...
@@ -35,23 +35,28 @@ bench:
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/core/ ./internal/server/
 
-# Short fuzz pass over the envelope parser — the daemon's untrusted upload
-# surface. Long enough to exercise the mutator beyond the seed corpus, short
-# enough for CI. Part of make ci.
+# Short fuzz passes over the daemon's untrusted parse surfaces: the
+# envelope parser (upload endpoint) and the SPICE netlist parser (pipeline
+# endpoint). Long enough to exercise the mutator beyond the seed corpus,
+# short enough for CI. Part of make ci.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadEnvelope$$' -fuzztime=5s ./internal/core/
+	$(GO) test -run='^$$' -fuzz='^FuzzParseNetlist$$' -fuzztime=5s ./internal/spice/
 
-# Machine-readable perf baseline, committed as BENCH_5.json: the solver
-# engine benches (fit path + correlation sweep) plus the serving engine's
-# cold/cached/coalesced predict regimes, so regressions diff in review.
+# Machine-readable perf baseline, committed as $(BENCH_JSON): the solver
+# engine benches (fit path + correlation sweep), the serving engine's
+# cold/cached/coalesced predict regimes, and the netlist-in model-out
+# pipeline loop, so regressions diff in review.
+BENCH_JSON ?= BENCH_6.json
 bench-json:
 	@{ $(GO) test -run=NONE -bench='BenchmarkFitPath|BenchmarkCorrelateSweep' -benchmem ./internal/core/; \
-	   $(GO) test -run=NONE -bench='BenchmarkPredictServed' -benchmem ./internal/server/; } \
+	   $(GO) test -run=NONE -bench='BenchmarkPredictServed' -benchmem ./internal/server/; \
+	   $(GO) test -run=NONE -bench='BenchmarkPipelineEndToEnd' -benchmem ./internal/pipeline/; } \
 	| awk 'BEGIN{print "["; n=0} \
 		/^Benchmark/{if(n++)printf ",\n"; name=$$1; sub(/-[0-9]+$$/,"",name); \
 		printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $$2, $$3, $$5, $$7} \
-		END{print "\n]"}' > BENCH_5.json
-	@cat BENCH_5.json
+		END{print "\n]"}' > $(BENCH_JSON)
+	@cat $(BENCH_JSON)
 
 # Fault-injection suite: drives the daemon through injected solver panics,
 # mid-write registry crashes, stalled jobs and saturation (internal/server
@@ -66,4 +71,11 @@ chaos:
 obs:
 	$(GO) run ./cmd/obscheck
 
-ci: vet fmt-check build test race chaos obs bench-smoke fuzz-smoke
+# End-to-end pipeline smoke: the netlist-in, model-out acceptance loop
+# (POST /v1/pipelines with the committed rc_lowpass deck + spec through to
+# served predictions) under the race detector. Part of make ci.
+pipeline-smoke:
+	$(GO) test -race -run 'TestPipeline' ./internal/server/
+	$(GO) test -race ./internal/pipeline/
+
+ci: vet fmt-check build test race chaos obs bench-smoke fuzz-smoke pipeline-smoke

@@ -73,6 +73,8 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		batchMax     = fs.Int("batch-max", 4096, "max points coalesced into one micro-batch flush")
 		reqTimeout   = fs.Duration("request-timeout", 30*time.Second, "per-request handler deadline")
 		fitTimeout   = fs.Duration("fit-timeout", 5*time.Minute, "per-job fit deadline")
+		pipeTimeout  = fs.Duration("pipeline-timeout", 10*time.Minute, "end-to-end deadline per netlist-in, model-out pipeline job")
+		simWorkers   = fs.Int("sim-workers", 0, "simulator goroutines per pipeline sampling stage (0 = GOMAXPROCS)")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight work")
 		logLevel     = fs.String("log-level", "info", "log verbosity: debug|info|warn|error (debug includes per-request access logs)")
 		logFormat    = fs.String("log-format", "text", "log encoding: text|json")
@@ -117,6 +119,8 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		BatchMaxPoints:   *batchMax,
 		RequestTimeout:   *reqTimeout,
 		FitTimeout:       *fitTimeout,
+		PipelineTimeout:  *pipeTimeout,
+		SimWorkers:       *simWorkers,
 		Logger:           logger,
 	})
 	ln, err := net.Listen("tcp", *addr)

@@ -17,15 +17,18 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/basis"
 	"repro/internal/core"
 	"repro/internal/mc"
 	"repro/internal/stats"
+	"repro/rsm"
 )
 
 func main() {
@@ -41,9 +44,17 @@ func main() {
 		modelPath  = flag.String("model", "", "load a saved model envelope instead of fitting")
 		predict    = flag.String("predict", "", "with -model: predict at the points of this CSV (- for stdin)")
 		fitWorkers = flag.Int("fit-workers", 0, "solver engine correlation-sweep goroutines (0 = GOMAXPROCS)")
+		pipePath   = flag.String("pipeline", "", "SPICE netlist path: run a netlist-in, model-out pipeline on an rsmd daemon (requires -spec, -server, -name)")
+		pipeSpec   = flag.String("spec", "", "with -pipeline: pipeline spec JSON path (variation, measure, sampling, fit)")
+		pipeServer = flag.String("server", "", "with -pipeline: rsmd base URL, e.g. http://localhost:8080")
+		pipeName   = flag.String("name", "", "with -pipeline: registry name for the published model")
 	)
 	flag.Parse()
 
+	if *pipePath != "" {
+		runPipeline(*pipePath, *pipeSpec, *pipeServer, *pipeName)
+		return
+	}
 	if *modelPath != "" {
 		if *predict == "" {
 			log.Fatal("rsmfit: -model requires -predict points.csv")
@@ -126,6 +137,70 @@ func main() {
 			log.Fatalf("rsmfit: %v", err)
 		}
 		fmt.Printf("\nmodel envelope written to %s\n", *output)
+	}
+}
+
+// runPipeline drives a remote netlist-in, model-out pipeline: it submits
+// the deck and spec to an rsmd daemon, waits for the job, and prints the
+// stage timeline with its simulation-vs-regression cost split plus the
+// published model — the paper's end-to-end flow as one command.
+func runPipeline(deckPath, specPath, serverURL, name string) {
+	if specPath == "" || serverURL == "" || name == "" {
+		log.Fatal("rsmfit: -pipeline requires -spec spec.json, -server URL and -name model-name")
+	}
+	deck, err := os.ReadFile(deckPath)
+	if err != nil {
+		log.Fatalf("rsmfit: %v", err)
+	}
+	specJSON, err := os.ReadFile(specPath)
+	if err != nil {
+		log.Fatalf("rsmfit: %v", err)
+	}
+	var spec rsm.PipelineSpec
+	if err := json.Unmarshal(specJSON, &spec); err != nil {
+		log.Fatalf("rsmfit: -spec %s: %v", specPath, err)
+	}
+
+	ctx := context.Background()
+	client := rsm.NewClient(serverURL)
+	id, err := client.RunPipeline(ctx, rsm.PipelineRequest{Name: name, Netlist: string(deck), Spec: spec})
+	if err != nil {
+		log.Fatalf("rsmfit: %v", err)
+	}
+	fmt.Printf("pipeline job:    %s\n", id)
+	st, err := client.WaitPipeline(ctx, id, 200*time.Millisecond)
+	if err != nil {
+		log.Fatalf("rsmfit: %v", err)
+	}
+	res := st.Pipeline
+	if res == nil {
+		log.Fatalf("rsmfit: job %s finished without a pipeline result", id)
+	}
+
+	fmt.Printf("model:           %s@v%d\n", res.Model.Name, res.Model.Version)
+	fmt.Printf("metric:          %s over %d variables\n", res.Metric, res.Dim)
+	fmt.Printf("solver:          %s, λ=%d (CV error %.3f%%)\n", res.Solver, res.Lambda, 100*res.CVError)
+	fmt.Printf("samples:         %d", res.Samples)
+	if res.Rounds > 0 {
+		fmt.Printf(" (%d adaptive rounds, converged=%t)", res.Rounds, res.Converged)
+	}
+	fmt.Printf("\ncost:            %.2fs simulation, %.2fs regression\n", res.SimSeconds, res.FitSeconds)
+	if len(res.Trials) > 0 {
+		fmt.Println("solver trials:")
+		for _, tr := range res.Trials {
+			fmt.Printf("  %-8s λ=%-3d CV error %.3f%%  (%.2fs)\n", tr.Solver, tr.Lambda, 100*tr.CVError, tr.Seconds)
+		}
+	}
+	fmt.Println("stages:")
+	for _, stage := range st.Stages {
+		fmt.Printf("  %-8s %8.3fs", stage.Stage, stage.Seconds)
+		if stage.Samples > 0 {
+			fmt.Printf("  samples=%d", stage.Samples)
+		}
+		if stage.Detail != "" {
+			fmt.Printf("  %s", stage.Detail)
+		}
+		fmt.Println()
 	}
 }
 

@@ -26,6 +26,36 @@ type Provenance struct {
 	Samples int `json:"samples,omitempty"`
 	// Metric names the modeled response column.
 	Metric string `json:"metric,omitempty"`
+	// Source names the producer ("pipeline" for server-side netlist jobs,
+	// empty for uploaded models).
+	Source string `json:"source,omitempty"`
+	// Pipeline carries end-to-end pipeline provenance when Source is
+	// "pipeline". A pointer keeps Provenance comparable (and the
+	// WriteEnvelope emptiness guard meaningful).
+	Pipeline *PipelineProvenance `json:"pipeline,omitempty"`
+}
+
+// PipelineProvenance records how a server-side pipeline job produced a
+// model: the exact netlist, the measured response, the sampling mode, and
+// the simulate-vs-fit cost split (the paper's Table III breakdown).
+type PipelineProvenance struct {
+	// NetlistSHA256 is the hex SHA-256 of the submitted netlist text.
+	NetlistSHA256 string `json:"netlist_sha256,omitempty"`
+	// Measure describes the extracted response (e.g. "tran_delay(out)").
+	Measure string `json:"measure,omitempty"`
+	// Mode is the sampling mode: "mc" or "adaptive".
+	Mode string `json:"mode,omitempty"`
+	// Rounds is the adaptive-loop round count (0 for plain MC).
+	Rounds int `json:"rounds,omitempty"`
+	// Converged reports whether adaptive sampling stopped by its accuracy
+	// criterion rather than the budget.
+	Converged bool `json:"converged,omitempty"`
+	// SimSeconds and FitSeconds split the job's wall-clock cost.
+	SimSeconds float64 `json:"sim_seconds,omitempty"`
+	FitSeconds float64 `json:"fit_seconds,omitempty"`
+	// Trials lists the per-solver cross-validation errors of the selection
+	// stage, keyed by solver name.
+	Trials map[string]float64 `json:"trials,omitempty"`
 }
 
 // Envelope is the versioned serialized form of a fitted model: the sparse

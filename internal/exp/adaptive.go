@@ -1,7 +1,9 @@
 package exp
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/basis"
 	"repro/internal/circuit"
@@ -32,7 +34,9 @@ type AdaptiveConfig struct {
 	Folds, MaxLambda int
 	// Seed drives sampling.
 	Seed int64
-	Logf func(string, ...any)
+	// Workers is the simulator worker pool size (0 = GOMAXPROCS).
+	Workers int
+	Logf    func(string, ...any)
 }
 
 // AdaptiveRound records one batch of the adaptive loop.
@@ -53,12 +57,27 @@ type AdaptiveResult struct {
 	// Converged reports whether the loop stopped by the improvement/target
 	// criterion rather than the MaxK budget.
 	Converged bool
+	// Responses holds the simulated metric values for virtual sample indices
+	// [0, K) of the cfg.Seed stream, so callers can refit other solvers on
+	// the same data without re-simulating.
+	Responses []float64
+	// SimTime and FitTime split the wall-clock cost between the simulator
+	// and the regression/cross-validation — the paper's Table III breakdown.
+	SimTime, FitTime time.Duration
 }
 
 // AdaptiveFit grows the training set geometrically until the
 // cross-validation error plateaus (or reaches TargetErr), reusing all
 // previously simulated samples at every round.
 func AdaptiveFit(sim circuit.Simulator, b *basis.Basis, fitter core.PathFitter, cfg AdaptiveConfig) (*AdaptiveResult, error) {
+	return AdaptiveFitCtx(context.Background(), sim, b, fitter, cfg)
+}
+
+// AdaptiveFitCtx is AdaptiveFit with cancellation: ctx flows into the
+// simulator worker pool (stopping mid-batch) and the cross-validation
+// folds, so a canceled pipeline job abandons the loop within one sample
+// per worker.
+func AdaptiveFitCtx(ctx context.Context, sim circuit.Simulator, b *basis.Basis, fitter core.PathFitter, cfg AdaptiveConfig) (*AdaptiveResult, error) {
 	if b.Dim != sim.Dim() {
 		return nil, fmt.Errorf("exp: basis dimension %d does not match simulator %d", b.Dim, sim.Dim())
 	}
@@ -103,21 +122,22 @@ func AdaptiveFit(sim circuit.Simulator, b *basis.Basis, fitter core.PathFitter, 
 			k = cfg.MaxK
 		}
 		// Simulate only the new points.
-		need := k - len(f)
-		vals, _, err := mc.SampleVirtualRange(sim, len(f), k, cfg.Seed, mc.Options{})
+		vals, simDur, err := mc.SampleVirtualRangeCtx(ctx, sim, len(f), k, cfg.Seed, mc.Options{Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
+		res.SimTime += simDur
 		for _, v := range vals {
 			f = append(f, v[cfg.Metric])
 		}
-		_ = need
 
 		rows := make([]int, k)
 		for i := range rows {
 			rows[i] = i
 		}
-		cv, err := core.CrossValidate(fitter, core.Subset(design, rows), f, cfg.Folds, cfg.MaxLambda)
+		fitStart := time.Now()
+		cv, err := core.CrossValidateCtx(ctx, fitter, core.Subset(design, rows), f, cfg.Folds, cfg.MaxLambda)
+		res.FitTime += time.Since(fitStart)
 		if err != nil {
 			return nil, fmt.Errorf("exp: adaptive round at K=%d: %w", k, err)
 		}
@@ -125,6 +145,7 @@ func AdaptiveFit(sim circuit.Simulator, b *basis.Basis, fitter core.PathFitter, 
 		res.Rounds = append(res.Rounds, AdaptiveRound{K: k, CVError: e, Lambda: cv.BestLambda})
 		res.Model = cv.Model
 		res.K = k
+		res.Responses = f
 		logf("adaptive K=%-5d cv-error=%.3f%% λ=%d", k, 100*e, cv.BestLambda)
 
 		if cfg.TargetErr > 0 && e <= cfg.TargetErr {

@@ -6,6 +6,7 @@
 package mc
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -246,6 +247,13 @@ func SampleVirtual(sim circuit.Simulator, n int, seed int64, opt Options) ([][]f
 // a virtual dataset incrementally — earlier indices keep their values, so
 // adaptive sampling loops never re-simulate.
 func SampleVirtualRange(sim circuit.Simulator, from, to int, seed int64, opt Options) ([][]float64, time.Duration, error) {
+	return SampleVirtualRangeCtx(context.Background(), sim, from, to, seed, opt)
+}
+
+// SampleVirtualRangeCtx is SampleVirtualRange with cancellation: each worker
+// checks ctx before every simulator evaluation, so cancellation stops the
+// pool within one in-flight sample per worker and returns ctx.Err().
+func SampleVirtualRangeCtx(ctx context.Context, sim circuit.Simulator, from, to int, seed int64, opt Options) ([][]float64, time.Duration, error) {
 	if from < 0 || to <= from {
 		return nil, 0, fmt.Errorf("mc: invalid virtual range [%d, %d)", from, to)
 	}
@@ -272,6 +280,14 @@ func SampleVirtualRange(sim circuit.Simulator, from, to int, seed int64, opt Opt
 			defer wg.Done()
 			pt := make([]float64, dim)
 			for {
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
 				mu.Lock()
 				if firstErr != nil || next >= n {
 					mu.Unlock()

@@ -1,0 +1,33 @@
+package pipeline
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"repro/internal/registry"
+)
+
+// BenchmarkPipelineEndToEnd measures the whole netlist-in, model-out loop
+// on the small RC deck: parse, variation build, 64 AC simulations, two
+// cross-validated solver fits, and registry publication.
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	deck, err := os.ReadFile("../../examples/netlists/rc_lowpass.cir")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := rcSpec()
+	reg := registry.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(context.Background(), Request{
+			Name: "bench-rc", Netlist: string(deck), Spec: spec,
+		}, Options{Registry: reg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Entry == nil {
+			b.Fatal("no entry")
+		}
+	}
+}

@@ -1,0 +1,326 @@
+// Package pipeline implements the end-to-end netlist-in, model-out loop of
+// the paper as one cancellable server-side job: parse a SPICE netlist,
+// build the process-variation space, sample/simulate the circuit under
+// variation, fit a sparse response-surface model with cross-validated
+// solver selection, and publish the winner to the model registry.
+//
+// Each stage delegates to an existing layer — internal/spice for parsing
+// and simulation, internal/variation for the factor model, internal/mc and
+// internal/exp for sampling, internal/core for the regression solvers, and
+// internal/registry for publication — so the package is orchestration, not
+// new numerics. Cost accounting (simulation seconds vs fit seconds, sample
+// counts) mirrors the paper's Table III breakdown and is surfaced per
+// stage.
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/basis"
+	"repro/internal/core"
+	"repro/internal/variation"
+)
+
+// Stage names, in execution order.
+const (
+	StageParse   = "parse"
+	StageSpace   = "space"
+	StageSample  = "sample"
+	StageFit     = "fit"
+	StagePublish = "publish"
+)
+
+// Stages lists the pipeline stages in execution order.
+var Stages = []string{StageParse, StageSpace, StageSample, StageFit, StagePublish}
+
+// Spec is the user-facing pipeline configuration: which devices vary and
+// how, what to measure, how to sample, and how to fit. It is the JSON body
+// companion of the netlist in POST /v1/pipelines.
+type Spec struct {
+	// Variation declares the varying devices and the statistics of their
+	// parameter deviations.
+	Variation VariationSpec `json:"variation"`
+	// Measure defines the scalar circuit response to model.
+	Measure Measure `json:"measure"`
+	// Sampling configures the Monte Carlo / adaptive sampling loop.
+	Sampling Sampling `json:"sampling,omitempty"`
+	// Fit configures the regression stage.
+	Fit FitSpec `json:"fit,omitempty"`
+}
+
+// DeviceVar declares one varying device of the netlist.
+type DeviceVar struct {
+	// Device names the netlist card (case-insensitive), e.g. "M1" or "R2".
+	Device string `json:"device"`
+	// Params lists the varying parameter kinds: "vth", "beta" for MOSFETs,
+	// "rwire" for resistors, "cwire" for capacitors.
+	Params []string `json:"params"`
+	// W, L are the device dimensions in µm (needed when PelgromA is set).
+	W float64 `json:"w,omitempty"`
+	L float64 `json:"l,omitempty"`
+	// X, Y is the layout position in µm (needed with spatial correlation).
+	X float64 `json:"x,omitempty"`
+	Y float64 `json:"y,omitempty"`
+}
+
+// VariationSpec is the JSON form of variation.Spec with parameter kinds
+// keyed by name.
+type VariationSpec struct {
+	Devices []DeviceVar `json:"devices"`
+	// InterDieSigma, PelgromA and SpatialSigma are keyed by parameter kind
+	// name ("vth", "beta", "rwire", "cwire"), case-insensitively.
+	InterDieSigma map[string]float64 `json:"inter_die_sigma,omitempty"`
+	PelgromA      map[string]float64 `json:"pelgrom_a,omitempty"`
+	SpatialSigma  map[string]float64 `json:"spatial_sigma,omitempty"`
+	GridNX        int                `json:"grid_nx,omitempty"`
+	GridNY        int                `json:"grid_ny,omitempty"`
+	DieW          float64            `json:"die_w,omitempty"`
+	DieH          float64            `json:"die_h,omitempty"`
+}
+
+// Measure kinds.
+const (
+	MeasureTranDelay   = "tran_delay"         // .tran crossing time of a node
+	MeasureACGainDB    = "ac_gain_db"         // .ac magnitude in dB at Freq
+	MeasureACUnityGain = "ac_unity_gain_freq" // .ac unity-gain frequency
+	MeasureDCVoltage   = "dc_voltage"         // DC operating-point voltage
+)
+
+// Measure defines the scalar response extracted from each simulation.
+type Measure struct {
+	// Kind selects the extraction: tran_delay, ac_gain_db,
+	// ac_unity_gain_freq or dc_voltage.
+	Kind string `json:"kind"`
+	// Node is the observed node name.
+	Node string `json:"node"`
+	// Threshold is the crossing level for tran_delay.
+	Threshold float64 `json:"threshold,omitempty"`
+	// Edge is "rise" (default) or "fall" for tran_delay.
+	Edge string `json:"edge,omitempty"`
+	// After is the earliest crossing time considered (tran_delay).
+	After float64 `json:"after,omitempty"`
+	// Freq picks the .ac sweep point for ac_gain_db (nearest match).
+	Freq float64 `json:"freq,omitempty"`
+}
+
+// String renders the measure as a compact provenance label.
+func (m Measure) String() string {
+	switch m.Kind {
+	case MeasureACGainDB:
+		return fmt.Sprintf("%s(%s@%g)", m.Kind, m.Node, m.Freq)
+	default:
+		return fmt.Sprintf("%s(%s)", m.Kind, m.Node)
+	}
+}
+
+// Sampling modes.
+const (
+	ModeMC       = "mc"
+	ModeAdaptive = "adaptive"
+)
+
+// Sampling configures the simulation budget.
+type Sampling struct {
+	// Mode is "mc" (fixed sample count, default) or "adaptive" (grow until
+	// the cross-validation error plateaus, capped by MaxSamples).
+	Mode string `json:"mode,omitempty"`
+	// Samples is the fixed MC sample count (default 256); in adaptive mode
+	// it is the initial batch size.
+	Samples int `json:"samples,omitempty"`
+	// MaxSamples caps the adaptive budget (default 4·Samples).
+	MaxSamples int `json:"max_samples,omitempty"`
+	// Seed drives the virtual sample stream (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// TargetErr stops adaptive sampling early once the CV error falls
+	// below it (0 disables).
+	TargetErr float64 `json:"target_err,omitempty"`
+	// RelImprove is the adaptive stopping threshold (default 0.1).
+	RelImprove float64 `json:"rel_improve,omitempty"`
+}
+
+// FitSpec configures the regression stage.
+type FitSpec struct {
+	// Degree of the Hermite dictionary (default 2).
+	Degree int `json:"degree,omitempty"`
+	// Folds is the cross-validation fold count (default 4).
+	Folds int `json:"folds,omitempty"`
+	// MaxLambda bounds the selected sparsity (default 50).
+	MaxLambda int `json:"max_lambda,omitempty"`
+	// Solvers are the candidates for CV selection (default omp, lar).
+	Solvers []string `json:"solvers,omitempty"`
+}
+
+// withDefaults fills the documented defaults in place.
+func (s *Spec) withDefaults() {
+	if s.Sampling.Mode == "" {
+		s.Sampling.Mode = ModeMC
+	}
+	if s.Sampling.Samples <= 0 {
+		s.Sampling.Samples = 256
+	}
+	if s.Sampling.MaxSamples <= 0 {
+		s.Sampling.MaxSamples = 4 * s.Sampling.Samples
+	}
+	if s.Sampling.Seed == 0 {
+		s.Sampling.Seed = 1
+	}
+	if s.Measure.Edge == "" {
+		s.Measure.Edge = "rise"
+	}
+	if s.Fit.Degree == 0 {
+		s.Fit.Degree = 2
+	}
+	if s.Fit.Folds == 0 {
+		s.Fit.Folds = 4
+	}
+	if s.Fit.MaxLambda == 0 {
+		s.Fit.MaxLambda = 50
+	}
+	if len(s.Fit.Solvers) == 0 {
+		s.Fit.Solvers = []string{"omp", "lar"}
+	}
+}
+
+// Validate rejects cheaply detectable bad specs before any simulation;
+// netlist-dependent validation (device names, nodes, analyses) happens in
+// NewSimulator. It also normalizes defaults.
+func (s *Spec) Validate() error {
+	s.withDefaults()
+	if len(s.Variation.Devices) == 0 {
+		return fmt.Errorf("pipeline: variation.devices is empty")
+	}
+	for _, d := range s.Variation.Devices {
+		if d.Device == "" {
+			return fmt.Errorf("pipeline: variation device with empty name")
+		}
+		if len(d.Params) == 0 {
+			return fmt.Errorf("pipeline: device %s lists no params", d.Device)
+		}
+		for _, p := range d.Params {
+			if _, err := variation.ParseKind(p); err != nil {
+				return fmt.Errorf("pipeline: device %s: %w", d.Device, err)
+			}
+		}
+	}
+	for _, m := range []map[string]float64{s.Variation.InterDieSigma, s.Variation.PelgromA, s.Variation.SpatialSigma} {
+		for k := range m {
+			if _, err := variation.ParseKind(k); err != nil {
+				return fmt.Errorf("pipeline: %w", err)
+			}
+		}
+	}
+	switch s.Measure.Kind {
+	case MeasureTranDelay, MeasureACGainDB, MeasureACUnityGain, MeasureDCVoltage:
+	case "":
+		return fmt.Errorf("pipeline: measure.kind is required")
+	default:
+		return fmt.Errorf("pipeline: unknown measure kind %q (want %s, %s, %s or %s)",
+			s.Measure.Kind, MeasureTranDelay, MeasureACGainDB, MeasureACUnityGain, MeasureDCVoltage)
+	}
+	if s.Measure.Node == "" {
+		return fmt.Errorf("pipeline: measure.node is required")
+	}
+	switch s.Measure.Edge {
+	case "rise", "fall":
+	default:
+		return fmt.Errorf("pipeline: measure.edge %q (want rise or fall)", s.Measure.Edge)
+	}
+	if s.Measure.Kind == MeasureACGainDB && s.Measure.Freq <= 0 {
+		return fmt.Errorf("pipeline: measure.freq must be positive for %s", MeasureACGainDB)
+	}
+	switch s.Sampling.Mode {
+	case ModeMC, ModeAdaptive:
+	default:
+		return fmt.Errorf("pipeline: sampling.mode %q (want %s or %s)", s.Sampling.Mode, ModeMC, ModeAdaptive)
+	}
+	if s.Sampling.MaxSamples < s.Sampling.Samples {
+		return fmt.Errorf("pipeline: sampling.max_samples=%d below samples=%d", s.Sampling.MaxSamples, s.Sampling.Samples)
+	}
+	if s.Fit.Degree < 1 || s.Fit.Degree > 6 {
+		return fmt.Errorf("pipeline: fit.degree=%d (want 1..6)", s.Fit.Degree)
+	}
+	if s.Fit.Folds < 2 {
+		return fmt.Errorf("pipeline: fit.folds=%d, need ≥ 2", s.Fit.Folds)
+	}
+	if s.Fit.MaxLambda < 1 {
+		return fmt.Errorf("pipeline: fit.max_lambda=%d, need ≥ 1", s.Fit.MaxLambda)
+	}
+	seen := map[string]bool{}
+	for _, name := range s.Fit.Solvers {
+		if _, err := core.SolverByName(name); err != nil {
+			return fmt.Errorf("pipeline: %w", err)
+		}
+		lower := strings.ToLower(name)
+		if seen[lower] {
+			return fmt.Errorf("pipeline: duplicate solver %q", name)
+		}
+		seen[lower] = true
+	}
+	return nil
+}
+
+// variationSpec lowers the JSON form to a variation.Spec. DeviceVar order
+// is preserved, so device index i in the built Space corresponds to
+// Variation.Devices[i].
+func (s *Spec) variationSpec() (variation.Spec, error) {
+	vs := variation.Spec{
+		GridNX: s.Variation.GridNX, GridNY: s.Variation.GridNY,
+		DieW: s.Variation.DieW, DieH: s.Variation.DieH,
+	}
+	lower := func(m map[string]float64) (map[variation.ParamKind]float64, error) {
+		if len(m) == 0 {
+			return nil, nil
+		}
+		out := make(map[variation.ParamKind]float64, len(m))
+		for name, v := range m {
+			k, err := variation.ParseKind(name)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = v
+		}
+		return out, nil
+	}
+	var err error
+	if vs.InterDieSigma, err = lower(s.Variation.InterDieSigma); err != nil {
+		return vs, err
+	}
+	if vs.PelgromA, err = lower(s.Variation.PelgromA); err != nil {
+		return vs, err
+	}
+	if vs.SpatialSigma, err = lower(s.Variation.SpatialSigma); err != nil {
+		return vs, err
+	}
+	for _, d := range s.Variation.Devices {
+		dev := variation.Device{Name: d.Device, W: d.W, L: d.L, X: d.X, Y: d.Y}
+		for _, p := range d.Params {
+			k, err := variation.ParseKind(p)
+			if err != nil {
+				return vs, err
+			}
+			dev.Kinds = append(dev.Kinds, k)
+		}
+		vs.Devices = append(vs.Devices, dev)
+	}
+	return vs, nil
+}
+
+// buildBasis constructs the Hermite dictionary for the fit stage, guarding
+// against combinatorial blow-ups the same way the server's fit path does.
+func buildBasis(degree, dim int) (*basis.Basis, error) {
+	switch {
+	case degree == 1:
+		return basis.Linear(dim), nil
+	case degree == 2:
+		return basis.Quadratic(dim), nil
+	case degree >= 3 && degree <= 6:
+		d := basis.Descriptor{Kind: basis.KindTotalDegree, Dim: dim, Degree: degree}
+		if sz := d.Size(); sz < 0 || sz > 1<<26 {
+			return nil, fmt.Errorf("pipeline: degree-%d dictionary over %d variables is too large", degree, dim)
+		}
+		return d.Build()
+	default:
+		return nil, fmt.Errorf("pipeline: unsupported degree %d (want 1..6)", degree)
+	}
+}

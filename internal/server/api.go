@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/basis"
 	"repro/internal/core"
+	"repro/internal/pipeline"
 )
 
 // This file defines the rsmd wire protocol: the JSON request and response
@@ -101,19 +102,80 @@ type FitEventInfo struct {
 	ParallelWorkers int `json:"parallel_workers,omitempty"`
 }
 
-// JobStatus reports a job's lifecycle (GET /v1/jobs/{id}). RequestID is the
-// trace ID of the submitting request; Events is the solver telemetry
-// timeline (populated once the job starts running, capped server-side).
+// JobStatus reports a job's lifecycle (GET /v1/jobs/{id},
+// GET /v1/pipelines/{id}). RequestID is the trace ID of the submitting
+// request; Events is the solver telemetry timeline (populated once the job
+// starts running, capped server-side). Kind distinguishes plain fit jobs
+// from pipeline jobs; pipeline jobs additionally carry the per-stage
+// timeline (Stages) and, when done, the pipeline result.
 type JobStatus struct {
-	ID        string         `json:"id"`
-	RequestID string         `json:"request_id,omitempty"`
-	State     string         `json:"state"` // pending | running | done | failed | canceled | timed_out
-	Submitted time.Time      `json:"submitted"`
-	Started   *time.Time     `json:"started,omitempty"`
-	Finished  *time.Time     `json:"finished,omitempty"`
-	Error     string         `json:"error,omitempty"`
-	Result    *FitResult     `json:"result,omitempty"`
-	Events    []FitEventInfo `json:"events,omitempty"`
+	ID        string              `json:"id"`
+	Kind      string              `json:"kind,omitempty"` // "fit" | "pipeline"
+	RequestID string              `json:"request_id,omitempty"`
+	State     string              `json:"state"` // pending | running | done | failed | canceled | timed_out
+	Submitted time.Time           `json:"submitted"`
+	Started   *time.Time          `json:"started,omitempty"`
+	Finished  *time.Time          `json:"finished,omitempty"`
+	Error     string              `json:"error,omitempty"`
+	Result    *FitResult          `json:"result,omitempty"`
+	Events    []FitEventInfo      `json:"events,omitempty"`
+	Stages    []PipelineStageInfo `json:"stages,omitempty"`
+	Pipeline  *PipelineResult     `json:"pipeline,omitempty"`
+}
+
+// PipelineRequest submits an asynchronous netlist-in, model-out pipeline
+// job (POST /v1/pipelines): the SPICE deck text plus the pipeline spec
+// (variation, measure, sampling, fit).
+type PipelineRequest struct {
+	// Name registers the fitted model under this registry name.
+	Name string `json:"name"`
+	// Netlist is the SPICE deck text.
+	Netlist string `json:"netlist"`
+	// Spec configures variation, measurement, sampling and fitting.
+	Spec pipeline.Spec `json:"spec"`
+	// TimeoutSeconds caps this job end to end; the effective deadline is
+	// min(TimeoutSeconds, server PipelineTimeout).
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// PipelineResponse acknowledges an accepted pipeline job (202).
+type PipelineResponse struct {
+	JobID string `json:"job_id"`
+	State string `json:"state"`
+}
+
+// PipelineStageInfo is one completed (or failed) stage in a pipeline job's
+// timeline, with the stage's cost split: wall-clock seconds, and within
+// them simulation vs regression seconds — the paper's cost-table view.
+type PipelineStageInfo struct {
+	Stage      string  `json:"stage"`
+	Seconds    float64 `json:"seconds"`
+	SimSeconds float64 `json:"sim_seconds,omitempty"`
+	FitSeconds float64 `json:"fit_seconds,omitempty"`
+	// Samples is the cumulative simulated sample count after the stage.
+	Samples int    `json:"samples,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// PipelineResult is the outcome of a completed pipeline job.
+type PipelineResult struct {
+	Model   ModelInfo `json:"model"`
+	Solver  string    `json:"solver"`
+	Lambda  int       `json:"lambda"`
+	CVError float64   `json:"cv_error"`
+	// Trials lists every solver tried in the CV selection, winner included.
+	Trials []pipeline.Trial `json:"trials,omitempty"`
+	// Samples, Rounds and Converged describe the sampling loop.
+	Samples   int  `json:"samples"`
+	Rounds    int  `json:"rounds,omitempty"`
+	Converged bool `json:"converged,omitempty"`
+	// Dim is the variation-space factor count; Metric names the response.
+	Dim    int    `json:"dim"`
+	Metric string `json:"metric"`
+	// SimSeconds and FitSeconds split the job's total cost.
+	SimSeconds float64 `json:"sim_seconds"`
+	FitSeconds float64 `json:"fit_seconds"`
 }
 
 // PredictRequest evaluates the model at a batch of points

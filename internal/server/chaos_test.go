@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/registry"
 )
 
@@ -537,5 +538,69 @@ func TestChaosMetricsScrapeUnderFire(t *testing.T) {
 	}
 	if err := scrapeProm(); err != nil {
 		t.Fatalf("post-fire scrape: %v", err)
+	}
+}
+
+// TestChaosPipelineSimFault injects a simulator failure mid-sampling: the
+// pipeline job must land in failed — not hang — with the failed sample
+// stage on record, nothing published, and the daemon healthy.
+func TestChaosPipelineSimFault(t *testing.T) {
+	armFaults(t, "pipeline.sim=error:injected simulator fault")
+	_, hs := newTestServer(t, Config{})
+
+	id := submitPipeline(t, hs.URL, pipelineBody(t, "chaospipe", "rc_lowpass.cir", "rc_lowpass_pipeline.json"))
+	st := waitTerminal(t, hs.URL, id, 30*time.Second)
+	if st.State != JobFailed || !strings.Contains(st.Error, "injected simulator fault") {
+		t.Fatalf("state %s (%q), want failed with injected fault", st.State, st.Error)
+	}
+	if n := len(st.Stages); n == 0 || st.Stages[n-1].Stage != pipeline.StageSample || st.Stages[n-1].Error == "" {
+		t.Fatalf("stage timeline %+v, want trailing failed sample stage", st.Stages)
+	}
+	if n := metricInt(t, hs.URL, "models"); n != 0 {
+		t.Fatalf("registry holds %d models after failed pipeline, want 0", n)
+	}
+	if n := metricInt(t, hs.URL, "pipelines", "failed"); n != 1 {
+		t.Fatalf("pipelines.failed = %d, want 1", n)
+	}
+	assertHealthy(t, hs.URL)
+}
+
+// TestChaosPipelineCancelMidSampling cancels a pipeline whose simulator
+// workers are stalled inside a 10s-per-sample delay: DELETE
+// /v1/pipelines/{id} must cut the stall short — armed delays abort on
+// context cancellation and the sampling pool checks the job context
+// between samples — and must publish nothing.
+func TestChaosPipelineCancelMidSampling(t *testing.T) {
+	armFaults(t, "pipeline.sim=delay:10s")
+	_, hs := newTestServer(t, Config{})
+
+	id := submitPipeline(t, hs.URL, pipelineBody(t, "chaospipecancel", "rc_lowpass.cir", "rc_lowpass_pipeline.json"))
+	waitRunning(t, hs.URL, id)
+
+	resp := cancelPipeline(t, hs.URL, id)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel pipeline: HTTP %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	start := time.Now()
+	st := waitTerminal(t, hs.URL, id, 10*time.Second)
+	if st.State != JobCanceled {
+		t.Fatalf("state %s (%q), want canceled", st.State, st.Error)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v against a 10s-per-sample stall", elapsed)
+	}
+	if n := metricInt(t, hs.URL, "models"); n != 0 {
+		t.Fatalf("registry holds %d models after canceled pipeline, want 0", n)
+	}
+	if n := metricInt(t, hs.URL, "pipelines", "canceled"); n != 1 {
+		t.Fatalf("pipelines.canceled = %d, want 1", n)
+	}
+	assertHealthy(t, hs.URL)
+
+	if resp := cancelPipeline(t, hs.URL, "job-424242"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown pipeline: HTTP %d, want 404", resp.StatusCode)
+	} else {
+		resp.Body.Close()
 	}
 }

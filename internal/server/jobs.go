@@ -40,14 +40,23 @@ func terminalState(state string) bool {
 	return false
 }
 
-// job is one queued fit request and its lifecycle record. The mutex-guarded
-// fields are updated by the worker and read by status polls; ctx is canceled
-// by DELETE /v1/jobs/{id} and by queue shutdown, and the worker layers the
+// Job kinds.
+const (
+	JobKindFit      = "fit"
+	JobKindPipeline = "pipeline"
+)
+
+// job is one queued async request (a fit or a full pipeline) and its
+// lifecycle record. The mutex-guarded fields are updated by the worker and
+// read by status polls; ctx is canceled by DELETE /v1/jobs/{id} (or
+// /v1/pipelines/{id}) and by queue shutdown, and the worker layers the
 // per-job deadline on top of it.
 type job struct {
 	id        string
+	kind      string // JobKindFit | JobKindPipeline
 	requestID string // trace ID of the submitting request
 	req       FitRequest
+	pipeReq   *PipelineRequest // set when kind is JobKindPipeline
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -59,7 +68,9 @@ type job struct {
 	finished  time.Time
 	err       string
 	result    *FitResult
-	events    []FitEventInfo // solver telemetry timeline, capped at maxJobEvents
+	presult   *PipelineResult
+	events    []FitEventInfo      // solver telemetry timeline, capped at maxJobEvents
+	stages    []PipelineStageInfo // pipeline stage timeline
 }
 
 // status snapshots the job as an API JobStatus.
@@ -67,8 +78,8 @@ func (j *job) status() *JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	s := &JobStatus{
-		ID: j.id, RequestID: j.requestID, State: j.state,
-		Submitted: j.submitted, Error: j.err, Result: j.result,
+		ID: j.id, Kind: j.kind, RequestID: j.requestID, State: j.state,
+		Submitted: j.submitted, Error: j.err, Result: j.result, Pipeline: j.presult,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -81,7 +92,17 @@ func (j *job) status() *JobStatus {
 	if len(j.events) > 0 {
 		s.Events = append([]FitEventInfo(nil), j.events...)
 	}
+	if len(j.stages) > 0 {
+		s.Stages = append([]PipelineStageInfo(nil), j.stages...)
+	}
 	return s
+}
+
+// addStage appends one pipeline stage record to the job timeline.
+func (j *job) addStage(info PipelineStageInfo) {
+	j.mu.Lock()
+	j.stages = append(j.stages, info)
+	j.mu.Unlock()
 }
 
 // addEvent appends one solver telemetry event to the job timeline. It is
@@ -130,6 +151,20 @@ func (j *job) finish(state, errMsg string, result *FitResult) bool {
 	return true
 }
 
+// finishPipeline is finish for pipeline jobs.
+func (j *job) finishPipeline(state, errMsg string, result *PipelineResult) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if terminalState(j.state) {
+		return false
+	}
+	j.state = state
+	j.err = errMsg
+	j.presult = result
+	j.finished = time.Now()
+	return true
+}
+
 // requestCancel asks the job to stop. A pending job transitions to canceled
 // immediately (the worker will skip it); a running job is interrupted
 // through its context and reaches a terminal state when the solver notices.
@@ -157,21 +192,33 @@ type jobQueue struct {
 
 	queue      chan *job
 	wg         sync.WaitGroup
-	onTerminal func(state string) // metrics hook for queue-side transitions
+	onTerminal func(kind, state string) // metrics hook for queue-side transitions
 }
 
-func newJobQueue(depth int, onTerminal func(state string)) *jobQueue {
+func newJobQueue(depth int, onTerminal func(kind, state string)) *jobQueue {
 	if depth < 1 {
 		depth = 1
 	}
 	return &jobQueue{byID: make(map[string]*job), queue: make(chan *job, depth), onTerminal: onTerminal}
 }
 
-// submit enqueues a job, failing when the queue is full or closed. The
+// submit enqueues a fit job, failing when the queue is full or closed. The
 // requestID of the submitting HTTP request is stamped on the job so its
 // whole lifecycle — submission log line, worker log lines, status polls —
 // correlates back to one trace.
 func (q *jobQueue) submit(req FitRequest, requestID string) (*job, error) {
+	return q.enqueue(&job{kind: JobKindFit, requestID: requestID, req: req})
+}
+
+// submitPipeline enqueues a pipeline job into the same bounded queue and
+// worker pool fit jobs use, so one saturation/load-shedding policy governs
+// both.
+func (q *jobQueue) submitPipeline(req PipelineRequest, requestID string) (*job, error) {
+	return q.enqueue(&job{kind: JobKindPipeline, requestID: requestID, pipeReq: &req})
+}
+
+// enqueue assigns the job its ID and context and admits it to the queue.
+func (q *jobQueue) enqueue(j *job) (*job, error) {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
@@ -179,11 +226,10 @@ func (q *jobQueue) submit(req FitRequest, requestID string) (*job, error) {
 	}
 	q.nextID++
 	ctx, cancel := context.WithCancel(context.Background())
-	j := &job{
-		id: fmt.Sprintf("job-%06d", q.nextID), requestID: requestID, req: req,
-		ctx: ctx, cancel: cancel,
-		state: JobPending, submitted: time.Now(),
-	}
+	j.id = fmt.Sprintf("job-%06d", q.nextID)
+	j.ctx, j.cancel = ctx, cancel
+	j.state = JobPending
+	j.submitted = time.Now()
 	select {
 	case q.queue <- j:
 		q.byID[j.id] = j
@@ -220,7 +266,7 @@ func (q *jobQueue) cancelJob(id, reason string) (*job, bool) {
 		return nil, false
 	}
 	if j.requestCancel(reason) && q.onTerminal != nil {
-		q.onTerminal(JobCanceled)
+		q.onTerminal(j.kind, JobCanceled)
 	}
 	return j, true
 }
@@ -235,7 +281,7 @@ func (q *jobQueue) cancelAll(reason string) {
 	q.mu.Unlock()
 	for _, j := range jobs {
 		if j.requestCancel(reason) && q.onTerminal != nil {
-			q.onTerminal(JobCanceled)
+			q.onTerminal(j.kind, JobCanceled)
 		}
 	}
 }
@@ -385,7 +431,7 @@ func (s *Server) runFit(j *job) {
 		if !j.finish(state, errMsg, result) {
 			return
 		}
-		s.metrics.countJobEnd(state)
+		s.metrics.countJobEnd(JobKindFit, state)
 		dur := j.finished.Sub(j.started)
 		if state == JobDone {
 			logger.Info("fit job done", "state", state, "duration_ms", float64(dur.Microseconds())/1000.0)
@@ -473,13 +519,15 @@ func (s *Server) runFit(j *job) {
 }
 
 // finalIterations counts the final-refit path steps in the job's timeline —
-// the per-job sample for the rsmd_fit_iterations histogram.
+// the per-job sample for the rsmd_fit_iterations histogram. Pipeline jobs
+// prefix stages with the solver name ("lar/final"), so the suffix match
+// covers both job kinds.
 func finalIterations(j *job) int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	n := 0
 	for _, ev := range j.events {
-		if ev.Stage == "final" {
+		if ev.Stage == "final" || strings.HasSuffix(ev.Stage, "/final") {
 			n++
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 )
 
 // latencyBounds are the histogram bucket upper bounds in seconds; an
@@ -35,6 +36,10 @@ var coalescedCallBounds = []float64{1, 2, 4, 8, 16, 32, 64}
 // default BatchMaxPoints of 4096 and beyond.
 var coalescedPointBounds = []float64{1, 8, 32, 128, 512, 2048, 8192}
 
+// pipelineStageBounds cover pipeline stage durations: instant parse/space
+// stages through multi-minute sampling campaigns.
+var pipelineStageBounds = []float64{0.001, 0.01, 0.1, 1, 10, 60, 300}
+
 // routeStats accumulates per-endpoint request counts and latencies. The
 // buckets hold per-interval counts; both exposition formats render them
 // cumulatively (Prometheus `le` semantics).
@@ -59,8 +64,15 @@ type metrics struct {
 	routes      map[string]*routeStats
 	predictions map[string]int64 // model name → points predicted
 	jobs        struct{ submitted, completed, failed, canceled, timedOut int64 }
-	panics      int64 // recovered panics (handlers + fit workers)
-	shed        int64 // requests rejected by load shedding
+	pipelines   struct{ submitted, completed, failed, canceled, timedOut int64 }
+	// activePipelines counts pipeline jobs currently running (between
+	// worker pickup and terminal state) — the rsmd_pipelines_active gauge.
+	activePipelines int64
+	// samplesSimulated counts circuit simulations executed by pipeline
+	// sampling stages.
+	samplesSimulated int64
+	panics           int64 // recovered panics (handlers + fit workers)
+	shed             int64 // requests rejected by load shedding
 
 	// Self-locking histograms for the fit pipeline; kept outside mu so the
 	// fit workers never contend with request accounting.
@@ -72,10 +84,15 @@ type metrics struct {
 	// flush; self-locking for the same reason.
 	coalescedCalls  *obs.Histogram
 	coalescedPoints *obs.Histogram
+
+	// stageDuration holds one self-locking histogram per pipeline stage,
+	// keyed by stage name. The map is built once at construction and never
+	// mutated, so lookups need no lock.
+	stageDuration map[string]*obs.Histogram
 }
 
 func newMetrics() *metrics {
-	return &metrics{
+	m := &metrics{
 		start:           time.Now(),
 		routes:          make(map[string]*routeStats),
 		predictions:     make(map[string]int64),
@@ -84,6 +101,39 @@ func newMetrics() *metrics {
 		queueWait:       obs.NewHistogram(queueWaitBounds...),
 		coalescedCalls:  obs.NewHistogram(coalescedCallBounds...),
 		coalescedPoints: obs.NewHistogram(coalescedPointBounds...),
+		stageDuration:   make(map[string]*obs.Histogram, len(pipeline.Stages)),
+	}
+	for _, stage := range pipeline.Stages {
+		m.stageDuration[stage] = obs.NewHistogram(pipelineStageBounds...)
+	}
+	return m
+}
+
+// countPipelineSubmitted tracks one accepted pipeline job.
+func (m *metrics) countPipelineSubmitted() {
+	m.mu.Lock()
+	m.pipelines.submitted++
+	m.mu.Unlock()
+}
+
+// pipelineActive moves the running-pipelines gauge by delta (±1).
+func (m *metrics) pipelineActive(delta int64) {
+	m.mu.Lock()
+	m.activePipelines += delta
+	m.mu.Unlock()
+}
+
+// observePipelineStage records one completed pipeline stage: its duration
+// into the per-stage histogram, and — for the sampling stage — the
+// simulated sample count into the samples counter.
+func (m *metrics) observePipelineStage(stage string, seconds float64, samples int) {
+	if h, ok := m.stageDuration[stage]; ok {
+		h.Observe(seconds)
+	}
+	if stage == pipeline.StageSample && samples > 0 {
+		m.mu.Lock()
+		m.samplesSimulated += int64(samples)
+		m.mu.Unlock()
 	}
 }
 
@@ -127,18 +177,23 @@ func (m *metrics) countJobSubmitted() {
 	m.mu.Unlock()
 }
 
-// countJobEnd tracks one job reaching the given terminal state.
-func (m *metrics) countJobEnd(state string) {
+// countJobEnd tracks one job of the given kind reaching the given terminal
+// state.
+func (m *metrics) countJobEnd(kind, state string) {
 	m.mu.Lock()
+	c := &m.jobs
+	if kind == JobKindPipeline {
+		c = &m.pipelines
+	}
 	switch state {
 	case JobDone:
-		m.jobs.completed++
+		c.completed++
 	case JobFailed:
-		m.jobs.failed++
+		c.failed++
 	case JobCanceled:
-		m.jobs.canceled++
+		c.canceled++
 	case JobTimedOut:
-		m.jobs.timedOut++
+		c.timedOut++
 	}
 	m.mu.Unlock()
 }
@@ -196,11 +251,25 @@ func (m *metrics) Snapshot(models, queueDepth int, cache cacheStats) map[string]
 		"canceled":  m.jobs.canceled,
 		"timed_out": m.jobs.timedOut,
 	}
+	pipelines := map[string]any{
+		"submitted":         m.pipelines.submitted,
+		"completed":         m.pipelines.completed,
+		"failed":            m.pipelines.failed,
+		"canceled":          m.pipelines.canceled,
+		"timed_out":         m.pipelines.timedOut,
+		"active":            m.activePipelines,
+		"samples_simulated": m.samplesSimulated,
+	}
 	incidents := map[string]int64{
 		"panics_recovered": m.panics,
 		"requests_shed":    m.shed,
 	}
 	m.mu.Unlock()
+	stageDur := make(map[string]any, len(m.stageDuration))
+	for _, stage := range pipeline.Stages {
+		stageDur[stage] = m.stageDuration[stage].Snapshot().JSON()
+	}
+	pipelines["stage_duration_seconds"] = stageDur
 
 	return map[string]any{
 		"uptime_seconds": time.Since(m.start).Seconds(),
@@ -219,6 +288,7 @@ func (m *metrics) Snapshot(models, queueDepth int, cache cacheStats) map[string]
 			"points_per_batch":   m.coalescedPoints.Snapshot().JSON(),
 		},
 		"jobs":      jobs,
+		"pipelines": pipelines,
 		"incidents": incidents,
 		"fit": map[string]any{
 			"duration_seconds": m.fitDuration.Snapshot().JSON(),
@@ -273,6 +343,8 @@ func (m *metrics) writePrometheus(w io.Writer, models, queueDepth int, cache cac
 		predictions[i] = m.predictions[name]
 	}
 	jobs := m.jobs
+	pipelines := m.pipelines
+	activePipelines, samplesSimulated := m.activePipelines, m.samplesSimulated
 	panics, shed := m.panics, m.shed
 	m.mu.Unlock()
 
@@ -317,6 +389,22 @@ func (m *metrics) writePrometheus(w io.Writer, models, queueDepth int, cache cac
 	pw.Sample("rsmd_jobs_total", obs.Label("state", JobFailed), float64(jobs.failed))
 	pw.Sample("rsmd_jobs_total", obs.Label("state", JobCanceled), float64(jobs.canceled))
 	pw.Sample("rsmd_jobs_total", obs.Label("state", JobTimedOut), float64(jobs.timedOut))
+
+	pw.Meta("rsmd_pipelines_submitted_total", "counter", "Pipeline jobs accepted into the queue.")
+	pw.Sample("rsmd_pipelines_submitted_total", "", float64(pipelines.submitted))
+	pw.Meta("rsmd_pipelines_total", "counter", "Pipeline jobs reaching a terminal state, by state.")
+	pw.Sample("rsmd_pipelines_total", obs.Label("state", JobDone), float64(pipelines.completed))
+	pw.Sample("rsmd_pipelines_total", obs.Label("state", JobFailed), float64(pipelines.failed))
+	pw.Sample("rsmd_pipelines_total", obs.Label("state", JobCanceled), float64(pipelines.canceled))
+	pw.Sample("rsmd_pipelines_total", obs.Label("state", JobTimedOut), float64(pipelines.timedOut))
+	pw.Meta("rsmd_pipelines_active", "gauge", "Pipeline jobs currently running.")
+	pw.Sample("rsmd_pipelines_active", "", float64(activePipelines))
+	pw.Meta("rsmd_pipeline_samples_total", "counter", "Circuit simulations executed by pipeline sampling stages.")
+	pw.Sample("rsmd_pipeline_samples_total", "", float64(samplesSimulated))
+	pw.Meta("rsmd_pipeline_stage_duration_seconds", "histogram", "Pipeline stage wall-clock time, by stage.")
+	for _, stage := range pipeline.Stages {
+		pw.Histogram("rsmd_pipeline_stage_duration_seconds", obs.Label("stage", stage), m.stageDuration[stage].Snapshot())
+	}
 
 	pw.Meta("rsmd_panics_recovered_total", "counter", "Recovered panics (handlers and fit workers).")
 	pw.Sample("rsmd_panics_recovered_total", "", float64(panics))

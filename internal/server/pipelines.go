@@ -1,0 +1,217 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/registry"
+)
+
+// runJob is the worker-pool dispatch: fit jobs and pipeline jobs share one
+// bounded queue and worker pool, so a single saturation policy governs both.
+func (s *Server) runJob(j *job) {
+	if j.kind == JobKindPipeline {
+		s.runPipeline(j)
+		return
+	}
+	s.runFit(j)
+}
+
+// handlePipelineSubmit validates and enqueues a netlist-in, model-out
+// pipeline job. Spec-level validation (parameter kinds, measure shape,
+// solver names) happens synchronously so obviously bad requests fail with
+// 400; netlist-dependent validation (device names, nodes, analyses) happens
+// in the worker's parse/space stages and lands the job in state failed.
+func (s *Server) handlePipelineSubmit(w http.ResponseWriter, r *http.Request) {
+	var req PipelineRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := registry.ValidateName(req.Name); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Netlist == "" {
+		writeErr(w, http.StatusBadRequest, "missing netlist")
+		return
+	}
+	if err := req.Spec.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.TimeoutSeconds < 0 {
+		writeErr(w, http.StatusBadRequest, "timeout_seconds=%g, need ≥ 0", req.TimeoutSeconds)
+		return
+	}
+	j, err := s.jobs.submitPipeline(req, obs.RequestID(r.Context()))
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.metrics.countPipelineSubmitted()
+	obs.Log(r.Context()).Info("pipeline job submitted",
+		"job_id", j.id, "name", req.Name, "measure", req.Spec.Measure.String(),
+		"mode", req.Spec.Sampling.Mode, "queue_depth", s.jobs.depth())
+	writeJSON(w, http.StatusAccepted, PipelineResponse{JobID: j.id, State: JobPending})
+}
+
+// lookupPipelineJob resolves {id} to a pipeline job; fit job IDs 404 here
+// so the two resources stay distinct even though they share an ID space.
+func (s *Server) lookupPipelineJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok || j.kind != JobKindPipeline {
+		writeErr(w, http.StatusNotFound, "unknown pipeline %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+// handlePipelineStatus reports a pipeline job's lifecycle, stage timeline
+// and (when done) its result.
+func (s *Server) handlePipelineStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupPipelineJob(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handlePipelineCancel cancels a pipeline job. A running job is
+// interrupted through its context; the sampling worker pool and the solver
+// inner loops both check it cooperatively, so cancellation stops simulator
+// workers within one in-flight sample each and nothing is published.
+func (s *Server) handlePipelineCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupPipelineJob(w, r)
+	if !ok {
+		return
+	}
+	j, _ = s.jobs.cancelJob(j.id, "canceled by client request")
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// pipelineDeadline resolves the effective end-to-end deadline: the
+// server-wide cap, tightened by the request's own timeout when smaller.
+func (s *Server) pipelineDeadline(req *PipelineRequest) time.Duration {
+	d := s.cfg.PipelineTimeout
+	if req.TimeoutSeconds > 0 {
+		if r := time.Duration(req.TimeoutSeconds * float64(time.Second)); r < d {
+			d = r
+		}
+	}
+	return d
+}
+
+// runPipeline executes one pipeline job end to end. Like runFit it must
+// never let a failure escape the worker: panics anywhere in the pipeline
+// (parser, simulator, solvers) are contained here, cancellation and
+// deadline expiry land the job in canceled/timed_out, and everything else
+// in failed.
+func (s *Server) runPipeline(j *job) {
+	if !j.begin() {
+		return // canceled while queued
+	}
+	queueWait := j.started.Sub(j.submitted)
+	s.metrics.observeQueueWait(queueWait)
+	req := j.pipeReq
+	logger := s.log.With("job_id", j.id, "request_id", j.requestID)
+	logger.Info("pipeline job started",
+		"name", req.Name, "measure", req.Spec.Measure.String(), "mode", req.Spec.Sampling.Mode,
+		"queue_wait_ms", float64(queueWait.Microseconds())/1000.0)
+	s.metrics.pipelineActive(+1)
+	defer s.metrics.pipelineActive(-1)
+	ctx, cancelCtx := context.WithTimeout(j.ctx, s.pipelineDeadline(req))
+	defer cancelCtx()
+
+	finish := func(state, errMsg string, result *PipelineResult) {
+		if !j.finishPipeline(state, errMsg, result) {
+			return
+		}
+		s.metrics.countJobEnd(JobKindPipeline, state)
+		dur := j.finished.Sub(j.started)
+		if state == JobDone {
+			logger.Info("pipeline job done", "state", state, "duration_ms", float64(dur.Microseconds())/1000.0)
+		} else {
+			logger.Warn("pipeline job ended", "state", state, "error", errMsg,
+				"duration_ms", float64(dur.Microseconds())/1000.0)
+		}
+	}
+	fail := func(err error) {
+		switch {
+		case errors.Is(err, context.Canceled):
+			finish(JobCanceled, err.Error(), nil)
+		case errors.Is(err, context.DeadlineExceeded):
+			finish(JobTimedOut, fmt.Sprintf("deadline %s exceeded: %v", s.pipelineDeadline(req), err), nil)
+		default:
+			finish(JobFailed, err.Error(), nil)
+		}
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.metrics.countPanic()
+			logger.Error("pipeline panicked", "panic", rec, "stack", string(debug.Stack()))
+			finish(JobFailed, fmt.Sprintf("internal: pipeline panicked: %v (incident logged)", rec), nil)
+		}
+	}()
+
+	// Chaos hook: injected panics exercise the recovery above, injected
+	// delays stall the job against its deadline.
+	if err := faultinject.FireCtx(ctx, "server.pipeline"); err != nil {
+		fail(err)
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		fail(err)
+		return
+	}
+
+	res, err := pipeline.Run(ctx, pipeline.Request{
+		Name: req.Name, Netlist: req.Netlist, Spec: req.Spec,
+	}, pipeline.Options{
+		Registry:    s.registry,
+		SimWorkers:  s.cfg.SimWorkers,
+		FitWorkers:  s.cfg.FitParallel,
+		FitObserver: j.addEvent,
+		Observer: func(ev pipeline.StageEvent) {
+			info := PipelineStageInfo{
+				Stage: ev.Stage, Seconds: ev.Seconds,
+				SimSeconds: ev.SimSeconds, FitSeconds: ev.FitSeconds,
+				Samples: ev.Samples, Detail: ev.Detail,
+			}
+			if ev.Err != nil {
+				info.Error = ev.Err.Error()
+				logger.Warn("pipeline stage failed", "stage", ev.Stage, "error", ev.Err,
+					"seconds", ev.Seconds)
+			} else {
+				logger.Info("pipeline stage done", "stage", ev.Stage, "seconds", ev.Seconds,
+					"sim_seconds", ev.SimSeconds, "fit_seconds", ev.FitSeconds,
+					"samples", ev.Samples, "detail", ev.Detail)
+			}
+			j.addStage(info)
+			s.metrics.observePipelineStage(ev.Stage, ev.Seconds, ev.Samples)
+		},
+	})
+	if err != nil {
+		fail(err)
+		return
+	}
+	s.metrics.observeFit(time.Duration(res.FitSeconds*float64(time.Second)), finalIterations(j))
+	finish(JobDone, "", &PipelineResult{
+		Model:   modelInfo(res.Entry),
+		Solver:  res.Solver,
+		Lambda:  res.Lambda,
+		CVError: res.CVError,
+		Trials:  res.Trials,
+		Samples: res.Samples, Rounds: res.Rounds, Converged: res.Converged,
+		Dim: res.Dim, Metric: res.Metric,
+		SimSeconds: res.SimSeconds, FitSeconds: res.FitSeconds,
+	})
+}

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// pipelineBody builds a POST /v1/pipelines body from the committed example
+// deck and spec.
+func pipelineBody(t *testing.T, name, deck, specFile string) string {
+	t.Helper()
+	netlist, err := os.ReadFile("../../examples/netlists/" + deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specJSON, err := os.ReadFile("../../examples/netlists/" + specFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spec pipeline.Spec
+	if err := json.Unmarshal(specJSON, &spec); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(PipelineRequest{Name: name, Netlist: string(netlist), Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// submitPipeline posts a pipeline job and returns its ID.
+func submitPipeline(t *testing.T, baseURL, body string) string {
+	t.Helper()
+	resp := post(t, baseURL+"/v1/pipelines", body)
+	if resp.StatusCode != http.StatusAccepted {
+		defer resp.Body.Close()
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit pipeline: HTTP %d: %s", resp.StatusCode, msg)
+	}
+	return decode[PipelineResponse](t, resp).JobID
+}
+
+// getPipelineStatus polls GET /v1/pipelines/{id}.
+func getPipelineStatus(t *testing.T, baseURL, id string) *JobStatus {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/pipelines/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pipeline %s: HTTP %d", id, resp.StatusCode)
+	}
+	st := decode[JobStatus](t, resp)
+	return &st
+}
+
+// cancelPipeline drives DELETE /v1/pipelines/{id} and returns the response.
+func cancelPipeline(t *testing.T, baseURL, id string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, baseURL+"/v1/pipelines/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestPipelineEndToEnd is the acceptance loop: the committed rc_lowpass
+// deck plus variation spec goes in, a published versioned model comes out
+// and serves predictions, with per-stage cost accounting in the job
+// timeline and stage histograms in both /metrics representations.
+func TestPipelineEndToEnd(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	id := submitPipeline(t, hs.URL, pipelineBody(t, "rc-gain", "rc_lowpass.cir", "rc_lowpass_pipeline.json"))
+
+	st := waitTerminal(t, hs.URL, id, 2*time.Minute)
+	if st.State != JobDone {
+		t.Fatalf("pipeline state %s (error %q)", st.State, st.Error)
+	}
+	if st.Kind != JobKindPipeline {
+		t.Errorf("kind = %q", st.Kind)
+	}
+	res := st.Pipeline
+	if res == nil {
+		t.Fatal("done pipeline has no result")
+	}
+	if res.Model.Name != "rc-gain" || res.Model.Version != 1 {
+		t.Errorf("model = %s@v%d, want rc-gain@v1", res.Model.Name, res.Model.Version)
+	}
+	if res.Samples != 128 || res.Dim != 4 || len(res.Trials) != 2 {
+		t.Errorf("samples=%d dim=%d trials=%d", res.Samples, res.Dim, len(res.Trials))
+	}
+	if res.SimSeconds <= 0 {
+		t.Errorf("SimSeconds = %g, want > 0", res.SimSeconds)
+	}
+	if res.Model.Provenance.Source != "pipeline" || res.Model.Provenance.Pipeline == nil {
+		t.Errorf("provenance lacks pipeline record: %+v", res.Model.Provenance)
+	}
+
+	// Per-stage cost accounting in the job timeline.
+	if len(st.Stages) != len(pipeline.Stages) {
+		t.Fatalf("stage timeline %v, want %v", st.Stages, pipeline.Stages)
+	}
+	for i, info := range st.Stages {
+		if info.Stage != pipeline.Stages[i] {
+			t.Errorf("stage[%d] = %s, want %s", i, info.Stage, pipeline.Stages[i])
+		}
+		if info.Error != "" {
+			t.Errorf("stage %s error %q", info.Stage, info.Error)
+		}
+	}
+	if sample := st.Stages[2]; sample.SimSeconds <= 0 || sample.Samples != 128 {
+		t.Errorf("sample stage accounting: %+v", sample)
+	}
+	if fit := st.Stages[3]; fit.FitSeconds <= 0 {
+		t.Errorf("fit stage accounting: %+v", fit)
+	}
+
+	// The published model serves predictions; at the origin it reproduces
+	// the nominal −3.01 dB corner gain.
+	resp := post(t, hs.URL+"/v1/models/rc-gain/predict", `{"points":[[0,0,0,0]]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: HTTP %d", resp.StatusCode)
+	}
+	pr := decode[PredictResponse](t, resp)
+	if len(pr.Values) != 1 || math.Abs(pr.Values[0]-(-3.0103)) > 0.1 {
+		t.Errorf("predict at origin = %v, want ≈ -3.01", pr.Values)
+	}
+
+	// Stage histograms and counters in the JSON metrics tree.
+	if n := metricInt(t, hs.URL, "pipelines", "completed"); n != 1 {
+		t.Errorf("pipelines.completed = %d", n)
+	}
+	if n := metricInt(t, hs.URL, "pipelines", "samples_simulated"); n != 128 {
+		t.Errorf("pipelines.samples_simulated = %d", n)
+	}
+	if n := metricInt(t, hs.URL, "pipelines", "stage_duration_seconds", "sample", "count"); n != 1 {
+		t.Errorf("sample stage histogram count = %d", n)
+	}
+
+	// And in the Prometheus exposition.
+	promResp, err := http.Get(hs.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promResp.Body.Close()
+	prom, _ := io.ReadAll(promResp.Body)
+	for _, want := range []string{
+		`rsmd_pipelines_total{state="done"} 1`,
+		`rsmd_pipelines_active 0`,
+		`rsmd_pipeline_samples_total 128`,
+		`rsmd_pipeline_stage_duration_seconds_count{stage="sample"} 1`,
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+}
+
+// TestPipelineSubmitValidation exercises the synchronous 400 paths.
+func TestPipelineSubmitValidation(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	good := pipelineBody(t, "ok", "rc_lowpass.cir", "rc_lowpass_pipeline.json")
+	cases := map[string]string{
+		"bad name":     strings.Replace(good, `"name":"ok"`, `"name":"no/slash"`, 1),
+		"no netlist":   strings.Replace(good, `"netlist":"`, `"netlist":"" ,"x_netlist":"`, 1),
+		"bad solver":   strings.Replace(good, `"omp"`, `"sgd"`, 1),
+		"bad kind":     strings.Replace(good, `"rwire"`, `"gamma"`, 1),
+		"unknown json": strings.Replace(good, `"name"`, `"nom"`, 1),
+	}
+	for name, body := range cases {
+		resp := post(t, hs.URL+"/v1/pipelines", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", name, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	// Netlist-dependent failures surface asynchronously as a failed job.
+	bad := strings.Replace(good, `"device":"R1"`, `"device":"R9"`, 1)
+	id := submitPipeline(t, hs.URL, bad)
+	st := waitTerminal(t, hs.URL, id, time.Minute)
+	if st.State != JobFailed || !strings.Contains(st.Error, "R9") {
+		t.Errorf("state=%s error=%q, want failed naming R9", st.State, st.Error)
+	}
+	// A fit-job ID is not a pipeline resource.
+	resp, err := http.Get(hs.URL + "/v1/pipelines/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown pipeline id: HTTP %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

@@ -15,6 +15,9 @@
 //	POST   /v1/fit                     submit an async fit job
 //	GET    /v1/jobs/{id}               poll a fit job
 //	DELETE /v1/jobs/{id}               cancel a fit job
+//	POST   /v1/pipelines               submit a netlist-in, model-out pipeline
+//	GET    /v1/pipelines/{id}          poll a pipeline job (stage timeline)
+//	DELETE /v1/pipelines/{id}          cancel a pipeline job
 //	GET    /metrics                    counters: JSON, or Prometheus text
 //	                                   exposition via ?format=prometheus or
 //	                                   Accept: text/plain
@@ -96,6 +99,13 @@ type Config struct {
 	// FitTimeout caps each fit job's run time (default 5m; negative
 	// disables). Requests may tighten it per job via timeout_seconds.
 	FitTimeout time.Duration
+	// PipelineTimeout caps each pipeline job end to end — parse through
+	// publish, simulation included (default 10m; negative disables).
+	// Requests may tighten it per job via timeout_seconds.
+	PipelineTimeout time.Duration
+	// SimWorkers is the simulator worker-pool size per pipeline sampling
+	// stage (0 = GOMAXPROCS).
+	SimWorkers int
 	// Logger receives the server's structured logs (default slog.Default()).
 	// Request-scoped loggers derived from it carry request_id and route.
 	Logger *slog.Logger
@@ -138,6 +148,12 @@ func (c Config) withDefaults() Config {
 	case c.FitTimeout < 0:
 		c.FitTimeout = 1000 * time.Hour // effectively unbounded
 	}
+	switch {
+	case c.PipelineTimeout == 0:
+		c.PipelineTimeout = 10 * time.Minute
+	case c.PipelineTimeout < 0:
+		c.PipelineTimeout = 1000 * time.Hour // effectively unbounded
+	}
 	return c
 }
 
@@ -168,7 +184,7 @@ func New(reg *registry.Registry, cfg Config) *Server {
 	}
 	s.metrics.fitParallel = core.ResolveFitWorkers(s.cfg.FitParallel)
 	s.jobs = newJobQueue(s.cfg.QueueDepth, s.metrics.countJobEnd)
-	s.jobs.startWorkers(s.cfg.FitWorkers, s.runFit)
+	s.jobs.startWorkers(s.cfg.FitWorkers, s.runJob)
 	if s.cfg.PredictCacheSize > 0 {
 		s.predCache = newPredictorCache(s.cfg.PredictCacheSize)
 		// Publishing a new version moves traffic off the old ones; drop the
@@ -196,6 +212,9 @@ func New(reg *registry.Registry, cfg Config) *Server {
 	route("POST /v1/fit", s.handleFit)
 	route("GET /v1/jobs/{id}", s.handleJob)
 	route("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	route("POST /v1/pipelines", s.handlePipelineSubmit)
+	route("GET /v1/pipelines/{id}", s.handlePipelineStatus)
+	route("DELETE /v1/pipelines/{id}", s.handlePipelineCancel)
 	route("GET /metrics", s.handleMetrics)
 	route("GET /healthz", s.handleHealth)
 	s.mux = mux

@@ -1,0 +1,57 @@
+package spice
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzParseNetlist asserts the parser's error-never-panic contract: any
+// byte stream either parses into a netlist whose cards can rebuild a
+// circuit, or returns an error — it must never panic. Seeds combine the
+// committed example decks with hand-picked edge cases (continuations,
+// comments, directives, malformed values).
+func FuzzParseNetlist(f *testing.F) {
+	seeds := []string{
+		"",
+		"* comment only\n",
+		"V1 in 0 DC 1\nR1 in out 1k\nC1 out 0 1n\n.tran 1n 10n\n.print out\n.end\n",
+		"V1 in 0\n+ PULSE(0 1 0 1n 1n 5n 10n)\nR1 in 0 1k\n.end\n",
+		"M1 d g 0 NMOS VT=0.4 BETA=200u LAMBDA=0.05\nVDD d 0 DC 1\nVG g 0 DC 1\n.dc\n",
+		"R1 a b 0\n",
+		"L1 a b -1m\n",
+		".nodeset V(x)=0.5\nR1 x 0 1k\nV1 x 0 DC 1\n",
+		".ac V1 1 dec 10 10 100k\n",
+		"G1 out 0 in 0 1m\nR1 out 0 1k\nV1 in 0 DC 1\n",
+		"D1 a 0 IS=1e-14\nV1 a 0 DC 0.7\n.dc\n",
+		"R1 a b 1k extra tokens here\n",
+		"+ leading continuation\n",
+	}
+	if decks, err := filepath.Glob("../../examples/netlists/*.cir"); err == nil {
+		for _, p := range decks {
+			if b, err := os.ReadFile(p); err == nil {
+				seeds = append(seeds, string(b))
+			}
+		}
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, deck string) {
+		nl, err := ParseNetlist(strings.NewReader(deck))
+		if err != nil {
+			return
+		}
+		// A successful parse must yield cards that can rebuild a circuit
+		// (or fail cleanly) and that carry real source line numbers.
+		for _, card := range nl.Cards {
+			if card.Line <= 0 {
+				t.Fatalf("card %s has non-positive line %d", card.Name, card.Line)
+			}
+		}
+		if _, err := nl.BuildCircuit(nil); err != nil {
+			t.Fatalf("parse accepted deck but BuildCircuit failed: %v", err)
+		}
+	})
+}

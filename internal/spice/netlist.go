@@ -14,10 +14,47 @@ import (
 type Netlist struct {
 	// Circuit is the assembled circuit.
 	Circuit *Circuit
+	// Cards are the parsed device lines in deck order. They are retained so
+	// callers can rebuild perturbed copies of the circuit with BuildCircuit
+	// (the hook process-variation pipelines use to re-instantiate the deck
+	// per Monte Carlo sample).
+	Cards []DeviceCard
 	// Analyses are the requested analyses in deck order.
 	Analyses []Analysis
 	// Prints are the node names requested by .print (all nodes if empty).
 	Prints []string
+
+	// nodesets are the deck's .nodeset hints by node name, re-applied by
+	// BuildCircuit.
+	nodesets []nodesetCard
+}
+
+// nodesetCard is one .nodeset entry kept by node name so rebuilt circuits
+// can re-resolve it.
+type nodesetCard struct {
+	node string
+	v    float64
+}
+
+// DeviceCard is one parsed device line. Kind is the canonical upper-case
+// card letter ('R', 'C', 'L', 'V', 'I', 'D', 'G', 'M'); only the fields
+// meaningful for that kind are set. Line is the 1-based line number of the
+// card in the source deck (continuation lines report their base line).
+type DeviceCard struct {
+	Kind  byte
+	Name  string
+	Nodes []string
+	// Value is the element value: resistance, capacitance, inductance, or
+	// VCCS transconductance.
+	Value float64
+	// Wave is the source waveform of V and I cards.
+	Wave Waveform
+	// IS is the diode saturation current.
+	IS float64
+	// MOS carries the MOSFET model parameters.
+	MOS MOSParams
+	// Line is the 1-based source line of the card.
+	Line int
 }
 
 // Analysis is one analysis directive.
@@ -184,135 +221,205 @@ func parseWaveform(fields []string) (Waveform, error) {
 //	.end
 //
 // Lines starting with '*' are comments; '+' continues the previous line.
+// Parse errors carry the 1-based source line number of the offending card
+// (continuation lines report the line the card started on).
 func ParseNetlist(r io.Reader) (*Netlist, error) {
+	type srcLine struct {
+		text string
+		num  int // 1-based source line of the card's first physical line
+	}
 	sc := bufio.NewScanner(r)
-	var lines []string
+	var lines []srcLine
+	physical := 0
 	for sc.Scan() {
+		physical++
 		raw := strings.TrimSpace(sc.Text())
 		if raw == "" || strings.HasPrefix(raw, "*") {
 			continue
 		}
 		if strings.HasPrefix(raw, "+") && len(lines) > 0 {
-			lines[len(lines)-1] += " " + strings.TrimPrefix(raw, "+")
+			lines[len(lines)-1].text += " " + strings.TrimPrefix(raw, "+")
 			continue
 		}
-		lines = append(lines, raw)
+		lines = append(lines, srcLine{text: raw, num: physical})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("spice: reading netlist: %w", err)
 	}
 	nl := &Netlist{Circuit: New()}
-	c := nl.Circuit
-	for ln, line := range lines {
-		fields := strings.Fields(line)
+	for _, sl := range lines {
+		fields := strings.Fields(sl.text)
 		name := fields[0]
 		fail := func(format string, args ...any) error {
-			return fmt.Errorf("spice: line %d (%s): %s", ln+1, name, fmt.Sprintf(format, args...))
+			return fmt.Errorf("spice: line %d (%s): %s", sl.num, name, fmt.Sprintf(format, args...))
 		}
-		switch {
-		case strings.HasPrefix(name, "."):
+		if strings.HasPrefix(name, ".") {
 			if err := nl.parseDirective(fields); err != nil {
 				return nil, fail("%v", err)
 			}
-		case name[0] == 'R' || name[0] == 'r':
-			if len(fields) != 4 {
-				return nil, fail("want R name a b value")
-			}
-			v, err := ParseValue(fields[3])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			c.AddResistor(name, c.Node(fields[1]), c.Node(fields[2]), v)
-		case name[0] == 'C' || name[0] == 'c':
-			if len(fields) != 4 {
-				return nil, fail("want C name a b value")
-			}
-			v, err := ParseValue(fields[3])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			c.AddCapacitor(name, c.Node(fields[1]), c.Node(fields[2]), v)
-		case name[0] == 'L' || name[0] == 'l':
-			if len(fields) != 4 {
-				return nil, fail("want L name a b value")
-			}
-			v, err := ParseValue(fields[3])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			c.AddInductor(name, c.Node(fields[1]), c.Node(fields[2]), v)
-		case name[0] == 'V' || name[0] == 'v':
-			if len(fields) < 4 {
-				return nil, fail("want V name p m source")
-			}
-			w, err := parseWaveform(fields[3:])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			c.AddVoltageSource(name, c.Node(fields[1]), c.Node(fields[2]), w)
-		case name[0] == 'I' || name[0] == 'i':
-			if len(fields) < 4 {
-				return nil, fail("want I name a b source")
-			}
-			w, err := parseWaveform(fields[3:])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			c.AddCurrentSource(name, c.Node(fields[1]), c.Node(fields[2]), w)
-		case name[0] == 'D' || name[0] == 'd':
-			if len(fields) < 3 {
-				return nil, fail("want D name a b [IS=..]")
-			}
-			_, kv, err := parseKV(fields[3:])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			is := 1e-14
-			if v, ok := kv["IS"]; ok {
-				is = v
-			}
-			c.AddDiode(name, c.Node(fields[1]), c.Node(fields[2]), is)
-		case name[0] == 'G' || name[0] == 'g':
-			if len(fields) != 6 {
-				return nil, fail("want G name outp outm ctrlp ctrlm gm")
-			}
-			gm, err := ParseValue(fields[5])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			c.AddVCCS(name, c.Node(fields[1]), c.Node(fields[2]), c.Node(fields[3]), c.Node(fields[4]), gm)
-		case name[0] == 'M' || name[0] == 'm':
-			if len(fields) < 5 {
-				return nil, fail("want M name d g s NMOS|PMOS VT=.. BETA=..")
-			}
-			pos, kv, err := parseKV(fields[4:])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			if len(pos) != 1 {
-				return nil, fail("want exactly one model name, got %v", pos)
-			}
-			var typ MOSType
-			switch strings.ToUpper(pos[0]) {
-			case "NMOS":
-				typ = NMOS
-			case "PMOS":
-				typ = PMOS
-			default:
-				return nil, fail("unknown MOS model %q", pos[0])
-			}
-			vt, okVT := kv["VT"]
-			beta, okB := kv["BETA"]
-			if !okVT || !okB {
-				return nil, fail("MOSFET needs VT= and BETA=")
-			}
-			c.AddMOSFET(name, c.Node(fields[1]), c.Node(fields[2]), c.Node(fields[3]),
-				MOSParams{Type: typ, VT: vt, Beta: beta, Lambda: kv["LAMBDA"]})
-		default:
-			return nil, fail("unknown card")
+			continue
 		}
+		card, err := parseDeviceCard(fields)
+		if err != nil {
+			return nil, fail("%v", err)
+		}
+		card.Line = sl.num
+		if err := addCard(nl.Circuit, &card); err != nil {
+			return nil, fail("%v", err)
+		}
+		nl.Cards = append(nl.Cards, card)
 	}
 	return nl, nil
+}
+
+// parseDeviceCard parses one device line into its card form without touching
+// a circuit, so the same card can later be re-instantiated (possibly
+// perturbed) by BuildCircuit.
+func parseDeviceCard(fields []string) (DeviceCard, error) {
+	name := fields[0]
+	kind := name[0]
+	if kind >= 'a' && kind <= 'z' {
+		kind -= 'a' - 'A'
+	}
+	card := DeviceCard{Kind: kind, Name: name}
+	switch kind {
+	case 'R', 'C', 'L':
+		if len(fields) != 4 {
+			return card, fmt.Errorf("want %c name a b value", kind)
+		}
+		v, err := ParseValue(fields[3])
+		if err != nil {
+			return card, err
+		}
+		card.Nodes = fields[1:3]
+		card.Value = v
+	case 'V', 'I':
+		if len(fields) < 4 {
+			return card, fmt.Errorf("want %c name a b source", kind)
+		}
+		w, err := parseWaveform(fields[3:])
+		if err != nil {
+			return card, err
+		}
+		card.Nodes = fields[1:3]
+		card.Wave = w
+	case 'D':
+		if len(fields) < 3 {
+			return card, fmt.Errorf("want D name a b [IS=..]")
+		}
+		_, kv, err := parseKV(fields[3:])
+		if err != nil {
+			return card, err
+		}
+		card.Nodes = fields[1:3]
+		card.IS = 1e-14
+		if v, ok := kv["IS"]; ok {
+			card.IS = v
+		}
+	case 'G':
+		if len(fields) != 6 {
+			return card, fmt.Errorf("want G name outp outm ctrlp ctrlm gm")
+		}
+		gm, err := ParseValue(fields[5])
+		if err != nil {
+			return card, err
+		}
+		card.Nodes = fields[1:5]
+		card.Value = gm
+	case 'M':
+		if len(fields) < 5 {
+			return card, fmt.Errorf("want M name d g s NMOS|PMOS VT=.. BETA=..")
+		}
+		pos, kv, err := parseKV(fields[4:])
+		if err != nil {
+			return card, err
+		}
+		if len(pos) != 1 {
+			return card, fmt.Errorf("want exactly one model name, got %v", pos)
+		}
+		var typ MOSType
+		switch strings.ToUpper(pos[0]) {
+		case "NMOS":
+			typ = NMOS
+		case "PMOS":
+			typ = PMOS
+		default:
+			return card, fmt.Errorf("unknown MOS model %q", pos[0])
+		}
+		vt, okVT := kv["VT"]
+		beta, okB := kv["BETA"]
+		if !okVT || !okB {
+			return card, fmt.Errorf("MOSFET needs VT= and BETA=")
+		}
+		card.Nodes = fields[1:4]
+		card.MOS = MOSParams{Type: typ, VT: vt, Beta: beta, Lambda: kv["LAMBDA"]}
+	default:
+		return card, fmt.Errorf("unknown card")
+	}
+	return card, nil
+}
+
+// addCard instantiates one card into the circuit. Element values that the
+// device constructors would panic on (non-positive R, C, L, BETA) are
+// rejected as errors here, so neither hostile decks nor extreme variation
+// perturbations can take the process down.
+func addCard(c *Circuit, card *DeviceCard) error {
+	n := func(i int) NodeID { return c.Node(card.Nodes[i]) }
+	switch card.Kind {
+	case 'R':
+		if card.Value <= 0 {
+			return fmt.Errorf("resistance %g must be positive", card.Value)
+		}
+		c.AddResistor(card.Name, n(0), n(1), card.Value)
+	case 'C':
+		if card.Value <= 0 {
+			return fmt.Errorf("capacitance %g must be positive", card.Value)
+		}
+		c.AddCapacitor(card.Name, n(0), n(1), card.Value)
+	case 'L':
+		if card.Value <= 0 {
+			return fmt.Errorf("inductance %g must be positive", card.Value)
+		}
+		c.AddInductor(card.Name, n(0), n(1), card.Value)
+	case 'V':
+		c.AddVoltageSource(card.Name, n(0), n(1), card.Wave)
+	case 'I':
+		c.AddCurrentSource(card.Name, n(0), n(1), card.Wave)
+	case 'D':
+		c.AddDiode(card.Name, n(0), n(1), card.IS)
+	case 'G':
+		c.AddVCCS(card.Name, n(0), n(1), n(2), n(3), card.Value)
+	case 'M':
+		if card.MOS.Beta <= 0 {
+			return fmt.Errorf("BETA %g must be positive", card.MOS.Beta)
+		}
+		c.AddMOSFET(card.Name, n(0), n(1), n(2), card.MOS)
+	default:
+		return fmt.Errorf("unknown card kind %q", card.Kind)
+	}
+	return nil
+}
+
+// BuildCircuit assembles a fresh Circuit from the deck's parsed device
+// cards, calling mod (when non-nil) on a copy of each card first — the hook
+// variation pipelines use to perturb element values per sample without
+// re-parsing the deck. The receiver is not modified; the deck's .nodeset
+// hints are re-applied to the new circuit.
+func (nl *Netlist) BuildCircuit(mod func(i int, card *DeviceCard)) (*Circuit, error) {
+	c := New()
+	for i := range nl.Cards {
+		card := nl.Cards[i]
+		if mod != nil {
+			mod(i, &card)
+		}
+		if err := addCard(c, &card); err != nil {
+			return nil, fmt.Errorf("spice: line %d (%s): %v", card.Line, card.Name, err)
+		}
+	}
+	for _, ns := range nl.nodesets {
+		c.NodeSet(c.Node(ns.node), ns.v)
+	}
+	return c, nil
 }
 
 // parseDirective handles one dot card.
@@ -391,6 +498,7 @@ func (nl *Netlist) parseDirective(fields []string) error {
 			if err != nil {
 				return err
 			}
+			nl.nodesets = append(nl.nodesets, nodesetCard{node: f[2:close], v: v})
 			nl.Circuit.NodeSet(nl.Circuit.Node(f[2:close]), v)
 		}
 	case ".print":

@@ -75,7 +75,7 @@ R1 in 0 1k
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v := sol.Voltage(nl.Circuit.Node("in")); math.Abs(v-5) > 1e-9 {
+	if v := sol.Voltage(nl.Circuit.Node("in")); math.Abs(v-5) > 1e-6 {
 		t.Errorf("V(in) = %g, want 5", v)
 	}
 }
@@ -199,11 +199,150 @@ func TestParseNetlistErrors(t *testing.T) {
 		"bad directive":    "R1 a 0 1k\n.foo\n",
 		"bad nodeset":      "R1 a 0 1k\n.nodeset b=1\n",
 		"vccs wrong arity": "G1 a 0 b\n",
+		"zero resistor":    "R1 a b 0\n",
+		"negative cap":     "C1 a b -1n\n",
+		"zero inductor":    "L1 a b 0\n",
+		"zero mos beta":    "M1 d g s NMOS VT=0.4 BETA=0\n",
 	}
 	for name, deck := range cases {
 		if _, err := ParseNetlist(strings.NewReader(deck)); err == nil {
 			t.Errorf("%s: expected parse error", name)
 		}
+	}
+}
+
+// TestParseNetlistErrorLineNumbers pins the parse-error contract: the
+// reported line number is the card's 1-based position in the source deck,
+// not its index after comment stripping and continuation merging.
+func TestParseNetlistErrorLineNumbers(t *testing.T) {
+	cases := []struct {
+		name string
+		deck string
+		want string
+	}{
+		{
+			name: "first line",
+			deck: "R1 a b xyz\n",
+			want: "line 1 (R1)",
+		},
+		{
+			name: "comments and blanks do not shift the count",
+			deck: "* header comment\n\nV1 in 0 DC 1\n* another comment\nR1 in out oops\n",
+			want: "line 5 (R1)",
+		},
+		{
+			name: "continuation errors report the base line",
+			deck: "* c\nV1 in 0\n+ PULSE(0 1 0 1n 1n)\nR1 in 0 1k\n",
+			want: "line 2 (V1)",
+		},
+		{
+			name: "directive errors carry line numbers too",
+			deck: "R1 a 0 1k\n* x\n.tran 1n\n",
+			want: "line 3 (.tran)",
+		},
+		{
+			name: "non-positive element values name the source line",
+			deck: "* deck\nV1 in 0 DC 1\nR1 in out 0\n",
+			want: "line 3 (R1)",
+		},
+	}
+	for _, tc := range cases {
+		_, err := ParseNetlist(strings.NewReader(tc.deck))
+		if err == nil {
+			t.Errorf("%s: expected parse error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestNetlistCardsRecorded(t *testing.T) {
+	deck := `* divider with a transistor load
+V1 in 0 DC 10
+R1 in mid 1k
+M1 mid g 0 NMOS VT=0.4 BETA=250u
+.dc
+`
+	nl, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Cards) != 3 {
+		t.Fatalf("got %d cards, want 3", len(nl.Cards))
+	}
+	r := nl.Cards[1]
+	if r.Kind != 'R' || r.Name != "R1" || r.Value != 1000 || r.Line != 3 {
+		t.Errorf("R1 card = %+v", r)
+	}
+	m := nl.Cards[2]
+	if m.Kind != 'M' || m.MOS.VT != 0.4 || m.Line != 4 {
+		t.Errorf("M1 card = %+v", m)
+	}
+}
+
+func TestBuildCircuitPerturbed(t *testing.T) {
+	deck := `V1 in 0 DC 10
+R1 in mid 1k
+R2 mid 0 1k
+.dc
+`
+	nl, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unperturbed rebuild matches the original circuit's solution.
+	c0, err := nl.BuildCircuit(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol0, err := c0.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sol0.Voltage(c0.Node("mid")); math.Abs(v-5) > 1e-6 {
+		t.Errorf("nominal V(mid) = %g, want 5", v)
+	}
+	// Scaling R2 by 3× moves the divider; the original netlist is untouched.
+	c1, err := nl.BuildCircuit(func(_ int, card *DeviceCard) {
+		if card.Name == "R2" {
+			card.Value *= 3
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol1, err := c1.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sol1.Voltage(c1.Node("mid")); math.Abs(v-7.5) > 1e-6 {
+		t.Errorf("perturbed V(mid) = %g, want 7.5", v)
+	}
+	if nl.Cards[2].Value != 1000 {
+		t.Errorf("BuildCircuit mutated the netlist: R2 = %g", nl.Cards[2].Value)
+	}
+	// A perturbation that drives an element non-positive errors, not panics.
+	if _, err := nl.BuildCircuit(func(_ int, card *DeviceCard) {
+		card.Value = -1
+	}); err == nil {
+		t.Error("non-positive perturbed value must error")
+	}
+}
+
+func TestBuildCircuitKeepsNodesets(t *testing.T) {
+	deck := "V1 a 0 DC 1\nR1 a b 1k\nR2 b 0 1k\n.nodeset V(b)=0.5\n.dc\n"
+	nl, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := nl.BuildCircuit(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := c.nodesets[c.Node("b")]; v != 0.5 {
+		t.Errorf("rebuilt nodeset = %g, want 0.5", v)
 	}
 }
 
@@ -227,7 +366,7 @@ func TestParseWaveformPlainValue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v := sol.Voltage(nl.Circuit.Node("a")); math.Abs(v-5) > 1e-9 {
+	if v := sol.Voltage(nl.Circuit.Node("a")); math.Abs(v-5) > 1e-6 {
 		t.Errorf("V(a) = %g, want 5", v)
 	}
 }

@@ -20,6 +20,7 @@ package variation
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // ParamKind identifies a varying device parameter.
@@ -48,6 +49,17 @@ func (k ParamKind) String() string {
 	default:
 		return fmt.Sprintf("ParamKind(%d)", int(k))
 	}
+}
+
+// ParseKind resolves a parameter kind from its case-insensitive name
+// ("vth", "beta", "rwire", "cwire") — the inverse of ParamKind.String.
+func ParseKind(s string) (ParamKind, error) {
+	for k := ParamKind(0); k < numKinds; k++ {
+		if strings.EqualFold(s, k.String()) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("variation: unknown parameter kind %q (want vth, beta, rwire or cwire)", s)
 }
 
 // Device describes one varying element (a transistor or a wire segment).

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/server"
 )
 
@@ -39,6 +40,16 @@ type (
 	YieldRequest = server.YieldRequest
 	// YieldResponse reports yield, moments and quantiles.
 	YieldResponse = server.YieldResponse
+	// PipelineRequest submits a netlist-in, model-out pipeline job.
+	PipelineRequest = server.PipelineRequest
+	// PipelineSpec configures a pipeline's variation space, measurement,
+	// sampling campaign and fit.
+	PipelineSpec = pipeline.Spec
+	// PipelineResult is a completed pipeline job's outcome.
+	PipelineResult = server.PipelineResult
+	// PipelineStageInfo is one stage in a pipeline job's timeline with its
+	// cost split (wall-clock, simulation and regression seconds).
+	PipelineStageInfo = server.PipelineStageInfo
 )
 
 // RetryPolicy tunes the client's retry loop for idempotent requests. The
@@ -326,6 +337,67 @@ func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration)
 			return st, nil
 		case server.JobFailed, server.JobCanceled, server.JobTimedOut:
 			return st, fmt.Errorf("rsm: job %s %s: %s", id, st.State, st.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// RunPipeline enqueues a netlist-in, model-out pipeline job and returns
+// its id. Like SubmitFit it is not retried: a transport error leaves it
+// unknown whether the daemon accepted the job.
+func (c *Client) RunPipeline(ctx context.Context, req PipelineRequest) (string, error) {
+	var resp server.PipelineResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/pipelines", req, &resp, false); err != nil {
+		return "", err
+	}
+	return resp.JobID, nil
+}
+
+// Pipeline polls one pipeline job; its status carries the stage timeline
+// and, once done, the published model and per-solver trials.
+func (c *Client) Pipeline(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/pipelines/"+id, nil, &st, true); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// CancelPipeline asks the daemon to cancel a pipeline job and returns its
+// (possibly already terminal) status. Cancellation stops the simulator
+// workers within one in-flight sample each and publishes nothing.
+func (c *Client) CancelPipeline(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodDelete, "/v1/pipelines/"+id, nil, &st, true); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// WaitPipeline polls the pipeline job every interval until it reaches any
+// terminal state or ctx expires, with WaitJob's contract: done comes back
+// clean, every other terminal state alongside an error carrying the state
+// and the job's message.
+func (c *Client) WaitPipeline(ctx context.Context, id string, interval time.Duration) (*JobStatus, error) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		st, err := c.Pipeline(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case server.JobDone:
+			return st, nil
+		case server.JobFailed, server.JobCanceled, server.JobTimedOut:
+			return st, fmt.Errorf("rsm: pipeline %s %s: %s", id, st.State, st.Error)
 		}
 		select {
 		case <-ctx.Done():

@@ -1,0 +1,124 @@
+package rsm_test
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/server"
+	"repro/rsm"
+)
+
+// pipelineFixture loads the committed example deck and spec.
+func pipelineFixture(t *testing.T) (netlist string, spec rsm.PipelineSpec) {
+	t.Helper()
+	deck, err := os.ReadFile("../examples/netlists/rc_lowpass.cir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specJSON, err := os.ReadFile("../examples/netlists/rc_lowpass_pipeline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(specJSON, &spec); err != nil {
+		t.Fatal(err)
+	}
+	return string(deck), spec
+}
+
+// TestClientPipelineRoundTrip drives the netlist-in, model-out flow through
+// the public client: RunPipeline + WaitPipeline against a real daemon, then
+// Predict on the model the pipeline published.
+func TestClientPipelineRoundTrip(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	srv := server.New(registry.New(), server.Config{FitWorkers: 1})
+	hs := httptest.NewServer(srv)
+	defer func() { hs.Close(); srv.Close() }()
+	c := rsm.NewClient(hs.URL)
+
+	netlist, spec := pipelineFixture(t)
+	id, err := c.RunPipeline(ctx, rsm.PipelineRequest{Name: "rc-gain", Netlist: netlist, Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.WaitPipeline(ctx, id, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := st.Pipeline
+	if res == nil || res.Model.Name != "rc-gain" || res.Model.Version != 1 {
+		t.Fatalf("pipeline result %+v, want rc-gain@v1", res)
+	}
+	if len(st.Stages) == 0 || res.SimSeconds <= 0 {
+		t.Fatalf("missing stage cost accounting: stages=%d sim=%g", len(st.Stages), res.SimSeconds)
+	}
+	vals, err := c.Predict(ctx, "rc-gain", [][]float64{make([]float64, res.Dim)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || math.Abs(vals[0]-(-3.0103)) > 0.1 {
+		t.Fatalf("predict at origin = %v, want ≈ -3.01 dB", vals)
+	}
+
+	// A netlist-level failure surfaces through WaitPipeline's error.
+	spec.Variation.Devices[0].Device = "R9"
+	id, err = c.RunPipeline(ctx, rsm.PipelineRequest{Name: "bad", Netlist: netlist, Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = c.WaitPipeline(ctx, id, 20*time.Millisecond); err == nil || !strings.Contains(err.Error(), "R9") {
+		t.Fatalf("WaitPipeline error = %v, want failed naming R9", err)
+	}
+}
+
+// TestClientCancelPipeline checks DELETE-to-cancel through the client: a
+// queued pipeline behind a busy worker cancels before it ever runs.
+func TestClientCancelPipeline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	srv := server.New(registry.New(), server.Config{FitWorkers: 1, QueueDepth: 8})
+	hs := httptest.NewServer(srv)
+	defer func() { hs.Close(); srv.Close() }()
+	c := rsm.NewClient(hs.URL)
+
+	netlist, spec := pipelineFixture(t)
+	// Two jobs on one worker: a large sampling campaign holds the worker so
+	// the second job sits pending long enough to cancel deterministically.
+	busySpec := spec
+	busySpec.Sampling.Samples = 8192
+	first, err := c.RunPipeline(ctx, rsm.PipelineRequest{Name: "busy", Netlist: netlist, Spec: busySpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.RunPipeline(ctx, rsm.PipelineRequest{Name: "victim", Netlist: netlist, Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.CancelPipeline(ctx, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.JobCanceled {
+		t.Fatalf("canceled pipeline state %s, want canceled", st.State)
+	}
+	if _, err := c.WaitPipeline(ctx, first, 20*time.Millisecond); err != nil {
+		t.Fatalf("first pipeline: %v", err)
+	}
+	// The canceled job published nothing.
+	models, err := c.Models(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range models {
+		if m.Name == "victim" {
+			t.Fatal("canceled pipeline published a model")
+		}
+	}
+}
