@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-smoke bench-json chaos obs fuzz-smoke pipeline-smoke ci
+.PHONY: all build test race vet fmt-check bench bench-smoke bench-json chaos crash-smoke obs fuzz-smoke pipeline-smoke ci
 
 all: build
 
@@ -14,7 +14,7 @@ test:
 # worker pools, the model registry, batched prediction, and the sampling
 # engine.
 race:
-	$(GO) test -race ./internal/server/... ./internal/registry/... ./internal/core/... ./internal/mc/... ./internal/pipeline/... ./rsm/...
+	$(GO) test -race ./internal/server/... ./internal/registry/... ./internal/core/... ./internal/mc/... ./internal/pipeline/... ./internal/journal/... ./rsm/...
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +42,7 @@ bench-smoke:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadEnvelope$$' -fuzztime=5s ./internal/core/
 	$(GO) test -run='^$$' -fuzz='^FuzzParseNetlist$$' -fuzztime=5s ./internal/spice/
+	$(GO) test -run='^$$' -fuzz='^FuzzReplayJournal$$' -fuzztime=5s ./internal/journal/
 
 # Machine-readable perf baseline, committed as $(BENCH_JSON): the solver
 # engine benches (fit path + correlation sweep), the serving engine's
@@ -64,6 +65,15 @@ bench-json:
 chaos:
 	$(GO) test -race -run 'TestChaos|TestDraining|TestDaemon' ./internal/server/ ./cmd/rsmd/
 
+# Crash/recovery suite: kills the daemon with fit and pipeline jobs in
+# flight, then proves the next boot replays the job journal — in-flight
+# jobs re-run to done under their original IDs, canceled and quarantined
+# outcomes stick, idempotent resubmits dedup across the restart, and a
+# full disk degrades submits to 503 while predict keeps serving. Under the
+# race detector; part of make ci.
+crash-smoke:
+	$(GO) test -race -run 'TestCrash|TestChaosJournal' ./internal/server/
+
 # Observability smoke check: boots the serving stack in-process, drives a
 # fit + predictions through it, scrapes /metrics in Prometheus text format
 # and validates the exposition (cumulative le buckets, TYPE metadata, +Inf
@@ -78,4 +88,4 @@ pipeline-smoke:
 	$(GO) test -race -run 'TestPipeline' ./internal/server/
 	$(GO) test -race ./internal/pipeline/
 
-ci: vet fmt-check build test race chaos obs bench-smoke fuzz-smoke pipeline-smoke
+ci: vet fmt-check build test race chaos crash-smoke obs bench-smoke fuzz-smoke pipeline-smoke

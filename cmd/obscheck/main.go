@@ -41,7 +41,10 @@ func check() error {
 	defer cancel()
 
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
-	srv := server.New(registry.New(), server.Config{FitWorkers: 1, Logger: logger})
+	srv, err := server.New(registry.New(), server.Config{FitWorkers: 1, Logger: logger})
+	if err != nil {
+		return err
+	}
 	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -75,6 +75,8 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		fitTimeout   = fs.Duration("fit-timeout", 5*time.Minute, "per-job fit deadline")
 		pipeTimeout  = fs.Duration("pipeline-timeout", 10*time.Minute, "end-to-end deadline per netlist-in, model-out pipeline job")
 		simWorkers   = fs.Int("sim-workers", 0, "simulator goroutines per pipeline sampling stage (0 = GOMAXPROCS)")
+		journalDir   = fs.String("journal-dir", "", "durable job-journal directory: fit/pipeline jobs survive crashes and are re-run on boot (empty = no journal)")
+		recoveryMax  = fs.Int("recovery-max-attempts", 3, "quarantine a journaled job as failed after it crashed the daemon this many times")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight work")
 		logLevel     = fs.String("log-level", "info", "log verbosity: debug|info|warn|error (debug includes per-request access logs)")
 		logFormat    = fs.String("log-format", "text", "log encoding: text|json")
@@ -108,21 +110,26 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 	if cacheSize == 0 {
 		cacheSize = -1 // flag 0 = disabled; Config 0 = default
 	}
-	srv := server.New(reg, server.Config{
-		FitWorkers:       *fitJobs,
-		FitParallel:      *fitWorkers,
-		QueueDepth:       *queueDepth,
-		PredictWorkers:   *predWorkers,
-		MaxBatch:         *maxBatch,
-		PredictCacheSize: cacheSize,
-		BatchWindow:      *batchWindow,
-		BatchMaxPoints:   *batchMax,
-		RequestTimeout:   *reqTimeout,
-		FitTimeout:       *fitTimeout,
-		PipelineTimeout:  *pipeTimeout,
-		SimWorkers:       *simWorkers,
-		Logger:           logger,
+	srv, err := server.New(reg, server.Config{
+		FitWorkers:          *fitJobs,
+		FitParallel:         *fitWorkers,
+		QueueDepth:          *queueDepth,
+		PredictWorkers:      *predWorkers,
+		MaxBatch:            *maxBatch,
+		PredictCacheSize:    cacheSize,
+		BatchWindow:         *batchWindow,
+		BatchMaxPoints:      *batchMax,
+		RequestTimeout:      *reqTimeout,
+		FitTimeout:          *fitTimeout,
+		PipelineTimeout:     *pipeTimeout,
+		SimWorkers:          *simWorkers,
+		JournalDir:          *journalDir,
+		RecoveryMaxAttempts: *recoveryMax,
+		Logger:              logger,
 	})
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

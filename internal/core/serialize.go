@@ -56,6 +56,10 @@ type PipelineProvenance struct {
 	// Trials lists the per-solver cross-validation errors of the selection
 	// stage, keyed by solver name.
 	Trials map[string]float64 `json:"trials,omitempty"`
+	// RecoveryAttempt, when > 0, marks a model produced by a crash-recovery
+	// re-run: the job had been started that many times by previous daemon
+	// processes before the run that published this model.
+	RecoveryAttempt int `json:"recovery_attempt,omitempty"`
 }
 
 // Envelope is the versioned serialized form of a fitted model: the sparse

@@ -20,8 +20,11 @@
 // Well-known points (see their call sites):
 //
 //	server.fit      start of a fit job's worker execution
+//	server.pipeline start of a pipeline job's worker execution
 //	server.predict  predict handler, after model lookup
 //	registry.write  registry persistence, between temp write and rename
+//	journal.append  job-journal record append, before the write+fsync
+//	                (error simulates a full disk: submits degrade to 503)
 package faultinject
 
 import (

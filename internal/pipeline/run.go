@@ -44,6 +44,10 @@ type Options struct {
 	// FitWorkers is the solver engine's correlation-sweep goroutine count
 	// (0 = GOMAXPROCS), threaded to core.WithFitWorkers.
 	FitWorkers int
+	// RecoveryAttempt, when > 0, marks this run as a crash-recovery re-run
+	// (the Nth time the host re-enqueued the job after an unclean
+	// shutdown); it is recorded in the published model's provenance.
+	RecoveryAttempt int
 }
 
 // StageEvent reports one stage's outcome and cost split.
@@ -253,14 +257,15 @@ func Run(ctx context.Context, req Request, opts Options) (*Result, error) {
 			Folds: req.Spec.Fit.Folds, Samples: res.Samples, Metric: res.Metric,
 			Source: "pipeline",
 			Pipeline: &core.PipelineProvenance{
-				NetlistSHA256: hex.EncodeToString(sum[:]),
-				Measure:       req.Spec.Measure.String(),
-				Mode:          sp.Mode,
-				Rounds:        res.Rounds,
-				Converged:     res.Converged,
-				SimSeconds:    res.SimSeconds,
-				FitSeconds:    res.FitSeconds,
-				Trials:        trialErrs,
+				NetlistSHA256:   hex.EncodeToString(sum[:]),
+				Measure:         req.Spec.Measure.String(),
+				Mode:            sp.Mode,
+				Rounds:          res.Rounds,
+				Converged:       res.Converged,
+				SimSeconds:      res.SimSeconds,
+				FitSeconds:      res.FitSeconds,
+				Trials:          trialErrs,
+				RecoveryAttempt: opts.RecoveryAttempt,
 			},
 		},
 	}

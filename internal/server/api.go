@@ -109,18 +109,22 @@ type FitEventInfo struct {
 // from pipeline jobs; pipeline jobs additionally carry the per-stage
 // timeline (Stages) and, when done, the pipeline result.
 type JobStatus struct {
-	ID        string              `json:"id"`
-	Kind      string              `json:"kind,omitempty"` // "fit" | "pipeline"
-	RequestID string              `json:"request_id,omitempty"`
-	State     string              `json:"state"` // pending | running | done | failed | canceled | timed_out
-	Submitted time.Time           `json:"submitted"`
-	Started   *time.Time          `json:"started,omitempty"`
-	Finished  *time.Time          `json:"finished,omitempty"`
-	Error     string              `json:"error,omitempty"`
-	Result    *FitResult          `json:"result,omitempty"`
-	Events    []FitEventInfo      `json:"events,omitempty"`
-	Stages    []PipelineStageInfo `json:"stages,omitempty"`
-	Pipeline  *PipelineResult     `json:"pipeline,omitempty"`
+	ID        string     `json:"id"`
+	Kind      string     `json:"kind,omitempty"` // "fit" | "pipeline"
+	RequestID string     `json:"request_id,omitempty"`
+	State     string     `json:"state"` // pending | running | done | failed | canceled | timed_out
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	// RecoveryAttempt counts how many times this job had already been
+	// started by a previous daemon process before crash recovery re-ran it
+	// (0 for a job on its first life).
+	RecoveryAttempt int                 `json:"recovery_attempt,omitempty"`
+	Result          *FitResult          `json:"result,omitempty"`
+	Events          []FitEventInfo      `json:"events,omitempty"`
+	Stages          []PipelineStageInfo `json:"stages,omitempty"`
+	Pipeline        *PipelineResult     `json:"pipeline,omitempty"`
 }
 
 // PipelineRequest submits an asynchronous netlist-in, model-out pipeline
@@ -220,9 +224,12 @@ type YieldResponse struct {
 	Quantiles []float64 `json:"quantiles,omitempty"`
 }
 
-// HealthResponse is the body of GET /healthz.
+// HealthResponse is the body of GET /healthz. Journal reports the durable
+// job journal: "ok", "degraded" (appends failing, async submits shed) or
+// "disabled" (no -journal-dir).
 type HealthResponse struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Models        int     `json:"models"`
+	Journal       string  `json:"journal,omitempty"`
 }

@@ -54,7 +54,10 @@ func servedBenchRegistry(b *testing.B) (*registry.Registry, *registry.Entry) {
 func servedBenchServer(b *testing.B, reg *registry.Registry, cfg Config) *Server {
 	b.Helper()
 	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
-	s := New(reg, cfg)
+	s, err := New(reg, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.Cleanup(s.Close)
 	return s
 }

@@ -8,8 +8,11 @@ package server
 // robustness contract and run under -race in CI.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -226,7 +229,10 @@ func TestChaosRegistryWriteFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(reg, Config{FitWorkers: 1})
+	s, err := New(reg, Config{FitWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(s)
 	t.Cleanup(func() { hs.Close(); s.Close() })
 
@@ -602,5 +608,371 @@ func TestChaosPipelineCancelMidSampling(t *testing.T) {
 		t.Fatalf("cancel unknown pipeline: HTTP %d, want 404", resp.StatusCode)
 	} else {
 		resp.Body.Close()
+	}
+}
+
+// --- Crash / recovery suite (make crash-smoke) ------------------------------
+//
+// Each TestCrash* test simulates an unclean daemon death around the durable
+// job journal: jobs in flight at "crash" time must be re-run to completion
+// by the next boot, terminal outcomes must stick, poison jobs must be
+// quarantined, and disk pressure must degrade submits without taking down
+// the read paths.
+
+// newJournaledServer builds a Server journaling into dir over a fresh
+// in-memory registry, plus an httptest front end. Restart tests own the
+// shutdown ordering, so no cleanup is registered for the "crashing" life.
+func newJournaledServer(t *testing.T, dir string, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.JournalDir = dir
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s, err := New(registry.New(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, httptest.NewServer(s)
+}
+
+// crashServer simulates an unclean daemon death: the listener stops and the
+// drain budget is already nearly expired, so live jobs are canceled through
+// the drain path — which deliberately journals no terminal records, leaving
+// the on-disk trail exactly as a SIGKILL would: submitted/started but not
+// finished.
+func crashServer(t *testing.T, s *Server, hs *httptest.Server) {
+	t.Helper()
+	hs.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_ = s.Shutdown(ctx)
+}
+
+// waitPipelineTerminal polls GET /v1/pipelines/{id} until terminal.
+func waitPipelineTerminal(t *testing.T, baseURL, id string, budget time.Duration) *JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(budget)
+	for {
+		st := getPipelineStatus(t, baseURL, id)
+		if terminalState(st.State) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pipeline %s stuck in state %s", id, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCrashRecoveryResumesInFlightJobs is the durability acceptance test: a
+// fit job and a pipeline job both running when the daemon dies are replayed
+// from the journal on the next boot, re-run to done under their original
+// IDs, and marked as recovery attempt 1 — in the job status and, for the
+// pipeline, in the published model's provenance.
+func TestCrashRecoveryResumesInFlightJobs(t *testing.T) {
+	armFaults(t, "server.fit=delay:60s;pipeline.sim=delay:60s")
+	dir := t.TempDir()
+	s1, hs1 := newJournaledServer(t, dir, Config{FitWorkers: 2})
+
+	fitID := submitChaosFit(t, hs1.URL, "crashfit")
+	pipeID := submitPipeline(t, hs1.URL, pipelineBody(t, "crashpipe", "rc_lowpass.cir", "rc_lowpass_pipeline.json"))
+	waitRunning(t, hs1.URL, fitID)
+	deadline := time.Now().Add(10 * time.Second)
+	for getPipelineStatus(t, hs1.URL, pipeID).State == JobPending {
+		if time.Now().After(deadline) {
+			t.Fatalf("pipeline %s never left pending", pipeID)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	crashServer(t, s1, hs1)
+
+	// The next boot comes up without the stall and replays the journal.
+	faultinject.Reset()
+	s2, hs2 := newJournaledServer(t, dir, Config{FitWorkers: 2})
+	t.Cleanup(func() { hs2.Close(); s2.Close() })
+
+	st := waitTerminal(t, hs2.URL, fitID, 30*time.Second)
+	if st.State != JobDone {
+		t.Fatalf("recovered fit %s state %s (%q), want done", fitID, st.State, st.Error)
+	}
+	if st.RecoveryAttempt != 1 {
+		t.Fatalf("recovered fit recovery_attempt = %d, want 1", st.RecoveryAttempt)
+	}
+	pst := waitPipelineTerminal(t, hs2.URL, pipeID, 60*time.Second)
+	if pst.State != JobDone {
+		t.Fatalf("recovered pipeline %s state %s (%q), want done", pipeID, pst.State, pst.Error)
+	}
+	if pst.RecoveryAttempt != 1 {
+		t.Fatalf("recovered pipeline recovery_attempt = %d, want 1", pst.RecoveryAttempt)
+	}
+	prov := pst.Pipeline.Model.Provenance
+	if prov.Pipeline == nil || prov.Pipeline.RecoveryAttempt != 1 {
+		t.Fatalf("pipeline provenance %+v, want recovery_attempt 1", prov.Pipeline)
+	}
+	if n := metricInt(t, hs2.URL, "journal", "jobs_recovered"); n != 2 {
+		t.Fatalf("journal.jobs_recovered = %d, want 2", n)
+	}
+	assertHealthy(t, hs2.URL)
+}
+
+// TestCrashRecoveryIdempotentResubmit: an Idempotency-Key submit answered
+// before a restart is deduplicated after it — the retry gets the original
+// job ID back with the replay marker header, and reusing the key for the
+// other job kind is a 409.
+func TestCrashRecoveryIdempotentResubmit(t *testing.T) {
+	faultinject.Reset()
+	dir := t.TempDir()
+	s1, hs1 := newJournaledServer(t, dir, Config{FitWorkers: 1})
+
+	submitIdem := func(baseURL, key string) (*http.Response, FitResponse) {
+		req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/fit", strings.NewReader(chaosFitBody("idemfit")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Idempotency-Key", key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("idempotent submit: HTTP %d", resp.StatusCode)
+		}
+		return resp, decode[FitResponse](t, resp)
+	}
+
+	const key = "retry-key-0001"
+	_, first := submitIdem(hs1.URL, key)
+	waitTerminal(t, hs1.URL, first.JobID, 30*time.Second)
+
+	// Same key within one daemon life: the original job comes back.
+	resp, dup := submitIdem(hs1.URL, key)
+	if dup.JobID != first.JobID {
+		t.Fatalf("same-life duplicate got job %s, want %s", dup.JobID, first.JobID)
+	}
+	if resp.Header.Get("Idempotency-Replayed") != "true" {
+		t.Fatal("duplicate submit missing Idempotency-Replayed header")
+	}
+
+	// Graceful restart: the dedup map is journal-backed, so the key still
+	// resolves to the original job in the next life.
+	hs1.Close()
+	s1.Close()
+	s2, hs2 := newJournaledServer(t, dir, Config{FitWorkers: 1})
+	t.Cleanup(func() { hs2.Close(); s2.Close() })
+	resp2, dup2 := submitIdem(hs2.URL, key)
+	if dup2.JobID != first.JobID {
+		t.Fatalf("post-restart duplicate got job %s, want %s", dup2.JobID, first.JobID)
+	}
+	if resp2.Header.Get("Idempotency-Replayed") != "true" {
+		t.Fatal("post-restart duplicate missing Idempotency-Replayed header")
+	}
+	if st := getJobStatus(t, hs2.URL, first.JobID); st.State != JobDone {
+		t.Fatalf("recovered terminal job state %s, want done (queryable across restart)", st.State)
+	} else if st.RecoveryAttempt != 0 {
+		t.Fatalf("job done in its first life shows recovery_attempt %d after restart, want 0", st.RecoveryAttempt)
+	}
+	// Terminal metrics must not double-count the replayed terminal job.
+	if n := metricInt(t, hs2.URL, "jobs", "completed"); n != 0 {
+		t.Fatalf("jobs.completed = %d after replay-only boot, want 0", n)
+	}
+
+	// The key is pinned to a fit job: reusing it on the pipeline route is a
+	// conflict, not a silent cross-kind replay.
+	preq, err := http.NewRequest(http.MethodPost, hs2.URL+"/v1/pipelines",
+		strings.NewReader(pipelineBody(t, "idempipe", "rc_lowpass.cir", "rc_lowpass_pipeline.json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	preq.Header.Set("Idempotency-Key", key)
+	presp, err := http.DefaultClient.Do(preq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	if presp.StatusCode != http.StatusConflict {
+		t.Fatalf("cross-kind key reuse: HTTP %d, want 409", presp.StatusCode)
+	}
+}
+
+// TestCrashRecoveryQuarantinesPoisonJob: a job that was running at every
+// crash reaches the recovery-attempt limit and is quarantined as failed
+// instead of crash-looping the daemon — and the quarantine is journaled, so
+// yet another restart leaves it failed rather than trying again.
+func TestCrashRecoveryQuarantinesPoisonJob(t *testing.T) {
+	armFaults(t, "server.fit=delay:60s")
+	dir := t.TempDir()
+	s1, hs1 := newJournaledServer(t, dir, Config{FitWorkers: 1, RecoveryMaxAttempts: 1})
+	id := submitChaosFit(t, hs1.URL, "poison")
+	waitRunning(t, hs1.URL, id)
+	crashServer(t, s1, hs1)
+	faultinject.Reset()
+
+	// One prior start ≥ limit 1: quarantined at boot, before any worker
+	// touches it.
+	s2, hs2 := newJournaledServer(t, dir, Config{FitWorkers: 1, RecoveryMaxAttempts: 1})
+	st := getJobStatus(t, hs2.URL, id)
+	if st.State != JobFailed || !strings.Contains(st.Error, "quarantined") {
+		t.Fatalf("poison job state %s (%q), want failed with quarantine message", st.State, st.Error)
+	}
+	if n := metricInt(t, hs2.URL, "journal", "jobs_quarantined"); n != 1 {
+		t.Fatalf("journal.jobs_quarantined = %d, want 1", n)
+	}
+	if n := metricInt(t, hs2.URL, "journal", "jobs_recovered"); n != 0 {
+		t.Fatalf("journal.jobs_recovered = %d, want 0", n)
+	}
+	hs2.Close()
+	s2.Close()
+
+	// The quarantine is a journaled terminal record: the third life replays
+	// it as plain terminal state, no re-quarantine, no re-run.
+	s3, hs3 := newJournaledServer(t, dir, Config{FitWorkers: 1, RecoveryMaxAttempts: 1})
+	t.Cleanup(func() { hs3.Close(); s3.Close() })
+	st3 := getJobStatus(t, hs3.URL, id)
+	if st3.State != JobFailed || !strings.Contains(st3.Error, "quarantined") {
+		t.Fatalf("third-life state %s (%q), want the journaled quarantine", st3.State, st3.Error)
+	}
+	if n := metricInt(t, hs3.URL, "journal", "jobs_quarantined"); n != 0 {
+		t.Fatalf("third-life jobs_quarantined = %d, want 0 (outcome already terminal)", n)
+	}
+}
+
+// TestCrashRecoveryCanceledStaysCanceled: a client cancellation journals a
+// terminal record, so a job canceled before the crash is not resurrected by
+// replay — while its still-live sibling is.
+func TestCrashRecoveryCanceledStaysCanceled(t *testing.T) {
+	armFaults(t, "server.fit=delay:60s")
+	dir := t.TempDir()
+	s1, hs1 := newJournaledServer(t, dir, Config{FitWorkers: 1})
+	runningID := submitChaosFit(t, hs1.URL, "keepme")
+	waitRunning(t, hs1.URL, runningID)
+	pendingID := submitChaosFit(t, hs1.URL, "cancelme")
+	if resp := cancelJob(t, hs1.URL, pendingID); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: HTTP %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	if st := getJobStatus(t, hs1.URL, pendingID); st.State != JobCanceled {
+		t.Fatalf("canceled job state %s before crash", st.State)
+	}
+	crashServer(t, s1, hs1)
+	faultinject.Reset()
+
+	s2, hs2 := newJournaledServer(t, dir, Config{FitWorkers: 1})
+	t.Cleanup(func() { hs2.Close(); s2.Close() })
+	if st := getJobStatus(t, hs2.URL, pendingID); st.State != JobCanceled {
+		t.Fatalf("canceled job resurrected as %s", st.State)
+	}
+	if st := waitTerminal(t, hs2.URL, runningID, 30*time.Second); st.State != JobDone {
+		t.Fatalf("live sibling state %s (%q), want done", st.State, st.Error)
+	}
+	if n := metricInt(t, hs2.URL, "journal", "jobs_recovered"); n != 1 {
+		t.Fatalf("journal.jobs_recovered = %d, want 1 (only the live job)", n)
+	}
+}
+
+// TestChaosJournalDiskFullDegrades: when journal appends fail (disk full),
+// async submits shed with 503 + Retry-After while predict and job reads
+// keep serving; /healthz and /metrics surface the degraded journal, and the
+// first successful append restores submits.
+func TestChaosJournalDiskFullDegrades(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	s, hs := newJournaledServer(t, dir, Config{FitWorkers: 1})
+	t.Cleanup(func() { hs.Close(); s.Close() })
+	uploadModel(t, hs.URL, "lin", 3)
+	okID := submitChaosFit(t, hs.URL, "prefull")
+	waitTerminal(t, hs.URL, okID, 30*time.Second)
+
+	if err := faultinject.Configure("journal.append=error:no space left on device"); err != nil {
+		t.Fatal(err)
+	}
+	resp := post(t, hs.URL+"/v1/fit", chaosFitBody("duringfull"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit under disk pressure: HTTP %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded submit carries no Retry-After")
+	}
+	var e ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "journal degraded") {
+		t.Fatalf("degraded submit error %q (%v)", e.Error, err)
+	}
+	resp.Body.Close()
+
+	// Read paths ride through: predictions and job status still serve.
+	assertPredicts(t, hs.URL, "lin")
+	if st := getJobStatus(t, hs.URL, okID); st.State != JobDone {
+		t.Fatalf("job read under disk pressure: state %s", st.State)
+	}
+	hresp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health := decode[HealthResponse](t, hresp)
+	if hresp.StatusCode != http.StatusOK || health.Journal != "degraded" {
+		t.Fatalf("healthz %d journal %q, want 200 + degraded", hresp.StatusCode, health.Journal)
+	}
+	if n := metricInt(t, hs.URL, "journal", "append_errors"); n < 1 {
+		t.Fatalf("journal.append_errors = %d, want ≥ 1", n)
+	}
+
+	// Disk pressure clears: the next submit journals and runs normally.
+	faultinject.Reset()
+	recoveredID := submitChaosFit(t, hs.URL, "postfull")
+	if st := waitTerminal(t, hs.URL, recoveredID, 30*time.Second); st.State != JobDone {
+		t.Fatalf("post-recovery fit state %s (%q)", st.State, st.Error)
+	}
+	hresp2, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health2 := decode[HealthResponse](t, hresp2); health2.Journal != "ok" {
+		t.Fatalf("healthz journal %q after recovery, want ok", health2.Journal)
+	}
+}
+
+// TestCrashRecoveryCancelReplayedJob: a job replayed from the journal but
+// not yet picked up by a worker in the new life can be canceled like any
+// pending job — the cancel is journaled, so a further restart keeps it
+// canceled instead of re-running it.
+func TestCrashRecoveryCancelReplayedJob(t *testing.T) {
+	armFaults(t, "server.fit=delay:60s")
+	dir := t.TempDir()
+	s1, hs1 := newJournaledServer(t, dir, Config{FitWorkers: 1})
+	stuckID := submitChaosFit(t, hs1.URL, "stuck")
+	waitRunning(t, hs1.URL, stuckID)
+	replayedID := submitChaosFit(t, hs1.URL, "replayed")
+	crashServer(t, s1, hs1)
+
+	// Second life with the stall still armed: the single worker jams on the
+	// first replayed job, so the second sits replayed-but-not-restarted.
+	s2, hs2 := newJournaledServer(t, dir, Config{FitWorkers: 1})
+	if st := getJobStatus(t, hs2.URL, replayedID); st.State != JobPending && st.State != JobRunning {
+		t.Fatalf("replayed job state %s, want pending/running", st.State)
+	}
+	if resp := cancelJob(t, hs2.URL, replayedID); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel replayed job: HTTP %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	if st := waitTerminal(t, hs2.URL, replayedID, 10*time.Second); st.State != JobCanceled {
+		t.Fatalf("replayed job state %s after DELETE, want canceled", st.State)
+	}
+	crashServer(t, s2, hs2)
+	faultinject.Reset()
+
+	// Third life: the cancel was journaled terminally, so only the stuck job
+	// is recovered; the canceled one stays canceled.
+	s3, hs3 := newJournaledServer(t, dir, Config{FitWorkers: 1})
+	t.Cleanup(func() { hs3.Close(); s3.Close() })
+	if st := getJobStatus(t, hs3.URL, replayedID); st.State != JobCanceled {
+		t.Fatalf("canceled replayed job resurrected as %s", st.State)
+	}
+	if st := waitTerminal(t, hs3.URL, stuckID, 30*time.Second); st.State != JobDone {
+		t.Fatalf("stuck job state %s (%q) in third life, want done", st.State, st.Error)
+	}
+	if st := getJobStatus(t, hs3.URL, stuckID); st.RecoveryAttempt != 2 {
+		t.Fatalf("stuck job recovery_attempt = %d, want 2", st.RecoveryAttempt)
 	}
 }

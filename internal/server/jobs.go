@@ -2,8 +2,10 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime/debug"
 	"strings"
 	"sync"
@@ -12,6 +14,7 @@ import (
 	"repro/internal/basis"
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/journal"
 	"repro/internal/mc"
 )
 
@@ -55,8 +58,11 @@ type job struct {
 	id        string
 	kind      string // JobKindFit | JobKindPipeline
 	requestID string // trace ID of the submitting request
+	idemKey   string // Idempotency-Key of the submitting request ("" = none)
+	attempt   int    // crash-recovery replays before this life (0 = first)
 	req       FitRequest
 	pipeReq   *PipelineRequest // set when kind is JobKindPipeline
+	q         *jobQueue        // owning queue, for terminal bookkeeping
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -71,6 +77,10 @@ type job struct {
 	presult   *PipelineResult
 	events    []FitEventInfo      // solver telemetry timeline, capped at maxJobEvents
 	stages    []PipelineStageInfo // pipeline stage timeline
+	// noPersist suppresses the terminal journal record for drain/shutdown
+	// cancellations: the job must be re-run after restart, so its journal
+	// trail is deliberately left non-terminal.
+	noPersist bool
 }
 
 // status snapshots the job as an API JobStatus.
@@ -80,6 +90,7 @@ func (j *job) status() *JobStatus {
 	s := &JobStatus{
 		ID: j.id, Kind: j.kind, RequestID: j.requestID, State: j.state,
 		Submitted: j.submitted, Error: j.err, Result: j.result, Pipeline: j.presult,
+		RecoveryAttempt: j.attempt,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -137,31 +148,38 @@ func (j *job) begin() bool {
 	return true
 }
 
-// finish records a terminal state; later transitions are ignored.
+// finish records a terminal state and runs the queue's terminal
+// bookkeeping (metrics + journal); later transitions are ignored.
 func (j *job) finish(state, errMsg string, result *FitResult) bool {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if terminalState(j.state) {
+		j.mu.Unlock()
 		return false
 	}
 	j.state = state
 	j.err = errMsg
 	j.result = result
 	j.finished = time.Now()
+	persist := !j.noPersist
+	j.mu.Unlock()
+	j.q.noteTerminal(j, state, errMsg, persist)
 	return true
 }
 
 // finishPipeline is finish for pipeline jobs.
 func (j *job) finishPipeline(state, errMsg string, result *PipelineResult) bool {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if terminalState(j.state) {
+		j.mu.Unlock()
 		return false
 	}
 	j.state = state
 	j.err = errMsg
 	j.presult = result
 	j.finished = time.Now()
+	persist := !j.noPersist
+	j.mu.Unlock()
+	j.q.noteTerminal(j, state, errMsg, persist)
 	return true
 }
 
@@ -170,7 +188,12 @@ func (j *job) finishPipeline(state, errMsg string, result *PipelineResult) bool 
 // through its context and reaches a terminal state when the solver notices.
 // Canceling a terminal job is a no-op. Reports whether the job went straight
 // from pending to canceled.
-func (j *job) requestCancel(reason string) bool {
+//
+// persist distinguishes a client cancellation (true: the canceled state is
+// journaled and survives restarts) from a drain/shutdown cancellation
+// (false: the journal trail stays non-terminal so the next boot re-runs
+// the job — the whole point of the durable queue).
+func (j *job) requestCancel(reason string, persist bool) bool {
 	j.mu.Lock()
 	wasPending := j.state == JobPending
 	if wasPending {
@@ -178,68 +201,206 @@ func (j *job) requestCancel(reason string) bool {
 		j.err = reason
 		j.finished = time.Now()
 	}
+	if !persist {
+		// Mark before cancel() so the worker's finish() sees it when the
+		// context death lands the running job in canceled.
+		j.noPersist = true
+	}
 	j.mu.Unlock()
 	j.cancel()
+	if wasPending {
+		j.q.noteTerminal(j, JobCanceled, reason, persist)
+	}
 	return wasPending
 }
 
 // jobQueue is a bounded FIFO of fit jobs drained by a fixed worker pool.
+// When a journal is attached, every admission writes (and fsyncs) a
+// submitted record before the job becomes visible, and every terminal
+// transition appends a terminal record — the durable-queue contract.
 type jobQueue struct {
 	mu     sync.Mutex
 	byID   map[string]*job
+	idem   map[string]*job // Idempotency-Key → original job
 	nextID int
 	closed bool
 
 	queue      chan *job
 	wg         sync.WaitGroup
 	onTerminal func(kind, state string) // metrics hook for queue-side transitions
+	jnl        *journal.Journal         // nil = durability disabled
+	log        *slog.Logger
 }
 
-func newJobQueue(depth int, onTerminal func(kind, state string)) *jobQueue {
+func newJobQueue(depth int, onTerminal func(kind, state string), jnl *journal.Journal, log *slog.Logger) *jobQueue {
 	if depth < 1 {
 		depth = 1
 	}
-	return &jobQueue{byID: make(map[string]*job), queue: make(chan *job, depth), onTerminal: onTerminal}
+	if log == nil {
+		log = slog.Default()
+	}
+	return &jobQueue{
+		byID: make(map[string]*job), idem: make(map[string]*job),
+		queue: make(chan *job, depth), onTerminal: onTerminal, jnl: jnl, log: log,
+	}
 }
 
 // submit enqueues a fit job, failing when the queue is full or closed. The
 // requestID of the submitting HTTP request is stamped on the job so its
 // whole lifecycle — submission log line, worker log lines, status polls —
-// correlates back to one trace.
-func (q *jobQueue) submit(req FitRequest, requestID string) (*job, error) {
-	return q.enqueue(&job{kind: JobKindFit, requestID: requestID, req: req})
+// correlates back to one trace. existing reports an Idempotency-Key dedup
+// hit: the returned job is the original, and nothing new was enqueued.
+func (q *jobQueue) submit(req FitRequest, requestID, idemKey string) (j *job, existing bool, err error) {
+	return q.enqueue(&job{kind: JobKindFit, requestID: requestID, idemKey: idemKey, req: req})
 }
 
 // submitPipeline enqueues a pipeline job into the same bounded queue and
 // worker pool fit jobs use, so one saturation/load-shedding policy governs
 // both.
-func (q *jobQueue) submitPipeline(req PipelineRequest, requestID string) (*job, error) {
-	return q.enqueue(&job{kind: JobKindPipeline, requestID: requestID, pipeReq: &req})
+func (q *jobQueue) submitPipeline(req PipelineRequest, requestID, idemKey string) (j *job, existing bool, err error) {
+	return q.enqueue(&job{kind: JobKindPipeline, requestID: requestID, idemKey: idemKey, pipeReq: &req})
 }
 
-// enqueue assigns the job its ID and context and admits it to the queue.
-func (q *jobQueue) enqueue(j *job) (*job, error) {
+// enqueue assigns the job its ID and context and admits it to the queue,
+// after the journal (when attached) durably recorded the submission. The
+// fsync happens under the queue lock — submissions serialize on it, which
+// is the price of never acknowledging a job the disk hasn't seen.
+func (q *jobQueue) enqueue(j *job) (*job, bool, error) {
 	q.mu.Lock()
+	defer q.mu.Unlock()
 	if q.closed {
-		q.mu.Unlock()
-		return nil, fmt.Errorf("server: shutting down")
+		return nil, false, fmt.Errorf("server: shutting down")
+	}
+	if j.idemKey != "" {
+		if prev, ok := q.idem[j.idemKey]; ok {
+			return prev, true, nil
+		}
+	}
+	if len(q.queue) == cap(q.queue) {
+		return nil, false, fmt.Errorf("server: fit queue full (%d pending)", cap(q.queue))
+	}
+	id := fmt.Sprintf("job-%06d", q.nextID+1)
+	if q.jnl != nil {
+		var payload json.RawMessage
+		var err error
+		if j.kind == JobKindPipeline {
+			payload, err = json.Marshal(j.pipeReq)
+		} else {
+			payload, err = json.Marshal(&j.req)
+		}
+		if err != nil {
+			return nil, false, fmt.Errorf("server: encode job payload: %w", err)
+		}
+		if err := q.jnl.Append(journal.Record{
+			Type: journal.TypeSubmitted, JobID: id, Kind: j.kind,
+			RequestID: j.requestID, IdemKey: j.idemKey, Payload: payload,
+		}); err != nil {
+			return nil, false, fmt.Errorf("server: job journal degraded, async submits disabled: %w", err)
+		}
 	}
 	q.nextID++
-	ctx, cancel := context.WithCancel(context.Background())
-	j.id = fmt.Sprintf("job-%06d", q.nextID)
-	j.ctx, j.cancel = ctx, cancel
+	j.id = id
+	j.ctx, j.cancel = context.WithCancel(context.Background())
 	j.state = JobPending
 	j.submitted = time.Now()
-	select {
-	case q.queue <- j:
-		q.byID[j.id] = j
-		q.mu.Unlock()
-		return j, nil
-	default:
-		q.nextID--
-		q.mu.Unlock()
-		cancel()
-		return nil, fmt.Errorf("server: fit queue full (%d pending)", cap(q.queue))
+	j.q = q
+	// Cannot block: capacity was checked under the lock and only workers
+	// drain the channel.
+	q.queue <- j
+	q.byID[id] = j
+	if j.idemKey != "" {
+		q.idem[j.idemKey] = j
+	}
+	return j, false, nil
+}
+
+// restore re-inserts a journal-replayed job at boot, before the workers
+// start: terminal and quarantined jobs become queryable without touching
+// the queue; live jobs are re-enqueued for another run. The ID sequence
+// and idempotency map pick up where the previous life left off.
+func (q *jobQueue) restore(j *job, enqueue bool) {
+	q.mu.Lock()
+	j.q = q
+	q.byID[j.id] = j
+	if j.idemKey != "" {
+		if _, taken := q.idem[j.idemKey]; !taken {
+			q.idem[j.idemKey] = j
+		}
+	}
+	if n, ok := jobIDNum(j.id); ok && n > q.nextID {
+		q.nextID = n
+	}
+	q.mu.Unlock()
+	if enqueue {
+		q.queue <- j
+	}
+}
+
+// jobIDNum parses the numeric suffix of a job-%06d ID.
+func jobIDNum(id string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// noteTerminal is the single terminal-transition sink: it feeds the
+// terminal-state metrics and, when persist is set, appends the terminal
+// journal record. Callers must not hold j.mu.
+func (q *jobQueue) noteTerminal(j *job, state, errMsg string, persist bool) {
+	if q.onTerminal != nil {
+		q.onTerminal(j.kind, state)
+	}
+	if persist && q.jnl != nil {
+		if err := q.jnl.Append(journal.Record{
+			Type: journal.TypeTerminal, JobID: j.id, Kind: j.kind, State: state, Error: errMsg,
+		}); err != nil {
+			q.log.Warn("journal: terminal record append failed (job outcome may repeat after restart)",
+				"job_id", j.id, "state", state, "error", err)
+		}
+	}
+}
+
+// noteTerminalRecordOnly appends a terminal journal record without feeding
+// the terminal-state metrics — the quarantine path, where the "failure"
+// is a replay decision, not an organic job outcome.
+func (q *jobQueue) noteTerminalRecordOnly(j *job, state, errMsg string) {
+	if q.jnl == nil {
+		return
+	}
+	if err := q.jnl.Append(journal.Record{
+		Type: journal.TypeTerminal, JobID: j.id, Kind: j.kind, State: state, Error: errMsg,
+	}); err != nil {
+		q.log.Warn("journal: quarantine record append failed", "job_id", j.id, "error", err)
+	}
+}
+
+// noteStarted journals a worker pickup. Attempt counts total starts across
+// lives, so replay can tell how many times the job already crashed the
+// daemon.
+func (q *jobQueue) noteStarted(j *job) {
+	if q.jnl == nil {
+		return
+	}
+	if err := q.jnl.Append(journal.Record{
+		Type: journal.TypeStarted, JobID: j.id, Kind: j.kind, Attempt: j.attempt + 1,
+	}); err != nil {
+		q.log.Warn("journal: started record append failed", "job_id", j.id, "error", err)
+	}
+}
+
+// noteStage journals a completed pipeline stage — a progress breadcrumb
+// that survives restarts (the stage timeline itself is rebuilt by the
+// re-run).
+func (q *jobQueue) noteStage(j *job, stage string) {
+	if q.jnl == nil {
+		return
+	}
+	if err := q.jnl.Append(journal.Record{
+		Type: journal.TypeStage, JobID: j.id, Kind: j.kind, Stage: stage,
+	}); err != nil {
+		q.log.Warn("journal: stage record append failed", "job_id", j.id, "stage", stage, "error", err)
 	}
 }
 
@@ -259,19 +420,21 @@ func (q *jobQueue) saturated() bool { return len(q.queue) == cap(q.queue) }
 // worker — the rsmd_job_queue_depth gauge.
 func (q *jobQueue) depth() int { return len(q.queue) }
 
-// cancel requests cancellation of the job with the given id.
+// cancelJob requests client cancellation of the job with the given id; the
+// canceled outcome is journaled so it sticks across restarts (a canceled
+// job is never resurrected by replay).
 func (q *jobQueue) cancelJob(id, reason string) (*job, bool) {
 	j, ok := q.get(id)
 	if !ok {
 		return nil, false
 	}
-	if j.requestCancel(reason) && q.onTerminal != nil {
-		q.onTerminal(j.kind, JobCanceled)
-	}
+	j.requestCancel(reason, true)
 	return j, true
 }
 
-// cancelAll requests cancellation of every live job (drain path).
+// cancelAll requests cancellation of every live job (drain path). The
+// cancellations are deliberately not journaled: a drained-away job's trail
+// stays non-terminal, so the next boot replays and re-runs it.
 func (q *jobQueue) cancelAll(reason string) {
 	q.mu.Lock()
 	jobs := make([]*job, 0, len(q.byID))
@@ -280,9 +443,7 @@ func (q *jobQueue) cancelAll(reason string) {
 	}
 	q.mu.Unlock()
 	for _, j := range jobs {
-		if j.requestCancel(reason) && q.onTerminal != nil {
-			q.onTerminal(j.kind, JobCanceled)
-		}
+		j.requestCancel(reason, false)
 	}
 }
 
@@ -416,22 +577,25 @@ func (s *Server) runFit(j *job) {
 	if !j.begin() {
 		return // canceled while queued
 	}
+	s.jobs.noteStarted(j)
 	queueWait := j.started.Sub(j.submitted)
 	s.metrics.observeQueueWait(queueWait)
 	logger := s.log.With("job_id", j.id, "request_id", j.requestID)
 	logger.Info("fit job started",
 		"solver", j.req.Solver, "degree", j.req.Degree, "folds", j.req.Folds,
-		"max_lambda", j.req.MaxLambda, "queue_wait_ms", float64(queueWait.Microseconds())/1000.0)
+		"max_lambda", j.req.MaxLambda, "recovery_attempt", j.attempt,
+		"queue_wait_ms", float64(queueWait.Microseconds())/1000.0)
 	ctx, cancelCtx := context.WithTimeout(j.ctx, s.jobDeadline(&j.req))
 	defer cancelCtx()
 	ctx = core.WithFitObserver(ctx, j.addEvent)
 	ctx = core.WithFitWorkers(ctx, s.cfg.FitParallel)
 
 	finish := func(state, errMsg string, result *FitResult) {
+		// Terminal metrics and the journal record ride on job.finish via
+		// the queue's noteTerminal.
 		if !j.finish(state, errMsg, result) {
 			return
 		}
-		s.metrics.countJobEnd(JobKindFit, state)
 		dur := j.finished.Sub(j.started)
 		if state == JobDone {
 			logger.Info("fit job done", "state", state, "duration_ms", float64(dur.Microseconds())/1000.0)

@@ -40,6 +40,11 @@ var coalescedPointBounds = []float64{1, 8, 32, 128, 512, 2048, 8192}
 // stages through multi-minute sampling campaigns.
 var pipelineStageBounds = []float64{0.001, 0.01, 0.1, 1, 10, 60, 300}
 
+// journalFsyncBounds cover the per-record append+fsync latency of the job
+// journal: tens of microseconds on a warm NVMe page cache through the
+// hundreds of milliseconds a contended spinning disk can take.
+var journalFsyncBounds = []float64{0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1, 0.5}
+
 // routeStats accumulates per-endpoint request counts and latencies. The
 // buckets hold per-interval counts; both exposition formats render them
 // cumulatively (Prometheus `le` semantics).
@@ -73,6 +78,9 @@ type metrics struct {
 	samplesSimulated int64
 	panics           int64 // recovered panics (handlers + fit workers)
 	shed             int64 // requests rejected by load shedding
+	// journal tracks the durable job journal: append outcomes plus the
+	// boot-time replay/recovery/quarantine tallies.
+	journal journalCounters
 
 	// Self-locking histograms for the fit pipeline; kept outside mu so the
 	// fit workers never contend with request accounting.
@@ -89,6 +97,20 @@ type metrics struct {
 	// keyed by stage name. The map is built once at construction and never
 	// mutated, so lookups need no lock.
 	stageDuration map[string]*obs.Histogram
+
+	// journalFsync samples the append+fsync latency of successful journal
+	// writes; self-locking so the submit path never contends with request
+	// accounting.
+	journalFsync *obs.Histogram
+}
+
+// journalCounters are the mu-guarded durable-journal tallies.
+type journalCounters struct {
+	appends      int64 // records durably appended (write + fsync succeeded)
+	appendErrors int64 // append attempts that failed (disk pressure)
+	replayed     int64 // jobs reconstructed from the journal at boot
+	recovered    int64 // replayed live jobs re-enqueued to run again
+	quarantined  int64 // replayed jobs retired by the crash-loop guard
 }
 
 func newMetrics() *metrics {
@@ -102,11 +124,34 @@ func newMetrics() *metrics {
 		coalescedCalls:  obs.NewHistogram(coalescedCallBounds...),
 		coalescedPoints: obs.NewHistogram(coalescedPointBounds...),
 		stageDuration:   make(map[string]*obs.Histogram, len(pipeline.Stages)),
+		journalFsync:    obs.NewHistogram(journalFsyncBounds...),
 	}
 	for _, stage := range pipeline.Stages {
 		m.stageDuration[stage] = obs.NewHistogram(pipelineStageBounds...)
 	}
 	return m
+}
+
+// countJournal applies one update to the journal counters under the lock.
+func (m *metrics) countJournal(fn func(*journalCounters)) {
+	m.mu.Lock()
+	fn(&m.journal)
+	m.mu.Unlock()
+}
+
+// observeJournalAppend is the journal's OnAppend hook: it tallies the
+// outcome and samples the fsync-inclusive latency of successful appends.
+func (m *metrics) observeJournalAppend(d time.Duration, err error) {
+	m.mu.Lock()
+	if err != nil {
+		m.journal.appendErrors++
+	} else {
+		m.journal.appends++
+	}
+	m.mu.Unlock()
+	if err == nil {
+		m.journalFsync.Observe(d.Seconds())
+	}
 }
 
 // countPipelineSubmitted tracks one accepted pipeline job.
@@ -226,9 +271,17 @@ func (m *metrics) observeFit(d time.Duration, iterations int) {
 	m.fitIterations.Observe(float64(iterations))
 }
 
+// journalStatus is the live durable-journal state threaded into the
+// exposition: whether a journal is attached at all, and whether its last
+// append failed (disk pressure — async submits are being 503'd).
+type journalStatus struct {
+	enabled  bool
+	degraded bool
+}
+
 // Snapshot renders the current state as a JSON-encodable tree. Histogram
 // buckets are cumulative, matching their Prometheus-style `le` naming.
-func (m *metrics) Snapshot(models, queueDepth int, cache cacheStats) map[string]any {
+func (m *metrics) Snapshot(models, queueDepth int, cache cacheStats, jnl journalStatus) map[string]any {
 	m.mu.Lock()
 	routes := make(map[string]any, len(m.routes))
 	for route, rs := range m.routes {
@@ -264,6 +317,7 @@ func (m *metrics) Snapshot(models, queueDepth int, cache cacheStats) map[string]
 		"panics_recovered": m.panics,
 		"requests_shed":    m.shed,
 	}
+	jc := m.journal
 	m.mu.Unlock()
 	stageDur := make(map[string]any, len(m.stageDuration))
 	for _, stage := range pipeline.Stages {
@@ -290,6 +344,16 @@ func (m *metrics) Snapshot(models, queueDepth int, cache cacheStats) map[string]
 		"jobs":      jobs,
 		"pipelines": pipelines,
 		"incidents": incidents,
+		"journal": map[string]any{
+			"enabled":          jnl.enabled,
+			"degraded":         jnl.degraded,
+			"appends":          jc.appends,
+			"append_errors":    jc.appendErrors,
+			"jobs_replayed":    jc.replayed,
+			"jobs_recovered":   jc.recovered,
+			"jobs_quarantined": jc.quarantined,
+			"fsync_seconds":    m.journalFsync.Snapshot().JSON(),
+		},
 		"fit": map[string]any{
 			"duration_seconds": m.fitDuration.Snapshot().JSON(),
 			"iterations":       m.fitIterations.Snapshot().JSON(),
@@ -305,7 +369,7 @@ func (m *metrics) Snapshot(models, queueDepth int, cache cacheStats) map[string]
 
 // writePrometheus renders the same state as Prometheus text exposition
 // (format version 0.0.4) with cumulative le buckets.
-func (m *metrics) writePrometheus(w io.Writer, models, queueDepth int, cache cacheStats) error {
+func (m *metrics) writePrometheus(w io.Writer, models, queueDepth int, cache cacheStats, jnl journalStatus) error {
 	pw := obs.NewPromWriter(w)
 
 	pw.Meta("rsmd_uptime_seconds", "gauge", "Seconds since the daemon started.")
@@ -346,6 +410,7 @@ func (m *metrics) writePrometheus(w io.Writer, models, queueDepth int, cache cac
 	pipelines := m.pipelines
 	activePipelines, samplesSimulated := m.activePipelines, m.samplesSimulated
 	panics, shed := m.panics, m.shed
+	jc := m.journal
 	m.mu.Unlock()
 
 	pw.Meta("rsmd_http_requests_total", "counter", "Requests served, by route.")
@@ -406,6 +471,23 @@ func (m *metrics) writePrometheus(w io.Writer, models, queueDepth int, cache cac
 		pw.Histogram("rsmd_pipeline_stage_duration_seconds", obs.Label("stage", stage), m.stageDuration[stage].Snapshot())
 	}
 
+	pw.Meta("rsmd_journal_enabled", "gauge", "1 when a durable job journal is attached.")
+	pw.Sample("rsmd_journal_enabled", "", boolGauge(jnl.enabled))
+	pw.Meta("rsmd_journal_degraded", "gauge", "1 while journal appends are failing (async submits shed with 503).")
+	pw.Sample("rsmd_journal_degraded", "", boolGauge(jnl.degraded))
+	pw.Meta("rsmd_journal_appends_total", "counter", "Job lifecycle records durably appended to the journal.")
+	pw.Sample("rsmd_journal_appends_total", "", float64(jc.appends))
+	pw.Meta("rsmd_journal_append_errors_total", "counter", "Journal append attempts that failed (disk pressure).")
+	pw.Sample("rsmd_journal_append_errors_total", "", float64(jc.appendErrors))
+	pw.Meta("rsmd_journal_fsync_seconds", "histogram", "Append+fsync latency of successful journal writes.")
+	pw.Histogram("rsmd_journal_fsync_seconds", "", m.journalFsync.Snapshot())
+	pw.Meta("rsmd_journal_jobs_replayed_total", "counter", "Jobs reconstructed from the journal at boot.")
+	pw.Sample("rsmd_journal_jobs_replayed_total", "", float64(jc.replayed))
+	pw.Meta("rsmd_journal_jobs_recovered_total", "counter", "Replayed live jobs re-enqueued to run again.")
+	pw.Sample("rsmd_journal_jobs_recovered_total", "", float64(jc.recovered))
+	pw.Meta("rsmd_journal_jobs_quarantined_total", "counter", "Replayed jobs retired by the crash-loop guard.")
+	pw.Sample("rsmd_journal_jobs_quarantined_total", "", float64(jc.quarantined))
+
 	pw.Meta("rsmd_panics_recovered_total", "counter", "Recovered panics (handlers and fit workers).")
 	pw.Sample("rsmd_panics_recovered_total", "", float64(panics))
 	pw.Meta("rsmd_requests_shed_total", "counter", "Requests rejected by load shedding.")
@@ -436,6 +518,14 @@ func (m *metrics) writePrometheus(w io.Writer, models, queueDepth int, cache cac
 	pw.Sample("rsmd_gc_cycles_total", "", float64(rt.GCCycles))
 
 	return pw.Flush()
+}
+
+// boolGauge renders a boolean as a 0/1 Prometheus gauge value.
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // statusRecorder captures the response status code for instrumentation

@@ -50,10 +50,24 @@ func (s *Server) handlePipelineSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "timeout_seconds=%g, need ≥ 0", req.TimeoutSeconds)
 		return
 	}
-	j, err := s.jobs.submitPipeline(req, obs.RequestID(r.Context()))
+	idemKey, ok := idempotencyKey(w, r)
+	if !ok {
+		return
+	}
+	j, existing, err := s.jobs.submitPipeline(req, obs.RequestID(r.Context()), idemKey)
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if existing {
+		if j.kind != JobKindPipeline {
+			writeErr(w, http.StatusConflict,
+				"idempotency key %q was used by %s job %s", idemKey, j.kind, j.id)
+			return
+		}
+		w.Header().Set(idemReplayedHeader, "true")
+		writeJSON(w, http.StatusAccepted, PipelineResponse{JobID: j.id, State: j.status().State})
 		return
 	}
 	s.metrics.countPipelineSubmitted()
@@ -119,23 +133,25 @@ func (s *Server) runPipeline(j *job) {
 	if !j.begin() {
 		return // canceled while queued
 	}
+	s.jobs.noteStarted(j)
 	queueWait := j.started.Sub(j.submitted)
 	s.metrics.observeQueueWait(queueWait)
 	req := j.pipeReq
 	logger := s.log.With("job_id", j.id, "request_id", j.requestID)
 	logger.Info("pipeline job started",
 		"name", req.Name, "measure", req.Spec.Measure.String(), "mode", req.Spec.Sampling.Mode,
-		"queue_wait_ms", float64(queueWait.Microseconds())/1000.0)
+		"recovery_attempt", j.attempt, "queue_wait_ms", float64(queueWait.Microseconds())/1000.0)
 	s.metrics.pipelineActive(+1)
 	defer s.metrics.pipelineActive(-1)
 	ctx, cancelCtx := context.WithTimeout(j.ctx, s.pipelineDeadline(req))
 	defer cancelCtx()
 
 	finish := func(state, errMsg string, result *PipelineResult) {
+		// Terminal metrics and the journal record ride on finishPipeline
+		// via the queue's noteTerminal.
 		if !j.finishPipeline(state, errMsg, result) {
 			return
 		}
-		s.metrics.countJobEnd(JobKindPipeline, state)
 		dur := j.finished.Sub(j.started)
 		if state == JobDone {
 			logger.Info("pipeline job done", "state", state, "duration_ms", float64(dur.Microseconds())/1000.0)
@@ -176,10 +192,11 @@ func (s *Server) runPipeline(j *job) {
 	res, err := pipeline.Run(ctx, pipeline.Request{
 		Name: req.Name, Netlist: req.Netlist, Spec: req.Spec,
 	}, pipeline.Options{
-		Registry:    s.registry,
-		SimWorkers:  s.cfg.SimWorkers,
-		FitWorkers:  s.cfg.FitParallel,
-		FitObserver: j.addEvent,
+		Registry:        s.registry,
+		SimWorkers:      s.cfg.SimWorkers,
+		FitWorkers:      s.cfg.FitParallel,
+		FitObserver:     j.addEvent,
+		RecoveryAttempt: j.attempt,
 		Observer: func(ev pipeline.StageEvent) {
 			info := PipelineStageInfo{
 				Stage: ev.Stage, Seconds: ev.Seconds,
@@ -194,6 +211,7 @@ func (s *Server) runPipeline(j *job) {
 				logger.Info("pipeline stage done", "stage", ev.Stage, "seconds", ev.Seconds,
 					"sim_seconds", ev.SimSeconds, "fit_seconds", ev.FitSeconds,
 					"samples", ev.Samples, "detail", ev.Detail)
+				s.jobs.noteStage(j, ev.Stage)
 			}
 			j.addStage(info)
 			s.metrics.observePipelineStage(ev.Stage, ev.Seconds, ev.Samples)

@@ -41,7 +41,10 @@ func newEngineServer(t *testing.T, cfg Config) (*registry.Registry, *Server, *ht
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	reg := registry.New()
-	s := New(reg, cfg)
+	s, err := New(reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(s)
 	t.Cleanup(func() {
 		hs.Close()
@@ -188,7 +191,7 @@ func TestMicroBatchCoalescesAndDemuxes(t *testing.T) {
 	if coalesced < 2 {
 		t.Fatalf("no coalescing observed (max coalesced = %d)", coalesced)
 	}
-	snap := s.metrics.Snapshot(reg.Len(), 0, s.predCache.stats())
+	snap := s.metrics.Snapshot(reg.Len(), 0, s.predCache.stats(), journalStatus{})
 	hist := snap["predict_coalescing"].(map[string]any)["requests_per_batch"].(map[string]any)
 	if hist["count"].(int64) < 1 {
 		t.Fatalf("coalescing histogram recorded no flushes: %v", hist)
@@ -342,7 +345,7 @@ func TestPredictionCounterOnlyAfterWrite(t *testing.T) {
 		t.Fatal(err)
 	}
 	predictions := func() int64 {
-		snap := s.metrics.Snapshot(reg.Len(), 0, s.predCache.stats())
+		snap := s.metrics.Snapshot(reg.Len(), 0, s.predCache.stats(), journalStatus{})
 		return snap["predictions"].(map[string]int64)["hot"]
 	}
 
@@ -385,7 +388,7 @@ func TestPredictCacheDisabled(t *testing.T) {
 		t.Fatalf("values %v, want [5]", pr.Values)
 	}
 	var buf bytes.Buffer
-	if err := s.metrics.writePrometheus(&buf, reg.Len(), 0, s.predCache.stats()); err != nil {
+	if err := s.metrics.writePrometheus(&buf, reg.Len(), 0, s.predCache.stats(), journalStatus{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "rsmd_predictor_cache_capacity 0") {

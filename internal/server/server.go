@@ -49,6 +49,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/rng"
@@ -106,6 +107,16 @@ type Config struct {
 	// SimWorkers is the simulator worker-pool size per pipeline sampling
 	// stage (0 = GOMAXPROCS).
 	SimWorkers int
+	// JournalDir enables the durable job journal: every fit/pipeline job
+	// lifecycle event is fsync'd to an append-only log under this directory
+	// before it is acknowledged, and on boot the journal is replayed —
+	// terminal jobs stay queryable, live jobs are re-enqueued. Empty (the
+	// default) keeps the queue in-memory only.
+	JournalDir string
+	// RecoveryMaxAttempts is the crash-loop guard: a replayed job that has
+	// already been started this many times without reaching a terminal
+	// state is quarantined as failed instead of being re-run (default 3).
+	RecoveryMaxAttempts int
 	// Logger receives the server's structured logs (default slog.Default()).
 	// Request-scoped loggers derived from it carry request_id and route.
 	Logger *slog.Logger
@@ -154,6 +165,9 @@ func (c Config) withDefaults() Config {
 	case c.PipelineTimeout < 0:
 		c.PipelineTimeout = 1000 * time.Hour // effectively unbounded
 	}
+	if c.RecoveryMaxAttempts <= 0 {
+		c.RecoveryMaxAttempts = 3
+	}
 	return c
 }
 
@@ -162,6 +176,7 @@ type Server struct {
 	cfg       Config
 	registry  *registry.Registry
 	jobs      *jobQueue
+	jnl       *journal.Journal // nil when JournalDir is empty
 	metrics   *metrics
 	predCache *predictorCache // nil when caching is disabled
 	batcher   *microBatcher   // nil when micro-batching is disabled
@@ -171,8 +186,11 @@ type Server struct {
 }
 
 // New builds a server over the given registry and starts its fit workers.
-// Call Close (or the bounded Shutdown) to drain them.
-func New(reg *registry.Registry, cfg Config) *Server {
+// When Config.JournalDir is set it first opens the durable job journal and
+// replays it — recovered live jobs are already queued when New returns.
+// Call Close (or the bounded Shutdown) to drain the workers and close the
+// journal.
+func New(reg *registry.Registry, cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg.withDefaults(),
 		registry: reg,
@@ -183,7 +201,29 @@ func New(reg *registry.Registry, cfg Config) *Server {
 		s.log = slog.Default()
 	}
 	s.metrics.fitParallel = core.ResolveFitWorkers(s.cfg.FitParallel)
-	s.jobs = newJobQueue(s.cfg.QueueDepth, s.metrics.countJobEnd)
+
+	var replay *journal.Replay
+	if s.cfg.JournalDir != "" {
+		var err error
+		s.jnl, replay, err = journal.Open(s.cfg.JournalDir, journal.Options{
+			Logger:   s.log,
+			OnAppend: s.metrics.observeJournalAppend,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: open job journal: %w", err)
+		}
+	}
+	// Size the queue so the recovered backlog rides on top of the
+	// configured admission capacity: live replayed jobs never consume the
+	// headroom new submissions were promised.
+	depth := s.cfg.QueueDepth
+	if replay != nil {
+		depth += len(replay.Live())
+	}
+	s.jobs = newJobQueue(depth, s.metrics.countJobEnd, s.jnl, s.log)
+	if replay != nil {
+		s.recoverJournal(replay)
+	}
 	s.jobs.startWorkers(s.cfg.FitWorkers, s.runJob)
 	if s.cfg.PredictCacheSize > 0 {
 		s.predCache = newPredictorCache(s.cfg.PredictCacheSize)
@@ -218,7 +258,7 @@ func New(reg *registry.Registry, cfg Config) *Server {
 	route("GET /metrics", s.handleMetrics)
 	route("GET /healthz", s.handleHealth)
 	s.mux = mux
-	return s
+	return s, nil
 }
 
 // Close stops accepting fit jobs and waits for running ones, however long
@@ -226,6 +266,18 @@ func New(reg *registry.Registry, cfg Config) *Server {
 func (s *Server) Close() {
 	s.draining.Store(true)
 	s.jobs.close()
+	s.closeJournal()
+}
+
+// closeJournal closes the journal after the workers drained, so no append
+// can race the close.
+func (s *Server) closeJournal() {
+	if s.jnl == nil {
+		return
+	}
+	if err := s.jnl.Close(); err != nil {
+		s.log.Warn("closing job journal failed", "error", err)
+	}
 }
 
 // BeginDrain flips /healthz to 503 so load balancers stop routing here,
@@ -238,7 +290,9 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 // ctx.Err() when the budget ran out, nil when everything drained in time.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
-	return s.jobs.shutdown(ctx)
+	err := s.jobs.shutdown(ctx)
+	s.closeJournal()
+	return err
 }
 
 // ServeHTTP implements http.Handler.
@@ -561,10 +615,26 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "no dataset: provide csv or points+values")
 		return
 	}
-	j, err := s.jobs.submit(req, obs.RequestID(r.Context()))
+	idemKey, ok := idempotencyKey(w, r)
+	if !ok {
+		return
+	}
+	j, existing, err := s.jobs.submit(req, obs.RequestID(r.Context()), idemKey)
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if existing {
+		// Idempotency-Key dedup hit: a retried submit (same key) gets the
+		// original job back instead of enqueuing a duplicate fit.
+		if j.kind != JobKindFit {
+			writeErr(w, http.StatusConflict,
+				"idempotency key %q was used by %s job %s", idemKey, j.kind, j.id)
+			return
+		}
+		w.Header().Set(idemReplayedHeader, "true")
+		writeJSON(w, http.StatusAccepted, FitResponse{JobID: j.id, State: j.status().State})
 		return
 	}
 	s.metrics.countJobSubmitted()
@@ -605,12 +675,21 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if wantsPrometheus(r) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := s.metrics.writePrometheus(w, s.registry.Len(), s.jobs.depth(), s.predCache.stats()); err != nil {
+		if err := s.metrics.writePrometheus(w, s.registry.Len(), s.jobs.depth(), s.predCache.stats(), s.journalStatus()); err != nil {
 			obs.Log(r.Context()).Error("metrics exposition write failed", "error", err)
 		}
 		return
 	}
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.registry.Len(), s.jobs.depth(), s.predCache.stats()))
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.registry.Len(), s.jobs.depth(), s.predCache.stats(), s.journalStatus()))
+}
+
+// journalStatus reads the live durable-journal state for the exposition
+// and health endpoints.
+func (s *Server) journalStatus() journalStatus {
+	if s.jnl == nil {
+		return journalStatus{}
+	}
+	return journalStatus{enabled: true, degraded: s.jnl.Degraded()}
 }
 
 // wantsPrometheus decides the /metrics representation: the explicit
@@ -639,6 +718,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
 		Models:        s.registry.Len(),
+	}
+	// The journal field reports durability, not liveness: a degraded
+	// journal sheds async submits but predict/read traffic still serves,
+	// so the daemon stays "ok" and load balancers keep routing here.
+	switch js := s.journalStatus(); {
+	case !js.enabled:
+		resp.Journal = "disabled"
+	case js.degraded:
+		resp.Journal = "degraded"
+	default:
+		resp.Journal = "ok"
 	}
 	if s.draining.Load() {
 		resp.Status = "draining"

@@ -26,7 +26,10 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	s := New(registry.New(), cfg)
+	s, err := New(registry.New(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(s)
 	t.Cleanup(func() {
 		hs.Close()
@@ -303,14 +306,14 @@ func TestFitJobFailureIsReported(t *testing.T) {
 }
 
 func TestJobQueueBackpressure(t *testing.T) {
-	q := newJobQueue(2, nil) // no workers draining
-	if _, err := q.submit(FitRequest{Name: "a"}, ""); err != nil {
+	q := newJobQueue(2, nil, nil, nil) // no workers draining
+	if _, _, err := q.submit(FitRequest{Name: "a"}, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := q.submit(FitRequest{Name: "b"}, ""); err != nil {
+	if _, _, err := q.submit(FitRequest{Name: "b"}, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := q.submit(FitRequest{Name: "c"}, ""); err == nil {
+	if _, _, err := q.submit(FitRequest{Name: "c"}, "", ""); err == nil {
 		t.Fatal("third submit should hit the queue bound")
 	}
 	q.startWorkers(1, func(j *job) {
@@ -328,7 +331,7 @@ func TestJobQueueBackpressure(t *testing.T) {
 			t.Fatalf("%s state %s", id, j.status().State)
 		}
 	}
-	if _, err := q.submit(FitRequest{Name: "d"}, ""); err == nil {
+	if _, _, err := q.submit(FitRequest{Name: "d"}, "", ""); err == nil {
 		t.Fatal("submit after close should fail")
 	}
 }
@@ -384,7 +387,7 @@ func TestConcurrentPredicts(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	snap := s.metrics.Snapshot(1, 0, s.predCache.stats())
+	snap := s.metrics.Snapshot(1, 0, s.predCache.stats(), journalStatus{})
 	preds := snap["predictions"].(map[string]int64)
 	if preds["lin"] != clients*20*2 {
 		t.Fatalf("prediction counter %d, want %d", preds["lin"], clients*20*2)

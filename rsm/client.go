@@ -131,10 +131,17 @@ func retryStatus(code int) bool {
 
 // do runs one JSON exchange. A non-2xx status is surfaced as an error
 // carrying the server's error body. Idempotent exchanges are retried with
-// backoff; non-idempotent ones (uploads, fit submissions) get exactly one
-// attempt, since a transport error leaves it unknown whether the server
-// acted.
+// backoff; non-idempotent ones (uploads) get exactly one attempt, since a
+// transport error leaves it unknown whether the server acted. Job submits
+// become idempotent — and therefore retryable — by carrying a generated
+// Idempotency-Key (see doWith): a retry that reaches a daemon which already
+// accepted the job gets the original job ID back, never a duplicate job.
 func (c *Client) do(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	return c.doWith(ctx, method, path, "", in, out, idempotent)
+}
+
+// doWith is do with an optional Idempotency-Key attached to every attempt.
+func (c *Client) doWith(ctx context.Context, method, path, idemKey string, in, out any, idempotent bool) error {
 	var data []byte
 	if in != nil {
 		var err error
@@ -161,7 +168,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 			case <-t.C:
 			}
 		}
-		status, err := c.doOnce(ctx, method, path, requestID, data, in != nil, out)
+		status, err := c.doOnce(ctx, method, path, requestID, idemKey, data, in != nil, out)
 		if err == nil {
 			return nil
 		}
@@ -209,7 +216,7 @@ func lastRetryAfter(err error) time.Duration {
 
 // doOnce runs a single HTTP round trip. status is 0 when the request never
 // produced a response (transport error).
-func (c *Client) doOnce(ctx context.Context, method, path, requestID string, data []byte, hasBody bool, out any) (int, error) {
+func (c *Client) doOnce(ctx context.Context, method, path, requestID, idemKey string, data []byte, hasBody bool, out any) (int, error) {
 	var body io.Reader
 	if hasBody {
 		body = bytes.NewReader(data)
@@ -219,6 +226,9 @@ func (c *Client) doOnce(ctx context.Context, method, path, requestID string, dat
 		return 0, fmt.Errorf("rsm: %s %s: %w", method, path, err)
 	}
 	req.Header.Set(obs.RequestIDHeader, requestID)
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
+	}
 	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
@@ -288,10 +298,13 @@ func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
 	return resp.Models, nil
 }
 
-// SubmitFit enqueues an async fit job and returns its id.
+// SubmitFit enqueues an async fit job and returns its id. The submit
+// carries a generated Idempotency-Key, so it is safely retried on transient
+// failures: if an earlier attempt did reach the daemon, the retry returns
+// the already-accepted job's ID instead of enqueuing a duplicate.
 func (c *Client) SubmitFit(ctx context.Context, req FitRequest) (string, error) {
 	var resp server.FitResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/fit", req, &resp, false); err != nil {
+	if err := c.doWith(ctx, http.MethodPost, "/v1/fit", obs.NewRequestID(), req, &resp, true); err != nil {
 		return "", err
 	}
 	return resp.JobID, nil
@@ -317,26 +330,45 @@ func (c *Client) CancelJob(ctx context.Context, id string) (*JobStatus, error) {
 	return &st, nil
 }
 
-// WaitJob polls the job every interval until it reaches any terminal state
-// (done, failed, canceled or timed_out) or ctx expires. It returns promptly
-// on every terminal state; unsuccessful ones come back alongside an error
-// carrying the state and the job's message.
-func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration) (*JobStatus, error) {
+// waitMaxPollFailures bounds how many consecutive failed polls a Wait*
+// call rides out before surfacing the error. At the default 50ms interval
+// this tolerates roughly half a second of daemon unavailability — a restart
+// with journal recovery — without abandoning the job.
+const waitMaxPollFailures = 10
+
+// waitTerminal is the shared Wait* loop: poll until a terminal state, ctx
+// expiry, or waitMaxPollFailures consecutive poll failures. Transient
+// failures are expected across a daemon restart: connections drop while the
+// process is down, and a poll can even 404 briefly if it lands between
+// listener start and journal replay on an old daemon version — the job
+// reappears once recovery re-registers it.
+func (c *Client) waitTerminal(ctx context.Context, kind, id string, interval time.Duration,
+	poll func(context.Context, string) (*JobStatus, error)) (*JobStatus, error) {
 	if interval <= 0 {
 		interval = 50 * time.Millisecond
 	}
 	t := time.NewTicker(interval)
 	defer t.Stop()
+	failures := 0
 	for {
-		st, err := c.Job(ctx, id)
-		if err != nil {
-			return nil, err
-		}
-		switch st.State {
-		case server.JobDone:
-			return st, nil
-		case server.JobFailed, server.JobCanceled, server.JobTimedOut:
-			return st, fmt.Errorf("rsm: job %s %s: %s", id, st.State, st.Error)
+		st, err := poll(ctx, id)
+		switch {
+		case err == nil:
+			failures = 0
+			switch st.State {
+			case server.JobDone:
+				return st, nil
+			case server.JobFailed, server.JobCanceled, server.JobTimedOut:
+				return st, fmt.Errorf("rsm: %s %s %s: %s", kind, id, st.State, st.Error)
+			}
+		case ctx.Err() != nil:
+			return st, err
+		default:
+			failures++
+			if failures >= waitMaxPollFailures {
+				return nil, fmt.Errorf("rsm: waiting for %s %s: %d consecutive poll failures, giving up: %w",
+					kind, id, failures, err)
+			}
 		}
 		select {
 		case <-ctx.Done():
@@ -346,12 +378,22 @@ func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration)
 	}
 }
 
+// WaitJob polls the job every interval until it reaches any terminal state
+// (done, failed, canceled or timed_out) or ctx expires. It returns promptly
+// on every terminal state; unsuccessful ones come back alongside an error
+// carrying the state and the job's message. Transient poll failures — a
+// daemon restarting under the wait — are retried for up to
+// waitMaxPollFailures consecutive polls before the wait gives up.
+func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration) (*JobStatus, error) {
+	return c.waitTerminal(ctx, "job", id, interval, c.Job)
+}
+
 // RunPipeline enqueues a netlist-in, model-out pipeline job and returns
-// its id. Like SubmitFit it is not retried: a transport error leaves it
-// unknown whether the daemon accepted the job.
+// its id. Like SubmitFit it carries a generated Idempotency-Key, making the
+// submit retryable without risking duplicate jobs.
 func (c *Client) RunPipeline(ctx context.Context, req PipelineRequest) (string, error) {
 	var resp server.PipelineResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/pipelines", req, &resp, false); err != nil {
+	if err := c.doWith(ctx, http.MethodPost, "/v1/pipelines", obs.NewRequestID(), req, &resp, true); err != nil {
 		return "", err
 	}
 	return resp.JobID, nil
@@ -381,30 +423,10 @@ func (c *Client) CancelPipeline(ctx context.Context, id string) (*JobStatus, err
 // WaitPipeline polls the pipeline job every interval until it reaches any
 // terminal state or ctx expires, with WaitJob's contract: done comes back
 // clean, every other terminal state alongside an error carrying the state
-// and the job's message.
+// and the job's message, and transient poll failures (daemon restart) are
+// ridden out for up to waitMaxPollFailures consecutive polls.
 func (c *Client) WaitPipeline(ctx context.Context, id string, interval time.Duration) (*JobStatus, error) {
-	if interval <= 0 {
-		interval = 50 * time.Millisecond
-	}
-	t := time.NewTicker(interval)
-	defer t.Stop()
-	for {
-		st, err := c.Pipeline(ctx, id)
-		if err != nil {
-			return nil, err
-		}
-		switch st.State {
-		case server.JobDone:
-			return st, nil
-		case server.JobFailed, server.JobCanceled, server.JobTimedOut:
-			return st, fmt.Errorf("rsm: pipeline %s %s: %s", id, st.State, st.Error)
-		}
-		select {
-		case <-ctx.Done():
-			return st, ctx.Err()
-		case <-t.C:
-		}
-	}
+	return c.waitTerminal(ctx, "pipeline", id, interval, c.Pipeline)
 }
 
 // Predict evaluates the named model at a batch of points.

@@ -62,7 +62,10 @@ func TestServeEndToEnd(t *testing.T) {
 
 	// Start the daemon on a random port and speak to it only through the
 	// public client.
-	srv := server.New(registry.New(), server.Config{FitWorkers: 2})
+	srv, err := server.New(registry.New(), server.Config{FitWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(srv)
 	defer func() {
 		hs.Close()
@@ -178,7 +181,10 @@ func TestServeEndToEnd(t *testing.T) {
 // client errors, not silent zero values.
 func TestClientErrorSurfacing(t *testing.T) {
 	ctx := context.Background()
-	srv := server.New(registry.New(), server.Config{})
+	srv, err := server.New(registry.New(), server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(srv)
 	defer func() {
 		hs.Close()
@@ -223,23 +229,59 @@ func TestClientRetriesIdempotent(t *testing.T) {
 	}
 }
 
-// TestClientDoesNotRetrySubmit checks that non-idempotent calls get exactly
-// one attempt: a retried fit submission could enqueue the job twice.
-func TestClientDoesNotRetrySubmit(t *testing.T) {
+// TestClientRetriesSubmitWithIdempotencyKey checks that fit submissions are
+// retried on transient 503s, and that every attempt of one logical submit
+// carries the same Idempotency-Key — the property that makes the retry safe
+// against duplicate enqueues.
+func TestClientRetriesSubmitWithIdempotencyKey(t *testing.T) {
+	var mu sync.Mutex
+	var keys []string
 	var calls atomic.Int64
-	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		calls.Add(1)
-		http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		keys = append(keys, r.Header.Get("Idempotency-Key"))
+		mu.Unlock()
+		if calls.Add(1) < 3 {
+			http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(server.FitResponse{JobID: "job-000001", State: "pending"})
 	}))
 	defer hs.Close()
 	c := rsm.NewClient(hs.URL)
 	c.Retry = fastRetry
-	if _, err := c.SubmitFit(context.Background(), rsm.FitRequest{Name: "x",
-		Points: [][]float64{{1}}, Values: []float64{1}}); err == nil {
-		t.Fatal("submit against a saturated daemon should fail")
+	id, err := c.SubmitFit(context.Background(), rsm.FitRequest{Name: "x",
+		Points: [][]float64{{1}}, Values: []float64{1}})
+	if err != nil {
+		t.Fatalf("third submit attempt should have succeeded: %v", err)
 	}
-	if n := calls.Load(); n != 1 {
-		t.Fatalf("server saw %d submit attempts, want 1", n)
+	if id != "job-000001" {
+		t.Fatalf("job id %q", id)
+	}
+	mu.Lock()
+	seen := append([]string(nil), keys...)
+	mu.Unlock()
+	if len(seen) != 3 {
+		t.Fatalf("server saw %d submit attempts, want 3", len(seen))
+	}
+	if seen[0] == "" {
+		t.Fatal("submit carried no Idempotency-Key")
+	}
+	for i, k := range seen {
+		if k != seen[0] {
+			t.Fatalf("attempt %d used key %q, want the first attempt's %q", i, k, seen[0])
+		}
+	}
+	// Distinct logical submits must not share a key.
+	if _, err := c.SubmitFit(context.Background(), rsm.FitRequest{Name: "x",
+		Points: [][]float64{{1}}, Values: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	last := keys[len(keys)-1]
+	mu.Unlock()
+	if last == seen[0] {
+		t.Fatal("second logical submit reused the first submit's Idempotency-Key")
 	}
 }
 
@@ -343,7 +385,10 @@ func TestCancelJobRoundTrip(t *testing.T) {
 	ctx := context.Background()
 	// One worker, deep queue, and two jobs: the second is guaranteed to
 	// still be queued (or just starting) when we cancel it.
-	srv := server.New(registry.New(), server.Config{FitWorkers: 1, QueueDepth: 8})
+	srv, err := server.New(registry.New(), server.Config{FitWorkers: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(srv)
 	defer func() {
 		hs.Close()
@@ -441,7 +486,10 @@ func TestClientRequestIDPropagation(t *testing.T) {
 // server: the ID the client generated comes back on the job record.
 func TestClientRequestIDAgainstDaemon(t *testing.T) {
 	ctx := context.Background()
-	srv := server.New(registry.New(), server.Config{FitWorkers: 1})
+	srv, err := server.New(registry.New(), server.Config{FitWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(srv)
 	defer func() {
 		hs.Close()

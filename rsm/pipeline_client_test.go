@@ -38,7 +38,10 @@ func pipelineFixture(t *testing.T) (netlist string, spec rsm.PipelineSpec) {
 func TestClientPipelineRoundTrip(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
 	defer cancel()
-	srv := server.New(registry.New(), server.Config{FitWorkers: 1})
+	srv, err := server.New(registry.New(), server.Config{FitWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(srv)
 	defer func() { hs.Close(); srv.Close() }()
 	c := rsm.NewClient(hs.URL)
@@ -83,7 +86,10 @@ func TestClientPipelineRoundTrip(t *testing.T) {
 func TestClientCancelPipeline(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	srv := server.New(registry.New(), server.Config{FitWorkers: 1, QueueDepth: 8})
+	srv, err := server.New(registry.New(), server.Config{FitWorkers: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(srv)
 	defer func() { hs.Close(); srv.Close() }()
 	c := rsm.NewClient(hs.URL)
