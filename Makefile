@@ -1,11 +1,16 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-smoke bench-json chaos crash-smoke obs fuzz-smoke pipeline-smoke ci
+# VERSION is stamped into the binaries (rsmd_build_info, /healthz) through
+# the obs.Version ldflag; override with `make build VERSION=v1.2.3`.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS = -X repro/internal/obs.Version=$(VERSION)
+
+.PHONY: all build test race vet fmt-check bench bench-smoke bench-json chaos crash-smoke obs trace-smoke fuzz-smoke pipeline-smoke ci
 
 all: build
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags '$(LDFLAGS)' ./...
 
 test:
 	$(GO) test ./...
@@ -14,7 +19,7 @@ test:
 # worker pools, the model registry, batched prediction, and the sampling
 # engine.
 race:
-	$(GO) test -race ./internal/server/... ./internal/registry/... ./internal/core/... ./internal/mc/... ./internal/pipeline/... ./internal/journal/... ./rsm/...
+	$(GO) test -race ./internal/server/... ./internal/registry/... ./internal/core/... ./internal/mc/... ./internal/pipeline/... ./internal/journal/... ./internal/obs/... ./rsm/...
 
 vet:
 	$(GO) vet ./...
@@ -43,6 +48,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadEnvelope$$' -fuzztime=5s ./internal/core/
 	$(GO) test -run='^$$' -fuzz='^FuzzParseNetlist$$' -fuzztime=5s ./internal/spice/
 	$(GO) test -run='^$$' -fuzz='^FuzzReplayJournal$$' -fuzztime=5s ./internal/journal/
+	$(GO) test -run='^$$' -fuzz='^FuzzBuildTree$$' -fuzztime=5s ./internal/obs/trace/
 
 # Machine-readable perf baseline, committed as $(BENCH_JSON): the solver
 # engine benches (fit path + correlation sweep), the serving engine's
@@ -74,6 +80,15 @@ chaos:
 crash-smoke:
 	$(GO) test -race -run 'TestCrash|TestChaosJournal' ./internal/server/
 
+# Tracing smoke: the hierarchical-span layer end to end under the race
+# detector — span-tree assembly (property tests), the tail-sampled store's
+# concurrent hammer, the trace/event HTTP endpoints, exemplar resolution
+# and SSE job tailing through the public client. Part of make ci.
+trace-smoke:
+	$(GO) test -race ./internal/obs/trace/
+	$(GO) test -race -run 'TestTracing|TestHTTPRequestTraced|TestTraceList|TestFitJobTrace|TestPipelineJobTrace|TestJobEvents|TestFitExemplar' ./internal/server/
+	$(GO) test -race -run 'TestClientWatchJob' ./rsm/
+
 # Observability smoke check: boots the serving stack in-process, drives a
 # fit + predictions through it, scrapes /metrics in Prometheus text format
 # and validates the exposition (cumulative le buckets, TYPE metadata, +Inf
@@ -88,4 +103,4 @@ pipeline-smoke:
 	$(GO) test -race -run 'TestPipeline' ./internal/server/
 	$(GO) test -race ./internal/pipeline/
 
-ci: vet fmt-check build test race chaos crash-smoke obs bench-smoke fuzz-smoke pipeline-smoke
+ci: vet fmt-check build test race chaos crash-smoke obs trace-smoke bench-smoke fuzz-smoke pipeline-smoke

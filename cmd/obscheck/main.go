@@ -116,10 +116,83 @@ func check() error {
 		`rsmd_fit_duration_seconds_count [1-9]`,
 		`rsmd_job_queue_wait_seconds_count [1-9]`,
 		`rsmd_predictions_total\{model="obscheck"\} 2`,
+		`rsmd_build_info\{[^}]*version="[^"]+"[^}]*\} 1`,
+		`rsmd_traces_kept_total [1-9]`,
 	} {
 		if !regexp.MustCompile(pat).MatchString(string(body)) {
 			return fmt.Errorf("exposition does not reflect driven traffic: no match for %s", pat)
 		}
+	}
+	return checkTracing(ctx, c, base, id, string(body))
+}
+
+// checkTracing validates the tracing read side against the traffic the
+// metrics check drove: the fit job must resolve to a span tree at least
+// four levels deep, the fit-duration histogram must carry an exemplar whose
+// trace_id is fetchable from /v1/traces, and the job event timeline must
+// replay over both JSON and SSE.
+func checkTracing(ctx context.Context, c *rsm.Client, base, jobID, exposition string) error {
+	// The job trace: request → job → fit → CV folds.
+	jt, err := c.JobTrace(ctx, jobID)
+	if err != nil {
+		return fmt.Errorf("job trace: %w", err)
+	}
+	if !jt.Complete || jt.Root == nil {
+		return fmt.Errorf("job %s trace incomplete (complete=%t)", jobID, jt.Complete)
+	}
+	if jt.Depth < 4 {
+		return fmt.Errorf("job %s trace depth %d, want ≥ 4 (request → job → fit → folds)", jobID, jt.Depth)
+	}
+
+	// The exemplar loop: histogram bucket → trace_id → stored trace.
+	exRe := regexp.MustCompile(`rsmd_fit_duration_seconds_bucket\{[^}]*\} \d+ # \{trace_id="([0-9a-f]+)"\}`)
+	m := exRe.FindStringSubmatch(exposition)
+	if m == nil {
+		return fmt.Errorf("no exemplar on rsmd_fit_duration_seconds_bucket")
+	}
+	tr, err := c.Trace(ctx, m[1])
+	if err != nil {
+		return fmt.Errorf("exemplar trace_id %s does not resolve: %w", m[1], err)
+	}
+	if tr.TraceID != jt.TraceID {
+		return fmt.Errorf("exemplar resolves to trace %s, fit job owns %s", tr.TraceID, jt.TraceID)
+	}
+
+	// The trace list sees the job trace (pinned, so sampling never drops it).
+	traces, err := c.Traces(ctx)
+	if err != nil {
+		return fmt.Errorf("trace list: %w", err)
+	}
+	found := false
+	for _, s := range traces {
+		found = found || s.TraceID == jt.TraceID
+	}
+	if !found {
+		return fmt.Errorf("job trace %s missing from /v1/traces (%d listed)", jt.TraceID, len(traces))
+	}
+
+	// The event timeline: JSON snapshot and the SSE replay must agree.
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+jobID+"/events?stream=1", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("event stream: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("event stream: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		return fmt.Errorf("event stream content type %q", ct)
+	}
+	sse, err := io.ReadAll(resp.Body) // terminal job: the server closes after the replay
+	if err != nil {
+		return fmt.Errorf("event stream read: %w", err)
+	}
+	if !bytes.Contains(sse, []byte(`"state":"done"`)) {
+		return fmt.Errorf("SSE replay of job %s carries no terminal state event", jobID)
 	}
 	return nil
 }

@@ -77,6 +77,9 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		simWorkers   = fs.Int("sim-workers", 0, "simulator goroutines per pipeline sampling stage (0 = GOMAXPROCS)")
 		journalDir   = fs.String("journal-dir", "", "durable job-journal directory: fit/pipeline jobs survive crashes and are re-run on boot (empty = no journal)")
 		recoveryMax  = fs.Int("recovery-max-attempts", 3, "quarantine a journaled job as failed after it crashed the daemon this many times")
+		traceStore   = fs.Int("trace-store", 256, "completed traces kept in memory for /v1/traces (0 disables tracing)")
+		traceSlow    = fs.Duration("trace-slow", time.Second, "slow-trace threshold: traces at or over it are always kept and their requests logged at warn")
+		traceSample  = fs.Float64("trace-sample", 1.0, "keep probability for fast, successful HTTP traces (errors, slow traces and jobs are always kept; 0 keeps only those)")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight work")
 		logLevel     = fs.String("log-level", "info", "log verbosity: debug|info|warn|error (debug includes per-request access logs)")
 		logFormat    = fs.String("log-format", "text", "log encoding: text|json")
@@ -110,6 +113,14 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 	if cacheSize == 0 {
 		cacheSize = -1 // flag 0 = disabled; Config 0 = default
 	}
+	traceCap := *traceStore
+	if traceCap == 0 {
+		traceCap = -1 // flag 0 = disabled; Config 0 = default
+	}
+	sampleRate := *traceSample
+	if sampleRate == 0 {
+		sampleRate = -1 // flag 0 = tail-only; Config 0 = default (keep all)
+	}
 	srv, err := server.New(reg, server.Config{
 		FitWorkers:          *fitJobs,
 		FitParallel:         *fitWorkers,
@@ -125,6 +136,9 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		SimWorkers:          *simWorkers,
 		JournalDir:          *journalDir,
 		RecoveryMaxAttempts: *recoveryMax,
+		TraceStoreSize:      traceCap,
+		TraceSlow:           *traceSlow,
+		TraceSample:         sampleRate,
 		Logger:              logger,
 	})
 	if err != nil {

@@ -48,12 +48,16 @@ func main() {
 		pipeSpec   = flag.String("spec", "", "with -pipeline: pipeline spec JSON path (variation, measure, sampling, fit)")
 		pipeServer = flag.String("server", "", "with -pipeline: rsmd base URL, e.g. http://localhost:8080")
 		pipeName   = flag.String("name", "", "with -pipeline: registry name for the published model")
+		watch      = flag.Bool("watch", false, "with -pipeline: tail the job's live event stream (SSE) instead of polling")
 	)
 	flag.Parse()
 
 	if *pipePath != "" {
-		runPipeline(*pipePath, *pipeSpec, *pipeServer, *pipeName)
+		runPipeline(*pipePath, *pipeSpec, *pipeServer, *pipeName, *watch)
 		return
+	}
+	if *watch {
+		log.Fatal("rsmfit: -watch requires -pipeline")
 	}
 	if *modelPath != "" {
 		if *predict == "" {
@@ -144,7 +148,7 @@ func main() {
 // the deck and spec to an rsmd daemon, waits for the job, and prints the
 // stage timeline with its simulation-vs-regression cost split plus the
 // published model — the paper's end-to-end flow as one command.
-func runPipeline(deckPath, specPath, serverURL, name string) {
+func runPipeline(deckPath, specPath, serverURL, name string, watch bool) {
 	if specPath == "" || serverURL == "" || name == "" {
 		log.Fatal("rsmfit: -pipeline requires -spec spec.json, -server URL and -name model-name")
 	}
@@ -168,7 +172,12 @@ func runPipeline(deckPath, specPath, serverURL, name string) {
 		log.Fatalf("rsmfit: %v", err)
 	}
 	fmt.Printf("pipeline job:    %s\n", id)
-	st, err := client.WaitPipeline(ctx, id, 200*time.Millisecond)
+	var st *rsm.JobStatus
+	if watch {
+		st, err = client.WatchJob(ctx, id, printJobEvent)
+	} else {
+		st, err = client.WaitPipeline(ctx, id, 200*time.Millisecond)
+	}
 	if err != nil {
 		log.Fatalf("rsmfit: %v", err)
 	}
@@ -201,6 +210,44 @@ func runPipeline(deckPath, specPath, serverURL, name string) {
 			fmt.Printf("  %s", stage.Detail)
 		}
 		fmt.Println()
+	}
+}
+
+// printJobEvent renders one streamed job event for -watch: lifecycle
+// transitions, completed pipeline stages, and per-iteration solver
+// telemetry as it happens.
+func printJobEvent(ev rsm.JobEvent) {
+	switch ev.Type {
+	case rsm.JobEventState:
+		fmt.Printf("  [%4d] state  %s", ev.Seq, ev.State)
+		if ev.Error != "" {
+			fmt.Printf("  (%s)", ev.Error)
+		}
+		fmt.Println()
+	case rsm.JobEventStage:
+		s := ev.Stage
+		if s == nil {
+			return
+		}
+		if s.Error != "" {
+			fmt.Printf("  [%4d] stage  %-8s failed after %.3fs: %s\n", ev.Seq, s.Stage, s.Seconds, s.Error)
+			return
+		}
+		fmt.Printf("  [%4d] stage  %-8s %8.3fs", ev.Seq, s.Stage, s.Seconds)
+		if s.Samples > 0 {
+			fmt.Printf("  samples=%d", s.Samples)
+		}
+		if s.Detail != "" {
+			fmt.Printf("  %s", s.Detail)
+		}
+		fmt.Println()
+	case rsm.JobEventFit:
+		f := ev.Fit
+		if f == nil {
+			return
+		}
+		fmt.Printf("  [%4d] fit    %-14s iter=%-3d active=%-3d residual=%.3e\n",
+			ev.Seq, f.Stage, f.Iter, f.Active, f.Residual)
 	}
 }
 

@@ -1,0 +1,11 @@
+package obs
+
+// Version identifies the build. It is overridden at link time by the
+// Makefile:
+//
+//	go build -ldflags "-X repro/internal/obs.Version=$(VERSION)"
+//
+// and surfaces in /healthz and the rsmd_build_info gauge, so traces,
+// bench JSON and dashboards can be pinned to the exact build that
+// produced them.
+var Version = "dev"

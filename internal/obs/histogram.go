@@ -5,7 +5,17 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 )
+
+// Exemplar ties one observed value to the trace that produced it — the
+// OpenMetrics bridge from a histogram bucket back to /v1/traces. The zero
+// Exemplar (empty TraceID) means "none recorded".
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	Time    time.Time
+}
 
 // Histogram is a fixed-bucket histogram safe for concurrent use. Bucket
 // counts are stored per interval internally and rendered cumulatively on
@@ -15,10 +25,11 @@ import (
 type Histogram struct {
 	bounds []float64 // ascending upper bounds; +Inf is implicit
 
-	mu     sync.Mutex
-	counts []int64 // len(bounds)+1; last is the +Inf overflow interval
-	sum    float64
-	count  int64
+	mu        sync.Mutex
+	counts    []int64 // len(bounds)+1; last is the +Inf overflow interval
+	sum       float64
+	count     int64
+	exemplars []Exemplar // lazily allocated, one per interval; last wins
 }
 
 // NewHistogram builds a histogram over the given strictly ascending upper
@@ -36,11 +47,25 @@ func NewHistogram(bounds ...float64) *Histogram {
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	h.ObserveExemplar(v, "")
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty, stamps
+// it as the bucket's exemplar (last observation wins — recency beats
+// recording the extreme, because the operator's question is "show me a
+// recent request that landed here").
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.mu.Lock()
 	h.counts[i]++
 	h.sum += v
 	h.count++
+	if traceID != "" {
+		if h.exemplars == nil {
+			h.exemplars = make([]Exemplar, len(h.counts))
+		}
+		h.exemplars[i] = Exemplar{TraceID: traceID, Value: v, Time: time.Now()}
+	}
 	h.mu.Unlock()
 }
 
@@ -48,7 +73,11 @@ func (h *Histogram) Observe(v float64) {
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return cumulate(h.bounds, h.counts, h.sum, h.count)
+	s := cumulate(h.bounds, h.counts, h.sum, h.count)
+	if h.exemplars != nil {
+		s.Exemplars = append([]Exemplar(nil), h.exemplars...)
+	}
+	return s
 }
 
 // HistogramSnapshot is a point-in-time cumulative histogram view.
@@ -62,6 +91,10 @@ type HistogramSnapshot struct {
 	Sum float64
 	// Count is the total number of observations.
 	Count int64
+	// Exemplars, when non-nil, holds one entry per bucket interval (the
+	// final entry belongs to +Inf); zero entries mean no exemplar for that
+	// bucket. Rendered as OpenMetrics `# {trace_id="..."}` suffixes.
+	Exemplars []Exemplar
 }
 
 // cumulate converts per-interval counts into a cumulative snapshot.

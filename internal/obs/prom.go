@@ -53,7 +53,8 @@ func (p *PromWriter) Sample(name, labels string, v float64) {
 
 // Histogram emits a full cumulative histogram family: one _bucket line per
 // bound plus the mandatory le="+Inf" bucket, then _sum and _count. labels
-// are merged before the le pair.
+// are merged before the le pair. Buckets whose interval carries an exemplar
+// get an OpenMetrics-style ` # {trace_id="..."} <value> <ts>` suffix.
 func (p *PromWriter) Histogram(name, labels string, s HistogramSnapshot) {
 	join := func(le string) string {
 		pair := `le="` + le + `"`
@@ -62,12 +63,30 @@ func (p *PromWriter) Histogram(name, labels string, s HistogramSnapshot) {
 		}
 		return labels + "," + pair
 	}
-	for i, b := range s.Bounds {
-		p.Sample(name+"_bucket", join(FormatValue(b)), float64(s.Cumulative[i]))
+	exemplarAt := func(i int) Exemplar {
+		if i < len(s.Exemplars) {
+			return s.Exemplars[i]
+		}
+		return Exemplar{}
 	}
-	p.Sample(name+"_bucket", join("+Inf"), float64(s.Cumulative[len(s.Cumulative)-1]))
+	for i, b := range s.Bounds {
+		p.bucket(name+"_bucket", join(FormatValue(b)), float64(s.Cumulative[i]), exemplarAt(i))
+	}
+	last := len(s.Cumulative) - 1
+	p.bucket(name+"_bucket", join("+Inf"), float64(s.Cumulative[last]), exemplarAt(last))
 	p.Sample(name+"_sum", labels, s.Sum)
 	p.Sample(name+"_count", labels, float64(s.Count))
+}
+
+// bucket emits one histogram bucket line with an optional exemplar suffix.
+func (p *PromWriter) bucket(name, labels string, v float64, ex Exemplar) {
+	if ex.TraceID == "" {
+		p.Sample(name, labels, v)
+		return
+	}
+	ts := strconv.FormatFloat(float64(ex.Time.UnixNano())/1e9, 'f', 3, 64)
+	p.printf("%s{%s} %s # {trace_id=\"%s\"} %s %s\n",
+		name, labels, FormatValue(v), escapeLabel(ex.TraceID), FormatValue(ex.Value), ts)
 }
 
 // Flush drains the buffer and reports the first error encountered.
@@ -232,7 +251,8 @@ func familyOf(name string, types map[string]string) string {
 
 // validateSample checks one sample line and feeds histogram bookkeeping.
 func validateSample(line string, types map[string]string, hists map[string]*histSeries) error {
-	m := sampleRE.FindStringSubmatch(line)
+	sample, exemplar, hasExemplar := splitExemplar(line)
+	m := sampleRE.FindStringSubmatch(sample)
 	if m == nil {
 		return fmt.Errorf("malformed sample line %q", line)
 	}
@@ -249,6 +269,14 @@ func validateSample(line string, types map[string]string, hists map[string]*hist
 	typ, declared := types[family]
 	if !declared {
 		return fmt.Errorf("sample %s has no preceding # TYPE", name)
+	}
+	if hasExemplar {
+		if typ != "histogram" || !strings.HasSuffix(name, "_bucket") {
+			return fmt.Errorf("sample %s: exemplar on a non-bucket line", name)
+		}
+		if err := validateExemplar(exemplar); err != nil {
+			return fmt.Errorf("sample %s: %w", name, err)
+		}
 	}
 	if typ != "histogram" {
 		return nil
@@ -284,6 +312,77 @@ func validateSample(line string, types map[string]string, hists map[string]*hist
 	case strings.HasSuffix(name, "_count"):
 		h.hasCount = true
 		h.count = value
+	}
+	return nil
+}
+
+// splitExemplar separates a sample line from its OpenMetrics exemplar
+// suffix. The split point is a ` # ` outside quoted label values — a naive
+// strings.Index would misfire on label values that themselves contain `#`
+// (route labels like "GET /v1/jobs/{id}" are why this is quote-aware).
+func splitExemplar(line string) (sample, exemplar string, ok bool) {
+	inQuotes, escaped := false, false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\' && inQuotes:
+			escaped = true
+		case c == '"':
+			inQuotes = !inQuotes
+		case c == '#' && !inQuotes && i > 0 && line[i-1] == ' ':
+			return strings.TrimRight(line[:i], " "), strings.TrimSpace(line[i+1:]), true
+		}
+	}
+	return line, "", false
+}
+
+// validateExemplar checks the `{label="v",...} value [timestamp]` grammar
+// of an exemplar suffix and requires the trace_id label rsmd emits.
+func validateExemplar(ex string) error {
+	if !strings.HasPrefix(ex, "{") {
+		return fmt.Errorf("malformed exemplar %q: missing label braces", ex)
+	}
+	end := -1
+	inQuotes, escaped := false, false
+	for i := 1; i < len(ex); i++ {
+		c := ex[i]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\' && inQuotes:
+			escaped = true
+		case c == '"':
+			inQuotes = !inQuotes
+		case c == '}' && !inQuotes:
+			end = i
+		}
+		if end >= 0 {
+			break
+		}
+	}
+	if end < 0 {
+		return fmt.Errorf("malformed exemplar %q: unterminated label braces", ex)
+	}
+	labels, err := parseLabels(ex[1:end])
+	if err != nil {
+		return fmt.Errorf("exemplar labels: %w", err)
+	}
+	if labels["trace_id"] == "" {
+		return fmt.Errorf("exemplar %q has no trace_id label", ex)
+	}
+	fields := strings.Fields(ex[end+1:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("exemplar %q: want value and optional timestamp, got %d fields", ex, len(fields))
+	}
+	if _, err := parseValue(fields[0]); err != nil {
+		return fmt.Errorf("exemplar value: %w", err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return fmt.Errorf("exemplar timestamp: %w", err)
+		}
 	}
 	return nil
 }

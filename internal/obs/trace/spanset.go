@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"context"
+	"sync"
+)
+
+// SpanSet turns a stream of sequential stage labels — the shape of
+// core.FitEvent telemetry — into sibling child spans under one parent:
+// each time the stage label changes, the previous stage span ends and a
+// new one starts. Safe for concurrent use and safe on a context without a
+// span (every method no-ops).
+type SpanSet struct {
+	mu    sync.Mutex
+	ctx   context.Context
+	cur   *Span
+	stage string
+}
+
+// NewSpanSet builds a SpanSet parented at ctx's current span.
+func NewSpanSet(ctx context.Context) *SpanSet {
+	return &SpanSet{ctx: ctx}
+}
+
+// Observe records one stage observation: the first sighting of a label
+// opens a span, repeats update its attrs, and a label change closes the
+// previous stage's span. Attrs overwrite by key, so passing the latest
+// iteration counters on every event leaves the final values on the span.
+func (ss *SpanSet) Observe(stage string, attrs ...Attr) {
+	if ss == nil || stage == "" || SpanFromContext(ss.ctx) == nil {
+		return
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.cur == nil || ss.stage != stage {
+		ss.cur.End()
+		_, ss.cur = Start(ss.ctx, stage)
+		ss.stage = stage
+	}
+	for _, a := range attrs {
+		ss.cur.SetAttr(a.Key, a.Value)
+	}
+}
+
+// Close ends the in-flight stage span, if any.
+func (ss *SpanSet) Close() {
+	if ss == nil {
+		return
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.cur.End()
+	ss.cur = nil
+	ss.stage = ""
+}

@@ -1,0 +1,260 @@
+package trace
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config tunes a Store. Zero values select the documented defaults.
+type Config struct {
+	// Capacity bounds the completed-trace ring (default 256). Negative
+	// disables tracing entirely: NewStore returns nil, and every call site
+	// degrades to no-ops through nil-receiver safety.
+	Capacity int
+	// SlowThreshold marks a trace "slow": at or above it the trace is
+	// always kept, regardless of SampleRate (default 1s).
+	SlowThreshold time.Duration
+	// SampleRate is the keep probability for fast, successful, unpinned
+	// traces: 1 keeps everything, 0.1 keeps ~10%. The zero value selects
+	// 1 (keep all); use a negative rate for "tail-only" — keep nothing but
+	// errors, slow traces and pinned traces.
+	SampleRate float64
+	// Rand overrides the sampling coin flip (tests). Must return [0, 1).
+	Rand func() float64
+}
+
+// Store is a bounded in-memory ring of completed traces plus the set of
+// still-open ones, safe for concurrent use. A nil *Store is a valid
+// "tracing disabled" store: every method no-ops.
+type Store struct {
+	capacity int
+	slow     time.Duration
+	rate     float64
+
+	mu         sync.Mutex
+	ring       []*Data
+	head       int // next write position
+	count      int
+	byID       map[string]*Data
+	open       map[string]*collector // trace id → live collector
+	rnd        func() float64
+	kept       int64
+	sampledOut int64
+	evicted    int64
+}
+
+// Stats is a point-in-time view of the store's counters.
+type Stats struct {
+	// Enabled is false only on the nil (disabled) store.
+	Enabled bool
+	// Stored and Open gauge the current contents; Capacity and
+	// SlowThresholdSeconds echo the configuration.
+	Stored               int
+	Open                 int
+	Capacity             int
+	SlowThresholdSeconds float64
+	SampleRate           float64
+	// Kept/SampledOut/Evicted count sealed traces kept by the sampling
+	// policy, dropped by it, and later pushed out of the ring.
+	Kept       int64
+	SampledOut int64
+	Evicted    int64
+}
+
+// NewStore builds a trace store, or returns nil (tracing disabled) when
+// cfg.Capacity is negative.
+func NewStore(cfg Config) *Store {
+	if cfg.Capacity < 0 {
+		return nil
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = 256
+	}
+	if cfg.SlowThreshold == 0 {
+		cfg.SlowThreshold = time.Second
+	}
+	switch {
+	case cfg.SampleRate == 0:
+		cfg.SampleRate = 1
+	case cfg.SampleRate < 0:
+		cfg.SampleRate = 0
+	}
+	st := &Store{
+		capacity: cfg.Capacity,
+		slow:     cfg.SlowThreshold,
+		rate:     cfg.SampleRate,
+		ring:     make([]*Data, cfg.Capacity),
+		byID:     make(map[string]*Data, cfg.Capacity),
+		open:     make(map[string]*collector),
+		rnd:      cfg.Rand,
+	}
+	if st.rnd == nil {
+		src := rand.New(rand.NewSource(time.Now().UnixNano()))
+		var mu sync.Mutex
+		st.rnd = func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return src.Float64()
+		}
+	}
+	return st
+}
+
+// SlowThreshold reports the configured slow cutoff (0 on a nil store), so
+// hosts can share one threshold between sampling and slow-request logging.
+func (st *Store) SlowThreshold() time.Duration {
+	if st == nil {
+		return 0
+	}
+	return st.slow
+}
+
+// StartRoot opens a new trace rooted at a span named name. The root holds
+// the trace open; it seals when the root and every WithHold span under it
+// have ended. On a nil store it returns ctx unchanged and a nil span.
+func (st *Store) StartRoot(ctx context.Context, name string, opts ...Option) (context.Context, *Span) {
+	if st == nil {
+		return ctx, nil
+	}
+	c := &collector{
+		store:   st,
+		traceID: newID(),
+		live:    make(map[*Span]struct{}),
+		start:   time.Now(),
+	}
+	s := c.startSpan(name, "", append([]Option{WithHold()}, opts...)...)
+	c.mu.Lock()
+	c.start = s.rec.Start // honor WithStart backdating on the root
+	c.mu.Unlock()
+	st.mu.Lock()
+	st.open[c.traceID] = c
+	st.mu.Unlock()
+	return ContextWithSpan(ctx, s), s
+}
+
+// offer lands one sealed trace, applying the tail-sampling policy: keep
+// every error trace, every slow-over-threshold trace and every pinned
+// trace; coin-flip the rest at SampleRate.
+func (st *Store) offer(d *Data, pinned bool) {
+	keep := pinned || d.Status == StatusError || d.Duration >= st.slow
+	if !keep {
+		switch {
+		case st.rate >= 1:
+			keep = true
+		case st.rate <= 0:
+			keep = false
+		default:
+			keep = st.rnd() < st.rate
+		}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.open, d.TraceID)
+	if !keep {
+		st.sampledOut++
+		return
+	}
+	st.kept++
+	if st.count == st.capacity {
+		old := st.ring[st.head]
+		delete(st.byID, old.TraceID)
+		st.evicted++
+		st.count--
+	}
+	st.ring[st.head] = d
+	st.head = (st.head + 1) % st.capacity
+	st.count++
+	st.byID[d.TraceID] = d
+}
+
+// Get returns the trace by ID: a sealed trace from the ring, or a live
+// snapshot (Complete=false) of a still-open one.
+func (st *Store) Get(id string) (*Data, bool) {
+	if st == nil {
+		return nil, false
+	}
+	st.mu.Lock()
+	if d, ok := st.byID[id]; ok {
+		st.mu.Unlock()
+		return d, true
+	}
+	c, ok := st.open[id]
+	st.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return c.snapshot(), true
+}
+
+// Filter selects traces in List. Zero fields match everything.
+type Filter struct {
+	// Name substring-matches the trace's root span name (the route
+	// pattern for HTTP traces, "job" for recovered jobs).
+	Name string
+	// Status matches the trace status exactly ("ok", "error",
+	// "unfinished").
+	Status string
+	// MinDuration drops traces faster than this.
+	MinDuration time.Duration
+	// Limit caps the result count (0 = 100).
+	Limit int
+}
+
+// List returns sealed traces newest-first, filtered.
+func (st *Store) List(f Filter) []*Data {
+	if st == nil {
+		return nil
+	}
+	limit := f.Limit
+	if limit <= 0 {
+		limit = 100
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*Data, 0, min(limit, st.count))
+	for i := 0; i < st.count && len(out) < limit; i++ {
+		d := st.ring[(st.head-1-i+st.capacity)%st.capacity]
+		if f.Name != "" && !strings.Contains(d.Name, f.Name) {
+			continue
+		}
+		if f.Status != "" && d.Status != f.Status {
+			continue
+		}
+		if d.Duration < f.MinDuration {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Stats snapshots the store's counters; the zero Stats (Enabled=false)
+// comes back from a nil store.
+func (st *Store) Stats() Stats {
+	if st == nil {
+		return Stats{}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return Stats{
+		Enabled:              true,
+		Stored:               st.count,
+		Open:                 len(st.open),
+		Capacity:             st.capacity,
+		SlowThresholdSeconds: st.slow.Seconds(),
+		SampleRate:           st.rate,
+		Kept:                 st.kept,
+		SampledOut:           st.sampledOut,
+		Evicted:              st.evicted,
+	}
+}

@@ -1,0 +1,451 @@
+// Package trace is a dependency-free hierarchical span layer for the rsmd
+// serving stack. A span is one timed operation (id, parent, name, start,
+// duration, attrs, status); spans nest through context.Context, so a root
+// span per HTTP request (or per recovered job) accumulates children across
+// the queue, the journal, the pipeline stages and the solver inner loops
+// without any of those layers knowing about each other.
+//
+// Lifecycle: Store.StartRoot opens a trace; Start opens a child of whatever
+// span the context carries (and is a no-op off a traced path, so
+// instrumentation costs nothing when tracing is disabled). A trace stays
+// open while any *holding* span — the root, plus spans started with
+// WithHold, e.g. an async job that outlives its submitting request — is
+// unfinished. When the last holder ends, still-open children are
+// force-ended with status "unfinished", the trace is sealed, and it is
+// offered to the store's bounded ring under the tail-sampling policy:
+// error traces and slow-over-threshold traces are always kept, pinned
+// traces (jobs) bypass the coin flip, and the rest survive with probability
+// SampleRate.
+//
+// Every exported function and method is nil-receiver safe: a nil *Store
+// never starts a trace, a nil *Span ignores every call, and Start without
+// an active trace returns a nil span — call sites never branch on whether
+// tracing is on.
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Span statuses. A span is "ok" unless an error was recorded on it;
+// "unfinished" marks spans force-ended at trace seal time (their owner
+// never called End — a leak, a crash path, or a goroutine that outlived
+// the trace).
+const (
+	StatusOK         = "ok"
+	StatusError      = "error"
+	StatusUnfinished = "unfinished"
+)
+
+// maxSpansPerTrace bounds one trace's span count so a pathological fit
+// (huge max_lambda × folds) cannot grow a trace without bound. Spans beyond
+// the cap are counted in Data.Dropped, not stored.
+const maxSpansPerTrace = 512
+
+// Record is one finished span, the immutable unit the store holds and the
+// tree builder consumes.
+type Record struct {
+	SpanID   string         `json:"span_id"`
+	ParentID string         `json:"parent_id,omitempty"`
+	Name     string         `json:"name"`
+	Start    time.Time      `json:"start"`
+	Duration time.Duration  `json:"duration"`
+	Status   string         `json:"status"`
+	Error    string         `json:"error,omitempty"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String, Int, Float and Bool build typed attrs.
+func String(k, v string) Attr        { return Attr{Key: k, Value: v} }
+func Int(k string, v int) Attr       { return Attr{Key: k, Value: v} }
+func Float(k string, v float64) Attr { return Attr{Key: k, Value: v} }
+func Bool(k string, v bool) Attr     { return Attr{Key: k, Value: v} }
+
+// Span is one live timed operation. All methods are safe for concurrent
+// use and safe on a nil receiver.
+type Span struct {
+	c    *collector
+	hold bool
+
+	mu    sync.Mutex
+	rec   Record
+	ended bool
+}
+
+// newID returns a 16-hex-char random identifier (shared by traces and
+// spans).
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID keeps
+		// the trace usable rather than panicking the serving path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// TraceID returns the span's trace identifier, or "" on a nil span.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.c.traceID
+}
+
+// SpanID returns the span's identifier, or "" on a nil span.
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.rec.SpanID
+}
+
+// SetAttr annotates the span; calls after End are dropped.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		if s.rec.Attrs == nil {
+			s.rec.Attrs = make(map[string]any, 4)
+		}
+		s.rec.Attrs[key] = value
+	}
+	s.mu.Unlock()
+}
+
+// SetError marks the span failed. A nil error is ignored, so call sites
+// can funnel their single error value through unconditionally.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.rec.Status = StatusError
+		s.rec.Error = err.Error()
+	}
+	s.mu.Unlock()
+}
+
+// SetStatus overrides the span's status and message directly.
+func (s *Span) SetStatus(status, msg string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.rec.Status = status
+		s.rec.Error = msg
+	}
+	s.mu.Unlock()
+}
+
+// End finishes the span, fixing its duration. The first call wins; later
+// calls (and calls after the trace sealed) are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.rec.Duration = now.Sub(s.rec.Start)
+	if s.rec.Status == "" {
+		s.rec.Status = StatusOK
+	}
+	rec := cloneRecord(s.rec)
+	s.mu.Unlock()
+	s.c.finish(s, rec)
+}
+
+// EndErr is SetError + End in one call: the idiomatic tail of an
+// instrumented operation that produced a single error value.
+func (s *Span) EndErr(err error) {
+	s.SetError(err)
+	s.End()
+}
+
+// forceEnd seals a span that never ended, at trace-seal time. Called with
+// the collector lock held; safe because End releases the span lock before
+// taking the collector lock (no lock cycle). ok is false when the span
+// ended concurrently — its own finish path owns the record then.
+func (s *Span) forceEnd(now time.Time) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return Record{}, false
+	}
+	s.ended = true
+	s.rec.Duration = now.Sub(s.rec.Start)
+	s.rec.Status = StatusUnfinished
+	return cloneRecord(s.rec), true
+}
+
+// cloneRecord deep-copies the attrs map so a sealed record can be read
+// concurrently with no further coordination.
+func cloneRecord(r Record) Record {
+	if r.Attrs != nil {
+		attrs := make(map[string]any, len(r.Attrs))
+		for k, v := range r.Attrs {
+			attrs[k] = v
+		}
+		r.Attrs = attrs
+	}
+	return r
+}
+
+// spanConfig accumulates Start options.
+type spanConfig struct {
+	start time.Time
+	hold  bool
+	pin   bool
+	attrs []Attr
+}
+
+// Option configures a span at Start.
+type Option func(*spanConfig)
+
+// WithStart backdates the span to t — used for retroactive spans like
+// queue wait, measured from the submit timestamp.
+func WithStart(t time.Time) Option { return func(c *spanConfig) { c.start = t } }
+
+// WithHold makes the span hold its trace open: the trace seals only after
+// every holding span (the root included) has ended. Async jobs use it so
+// the trace outlives the submitting request.
+func WithHold() Option { return func(c *spanConfig) { c.hold = true } }
+
+// WithPin exempts the whole trace from probabilistic tail sampling; error
+// and slow traces are always kept regardless.
+func WithPin() Option { return func(c *spanConfig) { c.pin = true } }
+
+// WithAttrs seeds the span's annotations.
+func WithAttrs(attrs ...Attr) Option {
+	return func(c *spanConfig) { c.attrs = append(c.attrs, attrs...) }
+}
+
+type ctxKey struct{}
+
+// ContextWithSpan attaches a span to the context; a nil span returns ctx
+// unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFromContext returns the context's active span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// Start opens a child of the context's active span. Off a traced path (no
+// active span, or tracing disabled) it returns ctx unchanged and a nil
+// span, so instrumentation call sites never branch.
+func Start(ctx context.Context, name string, opts ...Option) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := parent.c.startSpan(name, parent.SpanID(), opts...)
+	if s == nil {
+		return ctx, nil
+	}
+	return ContextWithSpan(ctx, s), s
+}
+
+// collector accumulates one trace's spans until its last holder ends.
+type collector struct {
+	store   *Store
+	traceID string
+
+	mu      sync.Mutex
+	spans   []Record
+	live    map[*Span]struct{}
+	holds   int
+	pinned  bool
+	sealed  bool
+	dropped int
+	start   time.Time
+}
+
+// startSpan registers a new live span on the collector. A span started
+// after the trace sealed (a goroutine that outlived the last holder) is
+// still returned — its methods work — but its record is discarded at End.
+func (c *collector) startSpan(name, parentID string, opts ...Option) *Span {
+	cfg := spanConfig{start: time.Now()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &Span{
+		c:    c,
+		hold: cfg.hold,
+		rec: Record{
+			SpanID:   newID(),
+			ParentID: parentID,
+			Name:     name,
+			Start:    cfg.start,
+		},
+	}
+	for _, a := range cfg.attrs {
+		if s.rec.Attrs == nil {
+			s.rec.Attrs = make(map[string]any, len(cfg.attrs))
+		}
+		s.rec.Attrs[a.Key] = a.Value
+	}
+	c.mu.Lock()
+	if cfg.pin {
+		c.pinned = true
+	}
+	if !c.sealed {
+		c.live[s] = struct{}{}
+		if cfg.hold {
+			c.holds++
+		}
+	} else {
+		s.hold = false // a hold on a sealed trace must not underflow holds
+	}
+	c.mu.Unlock()
+	return s
+}
+
+// finish lands one ended span's record and seals the trace when the last
+// holder is gone.
+func (c *collector) finish(s *Span, rec Record) {
+	c.mu.Lock()
+	delete(c.live, s)
+	if c.sealed {
+		c.mu.Unlock()
+		return
+	}
+	if len(c.spans) < maxSpansPerTrace {
+		c.spans = append(c.spans, rec)
+	} else {
+		c.dropped++
+	}
+	var data *Data
+	if s.hold {
+		c.holds--
+		if c.holds == 0 {
+			data = c.sealLocked(time.Now())
+		}
+	}
+	pinned := c.pinned
+	c.mu.Unlock()
+	if data != nil {
+		c.store.offer(data, pinned)
+	}
+}
+
+// sealLocked force-ends the remaining live spans and freezes the trace
+// into its Data. Caller holds c.mu.
+func (c *collector) sealLocked(now time.Time) *Data {
+	for sp := range c.live {
+		// Lock order is collector → span here; End goes span → (unlock) →
+		// collector, so there is no cycle. A span that ended concurrently
+		// reports !ok and its in-flight finish call sees sealed.
+		if rec, ok := sp.forceEnd(now); ok {
+			if len(c.spans) < maxSpansPerTrace {
+				c.spans = append(c.spans, rec)
+			} else {
+				c.dropped++
+			}
+		}
+	}
+	c.live = map[*Span]struct{}{}
+	c.sealed = true
+	return c.buildDataLocked(true)
+}
+
+// buildDataLocked freezes the current span set into a Data snapshot.
+// Caller holds c.mu.
+func (c *collector) buildDataLocked(complete bool) *Data {
+	d := &Data{
+		TraceID:  c.traceID,
+		Start:    c.start,
+		Complete: complete,
+		Dropped:  c.dropped,
+		Spans:    append([]Record(nil), c.spans...),
+	}
+	end := c.start
+	for i := range d.Spans {
+		r := &d.Spans[i]
+		if r.ParentID == "" && d.Name == "" {
+			d.Name = r.Name
+			if d.Status == "" {
+				// The root's status seeds the trace status, but never
+				// downgrades an error a child already contributed.
+				d.Status = r.Status
+			}
+		}
+		if r.Status == StatusError {
+			d.Status = StatusError
+		}
+		if e := r.Start.Add(r.Duration); e.After(end) {
+			end = e
+		}
+	}
+	if d.Name == "" {
+		d.Name = "trace"
+	}
+	if d.Status == "" {
+		d.Status = StatusUnfinished
+	}
+	d.Duration = end.Sub(c.start)
+	return d
+}
+
+// snapshot returns a live (unsealed) view of the trace: finished spans
+// plus the in-flight ones rendered as unfinished-so-far.
+func (c *collector) snapshot() *Data {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	saved := c.spans
+	c.spans = append([]Record(nil), saved...)
+	for sp := range c.live {
+		sp.mu.Lock()
+		if !sp.ended {
+			rec := cloneRecord(sp.rec)
+			rec.Duration = now.Sub(rec.Start)
+			rec.Status = StatusUnfinished
+			c.spans = append(c.spans, rec)
+		}
+		sp.mu.Unlock()
+	}
+	d := c.buildDataLocked(false)
+	c.spans = saved
+	return d
+}
+
+// Data is one trace's frozen (or live-snapshot) state.
+type Data struct {
+	TraceID string    `json:"trace_id"`
+	Name    string    `json:"name"`
+	Status  string    `json:"status"`
+	Start   time.Time `json:"start"`
+	// Duration spans from the root start to the latest span end.
+	Duration time.Duration `json:"duration"`
+	// Complete is false for a live snapshot of a still-open trace.
+	Complete bool `json:"complete"`
+	// Dropped counts spans discarded by the per-trace cap.
+	Dropped int      `json:"dropped,omitempty"`
+	Spans   []Record `json:"spans"`
+}

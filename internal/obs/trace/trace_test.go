@@ -1,0 +1,408 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// keepAll builds a store that keeps every sealed trace — the default
+// policy most lifecycle tests want.
+func keepAll(capacity int) *Store {
+	return NewStore(Config{Capacity: capacity})
+}
+
+func TestTraceLifecycle(t *testing.T) {
+	st := keepAll(8)
+	ctx, root := st.StartRoot(context.Background(), "POST /v1/fit",
+		WithAttrs(String("method", "POST")))
+	if root == nil {
+		t.Fatal("StartRoot returned nil span on an enabled store")
+	}
+	traceID := root.TraceID()
+	if traceID == "" {
+		t.Fatal("root span has no trace id")
+	}
+
+	ctx2, child := Start(ctx, "queue.wait")
+	child.SetAttr("depth", 3)
+	child.End()
+	_, grand := Start(ctx2, "fit", WithAttrs(Int("lambda", 5)))
+	grand.EndErr(nil)
+	root.End()
+
+	d, ok := st.Get(traceID)
+	if !ok {
+		t.Fatalf("sealed trace %s not in store", traceID)
+	}
+	if !d.Complete {
+		t.Error("sealed trace reports Complete=false")
+	}
+	if d.Name != "POST /v1/fit" {
+		t.Errorf("trace name %q, want root span name", d.Name)
+	}
+	if d.Status != StatusOK {
+		t.Errorf("trace status %q, want ok", d.Status)
+	}
+	if len(d.Spans) != 3 {
+		t.Fatalf("sealed trace holds %d spans, want 3", len(d.Spans))
+	}
+	tree := BuildTree(d.Spans)
+	if got := Depth(tree); got != 3 {
+		t.Errorf("tree depth %d, want 3 (root → queue.wait → fit)", got)
+	}
+	if got := CountNodes(tree); got != 3 {
+		t.Errorf("tree nodes %d, want 3", got)
+	}
+	st2 := st.Stats()
+	if !st2.Enabled || st2.Kept != 1 || st2.Stored != 1 || st2.Open != 0 {
+		t.Errorf("stats %+v, want enabled, kept=1, stored=1, open=0", st2)
+	}
+}
+
+func TestSpanError(t *testing.T) {
+	st := keepAll(4)
+	ctx, root := st.StartRoot(context.Background(), "route")
+	_, child := Start(ctx, "boom")
+	child.EndErr(errors.New("kaput"))
+	root.End()
+
+	d, _ := st.Get(root.TraceID())
+	if d.Status != StatusError {
+		t.Errorf("trace with failed span has status %q, want error", d.Status)
+	}
+	var found bool
+	for _, r := range d.Spans {
+		if r.Name == "boom" {
+			found = true
+			if r.Status != StatusError || r.Error != "kaput" {
+				t.Errorf("failed span %+v, want status=error error=kaput", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("failed span missing from sealed trace")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var st *Store
+	ctx, span := st.StartRoot(context.Background(), "x")
+	if span != nil {
+		t.Fatal("nil store started a trace")
+	}
+	if _, s := Start(ctx, "child"); s != nil {
+		t.Fatal("Start off an untraced context returned a span")
+	}
+	// Every span method must be a no-op on nil, not a panic.
+	span.SetAttr("k", 1)
+	span.SetError(errors.New("x"))
+	span.SetStatus("error", "x")
+	span.End()
+	span.EndErr(nil)
+	if span.TraceID() != "" || span.SpanID() != "" {
+		t.Error("nil span has identifiers")
+	}
+	if _, ok := st.Get("any"); ok {
+		t.Error("nil store Get returned a trace")
+	}
+	if got := st.List(Filter{}); got != nil {
+		t.Error("nil store List returned traces")
+	}
+	if s := st.Stats(); s.Enabled {
+		t.Error("nil store Stats reports enabled")
+	}
+	if st.SlowThreshold() != 0 {
+		t.Error("nil store has a slow threshold")
+	}
+}
+
+func TestNegativeCapacityDisables(t *testing.T) {
+	if st := NewStore(Config{Capacity: -1}); st != nil {
+		t.Fatal("negative capacity should return a nil (disabled) store")
+	}
+}
+
+func TestHoldKeepsTraceOpen(t *testing.T) {
+	st := keepAll(4)
+	ctx, root := st.StartRoot(context.Background(), "POST /v1/fit")
+	_, job := Start(ctx, "job", WithHold(), WithPin())
+	root.End() // the submitting request returns; the job runs on
+
+	id := root.TraceID()
+	d, ok := st.Get(id)
+	if !ok {
+		t.Fatal("open trace not visible through Get")
+	}
+	if d.Complete {
+		t.Fatal("trace sealed while a holding span is still open")
+	}
+	if st.Stats().Open != 1 {
+		t.Fatalf("stats.Open = %d, want 1", st.Stats().Open)
+	}
+
+	job.End()
+	d, ok = st.Get(id)
+	if !ok || !d.Complete {
+		t.Fatalf("trace not sealed after last holder ended (ok=%v complete=%v)", ok, d != nil && d.Complete)
+	}
+	if st.Stats().Open != 0 {
+		t.Errorf("stats.Open = %d after seal, want 0", st.Stats().Open)
+	}
+}
+
+func TestSealForceEndsLeakedSpans(t *testing.T) {
+	st := keepAll(4)
+	ctx, root := st.StartRoot(context.Background(), "route")
+	_, leaked := Start(ctx, "leaked")
+	_ = leaked // never ended
+	root.End()
+
+	d, _ := st.Get(root.TraceID())
+	var found bool
+	for _, r := range d.Spans {
+		if r.Name == "leaked" {
+			found = true
+			if r.Status != StatusUnfinished {
+				t.Errorf("leaked span status %q, want unfinished", r.Status)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("leaked span missing from sealed trace")
+	}
+	// Ending it after the seal must not corrupt the sealed record.
+	leaked.End()
+	d2, _ := st.Get(root.TraceID())
+	if len(d2.Spans) != len(d.Spans) {
+		t.Errorf("post-seal End changed the sealed trace: %d → %d spans", len(d.Spans), len(d2.Spans))
+	}
+}
+
+func TestWithStartBackdates(t *testing.T) {
+	st := keepAll(4)
+	past := time.Now().Add(-3 * time.Second)
+	ctx, root := st.StartRoot(context.Background(), "route")
+	_, qw := Start(ctx, "queue.wait", WithStart(past))
+	qw.End()
+	root.End()
+
+	d, _ := st.Get(root.TraceID())
+	for _, r := range d.Spans {
+		if r.Name == "queue.wait" {
+			if !r.Start.Equal(past) {
+				t.Errorf("backdated span starts at %v, want %v", r.Start, past)
+			}
+			if r.Duration < 2*time.Second {
+				t.Errorf("backdated span duration %v, want ≥ 2s", r.Duration)
+			}
+		}
+	}
+}
+
+func TestTailSampling(t *testing.T) {
+	// Tail-only policy: rate ≤ 0 keeps nothing but errors, slow traces
+	// and pinned traces.
+	st := NewStore(Config{Capacity: 16, SampleRate: -1, SlowThreshold: time.Hour})
+
+	_, fast := st.StartRoot(context.Background(), "fast-ok")
+	fast.End()
+	if _, ok := st.Get(fast.TraceID()); ok {
+		t.Error("fast ok trace survived a tail-only policy")
+	}
+
+	_, failed := st.StartRoot(context.Background(), "failed")
+	failed.SetError(errors.New("x"))
+	failed.End()
+	if _, ok := st.Get(failed.TraceID()); !ok {
+		t.Error("error trace was sampled out")
+	}
+
+	ctx, pinnedRoot := st.StartRoot(context.Background(), "job-root")
+	_, pin := Start(ctx, "job", WithPin())
+	pin.End()
+	pinnedRoot.End()
+	if _, ok := st.Get(pinnedRoot.TraceID()); !ok {
+		t.Error("pinned trace was sampled out")
+	}
+
+	stats := st.Stats()
+	if stats.SampledOut != 1 || stats.Kept != 2 {
+		t.Errorf("stats kept=%d sampledOut=%d, want 2/1", stats.Kept, stats.SampledOut)
+	}
+}
+
+func TestSlowTracesAlwaysKept(t *testing.T) {
+	st := NewStore(Config{Capacity: 16, SampleRate: -1, SlowThreshold: time.Millisecond})
+	_, slow := st.StartRoot(context.Background(), "slow")
+	time.Sleep(3 * time.Millisecond)
+	slow.End()
+	if _, ok := st.Get(slow.TraceID()); !ok {
+		t.Error("slow-over-threshold trace was sampled out")
+	}
+}
+
+func TestSamplingCoinFlip(t *testing.T) {
+	// A deterministic "coin": first flip keeps (0.0 < 0.5), second drops.
+	flips := []float64{0.0, 0.9}
+	i := 0
+	st := NewStore(Config{Capacity: 16, SampleRate: 0.5, SlowThreshold: time.Hour,
+		Rand: func() float64 { v := flips[i%len(flips)]; i++; return v }})
+	_, a := st.StartRoot(context.Background(), "a")
+	a.End()
+	_, b := st.StartRoot(context.Background(), "b")
+	b.End()
+	if _, ok := st.Get(a.TraceID()); !ok {
+		t.Error("kept-side coin flip dropped the trace")
+	}
+	if _, ok := st.Get(b.TraceID()); ok {
+		t.Error("dropped-side coin flip kept the trace")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	st := keepAll(2)
+	ids := make([]string, 3)
+	for i := range ids {
+		_, root := st.StartRoot(context.Background(), fmt.Sprintf("t%d", i))
+		ids[i] = root.TraceID()
+		root.End()
+	}
+	if _, ok := st.Get(ids[0]); ok {
+		t.Error("oldest trace not evicted from a full ring")
+	}
+	for _, id := range ids[1:] {
+		if _, ok := st.Get(id); !ok {
+			t.Errorf("trace %s missing from ring", id)
+		}
+	}
+	stats := st.Stats()
+	if stats.Evicted != 1 || stats.Stored != 2 {
+		t.Errorf("stats evicted=%d stored=%d, want 1/2", stats.Evicted, stats.Stored)
+	}
+	// List is newest-first.
+	list := st.List(Filter{})
+	if len(list) != 2 || list[0].Name != "t2" || list[1].Name != "t1" {
+		t.Errorf("List order %v, want [t2 t1]", names(list))
+	}
+}
+
+func names(list []*Data) []string {
+	out := make([]string, len(list))
+	for i, d := range list {
+		out[i] = d.Name
+	}
+	return out
+}
+
+func TestListFilters(t *testing.T) {
+	st := keepAll(16)
+	_, ok1 := st.StartRoot(context.Background(), "GET /v1/models")
+	ok1.End()
+	_, failed := st.StartRoot(context.Background(), "POST /v1/fit")
+	failed.SetError(errors.New("x"))
+	failed.End()
+
+	if got := st.List(Filter{Name: "/v1/fit"}); len(got) != 1 || got[0].Name != "POST /v1/fit" {
+		t.Errorf("name filter returned %v", names(got))
+	}
+	if got := st.List(Filter{Status: StatusError}); len(got) != 1 || got[0].Status != StatusError {
+		t.Errorf("status filter returned %v", names(got))
+	}
+	if got := st.List(Filter{MinDuration: time.Hour}); len(got) != 0 {
+		t.Errorf("min-duration filter returned %v", names(got))
+	}
+	if got := st.List(Filter{Limit: 1}); len(got) != 1 {
+		t.Errorf("limit filter returned %d traces, want 1", len(got))
+	}
+}
+
+func TestPerTraceSpanCap(t *testing.T) {
+	st := keepAll(4)
+	ctx, root := st.StartRoot(context.Background(), "huge")
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		_, s := Start(ctx, "leaf")
+		s.End()
+	}
+	root.End()
+	d, _ := st.Get(root.TraceID())
+	if len(d.Spans) != maxSpansPerTrace {
+		t.Errorf("sealed trace holds %d spans, want cap %d", len(d.Spans), maxSpansPerTrace)
+	}
+	if d.Dropped != 11 { // 10 extra leaves + the root over the cap
+		t.Errorf("dropped = %d, want 11", d.Dropped)
+	}
+}
+
+// TestStoreConcurrentHammer drives finishes, live snapshots, scrapes and
+// listing concurrently; run under -race (make race covers this package) it
+// proves the collector/store locking. See also the lock-order note on
+// Span.forceEnd.
+func TestStoreConcurrentHammer(t *testing.T) {
+	st := NewStore(Config{Capacity: 32, SampleRate: 0.5, SlowThreshold: time.Hour})
+	const traces = 40
+	var wg sync.WaitGroup
+	ids := make(chan string, traces)
+	for i := 0; i < traces; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, root := st.StartRoot(context.Background(), fmt.Sprintf("t%d", i))
+			ids <- root.TraceID()
+			var cwg sync.WaitGroup
+			for j := 0; j < 8; j++ {
+				cwg.Add(1)
+				go func(j int) {
+					defer cwg.Done()
+					_, s := Start(ctx, "child", WithAttrs(Int("j", j)))
+					s.SetAttr("k", j)
+					if j%3 == 0 {
+						s.EndErr(errors.New("x"))
+						return
+					}
+					if j%5 == 0 {
+						return // leaked on purpose: seal must force-end it
+					}
+					s.End()
+				}(j)
+			}
+			cwg.Wait()
+			root.End()
+		}(i)
+	}
+	// Concurrent readers: Get on live and sealed traces, List, Stats.
+	done := make(chan struct{})
+	var rwg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				case id := <-ids:
+					if d, ok := st.Get(id); ok && len(d.Spans) > 9 {
+						panic("trace grew beyond its span count")
+					}
+				default:
+					st.List(Filter{Limit: 10})
+					st.Stats()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	rwg.Wait()
+	stats := st.Stats()
+	if stats.Open != 0 {
+		t.Errorf("stats.Open = %d after all traces ended, want 0", stats.Open)
+	}
+	if stats.Kept+stats.SampledOut != traces {
+		t.Errorf("kept+sampledOut = %d, want %d", stats.Kept+stats.SampledOut, traces)
+	}
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node is one span in an assembled trace tree.
+type Node struct {
+	Record
+	Children []*Node
+}
+
+// BuildTree assembles flat span records into a single tree, tolerating the
+// damage a crashed or truncated trace can carry: records with missing or
+// duplicate span IDs, orphans whose parent was dropped, self-parented
+// spans, parent cycles, and multiple roots. It never panics and never
+// drops a record — every input span appears exactly once in the result
+// (duplicates by span ID collapse first-wins). Returns nil only for empty
+// input. When the records do not form a single rooted tree, the roots are
+// gathered under a synthetic "trace" node.
+func BuildTree(spans []Record) *Node {
+	if len(spans) == 0 {
+		return nil
+	}
+	// Normalize: synthesize IDs for blank spans, collapse duplicates.
+	nodes := make([]*Node, 0, len(spans))
+	byID := make(map[string]*Node, len(spans))
+	anon := 0
+	for _, r := range spans {
+		if r.SpanID == "" {
+			anon++
+			r.SpanID = fmt.Sprintf("anon-%d", anon)
+		}
+		if _, dup := byID[r.SpanID]; dup {
+			continue
+		}
+		n := &Node{Record: r}
+		byID[n.SpanID] = n
+		nodes = append(nodes, n)
+	}
+	sort.SliceStable(nodes, func(i, j int) bool {
+		if !nodes[i].Start.Equal(nodes[j].Start) {
+			return nodes[i].Start.Before(nodes[j].Start)
+		}
+		return nodes[i].SpanID < nodes[j].SpanID
+	})
+
+	// Link children; anything without a resolvable parent is a root.
+	// A self-parented span is an orphan, not a one-node cycle.
+	var roots []*Node
+	for _, n := range nodes {
+		p, ok := byID[n.ParentID]
+		if n.ParentID == "" || !ok || p == n {
+			roots = append(roots, n)
+			continue
+		}
+		p.Children = append(p.Children, n)
+	}
+
+	// Break parent cycles: any node not reachable from a root belongs to a
+	// cycle; promote its earliest member to a root and re-walk. Bounded by
+	// the span count, so the worst case is O(n²) on maxSpansPerTrace — fine.
+	reached := make(map[*Node]bool, len(nodes))
+	for {
+		var walk func(*Node)
+		walk = func(n *Node) {
+			if reached[n] {
+				return
+			}
+			reached[n] = true
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		for _, r := range roots {
+			walk(r)
+		}
+		promoted := false
+		for _, n := range nodes {
+			if !reached[n] {
+				// Detach from its (cyclic) parent before promotion so the
+				// node doesn't appear twice.
+				if p, ok := byID[n.ParentID]; ok {
+					p.Children = removeChild(p.Children, n)
+				}
+				roots = append(roots, n)
+				promoted = true
+				break
+			}
+		}
+		if !promoted {
+			break
+		}
+	}
+
+	if len(roots) == 1 {
+		return roots[0]
+	}
+	root := &Node{Record: Record{SpanID: "synthetic-root", Name: "trace", Start: roots[0].Start}}
+	for _, r := range roots {
+		if r.Start.Before(root.Start) {
+			root.Start = r.Start
+		}
+	}
+	root.Children = roots
+	return root
+}
+
+func removeChild(children []*Node, n *Node) []*Node {
+	out := children[:0]
+	for _, c := range children {
+		if c != n {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Depth reports the number of levels in the tree (1 for a lone root).
+func Depth(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	max := 0
+	for _, c := range n.Children {
+		if d := Depth(c); d > max {
+			max = d
+		}
+	}
+	return 1 + max
+}
+
+// CountNodes reports the total number of spans in the tree.
+func CountNodes(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	total := 1
+	for _, c := range n.Children {
+		total += CountNodes(c)
+	}
+	return total
+}

@@ -1,0 +1,257 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// rec builds a Record with deterministic timing for tree tests.
+func rec(id, parent, name string, startMS int) Record {
+	return Record{
+		SpanID:   id,
+		ParentID: parent,
+		Name:     name,
+		Start:    time.Unix(0, int64(startMS)*int64(time.Millisecond)),
+		Duration: time.Millisecond,
+		Status:   StatusOK,
+	}
+}
+
+func TestBuildTreeEmpty(t *testing.T) {
+	if BuildTree(nil) != nil {
+		t.Error("BuildTree(nil) should be nil")
+	}
+	if Depth(nil) != 0 || CountNodes(nil) != 0 {
+		t.Error("Depth/CountNodes on nil should be 0")
+	}
+}
+
+func TestBuildTreeWellFormed(t *testing.T) {
+	spans := []Record{
+		rec("c2", "c1", "fit", 20),
+		rec("root", "", "POST /v1/fit", 0),
+		rec("c1", "root", "job", 10),
+		rec("c3", "c1", "publish", 30),
+	}
+	n := BuildTree(spans)
+	if n.SpanID != "root" {
+		t.Fatalf("root is %q, want the parentless span", n.SpanID)
+	}
+	if got := CountNodes(n); got != 4 {
+		t.Errorf("nodes = %d, want 4", got)
+	}
+	if got := Depth(n); got != 3 {
+		t.Errorf("depth = %d, want 3", got)
+	}
+	// Children are sorted by start time (input was shuffled).
+	if len(n.Children) != 1 || n.Children[0].SpanID != "c1" {
+		t.Fatalf("root children %v", n.Children)
+	}
+	kids := n.Children[0].Children
+	if len(kids) != 2 || kids[0].SpanID != "c2" || kids[1].SpanID != "c3" {
+		t.Errorf("c1 children out of start order: %v, %v", kids[0].SpanID, kids[1].SpanID)
+	}
+}
+
+func TestBuildTreeOrphansAndMultipleRoots(t *testing.T) {
+	spans := []Record{
+		rec("a", "", "a", 0),
+		rec("b", "gone", "orphan", 5), // parent never recorded (dropped by the cap)
+		rec("c", "c", "selfie", 10),   // self-parented
+	}
+	n := BuildTree(spans)
+	if n.SpanID != "synthetic-root" || n.Name != "trace" {
+		t.Fatalf("multiple roots should gather under a synthetic root, got %q", n.SpanID)
+	}
+	if got := CountNodes(n); got != 4 { // 3 inputs + synthetic root
+		t.Errorf("nodes = %d, want 4", got)
+	}
+	if len(n.Children) != 3 {
+		t.Errorf("synthetic root has %d children, want 3", len(n.Children))
+	}
+	if !n.Start.Equal(spans[0].Start) {
+		t.Errorf("synthetic root start %v, want earliest root start %v", n.Start, spans[0].Start)
+	}
+}
+
+func TestBuildTreeDuplicatesCollapseFirstWins(t *testing.T) {
+	spans := []Record{
+		rec("root", "", "first", 0),
+		rec("root", "", "second", 1),
+		rec("kid", "root", "kid", 2),
+	}
+	n := BuildTree(spans)
+	if n.Name != "first" {
+		t.Errorf("duplicate collapse kept %q, want first-wins", n.Name)
+	}
+	if got := CountNodes(n); got != 2 {
+		t.Errorf("nodes = %d, want 2 (dup collapsed)", got)
+	}
+}
+
+func TestBuildTreeBreaksCycles(t *testing.T) {
+	spans := []Record{
+		rec("a", "b", "a", 0), // a ↔ b is a 2-cycle with no root
+		rec("b", "a", "b", 1),
+		rec("c", "a", "c", 2),
+	}
+	n := BuildTree(spans)
+	if got := CountNodes(n); got != 3 {
+		t.Fatalf("cycle breaking lost or duplicated spans: %d nodes, want 3", got)
+	}
+	if got := Depth(n); got < 1 {
+		t.Errorf("depth = %d", got)
+	}
+}
+
+func TestBuildTreeAnonymousIDs(t *testing.T) {
+	spans := []Record{
+		rec("", "", "x", 0),
+		rec("", "", "y", 1),
+	}
+	n := BuildTree(spans)
+	if got := CountNodes(n); got != 3 { // two anon spans + synthetic root
+		t.Errorf("nodes = %d, want 3", got)
+	}
+}
+
+// TestBuildTreeProperty is the damage-tolerance property test: random span
+// sets — shuffled order, orphaned parents, self-parents, duplicate IDs,
+// random cycles — must never panic, never lose a span and never duplicate
+// one. The RNG is seeded so failures replay.
+func TestBuildTreeProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		n := rnd.Intn(40)
+		spans := make([]Record, 0, n)
+		idPool := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			var id string
+			switch {
+			case rnd.Float64() < 0.1:
+				id = "" // anonymous
+			case rnd.Float64() < 0.15 && len(idPool) > 0:
+				id = idPool[rnd.Intn(len(idPool))] // duplicate
+			default:
+				id = fmt.Sprintf("s%d", i)
+			}
+			var parent string
+			switch {
+			case rnd.Float64() < 0.2:
+				parent = "" // root
+			case rnd.Float64() < 0.3:
+				parent = fmt.Sprintf("missing-%d", rnd.Intn(5)) // orphan
+			case rnd.Float64() < 0.4:
+				parent = id // self-parent
+			case rnd.Float64() < 0.5:
+				parent = fmt.Sprintf("s%d", rnd.Intn(n)) // may be later, a dup, or itself → cycles
+			default:
+				if len(idPool) > 0 {
+					parent = idPool[rnd.Intn(len(idPool))]
+				}
+			}
+			if id != "" {
+				idPool = append(idPool, id)
+			}
+			spans = append(spans, rec(id, parent, fmt.Sprintf("op%d", i), rnd.Intn(1000)))
+		}
+		rnd.Shuffle(len(spans), func(i, j int) { spans[i], spans[j] = spans[j], spans[i] })
+
+		root := BuildTree(spans) // must not panic
+		if n == 0 {
+			if root != nil {
+				t.Fatalf("trial %d: empty input built a tree", trial)
+			}
+			continue
+		}
+		want := uniqueSpanCount(spans)
+		got := CountNodes(root)
+		if got != want && got != want+1 { // +1 when a synthetic root was added
+			t.Fatalf("trial %d: tree holds %d nodes, want %d (or +1 synthetic): input %+v",
+				trial, got, want, spans)
+		}
+		if d := Depth(root); d < 1 || d > got {
+			t.Fatalf("trial %d: depth %d outside [1, %d]", trial, d, got)
+		}
+		assertNoSharedNodes(t, trial, root)
+	}
+}
+
+// uniqueSpanCount mirrors BuildTree's normalization: blanks get fresh IDs,
+// duplicates collapse.
+func uniqueSpanCount(spans []Record) int {
+	seen := map[string]bool{}
+	anon := 0
+	count := 0
+	for _, r := range spans {
+		id := r.SpanID
+		if id == "" {
+			anon++
+			id = fmt.Sprintf("anon-%d", anon)
+		}
+		if !seen[id] {
+			seen[id] = true
+			count++
+		}
+	}
+	return count
+}
+
+// assertNoSharedNodes walks the tree and fails if any node is reachable
+// twice (a broken cycle that left a node under two parents).
+func assertNoSharedNodes(t *testing.T, trial int, root *Node) {
+	t.Helper()
+	seen := map[*Node]bool{}
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if seen[n] {
+			t.Fatalf("trial %d: node %s appears twice in the tree", trial, n.SpanID)
+		}
+		seen[n] = true
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+}
+
+// FuzzBuildTree feeds the assembler byte-derived span soup; the mutator
+// explores ID collisions, parent references and orderings the property
+// test's distribution misses.
+func FuzzBuildTree(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7})
+	f.Add([]byte{1, 0, 2, 1, 3, 2, 0, 0, 5, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Each byte pair is one span: (id selector, parent selector); the
+		// low bits fold into a small ID space so collisions are common.
+		spans := make([]Record, 0, len(data)/2)
+		for i := 0; i+1 < len(data); i += 2 {
+			id := ""
+			if data[i] != 0 {
+				id = fmt.Sprintf("s%d", data[i]%16)
+			}
+			parent := ""
+			if data[i+1] != 0 {
+				parent = fmt.Sprintf("s%d", data[i+1]%16)
+			}
+			spans = append(spans, rec(id, parent, "op", int(data[i])))
+		}
+		root := BuildTree(spans)
+		if len(spans) == 0 {
+			if root != nil {
+				t.Fatal("empty input built a tree")
+			}
+			return
+		}
+		want := uniqueSpanCount(spans)
+		got := CountNodes(root)
+		if got != want && got != want+1 {
+			t.Fatalf("tree holds %d nodes, want %d (or +1 synthetic)", got, want)
+		}
+		assertNoSharedNodes(t, 0, root)
+	})
+}

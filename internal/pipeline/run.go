@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/mc"
+	"repro/internal/obs/trace"
 	"repro/internal/registry"
 	"repro/internal/spice"
 )
@@ -116,17 +117,34 @@ func Run(ctx context.Context, req Request, opts Options) (*Result, error) {
 	}
 	ctx = core.WithFitWorkers(ctx, opts.FitWorkers)
 	stageStart := time.Now()
+	// Each stage runs under its own child span of the job trace (when one
+	// rides on ctx); stageCtx carries it into the stage's inner calls so
+	// solver trials and CV folds nest beneath the stage.
+	stageCtx := ctx
+	var stageSpan *trace.Span
+	beginStage := func(stage string) {
+		stageCtx, stageSpan = trace.Start(ctx, "stage."+stage)
+	}
 	fail := func(stage string, err error) (*Result, error) {
 		emit(StageEvent{Stage: stage, Err: err, Seconds: time.Since(stageStart).Seconds()})
+		stageSpan.EndErr(err)
 		return nil, err
 	}
 	done := func(ev StageEvent) {
 		ev.Seconds = time.Since(stageStart).Seconds()
 		emit(ev)
+		if ev.Samples > 0 {
+			stageSpan.SetAttr("samples", ev.Samples)
+		}
+		if ev.Detail != "" {
+			stageSpan.SetAttr("detail", ev.Detail)
+		}
+		stageSpan.End()
 		stageStart = time.Now()
 	}
 
 	// Stage 1: parse the netlist.
+	beginStage(StageParse)
 	nl, err := spice.ParseNetlist(strings.NewReader(req.Netlist))
 	if err != nil {
 		return fail(StageParse, err)
@@ -135,6 +153,7 @@ func Run(ctx context.Context, req Request, opts Options) (*Result, error) {
 
 	// Stage 2: validate the spec against the deck and build the variation
 	// space and the Hermite dictionary.
+	beginStage(StageSpace)
 	sim, err := NewSimulator(nl, &req.Spec)
 	if err != nil {
 		return fail(StageSpace, err)
@@ -150,6 +169,7 @@ func Run(ctx context.Context, req Request, opts Options) (*Result, error) {
 	// Stage 3: sample. Both modes share one virtual sample stream, so the
 	// fit stage regenerates the points from (seed, K) instead of storing
 	// them.
+	beginStage(StageSample)
 	sp := req.Spec.Sampling
 	var f []float64
 	switch sp.Mode {
@@ -158,12 +178,14 @@ func Run(ctx context.Context, req Request, opts Options) (*Result, error) {
 		if err != nil {
 			return fail(StageSample, err)
 		}
-		ar, err := exp.AdaptiveFitCtx(observed(ctx, opts, "adaptive"), sim, b, fitter, exp.AdaptiveConfig{
+		adaptiveSpans := trace.NewSpanSet(stageCtx)
+		ar, err := exp.AdaptiveFitCtx(observed(stageCtx, opts, "adaptive", adaptiveSpans), sim, b, fitter, exp.AdaptiveConfig{
 			InitialK: sp.Samples, MaxK: sp.MaxSamples,
 			TargetErr: sp.TargetErr, RelImprove: sp.RelImprove,
 			Folds: req.Spec.Fit.Folds, MaxLambda: req.Spec.Fit.MaxLambda,
 			Seed: sp.Seed, Workers: opts.SimWorkers,
 		})
+		adaptiveSpans.Close()
 		if err != nil {
 			return fail(StageSample, err)
 		}
@@ -185,7 +207,7 @@ func Run(ctx context.Context, req Request, opts Options) (*Result, error) {
 			Detail:  fmt.Sprintf("adaptive %d rounds, K=%d, converged=%t", len(ar.Rounds), ar.K, ar.Converged),
 		})
 	default: // ModeMC
-		vals, simDur, err := mc.SampleVirtualRangeCtx(ctx, sim, 0, sp.Samples, sp.Seed, mc.Options{Workers: opts.SimWorkers})
+		vals, simDur, err := mc.SampleVirtualRangeCtx(stageCtx, sim, 0, sp.Samples, sp.Seed, mc.Options{Workers: opts.SimWorkers})
 		if err != nil {
 			return fail(StageSample, err)
 		}
@@ -202,6 +224,22 @@ func Run(ctx context.Context, req Request, opts Options) (*Result, error) {
 	}
 
 	// Stage 4: cross-validated solver selection over the shared design.
+	beginStage(StageFit)
+	// cvTrial runs one solver's cross-validation under its own child span
+	// of the fit stage, with each CV fold and the final refit as
+	// grandchildren — the deepest level of the job trace.
+	cvTrial := func(fitter core.PathFitter, design basis.Design) (*core.CVResult, error) {
+		trialCtx, trialSpan := trace.Start(stageCtx, "solver."+fitter.Name())
+		foldSpans := trace.NewSpanSet(trialCtx)
+		cv, err := core.CrossValidateCtx(observed(trialCtx, opts, fitter.Name(), foldSpans), fitter, design, f, req.Spec.Fit.Folds, req.Spec.Fit.MaxLambda)
+		foldSpans.Close()
+		if err == nil {
+			trialSpan.SetAttr("lambda", cv.BestLambda)
+			trialSpan.SetAttr("cv_error", cv.ErrCurve[cv.BestLambda-1])
+		}
+		trialSpan.EndErr(err)
+		return cv, err
+	}
 	design := core.Subset(basis.NewGeneratedDesign(b, res.Samples, sp.Seed), seq(res.Samples))
 	var winner *core.Model
 	for _, name := range req.Spec.Fit.Solvers {
@@ -213,7 +251,7 @@ func Run(ctx context.Context, req Request, opts Options) (*Result, error) {
 			return fail(StageFit, err)
 		}
 		t0 := time.Now()
-		cv, err := core.CrossValidateCtx(observed(ctx, opts, fitter.Name()), fitter, design, f, req.Spec.Fit.Folds, req.Spec.Fit.MaxLambda)
+		cv, err := cvTrial(fitter, design)
 		if err != nil {
 			return fail(StageFit, fmt.Errorf("solver %s: %w", name, err))
 		}
@@ -231,7 +269,7 @@ func Run(ctx context.Context, req Request, opts Options) (*Result, error) {
 		// model (the adaptive result's model is already exactly this, but
 		// re-deriving it here keeps the winner path uniform and cheap).
 		fitter, _ := core.SolverByName(res.Solver)
-		cv, err := core.CrossValidateCtx(observed(ctx, opts, res.Solver), fitter, design, f, req.Spec.Fit.Folds, req.Spec.Fit.MaxLambda)
+		cv, err := cvTrial(fitter, design)
 		if err != nil {
 			return fail(StageFit, err)
 		}
@@ -244,6 +282,7 @@ func Run(ctx context.Context, req Request, opts Options) (*Result, error) {
 	})
 
 	// Stage 5: publish with pipeline provenance.
+	beginStage(StagePublish)
 	sum := sha256.Sum256([]byte(req.Netlist))
 	trialErrs := make(map[string]float64, len(res.Trials))
 	for _, t := range res.Trials {
@@ -280,13 +319,25 @@ func Run(ctx context.Context, req Request, opts Options) (*Result, error) {
 
 // observed threads the run's fit observer into a stage context, prefixing
 // event stages with the solver label so one job timeline can interleave
-// several solvers unambiguously.
-func observed(ctx context.Context, opts Options, label string) context.Context {
-	if opts.FitObserver == nil {
+// several solvers unambiguously. The SpanSet additionally turns the raw
+// (unprefixed) stage labels into child spans of ctx's span — one per CV
+// fold, one for the final refit — with the last iteration's counters as
+// attrs.
+func observed(ctx context.Context, opts Options, label string, spans *trace.SpanSet) context.Context {
+	obs := opts.FitObserver
+	if obs == nil && spans == nil {
 		return ctx
 	}
-	obs := opts.FitObserver
 	return core.WithFitObserver(ctx, func(ev core.FitEvent) {
+		stage := ev.Stage
+		if stage == "" {
+			stage = label
+		}
+		spans.Observe(stage, trace.Int("iter", ev.Iter),
+			trace.Int("active", ev.Active), trace.Float("residual", ev.Residual))
+		if obs == nil {
+			return
+		}
 		if ev.Stage == "" {
 			ev.Stage = label
 		} else {

@@ -112,6 +112,7 @@ type JobStatus struct {
 	ID        string     `json:"id"`
 	Kind      string     `json:"kind,omitempty"` // "fit" | "pipeline"
 	RequestID string     `json:"request_id,omitempty"`
+	TraceID   string     `json:"trace_id,omitempty"`
 	State     string     `json:"state"` // pending | running | done | failed | canceled | timed_out
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`
@@ -229,7 +230,86 @@ type YieldResponse struct {
 // "disabled" (no -journal-dir).
 type HealthResponse struct {
 	Status        string  `json:"status"`
+	Version       string  `json:"version,omitempty"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Models        int     `json:"models"`
 	Journal       string  `json:"journal,omitempty"`
+}
+
+// JobEvent types: which leg of a job's live timeline an event belongs to.
+const (
+	// JobEventState marks a lifecycle transition (pending, running, done…).
+	JobEventState = "state"
+	// JobEventFit carries one solver telemetry event.
+	JobEventFit = "fit"
+	// JobEventStage carries one completed (or failed) pipeline stage.
+	JobEventStage = "stage"
+)
+
+// JobEvent is one entry in a job's live event timeline
+// (GET /v1/jobs/{id}/events, and the SSE stream with ?stream=1). Seq is a
+// per-job monotonically increasing sequence number — SSE clients resume from
+// it. Exactly one of State/Fit/Stage is populated, per Type.
+type JobEvent struct {
+	Seq   int                `json:"seq"`
+	Type  string             `json:"type"` // "state" | "fit" | "stage"
+	Time  time.Time          `json:"time"`
+	State string             `json:"state,omitempty"`
+	Error string             `json:"error,omitempty"`
+	Fit   *FitEventInfo      `json:"fit,omitempty"`
+	Stage *PipelineStageInfo `json:"stage,omitempty"`
+}
+
+// JobEventList is the non-streaming body of GET /v1/jobs/{id}/events: the
+// retained timeline snapshot plus the job's current state.
+type JobEventList struct {
+	JobID  string     `json:"job_id"`
+	State  string     `json:"state"`
+	Events []JobEvent `json:"events"`
+}
+
+// TraceSummary is one trace in GET /v1/traces: the root span's identity and
+// aggregate status, without the span tree.
+type TraceSummary struct {
+	TraceID         string    `json:"trace_id"`
+	Name            string    `json:"name"`
+	Status          string    `json:"status"`
+	Start           time.Time `json:"start"`
+	DurationSeconds float64   `json:"duration_seconds"`
+	Spans           int       `json:"spans"`
+	Dropped         int       `json:"dropped,omitempty"`
+	Complete        bool      `json:"complete"`
+}
+
+// TraceListResponse is the body of GET /v1/traces.
+type TraceListResponse struct {
+	Traces []TraceSummary `json:"traces"`
+}
+
+// SpanNode is one span plus its children in an assembled trace tree
+// (GET /v1/traces/{id}, GET /v1/jobs/{id}/trace).
+type SpanNode struct {
+	SpanID          string         `json:"span_id"`
+	ParentID        string         `json:"parent_id,omitempty"`
+	Name            string         `json:"name"`
+	Start           time.Time      `json:"start"`
+	DurationSeconds float64        `json:"duration_seconds"`
+	Status          string         `json:"status"`
+	Error           string         `json:"error,omitempty"`
+	Attrs           map[string]any `json:"attrs,omitempty"`
+	Children        []*SpanNode    `json:"children,omitempty"`
+}
+
+// TraceResponse is the assembled span tree of one trace.
+type TraceResponse struct {
+	TraceID         string    `json:"trace_id"`
+	Name            string    `json:"name"`
+	Status          string    `json:"status"`
+	Start           time.Time `json:"start"`
+	DurationSeconds float64   `json:"duration_seconds"`
+	Complete        bool      `json:"complete"`
+	Dropped         int       `json:"dropped,omitempty"`
+	Spans           int       `json:"spans"`
+	Depth           int       `json:"depth"`
+	Root            *SpanNode `json:"root"`
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs/trace"
 )
 
 // microBatcher coalesces concurrent small predict requests for the same
@@ -77,7 +78,13 @@ func newMicroBatcher(window time.Duration, maxPoints, workers int, observe func(
 // its flush completes or ctx dies. It returns the values aligned with
 // points and the number of callers coalesced into the evaluation (1 when
 // the group ran alone or bypassed coalescing).
-func (b *microBatcher) predict(ctx context.Context, key string, cp *core.CompiledPredictor, points [][]float64) ([]float64, int, error) {
+func (b *microBatcher) predict(ctx context.Context, key string, cp *core.CompiledPredictor, points [][]float64) (values []float64, coalesced int, err error) {
+	_, span := trace.Start(ctx, "predict.coalesce",
+		trace.WithAttrs(trace.Int("points", len(points))))
+	defer func() {
+		span.SetAttr("coalesced", coalesced)
+		span.EndErr(err)
+	}()
 	if len(points) >= b.maxPoints {
 		values, err := cp.Predict(nil, points, b.workers)
 		return values, 1, err

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"io"
 	"log/slog"
 	"testing"
@@ -71,7 +72,7 @@ func BenchmarkPredictServed(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			cp, err := s.compiled(e)
+			cp, err := s.compiled(context.Background(), e)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -83,13 +84,13 @@ func BenchmarkPredictServed(b *testing.B) {
 
 	b.Run("cached", func(b *testing.B) {
 		s := servedBenchServer(b, reg, Config{PredictWorkers: 1})
-		if _, err := s.compiled(e); err != nil { // warm the LRU
+		if _, err := s.compiled(context.Background(), e); err != nil { // warm the LRU
 			b.Fatal(err)
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			cp, err := s.compiled(e)
+			cp, err := s.compiled(context.Background(), e)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -105,7 +106,7 @@ func BenchmarkPredictServed(b *testing.B) {
 			BatchWindow:    100 * time.Microsecond,
 			BatchMaxPoints: 256,
 		})
-		cp, err := s.compiled(e)
+		cp, err := s.compiled(context.Background(), e)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -16,6 +16,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -975,4 +976,59 @@ func TestCrashRecoveryCancelReplayedJob(t *testing.T) {
 	if st := getJobStatus(t, hs3.URL, stuckID); st.RecoveryAttempt != 2 {
 		t.Fatalf("stuck job recovery_attempt = %d, want 2", st.RecoveryAttempt)
 	}
+}
+
+// TestCrashRecoveryQueueDepthDrainsToZero is the queue-depth gauge
+// regression test: across every release path — worker pickup, cancellation
+// of a pending job, a crash with jobs queued, and journal replay on the
+// next boot — rsmd_job_queue_depth must end at exactly zero, in the JSON
+// tree and in the Prometheus exposition. The gauge counts jobs admitted
+// but not yet released by leaveQueue, so a double-release or a missed
+// release on any of those paths shows up here as a nonzero residue.
+func TestCrashRecoveryQueueDepthDrainsToZero(t *testing.T) {
+	armFaults(t, "server.fit=delay:60s")
+	dir := t.TempDir()
+	s1, hs1 := newJournaledServer(t, dir, Config{FitWorkers: 1, QueueDepth: 8})
+
+	runningID := submitChaosFit(t, hs1.URL, "depth-running")
+	waitRunning(t, hs1.URL, runningID)
+	queuedID := submitChaosFit(t, hs1.URL, "depth-queued")
+	doomedID := submitChaosFit(t, hs1.URL, "depth-doomed")
+	if n := metricInt(t, hs1.URL, "queue", "depth"); n != 2 {
+		t.Fatalf("depth with 1 running + 2 pending = %d, want 2", n)
+	}
+	// Pending-cancel is one of the two release paths; it must decrement
+	// exactly once.
+	if resp := cancelJob(t, hs1.URL, doomedID); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel pending: HTTP %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	if n := metricInt(t, hs1.URL, "queue", "depth"); n != 1 {
+		t.Fatalf("depth after pending-cancel = %d, want 1", n)
+	}
+	crashServer(t, s1, hs1)
+
+	// Reboot without the stall: the journal replays the running and queued
+	// jobs, both run to done, and the gauge must return to zero — replayed
+	// jobs occupy depth slots too and must release them on pickup.
+	faultinject.Reset()
+	s2, hs2 := newJournaledServer(t, dir, Config{FitWorkers: 1, QueueDepth: 8})
+	t.Cleanup(func() { hs2.Close(); s2.Close() })
+	for _, id := range []string{runningID, queuedID} {
+		if st := waitTerminal(t, hs2.URL, id, 30*time.Second); st.State != JobDone {
+			t.Fatalf("replayed job %s state %s (%q), want done", id, st.State, st.Error)
+		}
+	}
+	if st := getJobStatus(t, hs2.URL, doomedID); st.State != JobCanceled {
+		t.Fatalf("canceled job resurrected as %s", st.State)
+	}
+	if n := metricInt(t, hs2.URL, "queue", "depth"); n != 0 {
+		t.Fatalf("depth after recovery drained = %d, want 0", n)
+	}
+	body := scrapeText(t, hs2.URL)
+	if !regexp.MustCompile(`(?m)^rsmd_job_queue_depth 0$`).MatchString(body) {
+		t.Fatalf("gauge not zero in exposition:\n%s", grepLines(body, "rsmd_job_queue_depth"))
+	}
+	assertHealthy(t, hs2.URL)
 }

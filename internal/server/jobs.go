@@ -16,7 +16,13 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/journal"
 	"repro/internal/mc"
+	"repro/internal/obs/trace"
 )
+
+// jobEventBuffer bounds the live-event channel handed to each subscriber;
+// a subscriber that lags this far behind loses events (the SSE handler
+// reports the gap via sequence numbers).
+const jobEventBuffer = 256
 
 // maxJobEvents caps the per-job fit timeline so a pathological request
 // (huge max_lambda × many folds) cannot grow a job record without bound.
@@ -67,6 +73,16 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// span is the job-lifetime trace span (a pinned holder under the
+	// submitting request's trace, or a root of its own for recovered jobs);
+	// nil when tracing is disabled. traceID is cached for status reports.
+	span    *trace.Span
+	traceID string
+
+	// leftQueue marks that the job's pending-depth slot was released
+	// (worker pickup or pending-cancel); guarded by q.mu via leaveQueue.
+	leftQueue bool
+
 	mu        sync.Mutex
 	state     string
 	submitted time.Time
@@ -77,10 +93,80 @@ type job struct {
 	presult   *PipelineResult
 	events    []FitEventInfo      // solver telemetry timeline, capped at maxJobEvents
 	stages    []PipelineStageInfo // pipeline stage timeline
+	// timeline is the unified job event stream (state transitions, fit
+	// telemetry, pipeline stages) served by GET /v1/jobs/{id}/events; subs
+	// are the live SSE subscribers, closed on the terminal transition.
+	timeline []JobEvent
+	seq      int
+	subs     map[int]chan JobEvent
+	nextSub  int
 	// noPersist suppresses the terminal journal record for drain/shutdown
 	// cancellations: the job must be re-run after restart, so its journal
 	// trail is deliberately left non-terminal.
 	noPersist bool
+}
+
+// broadcastLocked stamps, records and fans one event out to the live
+// subscribers. Caller holds j.mu. The timeline shares maxJobEvents with the
+// fit-event cap (plus slack for state/stage entries, which are few); a
+// lagging subscriber's full channel drops the event for that subscriber
+// only — sequence numbers let it detect the gap.
+func (j *job) broadcastLocked(ev JobEvent) {
+	j.seq++
+	ev.Seq = j.seq
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	if len(j.timeline) < maxJobEvents+128 {
+		j.timeline = append(j.timeline, ev)
+	}
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// stateEventLocked broadcasts a state-transition event. Caller holds j.mu.
+func (j *job) stateEventLocked() {
+	j.broadcastLocked(JobEvent{Type: JobEventState, State: j.state, Error: j.err})
+}
+
+// closeSubsLocked ends every live subscription — the job reached a
+// terminal state and no further events can come. Caller holds j.mu.
+func (j *job) closeSubsLocked() {
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+}
+
+// subscribe returns the job's event timeline so far plus, for a live job,
+// a channel of subsequent events and a cancel func. A terminal job returns
+// a nil channel: the snapshot is the whole story.
+func (j *job) subscribe() (snapshot []JobEvent, ch chan JobEvent, cancel func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	snapshot = append([]JobEvent(nil), j.timeline...)
+	if terminalState(j.state) {
+		return snapshot, nil, func() {}
+	}
+	c := make(chan JobEvent, jobEventBuffer)
+	if j.subs == nil {
+		j.subs = make(map[int]chan JobEvent)
+	}
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = c
+	return snapshot, c, func() {
+		j.mu.Lock()
+		if sub, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+			close(sub)
+		}
+		j.mu.Unlock()
+	}
 }
 
 // status snapshots the job as an API JobStatus.
@@ -88,7 +174,7 @@ func (j *job) status() *JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	s := &JobStatus{
-		ID: j.id, Kind: j.kind, RequestID: j.requestID, State: j.state,
+		ID: j.id, Kind: j.kind, RequestID: j.requestID, TraceID: j.traceID, State: j.state,
 		Submitted: j.submitted, Error: j.err, Result: j.result, Pipeline: j.presult,
 		RecoveryAttempt: j.attempt,
 	}
@@ -113,6 +199,8 @@ func (j *job) status() *JobStatus {
 func (j *job) addStage(info PipelineStageInfo) {
 	j.mu.Lock()
 	j.stages = append(j.stages, info)
+	stage := info
+	j.broadcastLocked(JobEvent{Type: JobEventStage, Stage: &stage})
 	j.mu.Unlock()
 }
 
@@ -120,17 +208,20 @@ func (j *job) addStage(info PipelineStageInfo) {
 // the core.FitObserver for this job's fit, called from the worker goroutine
 // while status polls read concurrently.
 func (j *job) addEvent(ev core.FitEvent) {
+	info := FitEventInfo{
+		Stage:           ev.Stage,
+		Iter:            ev.Iter,
+		Basis:           ev.Basis,
+		Active:          ev.Active,
+		Residual:        ev.Residual,
+		ElapsedSeconds:  ev.Elapsed.Seconds(),
+		ParallelWorkers: ev.Workers,
+	}
 	j.mu.Lock()
 	if len(j.events) < maxJobEvents {
-		j.events = append(j.events, FitEventInfo{
-			Stage:           ev.Stage,
-			Iter:            ev.Iter,
-			Basis:           ev.Basis,
-			Active:          ev.Active,
-			Residual:        ev.Residual,
-			ElapsedSeconds:  ev.Elapsed.Seconds(),
-			ParallelWorkers: ev.Workers,
-		})
+		j.events = append(j.events, info)
+		fit := info
+		j.broadcastLocked(JobEvent{Type: JobEventFit, Fit: &fit})
 	}
 	j.mu.Unlock()
 }
@@ -145,6 +236,7 @@ func (j *job) begin() bool {
 	}
 	j.state = JobRunning
 	j.started = time.Now()
+	j.stateEventLocked()
 	return true
 }
 
@@ -161,6 +253,8 @@ func (j *job) finish(state, errMsg string, result *FitResult) bool {
 	j.result = result
 	j.finished = time.Now()
 	persist := !j.noPersist
+	j.stateEventLocked()
+	j.closeSubsLocked()
 	j.mu.Unlock()
 	j.q.noteTerminal(j, state, errMsg, persist)
 	return true
@@ -178,6 +272,8 @@ func (j *job) finishPipeline(state, errMsg string, result *PipelineResult) bool 
 	j.presult = result
 	j.finished = time.Now()
 	persist := !j.noPersist
+	j.stateEventLocked()
+	j.closeSubsLocked()
 	j.mu.Unlock()
 	j.q.noteTerminal(j, state, errMsg, persist)
 	return true
@@ -200,6 +296,8 @@ func (j *job) requestCancel(reason string, persist bool) bool {
 		j.state = JobCanceled
 		j.err = reason
 		j.finished = time.Now()
+		j.stateEventLocked()
+		j.closeSubsLocked()
 	}
 	if !persist {
 		// Mark before cancel() so the worker's finish() sees it when the
@@ -209,6 +307,9 @@ func (j *job) requestCancel(reason string, persist bool) bool {
 	j.mu.Unlock()
 	j.cancel()
 	if wasPending {
+		// The job never reached a worker: release its pending-depth slot
+		// here (the worker's own release at pickup is an idempotent no-op).
+		j.q.leaveQueue(j)
 		j.q.noteTerminal(j, JobCanceled, reason, persist)
 	}
 	return wasPending
@@ -224,6 +325,12 @@ type jobQueue struct {
 	idem   map[string]*job // Idempotency-Key → original job
 	nextID int
 	closed bool
+	// pending counts jobs admitted but not yet released by leaveQueue
+	// (worker pickup or pending-cancel) — the rsmd_job_queue_depth gauge.
+	// Tracked explicitly rather than as len(queue) because a job canceled
+	// while queued still occupies a channel slot until a worker skips it,
+	// and that slot must not read as backlog.
+	pending int
 
 	queue      chan *job
 	wg         sync.WaitGroup
@@ -250,22 +357,25 @@ func newJobQueue(depth int, onTerminal func(kind, state string), jnl *journal.Jo
 // whole lifecycle — submission log line, worker log lines, status polls —
 // correlates back to one trace. existing reports an Idempotency-Key dedup
 // hit: the returned job is the original, and nothing new was enqueued.
-func (q *jobQueue) submit(req FitRequest, requestID, idemKey string) (j *job, existing bool, err error) {
-	return q.enqueue(&job{kind: JobKindFit, requestID: requestID, idemKey: idemKey, req: req})
+func (q *jobQueue) submit(ctx context.Context, req FitRequest, requestID, idemKey string) (j *job, existing bool, err error) {
+	return q.enqueue(ctx, &job{kind: JobKindFit, requestID: requestID, idemKey: idemKey, req: req})
 }
 
 // submitPipeline enqueues a pipeline job into the same bounded queue and
 // worker pool fit jobs use, so one saturation/load-shedding policy governs
 // both.
-func (q *jobQueue) submitPipeline(req PipelineRequest, requestID, idemKey string) (j *job, existing bool, err error) {
-	return q.enqueue(&job{kind: JobKindPipeline, requestID: requestID, idemKey: idemKey, pipeReq: &req})
+func (q *jobQueue) submitPipeline(ctx context.Context, req PipelineRequest, requestID, idemKey string) (j *job, existing bool, err error) {
+	return q.enqueue(ctx, &job{kind: JobKindPipeline, requestID: requestID, idemKey: idemKey, pipeReq: &req})
 }
 
 // enqueue assigns the job its ID and context and admits it to the queue,
 // after the journal (when attached) durably recorded the submission. The
 // fsync happens under the queue lock — submissions serialize on it, which
-// is the price of never acknowledging a job the disk hasn't seen.
-func (q *jobQueue) enqueue(j *job) (*job, bool, error) {
+// is the price of never acknowledging a job the disk hasn't seen. The
+// submitting request's ctx supplies the trace: the job gets a pinned
+// holding span under it, created before the channel send so a worker can
+// never pick the job up span-less.
+func (q *jobQueue) enqueue(ctx context.Context, j *job) (*job, bool, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
@@ -291,10 +401,14 @@ func (q *jobQueue) enqueue(j *job) (*job, bool, error) {
 		if err != nil {
 			return nil, false, fmt.Errorf("server: encode job payload: %w", err)
 		}
-		if err := q.jnl.Append(journal.Record{
+		_, jspan := trace.Start(ctx, "journal.append",
+			trace.WithAttrs(trace.String("record", journal.TypeSubmitted)))
+		err = q.jnl.Append(journal.Record{
 			Type: journal.TypeSubmitted, JobID: id, Kind: j.kind,
 			RequestID: j.requestID, IdemKey: j.idemKey, Payload: payload,
-		}); err != nil {
+		})
+		jspan.EndErr(err)
+		if err != nil {
 			return nil, false, fmt.Errorf("server: job journal degraded, async submits disabled: %w", err)
 		}
 	}
@@ -304,6 +418,11 @@ func (q *jobQueue) enqueue(j *job) (*job, bool, error) {
 	j.state = JobPending
 	j.submitted = time.Now()
 	j.q = q
+	_, j.span = trace.Start(ctx, "job", trace.WithHold(), trace.WithPin(),
+		trace.WithAttrs(trace.String("job_id", id), trace.String("kind", j.kind)))
+	j.traceID = j.span.TraceID()
+	j.stateEventLocked() // seed the event timeline with "pending"
+	q.pending++
 	// Cannot block: capacity was checked under the lock and only workers
 	// drain the channel.
 	q.queue <- j
@@ -330,6 +449,12 @@ func (q *jobQueue) restore(j *job, enqueue bool) {
 	if n, ok := jobIDNum(j.id); ok && n > q.nextID {
 		q.nextID = n
 	}
+	if enqueue {
+		q.pending++
+		j.mu.Lock()
+		j.stateEventLocked()
+		j.mu.Unlock()
+	}
 	q.mu.Unlock()
 	if enqueue {
 		q.queue <- j
@@ -349,6 +474,13 @@ func jobIDNum(id string) (int, bool) {
 // terminal-state metrics and, when persist is set, appends the terminal
 // journal record. Callers must not hold j.mu.
 func (q *jobQueue) noteTerminal(j *job, state, errMsg string, persist bool) {
+	// End the job's trace span here — the single terminal sink — so every
+	// terminal path (worker finish, pending-cancel, drain) seals the trace.
+	j.span.SetAttr("state", state)
+	if state == JobFailed || state == JobTimedOut {
+		j.span.SetStatus(trace.StatusError, errMsg)
+	}
+	j.span.End()
 	if q.onTerminal != nil {
 		q.onTerminal(j.kind, state)
 	}
@@ -413,12 +545,31 @@ func (q *jobQueue) get(id string) (*job, bool) {
 }
 
 // saturated reports whether the pending-job channel is full — the signal the
-// server's load shedding keys off.
+// server's load shedding keys off. It deliberately reads the channel, not
+// the pending counter: a canceled-but-unskipped job still occupies a
+// channel slot, so admission capacity really is exhausted until a worker
+// drains it.
 func (q *jobQueue) saturated() bool { return len(q.queue) == cap(q.queue) }
 
-// depth reports the number of jobs queued but not yet picked up by a
-// worker — the rsmd_job_queue_depth gauge.
-func (q *jobQueue) depth() int { return len(q.queue) }
+// depth reports the number of jobs admitted and still awaiting a worker —
+// the rsmd_job_queue_depth gauge. Jobs canceled while pending leave the
+// count immediately even though they sit in the channel until skipped.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pending
+}
+
+// leaveQueue releases the job's pending-depth slot, exactly once across
+// the two release paths (worker pickup, pending-cancel).
+func (q *jobQueue) leaveQueue(j *job) {
+	q.mu.Lock()
+	if !j.leftQueue {
+		j.leftQueue = true
+		q.pending--
+	}
+	q.mu.Unlock()
+}
 
 // cancelJob requests client cancellation of the job with the given id; the
 // canceled outcome is journaled so it sticks across restarts (a canceled
@@ -483,6 +634,7 @@ func (q *jobQueue) startWorkers(n int, fn func(*job)) {
 		go func() {
 			defer q.wg.Done()
 			for j := range q.queue {
+				q.leaveQueue(j)
 				fn(j)
 			}
 		}()
@@ -587,10 +739,31 @@ func (s *Server) runFit(j *job) {
 		"queue_wait_ms", float64(queueWait.Microseconds())/1000.0)
 	ctx, cancelCtx := context.WithTimeout(j.ctx, s.jobDeadline(&j.req))
 	defer cancelCtx()
-	ctx = core.WithFitObserver(ctx, j.addEvent)
+	// Re-attach the job span: j.ctx is rooted in Background (the job
+	// outlives its submitting request), so the trace rides on the job
+	// struct, not the context chain.
+	ctx = trace.ContextWithSpan(ctx, j.span)
+	_, qwSpan := trace.Start(ctx, "queue.wait", trace.WithStart(j.submitted))
+	qwSpan.End()
+	ctx, fitSpan := trace.Start(ctx, "fit", trace.WithAttrs(
+		trace.String("solver", j.req.Solver), trace.Int("folds", j.req.Folds),
+		trace.Int("max_lambda", j.req.MaxLambda)))
+	spans := trace.NewSpanSet(ctx)
+	ctx = core.WithFitObserver(ctx, func(ev core.FitEvent) {
+		j.addEvent(ev)
+		// Each CV fold and the final refit becomes a child span of the fit
+		// span, its attrs left at the last iteration's values.
+		spans.Observe(ev.Stage, trace.Int("iter", ev.Iter),
+			trace.Int("active", ev.Active), trace.Float("residual", ev.Residual))
+	})
 	ctx = core.WithFitWorkers(ctx, s.cfg.FitParallel)
 
 	finish := func(state, errMsg string, result *FitResult) {
+		spans.Close()
+		if state != JobDone {
+			fitSpan.SetStatus(trace.StatusError, errMsg)
+		}
+		fitSpan.End()
 		// Terminal metrics and the journal record ride on job.finish via
 		// the queue's noteTerminal.
 		if !j.finish(state, errMsg, result) {
@@ -673,7 +846,7 @@ func (s *Server) runFit(j *job) {
 		return
 	}
 	fitDur := time.Since(start)
-	s.metrics.observeFit(fitDur, finalIterations(j))
+	s.metrics.observeFit(fitDur, finalIterations(j), j.traceID)
 	finish(JobDone, "", &FitResult{
 		Model:      modelInfo(entry),
 		Lambda:     cv.BestLambda,

@@ -3,11 +3,13 @@ package server
 import (
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/pipeline"
 )
 
@@ -53,6 +55,10 @@ type routeStats struct {
 	errors  int64 // responses with status ≥ 400
 	sumSec  float64
 	buckets []int64 // len(latencyBounds)+1, last is +Inf
+	// exemplars holds the most recent traced request per bucket interval
+	// (lazily allocated; zero entries mean none), rendered as OpenMetrics
+	// exemplar suffixes on the latency bucket lines.
+	exemplars []obs.Exemplar
 }
 
 // metrics is the daemon's stdlib-only observability state, exported as
@@ -189,8 +195,10 @@ func (m *metrics) observeCoalesced(calls, points int) {
 	m.coalescedPoints.Observe(float64(points))
 }
 
-// observe records one request against the labeled route.
-func (m *metrics) observe(route string, status int, d time.Duration) {
+// observe records one request against the labeled route. A non-empty
+// traceID stamps the request's latency bucket with an exemplar pointing at
+// its trace (last traced request wins).
+func (m *metrics) observe(route string, status int, d time.Duration, traceID string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	rs := m.routes[route]
@@ -206,6 +214,12 @@ func (m *metrics) observe(route string, status int, d time.Duration) {
 	rs.sumSec += sec
 	i := sort.SearchFloat64s(latencyBounds, sec)
 	rs.buckets[i]++
+	if traceID != "" {
+		if rs.exemplars == nil {
+			rs.exemplars = make([]obs.Exemplar, len(rs.buckets))
+		}
+		rs.exemplars[i] = obs.Exemplar{TraceID: traceID, Value: sec, Time: time.Now()}
+	}
 }
 
 // countPredictions adds n served points to the model's counter.
@@ -265,9 +279,10 @@ func (m *metrics) observeQueueWait(d time.Duration) {
 }
 
 // observeFit records one completed fit job: wall-clock duration and the
-// number of final-refit path iterations.
-func (m *metrics) observeFit(d time.Duration, iterations int) {
-	m.fitDuration.Observe(d.Seconds())
+// number of final-refit path iterations. A non-empty traceID attaches an
+// exemplar to the fit-duration bucket the job landed in.
+func (m *metrics) observeFit(d time.Duration, iterations int, traceID string) {
+	m.fitDuration.ObserveExemplar(d.Seconds(), traceID)
 	m.fitIterations.Observe(float64(iterations))
 }
 
@@ -281,7 +296,7 @@ type journalStatus struct {
 
 // Snapshot renders the current state as a JSON-encodable tree. Histogram
 // buckets are cumulative, matching their Prometheus-style `le` naming.
-func (m *metrics) Snapshot(models, queueDepth int, cache cacheStats, jnl journalStatus) map[string]any {
+func (m *metrics) Snapshot(models, queueDepth int, cache cacheStats, jnl journalStatus, traces trace.Stats) map[string]any {
 	m.mu.Lock()
 	routes := make(map[string]any, len(m.routes))
 	for route, rs := range m.routes {
@@ -327,9 +342,24 @@ func (m *metrics) Snapshot(models, queueDepth int, cache cacheStats, jnl journal
 
 	return map[string]any{
 		"uptime_seconds": time.Since(m.start).Seconds(),
-		"models":         models,
-		"requests":       routes,
-		"predictions":    predictions,
+		"build": map[string]any{
+			"version":    obs.Version,
+			"go_version": runtime.Version(),
+		},
+		"traces": map[string]any{
+			"enabled":           traces.Enabled,
+			"stored":            traces.Stored,
+			"open":              traces.Open,
+			"capacity":          traces.Capacity,
+			"slow_seconds":      traces.SlowThresholdSeconds,
+			"sample_rate":       traces.SampleRate,
+			"kept_total":        traces.Kept,
+			"sampled_out_total": traces.SampledOut,
+			"evicted_total":     traces.Evicted,
+		},
+		"models":      models,
+		"requests":    routes,
+		"predictions": predictions,
 		"predictor_cache": map[string]int64{
 			"hits":      cache.hits,
 			"misses":    cache.misses,
@@ -369,9 +399,11 @@ func (m *metrics) Snapshot(models, queueDepth int, cache cacheStats, jnl journal
 
 // writePrometheus renders the same state as Prometheus text exposition
 // (format version 0.0.4) with cumulative le buckets.
-func (m *metrics) writePrometheus(w io.Writer, models, queueDepth int, cache cacheStats, jnl journalStatus) error {
+func (m *metrics) writePrometheus(w io.Writer, models, queueDepth int, cache cacheStats, jnl journalStatus, traces trace.Stats) error {
 	pw := obs.NewPromWriter(w)
 
+	pw.Meta("rsmd_build_info", "gauge", "Build identity; always 1, labeled with version and Go toolchain.")
+	pw.Sample("rsmd_build_info", obs.Labels("version", obs.Version, "go_version", runtime.Version()), 1)
 	pw.Meta("rsmd_uptime_seconds", "gauge", "Seconds since the daemon started.")
 	pw.Sample("rsmd_uptime_seconds", "", time.Since(m.start).Seconds())
 	pw.Meta("rsmd_models", "gauge", "Distinct model names in the registry.")
@@ -391,10 +423,14 @@ func (m *metrics) writePrometheus(w io.Writer, models, queueDepth int, cache cac
 	routes := make([]routeSnap, 0, len(routeNames))
 	for _, route := range routeNames {
 		rs := m.routes[route]
+		hist := obs.CumulativeSnapshot(latencyBounds, rs.buckets, rs.sumSec)
+		if rs.exemplars != nil {
+			hist.Exemplars = append([]obs.Exemplar(nil), rs.exemplars...)
+		}
 		routes = append(routes, routeSnap{
 			route: route,
 			rs:    routeStats{count: rs.count, errors: rs.errors, sumSec: rs.sumSec},
-			hist:  obs.CumulativeSnapshot(latencyBounds, rs.buckets, rs.sumSec),
+			hist:  hist,
 		})
 	}
 	modelNames := make([]string, 0, len(m.predictions))
@@ -499,6 +535,21 @@ func (m *metrics) writePrometheus(w io.Writer, models, queueDepth int, cache cac
 	pw.Histogram("rsmd_fit_duration_seconds", "", m.fitDuration.Snapshot())
 	pw.Meta("rsmd_fit_iterations", "histogram", "Final-refit path iterations per completed fit job.")
 	pw.Histogram("rsmd_fit_iterations", "", m.fitIterations.Snapshot())
+
+	pw.Meta("rsmd_traces_enabled", "gauge", "1 when the in-memory trace store is active.")
+	pw.Sample("rsmd_traces_enabled", "", boolGauge(traces.Enabled))
+	pw.Meta("rsmd_traces_stored", "gauge", "Sealed traces currently held in the ring.")
+	pw.Sample("rsmd_traces_stored", "", float64(traces.Stored))
+	pw.Meta("rsmd_traces_open", "gauge", "Traces currently open (root or holder spans still live).")
+	pw.Sample("rsmd_traces_open", "", float64(traces.Open))
+	pw.Meta("rsmd_traces_capacity", "gauge", "Trace ring capacity.")
+	pw.Sample("rsmd_traces_capacity", "", float64(traces.Capacity))
+	pw.Meta("rsmd_traces_kept_total", "counter", "Sealed traces kept by the tail-sampling policy.")
+	pw.Sample("rsmd_traces_kept_total", "", float64(traces.Kept))
+	pw.Meta("rsmd_traces_sampled_out_total", "counter", "Sealed traces dropped by the sampling coin flip.")
+	pw.Sample("rsmd_traces_sampled_out_total", "", float64(traces.SampledOut))
+	pw.Meta("rsmd_traces_evicted_total", "counter", "Kept traces later pushed out of the ring by capacity pressure.")
+	pw.Sample("rsmd_traces_evicted_total", "", float64(traces.Evicted))
 
 	pw.Meta("rsmd_job_queue_depth", "gauge", "Fit jobs currently pending in the queue.")
 	pw.Sample("rsmd_job_queue_depth", "", float64(queueDepth))

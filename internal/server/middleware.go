@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // trace is the outermost per-route middleware: it assigns or honors the
@@ -25,16 +26,33 @@ func (s *Server) trace(route string, h http.HandlerFunc) http.HandlerFunc {
 		w.Header().Set(obs.RequestIDHeader, id)
 
 		logger := s.log.With("request_id", id, "route", route)
-		ctx := obs.WithRequestID(obs.WithLogger(r.Context(), logger), id)
+		ctx := r.Context()
+		ctx, span := s.traces.StartRoot(ctx, route, trace.WithAttrs(
+			trace.String("method", r.Method), trace.String("path", r.URL.Path),
+			trace.String("request_id", id)))
+		if span != nil {
+			logger = logger.With("trace_id", span.TraceID())
+		}
+		ctx = obs.WithRequestID(obs.WithLogger(ctx, logger), id)
 		r = r.WithContext(ctx)
 
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(rec, r)
 		elapsed := time.Since(start)
-		s.metrics.observe(route, rec.status, elapsed)
+		s.metrics.observe(route, rec.status, elapsed, span.TraceID())
+		span.SetAttr("status", rec.status)
+		if rec.status >= 500 {
+			span.SetStatus(trace.StatusError, http.StatusText(rec.status))
+		}
+		span.End()
 
 		level := slogLevelForStatus(rec.status)
+		if slow := s.traces.SlowThreshold(); slow > 0 && elapsed >= slow && level < slog.LevelWarn {
+			// Slow-request escalation: surface the trace ID at Warn so the
+			// dashboard → trace → log-line path works without Debug logs.
+			level = slog.LevelWarn
+		}
 		logger.Log(ctx, level, "request",
 			"method", r.Method,
 			"path", r.URL.Path,
@@ -63,8 +81,20 @@ func slogLevelForStatus(status int) slog.Level {
 // daemon. protect sits inside trace so the synthesized 500 is visible in the
 // route's error counters and the panic log line carries the request ID.
 func (s *Server) protect(route string, h http.HandlerFunc) http.HandlerFunc {
+	return s.protectWith(route, h, true)
+}
+
+// protectStreaming is protect without the request deadline: long-lived
+// streaming responses (SSE job tailing) must be allowed to outlive the
+// RequestTimeout that bounds ordinary request/response handlers. Panic
+// isolation still applies.
+func (s *Server) protectStreaming(route string, h http.HandlerFunc) http.HandlerFunc {
+	return s.protectWith(route, h, false)
+}
+
+func (s *Server) protectWith(route string, h http.HandlerFunc, deadline bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if s.cfg.RequestTimeout > 0 {
+		if deadline && s.cfg.RequestTimeout > 0 {
 			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 			defer cancel()
 			r = r.WithContext(ctx)

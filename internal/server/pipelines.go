@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/pipeline"
 	"repro/internal/registry"
 )
@@ -54,7 +55,7 @@ func (s *Server) handlePipelineSubmit(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	j, existing, err := s.jobs.submitPipeline(req, obs.RequestID(r.Context()), idemKey)
+	j, existing, err := s.jobs.submitPipeline(r.Context(), req, obs.RequestID(r.Context()), idemKey)
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusServiceUnavailable, "%v", err)
@@ -145,6 +146,11 @@ func (s *Server) runPipeline(j *job) {
 	defer s.metrics.pipelineActive(-1)
 	ctx, cancelCtx := context.WithTimeout(j.ctx, s.pipelineDeadline(req))
 	defer cancelCtx()
+	// Re-attach the job span (j.ctx is rooted in Background); the pipeline
+	// stages and solver trials open their own children under it.
+	ctx = trace.ContextWithSpan(ctx, j.span)
+	_, qwSpan := trace.Start(ctx, "queue.wait", trace.WithStart(j.submitted))
+	qwSpan.End()
 
 	finish := func(state, errMsg string, result *PipelineResult) {
 		// Terminal metrics and the journal record ride on finishPipeline
@@ -221,7 +227,7 @@ func (s *Server) runPipeline(j *job) {
 		fail(err)
 		return
 	}
-	s.metrics.observeFit(time.Duration(res.FitSeconds*float64(time.Second)), finalIterations(j))
+	s.metrics.observeFit(time.Duration(res.FitSeconds*float64(time.Second)), finalIterations(j), j.traceID)
 	finish(JobDone, "", &PipelineResult{
 		Model:   modelInfo(res.Entry),
 		Solver:  res.Solver,

@@ -2,10 +2,12 @@ package server
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs/trace"
 	"repro/internal/registry"
 )
 
@@ -142,18 +144,28 @@ func compileEntry(e *registry.Entry) (*core.CompiledPredictor, error) {
 // compiled resolves the serving predictor for one model version: an LRU hit
 // when caching is enabled, a fresh compilation otherwise. Concurrent misses
 // on the same version may compile it more than once; the cache keeps one.
-func (s *Server) compiled(e *registry.Entry) (*core.CompiledPredictor, error) {
+func (s *Server) compiled(ctx context.Context, e *registry.Entry) (*core.CompiledPredictor, error) {
+	_, span := trace.Start(ctx, "predcache.lookup",
+		trace.WithAttrs(trace.String("model", e.Name), trace.Int("version", e.Version)))
 	if s.predCache == nil {
-		return compileEntry(e)
+		span.SetAttr("hit", false)
+		cp, err := compileEntry(e)
+		span.EndErr(err)
+		return cp, err
 	}
 	key := predictorKey(e.Name, e.Version)
 	if cp, ok := s.predCache.get(key); ok {
+		span.SetAttr("hit", true)
+		span.End()
 		return cp, nil
 	}
+	span.SetAttr("hit", false)
 	cp, err := compileEntry(e)
 	if err != nil {
+		span.EndErr(err)
 		return nil, err
 	}
 	s.predCache.put(key, e.Name, cp)
+	span.End()
 	return cp, nil
 }

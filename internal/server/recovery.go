@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"repro/internal/journal"
+	"repro/internal/obs/trace"
 )
 
 // idemKeyHeader carries the client's submit-dedup token on POST /v1/fit
@@ -59,11 +60,20 @@ func idempotencyKey(w http.ResponseWriter, r *http.Request) (string, bool) {
 //   - remaining live jobs are re-enqueued to run again, carrying their
 //     recovery-attempt count into telemetry and provenance.
 func (s *Server) recoverJournal(rp *journal.Replay) {
+	// The whole replay is one pinned boot trace: each replayed job becomes
+	// a child span recording the decision taken for it (restored /
+	// quarantined / recovered), so a crash-recovery boot is inspectable in
+	// /v1/traces like any request.
+	rctx, replaySpan := s.traces.StartRoot(context.Background(), "journal.replay",
+		trace.WithPin(), trace.WithAttrs(trace.Int("jobs", len(rp.Order))))
+	defer replaySpan.End()
 	for _, id := range rp.Order {
 		js, ok := rp.Jobs[id]
 		if !ok {
 			continue // pruned by the terminal-retention bound
 		}
+		_, jobSpan := trace.Start(rctx, "replay.job",
+			trace.WithAttrs(trace.String("job_id", id), trace.String("kind", js.Kind)))
 		s.metrics.countJournal(func(c *journalCounters) { c.replayed++ })
 		j := &job{
 			id: js.ID, kind: js.Kind, requestID: js.RequestID, idemKey: js.IdemKey,
@@ -91,21 +101,35 @@ func (s *Server) recoverJournal(rp *journal.Replay) {
 			j.finished = js.Finished
 			j.cancel()
 			s.jobs.restore(j, false)
+			jobSpan.SetAttr("decision", "restored-terminal")
 		case js.Attempts >= s.cfg.RecoveryMaxAttempts:
 			s.quarantine(j, fmt.Sprintf(
 				"quarantined: job crashed the daemon %d times (recovery limit %d)",
 				js.Attempts, s.cfg.RecoveryMaxAttempts))
+			jobSpan.SetAttr("decision", "quarantined")
 		default:
 			if err := decodeJobPayload(j, js.Payload); err != nil {
 				s.quarantine(j, fmt.Sprintf("quarantined: journal payload unusable: %v", err))
+				jobSpan.SetAttr("decision", "quarantined")
+				jobSpan.EndErr(err)
 				continue
 			}
 			j.state = JobPending
+			// A recovered job's submitting request is long gone; give its
+			// re-run a pinned root trace of its own so GET /v1/jobs/{id}/trace
+			// still works across the crash.
+			_, j.span = s.traces.StartRoot(context.Background(), "job",
+				trace.WithPin(), trace.WithAttrs(
+					trace.String("job_id", j.id), trace.String("kind", j.kind),
+					trace.Int("recovery_attempt", j.attempt), trace.Bool("recovered", true)))
+			j.traceID = j.span.TraceID()
 			s.jobs.restore(j, true)
 			s.metrics.countJournal(func(c *journalCounters) { c.recovered++ })
 			s.log.Info("recovered journaled job", "job_id", j.id, "kind", j.kind,
-				"recovery_attempt", j.attempt, "last_stage", js.LastStage)
+				"recovery_attempt", j.attempt, "last_stage", js.LastStage, "trace_id", j.traceID)
+			jobSpan.SetAttr("decision", "recovered")
 		}
+		jobSpan.End()
 	}
 	if n := len(rp.Order); n > 0 {
 		s.log.Info("journal replay complete", "jobs", n,

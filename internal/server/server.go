@@ -51,6 +51,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/journal"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/registry"
 	"repro/internal/rng"
 	"repro/internal/yield"
@@ -117,6 +118,18 @@ type Config struct {
 	// already been started this many times without reaching a terminal
 	// state is quarantined as failed instead of being re-run (default 3).
 	RecoveryMaxAttempts int
+	// TraceStoreSize bounds the completed-trace ring served by /v1/traces.
+	// 0 selects the default 256; negative disables tracing entirely (spans
+	// become no-ops and the trace endpoints answer 404).
+	TraceStoreSize int
+	// TraceSlow is the slow-trace threshold: traces at or over it are
+	// always kept by tail sampling, and requests over it escalate their
+	// access-log line to Warn (default 1s).
+	TraceSlow time.Duration
+	// TraceSample is the keep probability for fast, successful HTTP traces
+	// (error, slow and job traces are always kept). 0 selects the default
+	// 1.0 (keep everything); negative keeps only error/slow/job traces.
+	TraceSample float64
 	// Logger receives the server's structured logs (default slog.Default()).
 	// Request-scoped loggers derived from it carry request_id and route.
 	Logger *slog.Logger
@@ -180,6 +193,7 @@ type Server struct {
 	metrics   *metrics
 	predCache *predictorCache // nil when caching is disabled
 	batcher   *microBatcher   // nil when micro-batching is disabled
+	traces    *trace.Store    // nil when tracing is disabled
 	log       *slog.Logger
 	mux       *http.ServeMux
 	draining  atomic.Bool
@@ -201,6 +215,11 @@ func New(reg *registry.Registry, cfg Config) (*Server, error) {
 		s.log = slog.Default()
 	}
 	s.metrics.fitParallel = core.ResolveFitWorkers(s.cfg.FitParallel)
+	s.traces = trace.NewStore(trace.Config{
+		Capacity:      s.cfg.TraceStoreSize,
+		SlowThreshold: s.cfg.TraceSlow,
+		SampleRate:    s.cfg.TraceSample,
+	})
 
 	var replay *journal.Replay
 	if s.cfg.JournalDir != "" {
@@ -255,6 +274,13 @@ func New(reg *registry.Registry, cfg Config) (*Server, error) {
 	route("POST /v1/pipelines", s.handlePipelineSubmit)
 	route("GET /v1/pipelines/{id}", s.handlePipelineStatus)
 	route("DELETE /v1/pipelines/{id}", s.handlePipelineCancel)
+	route("GET /v1/traces", s.handleTraceList)
+	route("GET /v1/traces/{id}", s.handleTraceGet)
+	route("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	// The events route streams SSE when asked to; it runs without the
+	// request deadline so a tail can outlive RequestTimeout.
+	mux.HandleFunc("GET /v1/jobs/{id}/events",
+		s.trace("GET /v1/jobs/{id}/events", s.protectStreaming("GET /v1/jobs/{id}/events", s.handleJobEvents)))
 	route("GET /metrics", s.handleMetrics)
 	route("GET /healthz", s.handleHealth)
 	s.mux = mux
@@ -448,7 +474,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusRequestEntityTooLarge, "batch of %d points exceeds limit %d", len(req.Points), s.cfg.MaxBatch)
 		return
 	}
-	cp, err := s.compiled(e)
+	cp, err := s.compiled(r.Context(), e)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -619,7 +645,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	j, existing, err := s.jobs.submit(req, obs.RequestID(r.Context()), idemKey)
+	j, existing, err := s.jobs.submit(r.Context(), req, obs.RequestID(r.Context()), idemKey)
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusServiceUnavailable, "%v", err)
@@ -675,12 +701,12 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if wantsPrometheus(r) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := s.metrics.writePrometheus(w, s.registry.Len(), s.jobs.depth(), s.predCache.stats(), s.journalStatus()); err != nil {
+		if err := s.metrics.writePrometheus(w, s.registry.Len(), s.jobs.depth(), s.predCache.stats(), s.journalStatus(), s.traces.Stats()); err != nil {
 			obs.Log(r.Context()).Error("metrics exposition write failed", "error", err)
 		}
 		return
 	}
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.registry.Len(), s.jobs.depth(), s.predCache.stats(), s.journalStatus()))
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.registry.Len(), s.jobs.depth(), s.predCache.stats(), s.journalStatus(), s.traces.Stats()))
 }
 
 // journalStatus reads the live durable-journal state for the exposition
@@ -716,6 +742,7 @@ func wantsPrometheus(r *http.Request) bool {
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	resp := HealthResponse{
 		Status:        "ok",
+		Version:       obs.Version,
 		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
 		Models:        s.registry.Len(),
 	}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/basis"
 	"repro/internal/core"
+	"repro/internal/obs/trace"
 	"repro/internal/registry"
 	"repro/internal/rng"
 )
@@ -307,13 +309,13 @@ func TestFitJobFailureIsReported(t *testing.T) {
 
 func TestJobQueueBackpressure(t *testing.T) {
 	q := newJobQueue(2, nil, nil, nil) // no workers draining
-	if _, _, err := q.submit(FitRequest{Name: "a"}, "", ""); err != nil {
+	if _, _, err := q.submit(context.Background(), FitRequest{Name: "a"}, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := q.submit(FitRequest{Name: "b"}, "", ""); err != nil {
+	if _, _, err := q.submit(context.Background(), FitRequest{Name: "b"}, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := q.submit(FitRequest{Name: "c"}, "", ""); err == nil {
+	if _, _, err := q.submit(context.Background(), FitRequest{Name: "c"}, "", ""); err == nil {
 		t.Fatal("third submit should hit the queue bound")
 	}
 	q.startWorkers(1, func(j *job) {
@@ -331,7 +333,7 @@ func TestJobQueueBackpressure(t *testing.T) {
 			t.Fatalf("%s state %s", id, j.status().State)
 		}
 	}
-	if _, _, err := q.submit(FitRequest{Name: "d"}, "", ""); err == nil {
+	if _, _, err := q.submit(context.Background(), FitRequest{Name: "d"}, "", ""); err == nil {
 		t.Fatal("submit after close should fail")
 	}
 }
@@ -387,7 +389,7 @@ func TestConcurrentPredicts(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	snap := s.metrics.Snapshot(1, 0, s.predCache.stats(), journalStatus{})
+	snap := s.metrics.Snapshot(1, 0, s.predCache.stats(), journalStatus{}, trace.Stats{})
 	preds := snap["predictions"].(map[string]int64)
 	if preds["lin"] != clients*20*2 {
 		t.Fatalf("prediction counter %d, want %d", preds["lin"], clients*20*2)

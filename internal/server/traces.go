@@ -1,0 +1,262 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs/trace"
+)
+
+// This file serves the tracing read side: the tail-sampled trace store
+// (GET /v1/traces, GET /v1/traces/{id}), the per-job trace tree
+// (GET /v1/jobs/{id}/trace) and the live job event stream
+// (GET /v1/jobs/{id}/events, SSE with ?stream=1).
+
+// sseKeepalive is the comment-ping interval of the SSE stream, keeping
+// intermediaries from idling out a quiet tail (a long sampling stage can
+// legitimately go this long without an event).
+const sseKeepalive = 15 * time.Second
+
+// traceSummary renders one trace's header for the list endpoint.
+func traceSummary(d *trace.Data) TraceSummary {
+	return TraceSummary{
+		TraceID:         d.TraceID,
+		Name:            d.Name,
+		Status:          d.Status,
+		Start:           d.Start,
+		DurationSeconds: d.Duration.Seconds(),
+		Spans:           len(d.Spans),
+		Dropped:         d.Dropped,
+		Complete:        d.Complete,
+	}
+}
+
+// spanNode converts an assembled trace tree into the wire shape.
+func spanNode(n *trace.Node) *SpanNode {
+	if n == nil {
+		return nil
+	}
+	out := &SpanNode{
+		SpanID:          n.SpanID,
+		ParentID:        n.ParentID,
+		Name:            n.Name,
+		Start:           n.Start,
+		DurationSeconds: n.Duration.Seconds(),
+		Status:          n.Status,
+		Error:           n.Error,
+		Attrs:           n.Attrs,
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, spanNode(c))
+	}
+	return out
+}
+
+// traceResponse assembles one trace's span tree for the detail endpoints.
+func traceResponse(d *trace.Data) TraceResponse {
+	root := trace.BuildTree(d.Spans)
+	return TraceResponse{
+		TraceID:         d.TraceID,
+		Name:            d.Name,
+		Status:          d.Status,
+		Start:           d.Start,
+		DurationSeconds: d.Duration.Seconds(),
+		Complete:        d.Complete,
+		Dropped:         d.Dropped,
+		Spans:           trace.CountNodes(root),
+		Depth:           trace.Depth(root),
+		Root:            spanNode(root),
+	}
+}
+
+// tracingEnabled 404s the trace endpoints when the store is disabled
+// (-trace-store 0), mirroring how other opt-out subsystems surface.
+func (s *Server) tracingEnabled(w http.ResponseWriter) bool {
+	if s.traces == nil {
+		writeErr(w, http.StatusNotFound, "tracing disabled (-trace-store 0)")
+		return false
+	}
+	return true
+}
+
+// parseDurationParam accepts a Go duration string ("250ms") or a bare
+// float in seconds ("0.25").
+func parseDurationParam(raw string) (time.Duration, error) {
+	if d, err := time.ParseDuration(raw); err == nil {
+		return d, nil
+	}
+	sec, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q (want Go duration or seconds)", raw)
+	}
+	return time.Duration(sec * float64(time.Second)), nil
+}
+
+// handleTraceList lists sealed traces newest-first, filterable by
+// route/name substring, status, and minimum duration.
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	if !s.tracingEnabled(w) {
+		return
+	}
+	q := r.URL.Query()
+	f := trace.Filter{
+		Name:   q.Get("route"),
+		Status: q.Get("status"),
+	}
+	if f.Name == "" {
+		f.Name = q.Get("name")
+	}
+	if raw := q.Get("min_duration"); raw != "" {
+		d, err := parseDurationParam(raw)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "min_duration: %v", err)
+			return
+		}
+		f.MinDuration = d
+	}
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, "limit=%q, need a positive integer", raw)
+			return
+		}
+		f.Limit = n
+	}
+	list := s.traces.List(f)
+	resp := TraceListResponse{Traces: make([]TraceSummary, len(list))}
+	for i, d := range list {
+		resp.Traces[i] = traceSummary(d)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTraceGet returns one trace's assembled span tree — sealed from the
+// ring, or a live snapshot of a still-open trace.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	if !s.tracingEnabled(w) {
+		return
+	}
+	id := r.PathValue("id")
+	d, ok := s.traces.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown trace %q (sampled out or evicted?)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, traceResponse(d))
+}
+
+// handleJobTrace resolves a job (fit or pipeline) to its trace tree:
+// "my fit is slow" starts at the job ID, not the trace ID.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	if !s.tracingEnabled(w) {
+		return
+	}
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if j.traceID == "" {
+		writeErr(w, http.StatusNotFound, "job %q has no trace (submitted before tracing was enabled?)", id)
+		return
+	}
+	d, ok := s.traces.Get(j.traceID)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "trace %q for job %q no longer stored (evicted)", j.traceID, id)
+		return
+	}
+	writeJSON(w, http.StatusOK, traceResponse(d))
+}
+
+// handleJobEvents serves a job's unified event timeline. The default is a
+// JSON snapshot; ?stream=1 upgrades to Server-Sent Events and tails the
+// live job until it reaches a terminal state or the client disconnects.
+// Fit jobs and pipeline jobs share the endpoint — the event types differ,
+// the wire shape does not.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if !wantsStream(r) {
+		snapshot, _, cancel := j.subscribe()
+		cancel()
+		writeJSON(w, http.StatusOK, JobEventList{
+			JobID:  j.id,
+			State:  j.status().State,
+			Events: snapshot,
+		})
+		return
+	}
+
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusNotImplemented, "streaming unsupported by this connection")
+		return
+	}
+	snapshot, ch, cancel := j.subscribe()
+	defer cancel()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(ev JobEvent) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	for _, ev := range snapshot {
+		if !send(ev) {
+			return
+		}
+	}
+	if ch == nil {
+		return // job already terminal: the snapshot was the whole story
+	}
+	keepalive := time.NewTicker(sseKeepalive)
+	defer keepalive.Stop()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return // terminal transition closed the subscription
+			}
+			if !send(ev) {
+				return
+			}
+		case <-keepalive.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// wantsStream reports whether the events request asked for SSE, via
+// ?stream=1 or an Accept header preferring text/event-stream.
+func wantsStream(r *http.Request) bool {
+	switch r.URL.Query().Get("stream") {
+	case "1", "true":
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}

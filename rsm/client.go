@@ -1,6 +1,7 @@
 package rsm
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -50,6 +51,34 @@ type (
 	// PipelineStageInfo is one stage in a pipeline job's timeline with its
 	// cost split (wall-clock, simulation and regression seconds).
 	PipelineStageInfo = server.PipelineStageInfo
+	// JobEvent is one entry in a job's live event timeline (state
+	// transitions, solver telemetry, pipeline stages), as streamed by
+	// WatchJob.
+	JobEvent = server.JobEvent
+	// TraceResponse is one trace's assembled span tree.
+	TraceResponse = server.TraceResponse
+	// TraceSummary is one trace's header in a trace listing.
+	TraceSummary = server.TraceSummary
+	// SpanNode is one span plus its children in a trace tree.
+	SpanNode = server.SpanNode
+)
+
+// JobEvent types, re-exported for WatchJob callbacks.
+const (
+	JobEventState = server.JobEventState
+	JobEventFit   = server.JobEventFit
+	JobEventStage = server.JobEventStage
+)
+
+// Job lifecycle states, re-exported so WatchJob callbacks and JobStatus
+// consumers can compare without importing internals.
+const (
+	JobPending  = server.JobPending
+	JobRunning  = server.JobRunning
+	JobDone     = server.JobDone
+	JobFailed   = server.JobFailed
+	JobCanceled = server.JobCanceled
+	JobTimedOut = server.JobTimedOut
 )
 
 // RetryPolicy tunes the client's retry loop for idempotent requests. The
@@ -386,6 +415,106 @@ func (c *Client) waitTerminal(ctx context.Context, kind, id string, interval tim
 // waitMaxPollFailures consecutive polls before the wait gives up.
 func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration) (*JobStatus, error) {
 	return c.waitTerminal(ctx, "job", id, interval, c.Job)
+}
+
+// WatchJob tails the job's live event stream (SSE), invoking fn for every
+// event — state transitions, per-iteration solver telemetry, pipeline
+// stages — as the daemon emits it, and returns the job's final status with
+// WaitJob's contract: done comes back clean, every other terminal state
+// alongside an error carrying the state and the job's message. Fit jobs and
+// pipeline jobs both work. The stream is a single attempt (an SSE tail is
+// not idempotent work to replay); if the connection drops while the job is
+// still live, WatchJob fetches the status once and reports the
+// interruption.
+func (c *Client) WatchJob(ctx context.Context, id string, fn func(JobEvent)) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events?stream=1", nil)
+	if err != nil {
+		return nil, fmt.Errorf("rsm: watch job %s: %w", id, err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	req.Header.Set(obs.RequestIDHeader, obs.NewRequestID())
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("rsm: watch job %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e server.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("rsm: watch job %s: %s (HTTP %d)", id, e.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("rsm: watch job %s: HTTP %d", id, resp.StatusCode)
+	}
+	// Minimal SSE reader: accumulate data: lines until the blank separator,
+	// ignore comments and the id:/event: fields (the type rides in the JSON).
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if len(data) > 0 {
+				var ev JobEvent
+				if json.Unmarshal(data, &ev) == nil && fn != nil {
+					fn(ev)
+				}
+				data = data[:0]
+			}
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		}
+	}
+	// The stream ended: terminal-state close, daemon drain, or a dropped
+	// connection. The status poll below distinguishes them.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	st, err := c.Job(ctx, id)
+	if err != nil {
+		return nil, fmt.Errorf("rsm: watch job %s: final status: %w", id, err)
+	}
+	switch st.State {
+	case server.JobDone:
+		return st, nil
+	case server.JobFailed, server.JobCanceled, server.JobTimedOut:
+		return st, fmt.Errorf("rsm: job %s %s: %s", id, st.State, st.Error)
+	}
+	return st, fmt.Errorf("rsm: watch job %s: event stream ended while job still %s", id, st.State)
+}
+
+// JobTrace fetches the job's assembled trace tree — the span-level account
+// of where its time went (queue wait, journal, stages, solver, CV folds).
+func (c *Client) JobTrace(ctx context.Context, id string) (*TraceResponse, error) {
+	var tr TraceResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace", nil, &tr, true); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// Traces lists the daemon's stored traces, newest-first (the unfiltered
+// view of GET /v1/traces; use Trace to fetch one tree).
+func (c *Client) Traces(ctx context.Context) ([]TraceSummary, error) {
+	var resp server.TraceListResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/traces", nil, &resp, true); err != nil {
+		return nil, err
+	}
+	return resp.Traces, nil
+}
+
+// Trace fetches one trace's assembled span tree by trace ID (as carried in
+// a JobStatus, a metric exemplar, or a slow-request log line).
+func (c *Client) Trace(ctx context.Context, traceID string) (*TraceResponse, error) {
+	var tr TraceResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/traces/"+traceID, nil, &tr, true); err != nil {
+		return nil, err
+	}
+	return &tr, nil
 }
 
 // RunPipeline enqueues a netlist-in, model-out pipeline job and returns

@@ -128,3 +128,68 @@ func TestClientCancelPipeline(t *testing.T) {
 		}
 	}
 }
+
+// TestClientWatchJob tails a live pipeline over the SSE event stream: the
+// callback sees lifecycle transitions, completed stages and solver
+// telemetry in sequence order, and WatchJob returns the terminal status —
+// the same result polling WaitPipeline would have produced.
+func TestClientWatchJob(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	srv, err := server.New(registry.New(), server.Config{FitWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer func() { hs.Close(); srv.Close() }()
+	c := rsm.NewClient(hs.URL)
+
+	netlist, spec := pipelineFixture(t)
+	id, err := c.RunPipeline(ctx, rsm.PipelineRequest{Name: "rc-watch", Netlist: netlist, Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var states, stages []string
+	fits := 0
+	lastSeq := -1
+	st, err := c.WatchJob(ctx, id, func(ev rsm.JobEvent) {
+		if ev.Seq <= lastSeq {
+			t.Errorf("event %d arrived after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		switch ev.Type {
+		case rsm.JobEventState:
+			states = append(states, ev.State)
+		case rsm.JobEventStage:
+			if ev.Stage != nil {
+				stages = append(stages, ev.Stage.Stage)
+			}
+		case rsm.JobEventFit:
+			fits++
+		}
+	})
+	if err != nil {
+		t.Fatalf("WatchJob: %v", err)
+	}
+	if st.State != rsm.JobDone || st.Pipeline == nil || st.Pipeline.Model.Name != "rc-watch" {
+		t.Fatalf("terminal status %+v, want done rc-watch", st)
+	}
+	if len(states) == 0 || states[len(states)-1] != rsm.JobDone {
+		t.Errorf("streamed states %v, want trailing done", states)
+	}
+	joined := strings.Join(stages, ",")
+	for _, stage := range []string{"parse", "fit", "publish"} {
+		if !strings.Contains(joined, stage) {
+			t.Errorf("streamed stages %v missing %q", stages, stage)
+		}
+	}
+	if fits == 0 {
+		t.Error("stream carried no solver telemetry")
+	}
+
+	// Watching an unknown job surfaces the 404 as an error.
+	if _, err := c.WatchJob(ctx, "job-999999", func(rsm.JobEvent) {}); err == nil {
+		t.Error("WatchJob on unknown job returned nil error")
+	}
+}
