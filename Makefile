@@ -5,7 +5,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS = -X repro/internal/obs.Version=$(VERSION)
 
-.PHONY: all build test race vet fmt-check bench bench-smoke bench-json chaos crash-smoke obs trace-smoke fuzz-smoke pipeline-smoke ci
+.PHONY: all build test race vet fmt-check bench bench-smoke bench-json chaos crash-smoke obs trace-smoke fuzz-smoke pipeline-smoke refit-smoke ci
 
 all: build
 
@@ -46,6 +46,7 @@ bench-smoke:
 # short enough for CI. Part of make ci.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadEnvelope$$' -fuzztime=5s ./internal/core/
+	$(GO) test -run='^$$' -fuzz='^FuzzReadCheckpoint$$' -fuzztime=5s ./internal/core/
 	$(GO) test -run='^$$' -fuzz='^FuzzParseNetlist$$' -fuzztime=5s ./internal/spice/
 	$(GO) test -run='^$$' -fuzz='^FuzzReplayJournal$$' -fuzztime=5s ./internal/journal/
 	$(GO) test -run='^$$' -fuzz='^FuzzBuildTree$$' -fuzztime=5s ./internal/obs/trace/
@@ -54,9 +55,9 @@ fuzz-smoke:
 # engine benches (fit path + correlation sweep), the serving engine's
 # cold/cached/coalesced predict regimes, and the netlist-in model-out
 # pipeline loop, so regressions diff in review.
-BENCH_JSON ?= BENCH_6.json
+BENCH_JSON ?= BENCH_9.json
 bench-json:
-	@{ $(GO) test -run=NONE -bench='BenchmarkFitPath|BenchmarkCorrelateSweep' -benchmem ./internal/core/; \
+	@{ $(GO) test -run=NONE -bench='BenchmarkFitPath|BenchmarkCorrelateSweep|BenchmarkRefineWarmVsCold' -benchmem ./internal/core/; \
 	   $(GO) test -run=NONE -bench='BenchmarkPredictServed' -benchmem ./internal/server/; \
 	   $(GO) test -run=NONE -bench='BenchmarkPipelineEndToEnd' -benchmem ./internal/pipeline/; } \
 	| awk 'BEGIN{print "["; n=0} \
@@ -103,4 +104,14 @@ pipeline-smoke:
 	$(GO) test -race -run 'TestPipeline' ./internal/server/
 	$(GO) test -race ./internal/pipeline/
 
-ci: vet fmt-check build test race chaos crash-smoke obs trace-smoke bench-smoke fuzz-smoke pipeline-smoke
+# Incremental-refit smoke: checkpoint round-trips and warm continuation in
+# the solver engine, checkpoint persistence in the registry, and the
+# POST /v1/models/{name}/refine loop — submit, publish gate, provenance,
+# metrics, crash replay — under the race detector. Part of make ci.
+refit-smoke:
+	$(GO) test -race -run 'TestCheckpoint|TestWarmStart|TestCrossValidateScrubs' ./internal/core/
+	$(GO) test -race -run 'TestCheckpoint|TestDeleteRemovesCheckpoints' ./internal/registry/
+	$(GO) test -race -run 'TestRefine|TestCrashRecoveryRefineReplay' ./internal/server/
+	$(GO) test -race -run 'TestClientRefineRoundTrip' ./rsm/
+
+ci: vet fmt-check build test race chaos crash-smoke obs trace-smoke bench-smoke fuzz-smoke pipeline-smoke refit-smoke

@@ -74,6 +74,22 @@ func check() error {
 	if _, err := c.Predict(ctx, "obscheck", [][]float64{{0.0, 0.0}, {0.5, -0.5}}); err != nil {
 		return fmt.Errorf("predict: %w", err)
 	}
+	// A refine populates the incremental-refit families: refine job
+	// counters, the publish-gate outcome counter, the warm/cold fit
+	// histogram and the per-model checkpoint size gauge.
+	refID, err := c.Refine(ctx, "obscheck", rsm.RefineRequest{
+		Points: [][]float64{{0.4, 0.1}, {-0.2, 0.3}, {0.6, -0.1}, {-0.4, -0.3}},
+		Values: []float64{2.5, 1.5, 3.5, 0.5}})
+	if err != nil {
+		return fmt.Errorf("submit refine: %w", err)
+	}
+	rst, err := c.WaitRefine(ctx, refID, 20*time.Millisecond)
+	if err != nil {
+		return fmt.Errorf("refine job: %w", err)
+	}
+	if rst.Refine == nil || rst.Refine.Outcome == "" {
+		return fmt.Errorf("completed refine job %s reports no outcome", refID)
+	}
 
 	// Scrape exactly as Prometheus would.
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
@@ -106,6 +122,8 @@ func check() error {
 		"rsmd_jobs_total", "rsmd_fit_duration_seconds_bucket", "rsmd_fit_iterations_bucket",
 		"rsmd_job_queue_depth", "rsmd_job_queue_wait_seconds_bucket",
 		"rsmd_goroutines", "rsmd_heap_alloc_bytes", "rsmd_gc_cycles_total",
+		"rsmd_refines_submitted_total", "rsmd_refits_total",
+		"rsmd_refine_fit_seconds_bucket", "rsmd_checkpoint_bytes",
 	} {
 		if !strings.Contains(string(body), family) {
 			return fmt.Errorf("exposition missing family %s", family)
@@ -118,12 +136,16 @@ func check() error {
 		`rsmd_predictions_total\{model="obscheck"\} 2`,
 		`rsmd_build_info\{[^}]*version="[^"]+"[^}]*\} 1`,
 		`rsmd_traces_kept_total [1-9]`,
+		`rsmd_refine_jobs_total\{state="done"\} 1`,
+		`rsmd_refits_total\{outcome="(improved|rejected)"\} 1`,
+		`rsmd_refine_fit_seconds_count\{mode="warm"\} 1`,
+		`rsmd_checkpoint_bytes\{model="obscheck"\} [1-9]`,
 	} {
 		if !regexp.MustCompile(pat).MatchString(string(body)) {
 			return fmt.Errorf("exposition does not reflect driven traffic: no match for %s", pat)
 		}
 	}
-	return checkTracing(ctx, c, base, id, string(body))
+	return checkTracing(ctx, c, base, id, rst.TraceID, string(body))
 }
 
 // checkTracing validates the tracing read side against the traffic the
@@ -131,7 +153,7 @@ func check() error {
 // four levels deep, the fit-duration histogram must carry an exemplar whose
 // trace_id is fetchable from /v1/traces, and the job event timeline must
 // replay over both JSON and SSE.
-func checkTracing(ctx context.Context, c *rsm.Client, base, jobID, exposition string) error {
+func checkTracing(ctx context.Context, c *rsm.Client, base, jobID, refineTraceID, exposition string) error {
 	// The job trace: request → job → fit → CV folds.
 	jt, err := c.JobTrace(ctx, jobID)
 	if err != nil {
@@ -154,8 +176,11 @@ func checkTracing(ctx context.Context, c *rsm.Client, base, jobID, exposition st
 	if err != nil {
 		return fmt.Errorf("exemplar trace_id %s does not resolve: %w", m[1], err)
 	}
-	if tr.TraceID != jt.TraceID {
-		return fmt.Errorf("exemplar resolves to trace %s, fit job owns %s", tr.TraceID, jt.TraceID)
+	// The fit-duration histogram is fed by both the fit and the refine job;
+	// whichever bucket carries the exemplar, it must point at one of them.
+	if tr.TraceID != jt.TraceID && tr.TraceID != refineTraceID {
+		return fmt.Errorf("exemplar resolves to trace %s, want fit %s or refine %s",
+			tr.TraceID, jt.TraceID, refineTraceID)
 	}
 
 	// The trace list sees the job trace (pinned, so sampling never drops it).

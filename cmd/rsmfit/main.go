@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -49,11 +50,27 @@ func main() {
 		pipeServer = flag.String("server", "", "with -pipeline: rsmd base URL, e.g. http://localhost:8080")
 		pipeName   = flag.String("name", "", "with -pipeline: registry name for the published model")
 		watch      = flag.Bool("watch", false, "with -pipeline: tail the job's live event stream (SSE) instead of polling")
+		refine     = flag.String("refine", "", "model name: continue its fit on an rsmd daemon with the input CSV's new samples (requires -server)")
 	)
 	flag.Parse()
 
 	if *pipePath != "" {
 		runPipeline(*pipePath, *pipeSpec, *pipeServer, *pipeName, *watch)
+		return
+	}
+	if *refine != "" {
+		// -folds / -lambda override the parent fit's settings only when set
+		// explicitly; their flag defaults mean "inherit".
+		var req rsm.RefineRequest
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "folds":
+				req.Folds = *folds
+			case "lambda":
+				req.MaxLambda = *maxLambda
+			}
+		})
+		runRefine(*refine, *pipeServer, *input, req)
 		return
 	}
 	if *watch {
@@ -210,6 +227,56 @@ func runPipeline(deckPath, specPath, serverURL, name string, watch bool) {
 			fmt.Printf("  %s", stage.Detail)
 		}
 		fmt.Println()
+	}
+}
+
+// runRefine drives a remote incremental refit: it ships the input CSV's
+// samples to POST /v1/models/{name}/refine, waits for the job, and prints
+// whether the continued fit beat the parent's cross-validation error and
+// was published as a new version.
+func runRefine(name, serverURL, input string, req rsm.RefineRequest) {
+	if serverURL == "" {
+		log.Fatal("rsmfit: -refine requires -server URL")
+	}
+	var csvData []byte
+	var err error
+	if input == "-" {
+		csvData, err = io.ReadAll(os.Stdin)
+	} else {
+		csvData, err = os.ReadFile(input)
+	}
+	if err != nil {
+		log.Fatalf("rsmfit: %v", err)
+	}
+	req.CSV = string(csvData)
+
+	ctx := context.Background()
+	client := rsm.NewClient(serverURL)
+	id, err := client.Refine(ctx, name, req)
+	if err != nil {
+		log.Fatalf("rsmfit: %v", err)
+	}
+	fmt.Printf("refine job:      %s\n", id)
+	st, err := client.WaitRefine(ctx, id, 200*time.Millisecond)
+	if err != nil {
+		log.Fatalf("rsmfit: %v", err)
+	}
+	r := st.Refine
+	if r == nil {
+		log.Fatalf("rsmfit: job %s finished without a refine result", id)
+	}
+	mode := "cold refit"
+	if r.Warm {
+		mode = "warm continuation"
+	}
+	fmt.Printf("parent:          %s@v%d (CV error %.3f%%)\n", name, r.ParentVersion, 100*r.ParentCVError)
+	fmt.Printf("samples:         %d (+%d new)\n", r.Samples, r.AppendedSamples)
+	fmt.Printf("refit:           λ=%d, CV error %.3f%% (%s, %.2fs)\n", r.Lambda, 100*r.CVError, mode, r.FitSeconds)
+	switch r.Outcome {
+	case rsm.RefineImproved:
+		fmt.Printf("published:       %s@v%d (checkpoint %d bytes)\n", r.Model.Name, r.Model.Version, r.CheckpointBytes)
+	default:
+		fmt.Printf("rejected:        CV error did not improve; %s@v%d keeps serving\n", r.Model.Name, r.Model.Version)
 	}
 }
 

@@ -144,7 +144,56 @@ func (c *CD) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda i
 	path := &Path{}
 	muMin := muMax * math.Pow(10, -float64(c.decades()))
 	lastNNZ := 0
-	for mu := muMax * c.grid(); mu > muMin; mu *= c.grid() {
+	// Continuation: CD keeps its own working set, so it serializes the sparse
+	// α, the residual and the grid position directly instead of the engine's
+	// Gram state. Resume restarts the grid at the point after the checkpointed
+	// one — the stored Mu is the accumulated product, so the continued grid is
+	// bit-identical to the uninterrupted one. Appended samples are rejected
+	// (the whole μ grid is scaled by 1/K) and warm starts are ignored: CD's
+	// grid descent is already warm-started by construction.
+	startMu := muMax * c.grid()
+	doneMu := muMax
+	if ck, err := fc.resumeFor("CD"); err != nil {
+		return nil, err
+	} else if ck != nil {
+		if ck.M != d.Cols() {
+			return nil, fmt.Errorf("core: CD resume: checkpoint dictionary %d, design has %d", ck.M, d.Cols())
+		}
+		if ck.K != k {
+			return nil, fmt.Errorf("core: CD resume: checkpoint has %d samples, design has %d; grid resume needs identical data", ck.K, k)
+		}
+		for i, j := range ck.AlphaIdx {
+			st.alpha[j] = ck.AlphaVal[i]
+		}
+		copy(st.res, ck.Residual)
+		path.Models = append(path.Models, ck.Models...)
+		path.Residual = append(path.Residual, ck.ResNorms...)
+		lastNNZ = ck.LastNNZ
+		doneMu = ck.Mu
+		startMu = ck.Mu * c.grid()
+	}
+	capture := func() *FitCheckpoint {
+		ck := &FitCheckpoint{
+			Version:   CheckpointVersion,
+			Solver:    "CD",
+			K:         k,
+			M:         d.Cols(),
+			MaxLambda: maxLambda,
+			Residual:  linalg.Clone(st.res),
+			Models:    append([]*Model(nil), path.Models...),
+			ResNorms:  append([]float64(nil), path.Residual...),
+			Mu:        doneMu,
+			LastNNZ:   lastNNZ,
+		}
+		for j, a := range st.alpha {
+			if a != 0 {
+				ck.AlphaIdx = append(ck.AlphaIdx, j)
+				ck.AlphaVal = append(ck.AlphaVal, a)
+			}
+		}
+		return ck
+	}
+	for mu := startMu; mu > muMin; mu *= c.grid() {
 		if err := st.solve(fc, mu, c.sweeps(), c.tol()); err != nil {
 			return nil, err
 		}
@@ -152,6 +201,7 @@ func (c *CD) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda i
 		if nnz > maxLambda {
 			break
 		}
+		doneMu = mu
 		if nnz > lastNNZ {
 			// Record one model per new sparsity level (duplicate the current
 			// model when the active set grows by more than one).
@@ -162,10 +212,17 @@ func (c *CD) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda i
 				lastNNZ++
 			}
 			fc.Observe(-1, nnz, linalg.Norm2(st.res)) // grid step: no single basis
+			if fc != nil && fc.plan != nil && fc.plan.After > 0 && len(path.Models) >= fc.plan.After {
+				fc.plan.CK = capture()
+				return path, nil
+			}
 		}
 	}
 	if len(path.Models) == 0 {
 		return nil, errDegenerate("CD", "selected no basis vectors; increase Decades")
+	}
+	if fc != nil && fc.plan != nil {
+		fc.plan.CK = capture()
 	}
 	return path, nil
 }

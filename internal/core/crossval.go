@@ -134,7 +134,12 @@ func CrossValidateCtx(ctx context.Context, fitter PathFitter, d basis.Design, f 
 		trainF := gather(f, trainRows)
 		testF := gather(f, testRows)
 
-		path, err := fitPathWithEngine(WithFitStage(ctx, fmt.Sprintf("cv-fold-%d", q)), eng, fitter, trainD, trainF, maxLambda)
+		// Fold fits run on row subsets, so an exact checkpoint does not apply
+		// (its rows are the full data set) and a capture plan must not race
+		// across folds — scrub both. A warm start survives: replay is valid
+		// on any data and the folds are the bulk of a refine's speedup.
+		foldCtx := WithFitStage(WithCheckpointPlan(WithResumeCheckpoint(ctx, nil), nil), fmt.Sprintf("cv-fold-%d", q))
+		path, err := fitPathWithEngine(foldCtx, eng, fitter, trainD, trainF, maxLambda)
 		if err != nil {
 			return nil, fmt.Errorf("core: cross-validation fold %d: %w", q, err)
 		}

@@ -434,9 +434,11 @@ func (as *ActiveSet) RecomputeResidual(coef []float64) {
 	}
 }
 
-// Drop removes support member i (LAR's lasso modification) and refactorizes
-// the active Gram matrix from scratch — the removed column can sit anywhere
-// in the factor.
+// Drop removes support member i (LAR's lasso modification) through the
+// factor's rank-one downdate: deleting row/column i of the Gram matrix
+// perturbs only the trailing block, which linalg.Cholesky.Drop repairs in
+// O((λ−i)²) — against the O(K·λ² + λ³) dot-product refactorization this
+// used to run on every lasso sign crossing.
 func (as *ActiveSet) Drop(i int) error {
 	idx := as.support[i]
 	as.active[idx] = false
@@ -445,16 +447,7 @@ func (as *ActiveSet) Drop(i int) error {
 	if as.gtf != nil {
 		as.gtf = append(as.gtf[:i], as.gtf[i+1:]...)
 	}
-	as.chol = linalg.NewCholesky()
-	for n, c := range as.cols {
-		cross := make([]float64, n)
-		for j := 0; j < n; j++ {
-			cross[j] = linalg.Dot(as.cols[j], c)
-		}
-		if err := as.chol.Append(cross, linalg.Dot(c, c)); err != nil {
-			return fmt.Errorf("core: %s refactorization after drop: %w", as.cfg.solver, err)
-		}
-	}
+	as.chol.Drop(i)
 	return nil
 }
 

@@ -84,6 +84,9 @@ type obsCtxKey int
 const (
 	observerCtxKey obsCtxKey = iota
 	stageCtxKey
+	checkpointPlanCtxKey
+	resumeCtxKey
+	warmStartCtxKey
 )
 
 // WithFitObserver arranges for solver path fits run under ctx (through
@@ -97,6 +100,48 @@ func WithFitObserver(ctx context.Context, obs FitObserver) context.Context {
 // CrossValidateCtx uses it to distinguish fold fits from the final refit.
 func WithFitStage(ctx context.Context, stage string) context.Context {
 	return context.WithValue(ctx, stageCtxKey, stage)
+}
+
+// CheckpointPlan asks a path fit run under WithCheckpointPlan to capture
+// its engine state into CK. With After > 0 the fit stops as soon as that
+// many path models have been recorded — simulating an interruption — and
+// captures the state at that point; with After == 0 the fit runs to its
+// natural end and captures the final state (what the serving layer persists
+// alongside a published model for later refinement). If the path finishes
+// before reaching After, the final state is captured anyway.
+type CheckpointPlan struct {
+	// After is the recorded-model count at which to stop and capture
+	// (0 = capture at the natural end without stopping).
+	After int
+	// CK receives the captured checkpoint.
+	CK *FitCheckpoint
+}
+
+// WithCheckpointPlan arranges for solver path fits run under ctx to capture
+// a FitCheckpoint per plan. A nil plan clears any inherited plan (used by
+// CrossValidateCtx so fold fits don't race over the final refit's capture).
+func WithCheckpointPlan(ctx context.Context, plan *CheckpointPlan) context.Context {
+	return context.WithValue(ctx, checkpointPlanCtxKey, plan)
+}
+
+// WithResumeCheckpoint arranges for the next path fit run under ctx to
+// resume from ck instead of starting cold. The fit must use ck's solver and
+// a design whose leading ck.K rows are unchanged; Gram-maintaining solvers
+// additionally accept appended rows (folded in as rank-one factor updates).
+// A nil ck clears any inherited checkpoint.
+func WithResumeCheckpoint(ctx context.Context, ck *FitCheckpoint) context.Context {
+	return context.WithValue(ctx, resumeCtxKey, ck)
+}
+
+// WithWarmStart seeds path fits run under ctx with a previously fitted
+// model: solvers that support it (OMP, StOMP) re-admit the model's support
+// in its original selection order without correlation sweeps — re-fitting
+// coefficients on the current data — and only then continue normal
+// selection. Unlike WithResumeCheckpoint this is valid on *any* data (CV
+// fold subsets, grown sample sets); solvers without replay support ignore
+// it and fit cold. A nil model clears any inherited warm start.
+func WithWarmStart(ctx context.Context, m *Model) context.Context {
+	return context.WithValue(ctx, warmStartCtxKey, m)
 }
 
 // FitContext threads cancellation from a context.Context into solver inner
@@ -123,6 +168,12 @@ type FitContext struct {
 	stage    string
 	start    time.Time
 	iter     int
+
+	// plan/resume/warm carry the incremental-refit configuration from
+	// WithCheckpointPlan / WithResumeCheckpoint / WithWarmStart.
+	plan   *CheckpointPlan
+	resume *FitCheckpoint
+	warm   *Model
 }
 
 // checkStride is how many Err calls are skipped between context polls. Solver
@@ -142,7 +193,37 @@ func NewFitContext(ctx context.Context) *FitContext {
 		fc.start = time.Now()
 		fc.stage, _ = ctx.Value(stageCtxKey).(string)
 	}
+	if p, ok := ctx.Value(checkpointPlanCtxKey).(*CheckpointPlan); ok && p != nil {
+		fc.plan = p
+	}
+	if ck, ok := ctx.Value(resumeCtxKey).(*FitCheckpoint); ok && ck != nil {
+		fc.resume = ck
+	}
+	if m, ok := ctx.Value(warmStartCtxKey).(*Model); ok && m != nil {
+		fc.warm = m
+	}
 	return fc
+}
+
+// resumeFor returns the checkpoint to resume from for the named solver, or
+// nil, and errors when a checkpoint is armed for a *different* solver —
+// silently fitting cold there would hide a wiring bug in the caller.
+func (fc *FitContext) resumeFor(solver string) (*FitCheckpoint, error) {
+	if fc == nil || fc.resume == nil {
+		return nil, nil
+	}
+	if fc.resume.Solver != solver {
+		return nil, fmt.Errorf("core: %s fit cannot resume a %s checkpoint", solver, fc.resume.Solver)
+	}
+	return fc.resume, nil
+}
+
+// warmStart returns the warm-start model armed on the context, if any.
+func (fc *FitContext) warmStart() *Model {
+	if fc == nil {
+		return nil
+	}
+	return fc.warm
 }
 
 // engine returns the fit's solver engine, creating one on first use. A nil

@@ -78,6 +78,28 @@ func (l *LAR) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda 
 		as.Record(path, coef, sel)
 	}
 
+	// Continuation: beta lives in normalized-column space, so a checkpoint
+	// stores it gathered over the support and resume scatters it back. LAR
+	// rejects appended samples (restore: normalization makes every column —
+	// and so the whole path geometry — dependent on the sample set) and
+	// ignores warm starts for the same reason.
+	if ck, err := fc.resumeFor("LAR"); err != nil {
+		return nil, err
+	} else if ck != nil {
+		if err := as.restore(ck, path); err != nil {
+			return nil, err
+		}
+		for i, idx := range ck.Support {
+			beta[idx] = ck.Beta[i]
+		}
+	}
+	capture := func(ck *FitCheckpoint) {
+		ck.Beta = make([]float64, len(as.support))
+		for i, idx := range as.support {
+			ck.Beta[i] = beta[idx]
+		}
+	}
+
 	const eps = 1e-12
 	for as.Size() < as.MaxLambda() {
 		if err := as.Err(); err != nil {
@@ -181,6 +203,9 @@ func (l *LAR) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda 
 		}
 
 		record(sel)
+		if checkpointAfter(fc, as, path, capture) {
+			return path, nil
+		}
 		if as.BelowTol(l.Tol) {
 			break
 		}
@@ -188,6 +213,7 @@ func (l *LAR) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda 
 	if len(path.Models) == 0 {
 		return nil, as.errDegenerateNoSelection()
 	}
+	captureCheckpoint(fc, as, path, capture)
 	return path, nil
 }
 

@@ -49,6 +49,18 @@ func (o *OMP) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda 
 		return nil, err
 	}
 	path := &Path{}
+	// Continuation: an exact checkpoint resumes the interrupted path
+	// bit-identically (folding any appended samples into the Gram factor);
+	// otherwise a warm-start model replays its support without sweeps.
+	if ck, err := fc.resumeFor("OMP"); err != nil {
+		return nil, err
+	} else if ck != nil {
+		if err := as.restore(ck, path); err != nil {
+			return nil, err
+		}
+	} else if err := warmReplay(fc, as, path); err != nil {
+		return nil, err
+	}
 	for as.Size() < as.MaxLambda() {
 		if err := as.Err(); err != nil {
 			return nil, err
@@ -70,6 +82,7 @@ func (o *OMP) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda 
 				if as.Size() == 0 {
 					return nil, as.errDegenerateNoSelection()
 				}
+				captureCheckpoint(fc, as, path, nil)
 				return path, nil
 			}
 			ok, err := as.TryAppend(s)
@@ -90,10 +103,14 @@ func (o *OMP) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda 
 		as.RecomputeResidual(coef)
 
 		as.Record(path, coef, selected)
+		if checkpointAfter(fc, as, path, nil) {
+			return path, nil
+		}
 		if as.BelowTol(o.Tol) {
 			break
 		}
 	}
+	captureCheckpoint(fc, as, path, nil)
 	return path, nil
 }
 

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// This file is the engine side of incremental refit: capturing an
+// ActiveSet's state into a FitCheckpoint, restoring it exactly (including
+// folding appended samples into the Gram factor as rank-one updates), and
+// warm-replaying a previous model's support on new data. The per-solver
+// files call these through three hooks — restore-or-replay before the path
+// loop, checkpointAfter inside it, captureCheckpoint at every successful
+// return — so each solver keeps only its own continuation extras.
+
+// checkpointState captures the engine's common fit state. Solver-specific
+// extras (LAR's beta, STAR's stack, StOMP's stage, CD's α) are layered on
+// by the caller.
+func (as *ActiveSet) checkpointState(path *Path) *FitCheckpoint {
+	ck := &FitCheckpoint{
+		Version:   CheckpointVersion,
+		Solver:    as.cfg.solver,
+		K:         as.k,
+		M:         as.m,
+		MaxLambda: as.maxLambda,
+		Support:   append([]int(nil), as.support...),
+		Residual:  append([]float64(nil), as.res...),
+		Models:    append([]*Model(nil), path.Models...),
+		ResNorms:  append([]float64(nil), path.Residual...),
+	}
+	for j, ex := range as.excluded {
+		if ex {
+			ck.Excluded = append(ck.Excluded, j)
+		}
+	}
+	if as.cfg.gram {
+		ck.GTF = append([]float64(nil), as.gtf...)
+		ck.CholL = as.chol.Packed()
+	}
+	return ck
+}
+
+// captureCheckpoint fills the armed CheckpointPlan (if any) with the
+// current state — called at every successful path return so After == 0
+// plans capture the natural end of the fit. extra, when non-nil, stamps
+// solver-specific continuation fields.
+func captureCheckpoint(fc *FitContext, as *ActiveSet, path *Path, extra func(*FitCheckpoint)) {
+	if fc == nil || fc.plan == nil {
+		return
+	}
+	ck := as.checkpointState(path)
+	if extra != nil {
+		extra(ck)
+	}
+	fc.plan.CK = ck
+}
+
+// checkpointAfter implements CheckpointPlan.After: once the path holds that
+// many recorded models, it captures the state and returns true, telling the
+// solver to stop as if interrupted.
+func checkpointAfter(fc *FitContext, as *ActiveSet, path *Path, extra func(*FitCheckpoint)) bool {
+	if fc == nil || fc.plan == nil || fc.plan.After <= 0 || len(path.Models) < fc.plan.After {
+		return false
+	}
+	captureCheckpoint(fc, as, path, extra)
+	return true
+}
+
+// restore rebuilds the active set from an exact checkpoint taken by the
+// same solver: the support is re-materialized from the design in admission
+// order, the Gram factor round-trips through its packed triangle, and the
+// residual/right-hand side are restored verbatim, so continuing the path
+// is bit-identical to never having stopped.
+//
+// When the design has grown (len(f) > ck.K with rows [0, ck.K) unchanged —
+// the streaming-refit contract), Gram-maintaining solvers fold each new
+// row into the factor as a rank-one update, add its contribution to
+// Gᵀ_Ω·F, refresh every recorded prefix model's coefficients through the
+// leading sub-factor, and recompute the residual — the AppendRows path
+// that makes warm refits cheap. Normalizing solvers (LAR) reject grown
+// designs: appended rows change the column norms the whole path was
+// measured in.
+func (as *ActiveSet) restore(ck *FitCheckpoint, path *Path) error {
+	if ck.M != as.m {
+		return fmt.Errorf("core: %s resume: checkpoint dictionary %d, design has %d", as.cfg.solver, ck.M, as.m)
+	}
+	if ck.K > as.k {
+		return fmt.Errorf("core: %s resume: checkpoint has %d samples, design only %d", as.cfg.solver, ck.K, as.k)
+	}
+	appended := as.k - ck.K
+	if appended > 0 {
+		if !as.cfg.gram || as.cfg.normalize {
+			return fmt.Errorf("core: %s resume: solver cannot fold %d appended samples into a checkpointed fit", as.cfg.solver, appended)
+		}
+		if !ck.prefixModels() {
+			return fmt.Errorf("core: %s resume: checkpoint path is not support-nested; cannot refresh prefix models", as.cfg.solver)
+		}
+	}
+	if as.cfg.gram && (ck.GTF == nil || ck.CholL == nil) {
+		return fmt.Errorf("core: %s resume: checkpoint carries no Gram state", as.cfg.solver)
+	}
+	for _, j := range ck.Excluded {
+		as.excluded[j] = true
+	}
+	for _, j := range ck.Support {
+		as.support = append(as.support, j)
+		as.active[j] = true
+		if as.cfg.gram {
+			// Materialized columns serve RecomputeResidual, the equiangular
+			// direction and the Gram row updates. STAR maintains no columns —
+			// its step rule only ever touches the newest one.
+			as.cols = append(as.cols, as.column(j))
+		}
+	}
+	if as.cfg.gram {
+		chol, err := linalg.CholeskyFromPacked(len(ck.Support), ck.CholL)
+		if err != nil {
+			return fmt.Errorf("core: %s resume: %w", as.cfg.solver, err)
+		}
+		as.chol = chol
+		as.gtf = append(as.gtf[:0], ck.GTF...)
+	}
+	path.Models = append(path.Models, ck.Models...)
+	path.Residual = append(path.Residual, ck.ResNorms...)
+
+	if appended == 0 {
+		copy(as.res, ck.Residual)
+		return nil
+	}
+
+	// AppendRows: fold each new sample into the factor and right-hand side
+	// as a rank-one update — O(Δk·λ²) against the O(K·λ²) refactorization —
+	// then refresh the recorded path prefix on the enlarged data.
+	n := len(as.support)
+	v := make([]float64, n)
+	for r := ck.K; r < as.k; r++ {
+		for i, col := range as.cols {
+			v[i] = col[r]
+		}
+		as.chol.Update(v)
+		for i, col := range as.cols {
+			as.gtf[i] += col[r] * as.f[r]
+		}
+	}
+	for mi, m := range path.Models {
+		li := len(m.Support)
+		coef, err := as.chol.SolveLeading(li, as.gtf[:li])
+		if err != nil {
+			return fmt.Errorf("core: %s resume: prefix refit %d: %w", as.cfg.solver, li, err)
+		}
+		path.Models[mi] = &Model{M: as.m, Support: append([]int(nil), m.Support...), Coef: coef}
+		path.Residual[mi] = as.prefixResidualNorm(li, coef)
+	}
+	if n > 0 {
+		coef, err := as.RefitActive()
+		if err != nil {
+			return err
+		}
+		as.RecomputeResidual(coef)
+	} else {
+		copy(as.res, as.f)
+	}
+	return nil
+}
+
+// prefixResidualNorm computes ‖F − Σ_{i<li} coefᵢ·G_i‖₂ for a refreshed
+// prefix model, using the scratch residual buffer transiently.
+func (as *ActiveSet) prefixResidualNorm(li int, coef []float64) float64 {
+	buf := append([]float64(nil), as.f...)
+	for i := 0; i < li; i++ {
+		linalg.Axpy(-coef[i], as.cols[i], buf)
+	}
+	return linalg.Norm2(buf)
+}
+
+// warmReplay re-admits a previous model's support in its original
+// selection order — Gram append, coefficient refit, residual update and a
+// recorded path model per step, but *no* correlation sweeps, which are the
+// dominant cost of cold selection (O(K·M) per admitted basis). Valid on
+// any data: the replay measures the inherited support against the current
+// samples, so the resulting error curve is honest. Indices that are out of
+// range, already active, or linearly dependent on the replayed prefix are
+// skipped. Only Gram-maintaining solvers call this.
+func warmReplay(fc *FitContext, as *ActiveSet, path *Path) error {
+	ws := fc.warmStart()
+	if ws == nil {
+		return nil
+	}
+	if ws.M != as.m {
+		return fmt.Errorf("core: %s warm start: model dictionary %d, design has %d", as.cfg.solver, ws.M, as.m)
+	}
+	for _, idx := range ws.Support {
+		if as.Size() >= as.MaxLambda() {
+			break
+		}
+		if err := as.Err(); err != nil {
+			return err
+		}
+		if idx < 0 || idx >= as.m || as.active[idx] || as.excluded[idx] {
+			continue
+		}
+		ok, err := as.TryAppend(idx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		coef, err := as.RefitActive()
+		if err != nil {
+			return err
+		}
+		as.RecomputeResidual(coef)
+		as.Record(path, coef, idx)
+	}
+	return nil
+}

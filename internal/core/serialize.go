@@ -33,6 +33,25 @@ type Provenance struct {
 	// "pipeline". A pointer keeps Provenance comparable (and the
 	// WriteEnvelope emptiness guard meaningful).
 	Pipeline *PipelineProvenance `json:"pipeline,omitempty"`
+	// Refine links a model version produced by incremental refit to its
+	// parent version. Nil for models fit from scratch.
+	Refine *RefineProvenance `json:"refine,omitempty"`
+}
+
+// RefineProvenance records how a refined model version relates to the
+// version it continued from: which parent, at what error, how many samples
+// arrived, and whether the fit was warm-continued or fell back to cold.
+type RefineProvenance struct {
+	// ParentVersion is the registry version the refit continued from.
+	ParentVersion int `json:"parent_version"`
+	// ParentCVError is the parent's cross-validation error — the publish
+	// gate the refined model had to beat.
+	ParentCVError float64 `json:"parent_cv_error,omitempty"`
+	// AppendedSamples is how many new samples the refit folded in.
+	AppendedSamples int `json:"appended_samples,omitempty"`
+	// Warm reports whether the fit reused the parent's checkpointed state
+	// (false = the solver does not support continuation and refit cold).
+	Warm bool `json:"warm,omitempty"`
 }
 
 // PipelineProvenance records how a server-side pipeline job produced a

@@ -49,6 +49,23 @@ func (s *STAR) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda
 	}
 	var coef []float64
 	path := &Path{}
+	// STAR's continuation extra is its running coefficient stack — the
+	// inner-product estimates are never revisited, so the stack plus the
+	// residual is the entire fit state. Appended samples are rejected by
+	// restore (no Gram factor to fold them into) and warm starts are
+	// meaningless here: replaying a support without sweeps would need a
+	// residual-driven coefficient anyway.
+	if ck, err := fc.resumeFor("STAR"); err != nil {
+		return nil, err
+	} else if ck != nil {
+		if err := as.restore(ck, path); err != nil {
+			return nil, err
+		}
+		coef = append(coef, ck.Coef...)
+	}
+	capture := func(ck *FitCheckpoint) {
+		ck.Coef = append([]float64(nil), coef...)
+	}
 	for as.Size() < as.MaxLambda() {
 		if err := as.Err(); err != nil {
 			return nil, err
@@ -62,6 +79,7 @@ func (s *STAR) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda
 			if as.Size() == 0 {
 				return nil, as.errDegenerateNoSelection()
 			}
+			captureCheckpoint(fc, as, path, capture)
 			return path, nil // residual uncorrelated with every remaining basis
 		}
 		// Coefficient straight from the inner-product estimator (eq. 18):
@@ -72,10 +90,14 @@ func (s *STAR) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambda
 
 		coef = append(coef, alpha)
 		as.Record(path, append([]float64(nil), coef...), sel)
+		if checkpointAfter(fc, as, path, capture) {
+			return path, nil
+		}
 		if as.BelowTol(s.Tol) {
 			break
 		}
 	}
+	captureCheckpoint(fc, as, path, capture)
 	return path, nil
 }
 

@@ -74,7 +74,24 @@ func (s *StOMP) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambd
 		return nil, err
 	}
 	path := &Path{}
-	for stage := 0; stage < s.stages() && as.Size() < as.MaxLambda(); stage++ {
+	// Continuation: the stage counter is StOMP's only extra beyond the
+	// engine state — resuming restarts the loop at the stage after the
+	// checkpointed one. Without a checkpoint, a warm-start model's support
+	// is replayed first (sweep-free), then staged selection continues.
+	startStage := 0
+	if ck, err := fc.resumeFor("StOMP"); err != nil {
+		return nil, err
+	} else if ck != nil {
+		if err := as.restore(ck, path); err != nil {
+			return nil, err
+		}
+		startStage = ck.Stage
+	} else if err := warmReplay(fc, as, path); err != nil {
+		return nil, err
+	}
+	completed := startStage
+	capture := func(ck *FitCheckpoint) { ck.Stage = completed }
+	for stage := startStage; stage < s.stages() && as.Size() < as.MaxLambda(); stage++ {
 		if err := as.Err(); err != nil {
 			return nil, err
 		}
@@ -140,6 +157,10 @@ func (s *StOMP) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambd
 			break
 		}
 		as.Record(path, coef, -1) // batch admission: no single basis
+		completed = stage + 1
+		if checkpointAfter(fc, as, path, capture) {
+			return path, nil
+		}
 		if s.Tol > 0 && curRes <= s.Tol*as.fNorm && as.fNorm > 0 {
 			break
 		}
@@ -147,6 +168,7 @@ func (s *StOMP) FitPathCtx(fc *FitContext, d basis.Design, f []float64, maxLambd
 	if len(path.Models) == 0 {
 		return nil, as.errDegenerateNoSelection()
 	}
+	captureCheckpoint(fc, as, path, capture)
 	return path, nil
 }
 

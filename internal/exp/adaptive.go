@@ -136,7 +136,15 @@ func AdaptiveFitCtx(ctx context.Context, sim circuit.Simulator, b *basis.Basis, 
 			rows[i] = i
 		}
 		fitStart := time.Now()
-		cv, err := core.CrossValidateCtx(ctx, fitter, core.Subset(design, rows), f, cfg.Folds, cfg.MaxLambda)
+		// Rounds after the first warm-start from the previous round's model:
+		// Gram-maintaining solvers replay its support sweep-free before
+		// extending the path on the grown sample set, so each round pays
+		// roughly for the path it adds, not the path it already walked.
+		fitCtx := ctx
+		if res.Model != nil {
+			fitCtx = core.WithWarmStart(ctx, res.Model)
+		}
+		cv, err := core.CrossValidateCtx(fitCtx, fitter, core.Subset(design, rows), f, cfg.Folds, cfg.MaxLambda)
 		res.FitTime += time.Since(fitStart)
 		if err != nil {
 			return nil, fmt.Errorf("exp: adaptive round at K=%d: %w", k, err)

@@ -85,6 +85,113 @@ func (c *Cholesky) Append(cross []float64, diag float64) error {
 	return nil
 }
 
+// Update applies the rank-one update A' = A + x·xᵀ to the factored matrix
+// in place, using the Givens-style recurrence of Golub & Van Loan §12.5.
+// Adding x·xᵀ keeps A positive definite, so the update never fails. x is
+// consumed as scratch and left in an undefined state.
+func (c *Cholesky) Update(x []float64) {
+	if len(x) != c.n {
+		panic(fmt.Sprintf("linalg: Cholesky.Update vector length %d, want %d", len(x), c.n))
+	}
+	c.updateFrom(x, 0)
+}
+
+// updateFrom applies A' = A + x·xᵀ restricted to the trailing square block
+// that starts at row/column `start` (x has length n−start). The leading
+// rows and the off-block rectangle are untouched, which is exactly the
+// shape Drop needs: deleting row/column i perturbs only the trailing
+// (n−1−i)×(n−1−i) block of the Gram matrix.
+func (c *Cholesky) updateFrom(x []float64, start int) {
+	for k := start; k < c.n; k++ {
+		rk := c.rowAt(k)
+		lkk := rk[k]
+		xk := x[k-start]
+		r := math.Sqrt(lkk*lkk + xk*xk)
+		cs := r / lkk
+		sn := xk / lkk
+		rk[k] = r
+		for j := k + 1; j < c.n; j++ {
+			rj := c.rowAt(j)
+			rj[k] = (rj[k] + sn*x[j-start]) / cs
+			x[j-start] = cs*x[j-start] - sn*rj[k]
+		}
+	}
+}
+
+// Drop removes row/column i of the factored matrix — a true downdate, O((n−i)²)
+// instead of the O(n³) refactorization. Writing A in block form around row i,
+//
+//	A = [A11  a1   A31ᵀ]        L = [L11            ]
+//	    [a1ᵀ  aii  a3ᵀ ]            [l1ᵀ  lii       ]
+//	    [A31  a3   A33 ]            [L31  l32   L33 ]
+//
+// the deleted factor keeps L11 and L31 unchanged, and the trailing block
+// satisfies A33 = L31·L31ᵀ + l32·l32ᵀ + L33·L33ᵀ, so the new trailing factor
+// is the rank-one *update* of L33 by the deleted column l32 — which, unlike
+// a downdate, cannot lose positive definiteness.
+func (c *Cholesky) Drop(i int) {
+	if i < 0 || i >= c.n {
+		panic(fmt.Sprintf("linalg: Cholesky.Drop(%d) on size %d", i, c.n))
+	}
+	// l32: the deleted column's sub-diagonal entries, saved before compaction.
+	x := make([]float64, c.n-1-i)
+	for j := i + 1; j < c.n; j++ {
+		x[j-1-i] = c.rowAt(j)[i]
+	}
+	// Compact the packed triangle: rows < i keep their storage; row j > i
+	// moves down one slot with its column-i entry removed.
+	out := c.l[:i*(i+1)/2]
+	for j := i + 1; j < c.n; j++ {
+		rj := c.rowAt(j)
+		out = append(out, rj[:i]...)
+		out = append(out, rj[i+1:]...)
+	}
+	c.l = out
+	c.n--
+	c.updateFrom(x, i)
+}
+
+// Packed returns a copy of the factor's packed lower triangle (row by row,
+// row i holding i+1 entries) — the serializable form consumed by
+// CholeskyFromPacked. Together they give fit checkpoints an exact
+// round-trip of the factor without refactorizing on resume.
+func (c *Cholesky) Packed() []float64 {
+	return append([]float64(nil), c.l...)
+}
+
+// CholeskyFromPacked rebuilds a factor of dimension n from a packed lower
+// triangle as produced by Packed. It validates the shape and that every
+// diagonal entry is positive and finite — the invariants Solve relies on —
+// so corrupt checkpoint bytes surface as errors, never as NaN results.
+func CholeskyFromPacked(n int, l []float64) (*Cholesky, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("linalg: CholeskyFromPacked dimension %d", n)
+	}
+	if len(l) != n*(n+1)/2 {
+		return nil, fmt.Errorf("linalg: CholeskyFromPacked has %d entries, want %d for n=%d", len(l), n*(n+1)/2, n)
+	}
+	c := &Cholesky{n: n, l: append([]float64(nil), l...)}
+	for i := 0; i < n; i++ {
+		d := c.rowAt(i)[i]
+		if !(d > 0) || math.IsInf(d, 0) {
+			return nil, fmt.Errorf("linalg: CholeskyFromPacked diagonal %d is %v: %w", i, d, ErrNotPositiveDefinite)
+		}
+	}
+	return c, nil
+}
+
+// SolveLeading solves the leading j×j subsystem A[:j,:j]·x = b, which for a
+// factor grown by Append is exactly the Gram system of the first j appended
+// columns. Incremental refits use it to refresh the coefficients of every
+// path-prefix model after new samples are folded into the factor.
+func (c *Cholesky) SolveLeading(j int, b []float64) ([]float64, error) {
+	if j < 0 || j > c.n {
+		return nil, fmt.Errorf("linalg: Cholesky.SolveLeading(%d) on size %d", j, c.n)
+	}
+	sub := &Cholesky{n: j, l: c.l[:j*(j+1)/2]}
+	return sub.Solve(b)
+}
+
 // Shrink drops the last k rows/columns of the factored matrix. This exactly
 // undoes k Append calls.
 func (c *Cholesky) Shrink(k int) {

@@ -258,6 +258,215 @@ func TestLURandomRoundTrip(t *testing.T) {
 	}
 }
 
+// cholOfGram factors the Gram matrix of g through incremental Appends.
+func cholOfGram(t *testing.T, a *Matrix) *Cholesky {
+	t.Helper()
+	c := NewCholesky()
+	for i := 0; i < a.Rows; i++ {
+		cross := make([]float64, i)
+		for j := 0; j < i; j++ {
+			cross[j] = a.At(i, j)
+		}
+		if err := c.Append(cross, a.At(i, i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	return c
+}
+
+func TestCholeskyUpdateMatchesRefactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randMatrix(rng, 30, 7)
+	a := g.Gram()
+	c := cholOfGram(t, a)
+	x := make([]float64, 7)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	// A + x·xᵀ refactored from scratch.
+	ax := a.Clone()
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 7; j++ {
+			ax.Set(i, j, ax.At(i, j)+x[i]*x[j])
+		}
+	}
+	want, err := CholeskyFactor(ax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Update(append([]float64(nil), x...))
+	lw, lu := want.L(), c.L()
+	for i := range lw.Data {
+		if !almostEq(lw.Data[i], lu.Data[i], 1e-10) {
+			t.Fatalf("updated L differs at %d: %g vs %g", i, lu.Data[i], lw.Data[i])
+		}
+	}
+}
+
+func TestCholeskyDropMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g := randMatrix(rng, 40, 8)
+	a := g.Gram()
+	for drop := 0; drop < 8; drop++ {
+		c := cholOfGram(t, a)
+		c.Drop(drop)
+		if c.Size() != 7 {
+			t.Fatalf("Size after Drop = %d, want 7", c.Size())
+		}
+		// The Gram matrix with row/column `drop` deleted, refactored cold.
+		sub := NewMatrix(7, 7)
+		for i, si := 0, 0; i < 8; i++ {
+			if i == drop {
+				continue
+			}
+			for j, sj := 0, 0; j < 8; j++ {
+				if j == drop {
+					continue
+				}
+				sub.Set(si, sj, a.At(i, j))
+				sj++
+			}
+			si++
+		}
+		want, err := CholeskyFactor(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lw, ld := want.L(), c.L()
+		for i := range lw.Data {
+			if !almostEq(lw.Data[i], ld.Data[i], 1e-10) {
+				t.Fatalf("drop %d: downdated L differs at %d: %g vs %g", drop, i, ld.Data[i], lw.Data[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyDropSolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		g := randMatrix(rng, n+12, n)
+		a := g.Gram()
+		c, err := CholeskyFactor(a)
+		if err != nil {
+			return true
+		}
+		drop := rng.Intn(n)
+		c.Drop(drop)
+		b := make([]float64, n-1)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		got, err := c.Solve(b)
+		if err != nil {
+			return false
+		}
+		sub := NewMatrix(n-1, n-1)
+		for i, si := 0, 0; i < n; i++ {
+			if i == drop {
+				continue
+			}
+			for j, sj := 0, 0; j < n; j++ {
+				if j == drop {
+					continue
+				}
+				sub.Set(si, sj, a.At(i, j))
+				sj++
+			}
+			si++
+		}
+		want, err := SolveSquare(sub, b)
+		if err != nil {
+			return true
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCholeskyPackedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randMatrix(rng, 20, 6)
+	c := cholOfGram(t, g.Gram())
+	rt, err := CholeskyFromPacked(c.Size(), c.Packed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, -2, 3, -4, 5, -6}
+	x1, err := c.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := rt.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatalf("packed round-trip changed solution: %g vs %g", x1[i], x2[i])
+		}
+	}
+}
+
+func TestCholeskyFromPackedRejectsCorrupt(t *testing.T) {
+	if _, err := CholeskyFromPacked(3, []float64{1, 2}); err == nil {
+		t.Fatal("expected shape error")
+	}
+	if _, err := CholeskyFromPacked(-1, nil); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	// Zero and NaN diagonals must be rejected — Solve divides by them.
+	if _, err := CholeskyFromPacked(2, []float64{1, 0.5, 0}); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("zero diagonal: got %v", err)
+	}
+	if _, err := CholeskyFromPacked(1, []float64{math.NaN()}); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("NaN diagonal: got %v", err)
+	}
+}
+
+func TestCholeskySolveLeadingMatchesSubfactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := randMatrix(rng, 30, 6)
+	a := g.Gram()
+	c := cholOfGram(t, a)
+	for j := 1; j <= 6; j++ {
+		b := make([]float64, j)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		got, err := c.SolveLeading(j, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub := NewMatrix(j, j)
+		for i := 0; i < j; i++ {
+			for k := 0; k < j; k++ {
+				sub.Set(i, k, a.At(i, k))
+			}
+		}
+		wantC, err := CholeskyFactor(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := wantC.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if !almostEq(got[i], want[i], 1e-10) {
+				t.Fatalf("leading %d solve differs at %d: %g vs %g", j, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 // Property: for random SPD systems, Cholesky and QR least-squares agree.
 func TestCholeskyQRConsistency(t *testing.T) {
 	f := func(seed int64) bool {

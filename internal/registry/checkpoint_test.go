@@ -1,0 +1,209 @@
+package registry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// testCheckpoint builds a minimal valid checkpoint for name@version.
+func testCheckpoint(name string, version int) *Checkpoint {
+	return &Checkpoint{
+		Version:      CheckpointFormatVersion,
+		Name:         name,
+		ModelVersion: version,
+		Solver:       "OMP",
+		Folds:        4,
+		MaxLambda:    2,
+		Metric:       "gain",
+		Points:       [][]float64{{0.5, -1.5}, {2, 0.25}},
+		Values:       []float64{1.25, -0.75},
+		State: &core.FitCheckpoint{
+			Version:   core.CheckpointVersion,
+			Solver:    "OMP",
+			K:         2,
+			M:         3,
+			MaxLambda: 2,
+			Support:   []int{1},
+			Residual:  []float64{0.1, -0.2},
+			GTF:       []float64{1},
+			CholL:     []float64{1.5},
+		},
+		CreatedAt: time.Now().UTC(),
+	}
+}
+
+func TestCheckpointRoundTripInMemory(t *testing.T) {
+	r := New()
+	ck := testCheckpoint("gain", 1)
+	if err := r.PutCheckpoint(ck); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Checkpoint("gain", 1)
+	if !ok {
+		t.Fatal("checkpoint not found after put")
+	}
+	if got.Solver != "OMP" || got.State.K != 2 || len(got.Points) != 2 {
+		t.Fatalf("checkpoint mangled: %+v", got)
+	}
+	if _, ok := r.Checkpoint("gain", 2); ok {
+		t.Fatal("found checkpoint for version that was never stored")
+	}
+	if n := r.CheckpointBytes("gain", 1); n <= 0 {
+		t.Fatalf("CheckpointBytes = %d, want > 0", n)
+	}
+	if n := r.CheckpointBytes("gain", 9); n != 0 {
+		t.Fatalf("CheckpointBytes for missing version = %d, want 0", n)
+	}
+}
+
+func TestCheckpointPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PutCheckpoint(testCheckpoint("delay", 3)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "checkpoints", "delay@v3.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpoint file missing: %v", err)
+	}
+
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r2.Checkpoint("delay", 3)
+	if !ok {
+		t.Fatal("checkpoint not lazily loaded after reopen")
+	}
+	if got.Name != "delay" || got.ModelVersion != 3 || got.State.Solver != "OMP" {
+		t.Fatalf("reloaded checkpoint mangled: %+v", got)
+	}
+}
+
+func TestCheckpointQuarantinesCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckDir := filepath.Join(dir, "checkpoints")
+	if err := os.MkdirAll(ckDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(ckDir, "gain@v1.json")
+	if err := os.WriteFile(path, []byte(`{"version":1,"name":"gain","model_ver`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Checkpoint("gain", 1); ok {
+		t.Fatal("corrupt checkpoint was accepted")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt checkpoint still at live path")
+	}
+	if _, err := os.Stat(filepath.Join(ckDir, "corrupt", "gain@v1.json")); err != nil {
+		t.Fatalf("corrupt checkpoint not quarantined: %v", err)
+	}
+
+	// A file whose contents claim a different identity is corruption too.
+	lying := testCheckpoint("gain", 2)
+	if err := r.PutCheckpoint(lying); err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(ckDir, "gain@v2.json")
+	blob, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(ckDir, "gain@v5.json"), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Checkpoint("gain", 5); ok {
+		t.Fatal("checkpoint with mismatched identity was accepted")
+	}
+}
+
+func TestCheckpointValidateRejects(t *testing.T) {
+	r := New()
+	cases := map[string]func(*Checkpoint){
+		"nil state":      func(c *Checkpoint) { c.State = nil },
+		"bad name":       func(c *Checkpoint) { c.Name = "../evil" },
+		"bad version":    func(c *Checkpoint) { c.ModelVersion = 0 },
+		"solver clash":   func(c *Checkpoint) { c.Solver = "LAR" },
+		"row mismatch":   func(c *Checkpoint) { c.Values = c.Values[:1] },
+		"ragged points":  func(c *Checkpoint) { c.Points[1] = c.Points[1][:1] },
+		"bad maxlambda":  func(c *Checkpoint) { c.MaxLambda = 0 },
+		"future format":  func(c *Checkpoint) { c.Version = CheckpointFormatVersion + 1 },
+		"corrupt state":  func(c *Checkpoint) { c.State.Residual = c.State.Residual[:1] },
+		"nonfinite data": func(c *Checkpoint) { c.Values[0] = c.Values[0] / 0 * 0 },
+	}
+	for label, mutate := range cases {
+		ck := testCheckpoint("gain", 1)
+		mutate(ck)
+		if err := r.PutCheckpoint(ck); err == nil {
+			t.Errorf("%s: PutCheckpoint accepted invalid checkpoint", label)
+		}
+	}
+	if err := r.PutCheckpoint(nil); err == nil {
+		t.Error("PutCheckpoint accepted nil")
+	}
+}
+
+func TestDeleteRemovesCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Put("gain", testEnvelope(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PutCheckpoint(testCheckpoint("gain", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete("gain"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Checkpoint("gain", 1); ok {
+		t.Fatal("checkpoint survived model deletion")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "checkpoints", "gain@v1.json")); !os.IsNotExist(err) {
+		t.Fatal("checkpoint file survived model deletion")
+	}
+}
+
+func TestCheckpointStaleTempSwept(t *testing.T) {
+	dir := t.TempDir()
+	ckDir := filepath.Join(dir, "checkpoints")
+	if err := os.MkdirAll(ckDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(ckDir, "gain@v1.json.tmp")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("stale checkpoint temp file not swept at open")
+	}
+}
+
+func TestCheckpointValueAccepted(t *testing.T) {
+	// Sanity: the fixture itself must be valid, or every rejection test
+	// above passes vacuously.
+	if err := testCheckpoint("gain", 1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(checkpointKey("gain", 1), "gain@v1") {
+		t.Fatalf("unexpected checkpoint key %q", checkpointKey("gain", 1))
+	}
+}

@@ -81,9 +81,10 @@ type Registry struct {
 	dir string
 	log *slog.Logger
 
-	mu     sync.RWMutex
-	models map[string][]*Entry // versions in ascending order
-	onPut  func(name string, version int)
+	mu          sync.RWMutex
+	models      map[string][]*Entry // versions in ascending order
+	checkpoints map[string]*Checkpoint
+	onPut       func(name string, version int)
 }
 
 // OnPut registers a hook invoked after every successful Put with the new
@@ -129,10 +130,15 @@ func OpenWith(dir string, logger *slog.Logger) (*Registry, error) {
 		return nil, fmt.Errorf("registry: create store dir: %w", err)
 	}
 	r.dir = dir
-	if stale, err := filepath.Glob(filepath.Join(dir, "*.json.tmp")); err == nil {
-		for _, path := range stale {
-			if err := os.Remove(path); err == nil {
-				r.log.Warn("registry: removed stale temp file (interrupted write)", "path", path)
+	for _, pattern := range []string{
+		filepath.Join(dir, "*.json.tmp"),
+		filepath.Join(dir, "checkpoints", "*.json.tmp"),
+	} {
+		if stale, err := filepath.Glob(pattern); err == nil {
+			for _, path := range stale {
+				if err := os.Remove(path); err == nil {
+					r.log.Warn("registry: removed stale temp file (interrupted write)", "path", path)
+				}
 			}
 		}
 	}
@@ -363,6 +369,9 @@ func (r *Registry) Delete(name string) error {
 				return fmt.Errorf("registry: remove %s: %w", path, err)
 			}
 		}
+	}
+	if err := r.dropCheckpoints(name, versions); err != nil {
+		return err
 	}
 	delete(r.models, name)
 	return nil

@@ -110,7 +110,7 @@ type FitEventInfo struct {
 // timeline (Stages) and, when done, the pipeline result.
 type JobStatus struct {
 	ID        string     `json:"id"`
-	Kind      string     `json:"kind,omitempty"` // "fit" | "pipeline"
+	Kind      string     `json:"kind,omitempty"` // "fit" | "pipeline" | "refine"
 	RequestID string     `json:"request_id,omitempty"`
 	TraceID   string     `json:"trace_id,omitempty"`
 	State     string     `json:"state"` // pending | running | done | failed | canceled | timed_out
@@ -126,6 +126,64 @@ type JobStatus struct {
 	Events          []FitEventInfo      `json:"events,omitempty"`
 	Stages          []PipelineStageInfo `json:"stages,omitempty"`
 	Pipeline        *PipelineResult     `json:"pipeline,omitempty"`
+	Refine          *RefineResult       `json:"refine,omitempty"`
+}
+
+// RefineRequest submits an incremental refit of a stored model
+// (POST /v1/models/{name}/refine): new samples are appended to the training
+// set persisted in the model's fit checkpoint and the path fit is continued
+// warm instead of restarted cold. The refined model is published as a new
+// registry version only when its cross-validation error improves on the
+// parent's; otherwise the job completes with outcome "rejected" and the
+// parent stays the served version.
+type RefineRequest struct {
+	// Name is populated by the server from the URL path; a body value is
+	// ignored. It rides in the struct so the journaled job payload is
+	// self-contained across crash recovery.
+	Name string `json:"name,omitempty"`
+	// CSV carries the new samples in mcgen CSV form; Points/Values are the
+	// explicit alternative. The response metric is pinned by the parent fit.
+	CSV    string      `json:"csv,omitempty"`
+	Points [][]float64 `json:"points,omitempty"`
+	Values []float64   `json:"values,omitempty"`
+	// Folds and MaxLambda default to the parent fit's settings.
+	Folds     int `json:"folds,omitempty"`
+	MaxLambda int `json:"max_lambda,omitempty"`
+	// TimeoutSeconds caps this job's fit time like FitRequest's.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// RefineResponse acknowledges an accepted refine job (202).
+type RefineResponse struct {
+	JobID string `json:"job_id"`
+	State string `json:"state"`
+}
+
+// RefineResult is the outcome of a completed refine job. Outcome "improved"
+// means a new version was published (Model describes it); "rejected" means
+// the refit's CV error did not beat the parent's and nothing was published
+// (Model describes the still-served parent).
+type RefineResult struct {
+	Outcome string    `json:"outcome"` // "improved" | "rejected"
+	Model   ModelInfo `json:"model"`
+	// ParentVersion/ParentCVError identify the version the refit continued
+	// from and the error bar it had to beat.
+	ParentVersion int     `json:"parent_version"`
+	ParentCVError float64 `json:"parent_cv_error"`
+	// CVError and Lambda describe the refit candidate (whether published or
+	// not); Samples counts the combined training set, AppendedSamples the new
+	// rows this request contributed.
+	CVError         float64 `json:"cv_error"`
+	Lambda          int     `json:"lambda"`
+	Samples         int     `json:"samples"`
+	AppendedSamples int     `json:"appended_samples"`
+	// Warm reports whether the fit continued from the parent's state (warm
+	// replay and/or checkpoint resume) rather than refitting cold.
+	Warm bool `json:"warm"`
+	// FitSeconds is the wall-clock refit time; CheckpointBytes the size of
+	// the new version's persisted fit checkpoint (0 when none was stored).
+	FitSeconds      float64 `json:"fit_seconds"`
+	CheckpointBytes int     `json:"checkpoint_bytes,omitempty"`
 }
 
 // PipelineRequest submits an asynchronous netlist-in, model-out pipeline

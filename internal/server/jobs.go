@@ -53,6 +53,7 @@ func terminalState(state string) bool {
 const (
 	JobKindFit      = "fit"
 	JobKindPipeline = "pipeline"
+	JobKindRefine   = "refine"
 )
 
 // job is one queued async request (a fit or a full pipeline) and its
@@ -62,12 +63,13 @@ const (
 // per-job deadline on top of it.
 type job struct {
 	id        string
-	kind      string // JobKindFit | JobKindPipeline
+	kind      string // JobKindFit | JobKindPipeline | JobKindRefine
 	requestID string // trace ID of the submitting request
 	idemKey   string // Idempotency-Key of the submitting request ("" = none)
 	attempt   int    // crash-recovery replays before this life (0 = first)
 	req       FitRequest
 	pipeReq   *PipelineRequest // set when kind is JobKindPipeline
+	refineReq *RefineRequest   // set when kind is JobKindRefine (carries Name)
 	q         *jobQueue        // owning queue, for terminal bookkeeping
 
 	ctx    context.Context
@@ -91,6 +93,7 @@ type job struct {
 	err       string
 	result    *FitResult
 	presult   *PipelineResult
+	rresult   *RefineResult
 	events    []FitEventInfo      // solver telemetry timeline, capped at maxJobEvents
 	stages    []PipelineStageInfo // pipeline stage timeline
 	// timeline is the unified job event stream (state transitions, fit
@@ -176,6 +179,7 @@ func (j *job) status() *JobStatus {
 	s := &JobStatus{
 		ID: j.id, Kind: j.kind, RequestID: j.requestID, TraceID: j.traceID, State: j.state,
 		Submitted: j.submitted, Error: j.err, Result: j.result, Pipeline: j.presult,
+		Refine:          j.rresult,
 		RecoveryAttempt: j.attempt,
 	}
 	if !j.started.IsZero() {
@@ -251,6 +255,25 @@ func (j *job) finish(state, errMsg string, result *FitResult) bool {
 	j.state = state
 	j.err = errMsg
 	j.result = result
+	j.finished = time.Now()
+	persist := !j.noPersist
+	j.stateEventLocked()
+	j.closeSubsLocked()
+	j.mu.Unlock()
+	j.q.noteTerminal(j, state, errMsg, persist)
+	return true
+}
+
+// finishRefine is finish for refine jobs.
+func (j *job) finishRefine(state, errMsg string, result *RefineResult) bool {
+	j.mu.Lock()
+	if terminalState(j.state) {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = state
+	j.err = errMsg
+	j.rresult = result
 	j.finished = time.Now()
 	persist := !j.noPersist
 	j.stateEventLocked()
@@ -368,6 +391,13 @@ func (q *jobQueue) submitPipeline(ctx context.Context, req PipelineRequest, requ
 	return q.enqueue(ctx, &job{kind: JobKindPipeline, requestID: requestID, idemKey: idemKey, pipeReq: &req})
 }
 
+// submitRefine enqueues an incremental-refit job. req.Name must already be
+// populated (from the URL path) so the journaled payload identifies the
+// model across crash recovery.
+func (q *jobQueue) submitRefine(ctx context.Context, req RefineRequest, requestID, idemKey string) (j *job, existing bool, err error) {
+	return q.enqueue(ctx, &job{kind: JobKindRefine, requestID: requestID, idemKey: idemKey, refineReq: &req})
+}
+
 // enqueue assigns the job its ID and context and admits it to the queue,
 // after the journal (when attached) durably recorded the submission. The
 // fsync happens under the queue lock — submissions serialize on it, which
@@ -393,9 +423,12 @@ func (q *jobQueue) enqueue(ctx context.Context, j *job) (*job, bool, error) {
 	if q.jnl != nil {
 		var payload json.RawMessage
 		var err error
-		if j.kind == JobKindPipeline {
+		switch j.kind {
+		case JobKindPipeline:
 			payload, err = json.Marshal(j.pipeReq)
-		} else {
+		case JobKindRefine:
+			payload, err = json.Marshal(j.refineReq)
+		default:
 			payload, err = json.Marshal(&j.req)
 		}
 		if err != nil {
@@ -823,7 +856,11 @@ func (s *Server) runFit(j *job) {
 		return
 	}
 	start := time.Now()
-	cv, err := core.CrossValidateCtx(ctx, fitter, basis.AutoDesign(b, points), f, req.Folds, req.MaxLambda)
+	// Arm a natural-end checkpoint capture: the final refit's engine state is
+	// persisted beside the published version so POST /v1/models/{name}/refine
+	// can later continue this fit instead of restarting cold.
+	plan := &core.CheckpointPlan{}
+	cv, err := core.CrossValidateCtx(core.WithCheckpointPlan(ctx, plan), fitter, basis.AutoDesign(b, points), f, req.Folds, req.MaxLambda)
 	if err != nil {
 		fail(fmt.Errorf("fit: %w", err))
 		return
@@ -845,6 +882,7 @@ func (s *Server) runFit(j *job) {
 		fail(err)
 		return
 	}
+	s.persistCheckpoint(logger, entry, plan.CK, req.Solver, req.Folds, req.MaxLambda, metric, points, f)
 	fitDur := time.Since(start)
 	s.metrics.observeFit(fitDur, finalIterations(j), j.traceID)
 	finish(JobDone, "", &FitResult{

@@ -76,6 +76,13 @@ type metrics struct {
 	predictions map[string]int64 // model name → points predicted
 	jobs        struct{ submitted, completed, failed, canceled, timedOut int64 }
 	pipelines   struct{ submitted, completed, failed, canceled, timedOut int64 }
+	refines     struct{ submitted, completed, failed, canceled, timedOut int64 }
+	// refits tallies completed refine jobs by publish-gate outcome — the
+	// rsmd_refits_total{outcome} counter.
+	refits struct{ improved, rejected int64 }
+	// checkpointBytes is the serialized size of the latest persisted fit
+	// checkpoint per model name — the rsmd_checkpoint_bytes gauge.
+	checkpointBytes map[string]int64
 	// activePipelines counts pipeline jobs currently running (between
 	// worker pickup and terminal state) — the rsmd_pipelines_active gauge.
 	activePipelines int64
@@ -93,6 +100,12 @@ type metrics struct {
 	fitDuration   *obs.Histogram
 	fitIterations *obs.Histogram
 	queueWait     *obs.Histogram
+
+	// refineFitWarm/refineFitCold split refine fit times by whether the
+	// solver continued warm from the parent's state or refit cold — the
+	// observable half of the "warm ≤ 50% of cold" contract.
+	refineFitWarm *obs.Histogram
+	refineFitCold *obs.Histogram
 
 	// Micro-batcher coalescing histograms, observed once per executed
 	// flush; self-locking for the same reason.
@@ -124,9 +137,12 @@ func newMetrics() *metrics {
 		start:           time.Now(),
 		routes:          make(map[string]*routeStats),
 		predictions:     make(map[string]int64),
+		checkpointBytes: make(map[string]int64),
 		fitDuration:     obs.NewHistogram(fitDurationBounds...),
 		fitIterations:   obs.NewHistogram(fitIterationBounds...),
 		queueWait:       obs.NewHistogram(queueWaitBounds...),
+		refineFitWarm:   obs.NewHistogram(fitDurationBounds...),
+		refineFitCold:   obs.NewHistogram(fitDurationBounds...),
 		coalescedCalls:  obs.NewHistogram(coalescedCallBounds...),
 		coalescedPoints: obs.NewHistogram(coalescedPointBounds...),
 		stageDuration:   make(map[string]*obs.Histogram, len(pipeline.Stages)),
@@ -164,6 +180,44 @@ func (m *metrics) observeJournalAppend(d time.Duration, err error) {
 func (m *metrics) countPipelineSubmitted() {
 	m.mu.Lock()
 	m.pipelines.submitted++
+	m.mu.Unlock()
+}
+
+// countRefineSubmitted tracks one accepted refine job.
+func (m *metrics) countRefineSubmitted() {
+	m.mu.Lock()
+	m.refines.submitted++
+	m.mu.Unlock()
+}
+
+// countRefit tallies one completed refine by publish-gate outcome
+// (RefineImproved / RefineRejected).
+func (m *metrics) countRefit(outcome string) {
+	m.mu.Lock()
+	switch outcome {
+	case RefineImproved:
+		m.refits.improved++
+	case RefineRejected:
+		m.refits.rejected++
+	}
+	m.mu.Unlock()
+}
+
+// observeRefineFit records one refine's fit time into the warm or cold
+// histogram per how the solver actually continued.
+func (m *metrics) observeRefineFit(d time.Duration, warm bool) {
+	if warm {
+		m.refineFitWarm.Observe(d.Seconds())
+		return
+	}
+	m.refineFitCold.Observe(d.Seconds())
+}
+
+// setCheckpointBytes updates the per-model checkpoint size gauge after a
+// checkpoint was persisted.
+func (m *metrics) setCheckpointBytes(model string, n int) {
+	m.mu.Lock()
+	m.checkpointBytes[model] = int64(n)
 	m.mu.Unlock()
 }
 
@@ -241,8 +295,11 @@ func (m *metrics) countJobSubmitted() {
 func (m *metrics) countJobEnd(kind, state string) {
 	m.mu.Lock()
 	c := &m.jobs
-	if kind == JobKindPipeline {
+	switch kind {
+	case JobKindPipeline:
 		c = &m.pipelines
+	case JobKindRefine:
+		c = &m.refines
 	}
 	switch state {
 	case JobDone:
@@ -328,12 +385,29 @@ func (m *metrics) Snapshot(models, queueDepth int, cache cacheStats, jnl journal
 		"active":            m.activePipelines,
 		"samples_simulated": m.samplesSimulated,
 	}
+	refines := map[string]any{
+		"submitted": m.refines.submitted,
+		"completed": m.refines.completed,
+		"failed":    m.refines.failed,
+		"canceled":  m.refines.canceled,
+		"timed_out": m.refines.timedOut,
+		"outcomes": map[string]int64{
+			RefineImproved: m.refits.improved,
+			RefineRejected: m.refits.rejected,
+		},
+	}
+	ckBytes := make(map[string]int64, len(m.checkpointBytes))
+	for name, n := range m.checkpointBytes {
+		ckBytes[name] = n
+	}
 	incidents := map[string]int64{
 		"panics_recovered": m.panics,
 		"requests_shed":    m.shed,
 	}
 	jc := m.journal
 	m.mu.Unlock()
+	refines["fit_seconds_warm"] = m.refineFitWarm.Snapshot().JSON()
+	refines["fit_seconds_cold"] = m.refineFitCold.Snapshot().JSON()
 	stageDur := make(map[string]any, len(m.stageDuration))
 	for _, stage := range pipeline.Stages {
 		stageDur[stage] = m.stageDuration[stage].Snapshot().JSON()
@@ -373,6 +447,10 @@ func (m *metrics) Snapshot(models, queueDepth int, cache cacheStats, jnl journal
 		},
 		"jobs":      jobs,
 		"pipelines": pipelines,
+		"refines":   refines,
+		"checkpoints": map[string]any{
+			"bytes": ckBytes,
+		},
 		"incidents": incidents,
 		"journal": map[string]any{
 			"enabled":          jnl.enabled,
@@ -444,6 +522,17 @@ func (m *metrics) writePrometheus(w io.Writer, models, queueDepth int, cache cac
 	}
 	jobs := m.jobs
 	pipelines := m.pipelines
+	refines := m.refines
+	refits := m.refits
+	ckModels := make([]string, 0, len(m.checkpointBytes))
+	for name := range m.checkpointBytes {
+		ckModels = append(ckModels, name)
+	}
+	sort.Strings(ckModels)
+	ckBytes := make([]int64, len(ckModels))
+	for i, name := range ckModels {
+		ckBytes[i] = m.checkpointBytes[name]
+	}
 	activePipelines, samplesSimulated := m.activePipelines, m.samplesSimulated
 	panics, shed := m.panics, m.shed
 	jc := m.journal
@@ -505,6 +594,24 @@ func (m *metrics) writePrometheus(w io.Writer, models, queueDepth int, cache cac
 	pw.Meta("rsmd_pipeline_stage_duration_seconds", "histogram", "Pipeline stage wall-clock time, by stage.")
 	for _, stage := range pipeline.Stages {
 		pw.Histogram("rsmd_pipeline_stage_duration_seconds", obs.Label("stage", stage), m.stageDuration[stage].Snapshot())
+	}
+
+	pw.Meta("rsmd_refines_submitted_total", "counter", "Refine jobs accepted into the queue.")
+	pw.Sample("rsmd_refines_submitted_total", "", float64(refines.submitted))
+	pw.Meta("rsmd_refine_jobs_total", "counter", "Refine jobs reaching a terminal state, by state.")
+	pw.Sample("rsmd_refine_jobs_total", obs.Label("state", JobDone), float64(refines.completed))
+	pw.Sample("rsmd_refine_jobs_total", obs.Label("state", JobFailed), float64(refines.failed))
+	pw.Sample("rsmd_refine_jobs_total", obs.Label("state", JobCanceled), float64(refines.canceled))
+	pw.Sample("rsmd_refine_jobs_total", obs.Label("state", JobTimedOut), float64(refines.timedOut))
+	pw.Meta("rsmd_refits_total", "counter", "Completed refines by publish-gate outcome: improved published a new version, rejected kept the parent.")
+	pw.Sample("rsmd_refits_total", obs.Label("outcome", RefineImproved), float64(refits.improved))
+	pw.Sample("rsmd_refits_total", obs.Label("outcome", RefineRejected), float64(refits.rejected))
+	pw.Meta("rsmd_refine_fit_seconds", "histogram", "Refine fit wall-clock time, split by warm continuation vs cold refit.")
+	pw.Histogram("rsmd_refine_fit_seconds", obs.Label("mode", "warm"), m.refineFitWarm.Snapshot())
+	pw.Histogram("rsmd_refine_fit_seconds", obs.Label("mode", "cold"), m.refineFitCold.Snapshot())
+	pw.Meta("rsmd_checkpoint_bytes", "gauge", "Serialized size of the latest persisted fit checkpoint, by model.")
+	for i, name := range ckModels {
+		pw.Sample("rsmd_checkpoint_bytes", obs.Label("model", name), float64(ckBytes[i]))
 	}
 
 	pw.Meta("rsmd_journal_enabled", "gauge", "1 when a durable job journal is attached.")

@@ -15,14 +15,18 @@ import (
 	"repro/internal/registry"
 )
 
-// runJob is the worker-pool dispatch: fit jobs and pipeline jobs share one
-// bounded queue and worker pool, so a single saturation policy governs both.
+// runJob is the worker-pool dispatch: fit, pipeline and refine jobs share
+// one bounded queue and worker pool, so a single saturation policy governs
+// them all.
 func (s *Server) runJob(j *job) {
-	if j.kind == JobKindPipeline {
+	switch j.kind {
+	case JobKindPipeline:
 		s.runPipeline(j)
-		return
+	case JobKindRefine:
+		s.runRefine(j)
+	default:
+		s.runFit(j)
 	}
-	s.runFit(j)
 }
 
 // handlePipelineSubmit validates and enqueues a netlist-in, model-out

@@ -155,13 +155,25 @@ func decodeJobPayload(j *job, payload json.RawMessage) error {
 	if len(payload) == 0 {
 		return fmt.Errorf("no payload journaled")
 	}
-	if j.kind == JobKindPipeline {
+	switch j.kind {
+	case JobKindPipeline:
 		var req PipelineRequest
 		if err := json.Unmarshal(payload, &req); err != nil {
 			return err
 		}
 		j.pipeReq = &req
 		return nil
+	case JobKindRefine:
+		var req RefineRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return err
+		}
+		if req.Name == "" {
+			return fmt.Errorf("refine payload names no model")
+		}
+		j.refineReq = &req
+		return nil
+	default:
+		return json.Unmarshal(payload, &j.req)
 	}
-	return json.Unmarshal(payload, &j.req)
 }

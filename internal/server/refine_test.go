@@ -1,0 +1,433 @@
+package server
+
+// Incremental-refit suite: POST /v1/models/{name}/refine continues a fit
+// from its persisted checkpoint, appends new samples, and publishes a new
+// version only when cross-validation error strictly improves. The crash
+// test at the bottom runs with the TestCrash* suite (make crash-smoke).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/registry"
+	"repro/internal/rng"
+)
+
+// refineDataset draws n samples of the ground truth f = 1 + 2·y0 − 3·y2
+// over 3 variables with additive Gaussian noise of the given scale. The
+// stream position of src makes successive calls independent draws.
+func refineDataset(src *rng.Source, n int, noise float64) ([][]float64, []float64) {
+	points := make([][]float64, n)
+	values := make([]float64, n)
+	for k := range points {
+		y := src.NormVec(nil, 3)
+		points[k] = y
+		values[k] = 1 + 2*y[0] - 3*y[2] + noise*src.NormVec(nil, 1)[0]
+	}
+	return points, values
+}
+
+// submitFitWait submits a fit over the given samples and waits for done.
+func submitFitWait(t *testing.T, baseURL, name string, points [][]float64, values []float64) *JobStatus {
+	t.Helper()
+	req, _ := json.Marshal(FitRequest{Name: name, Points: points, Values: values, MaxLambda: 5})
+	resp := post(t, baseURL+"/v1/fit", string(req))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fit submit: HTTP %d", resp.StatusCode)
+	}
+	id := decode[FitResponse](t, resp).JobID
+	st := waitTerminal(t, baseURL, id, 30*time.Second)
+	if st.State != JobDone {
+		t.Fatalf("parent fit state %s (%q), want done", st.State, st.Error)
+	}
+	return st
+}
+
+// submitRefineReq posts a refine request for the named model and returns
+// the accepted job ID.
+func submitRefineReq(t *testing.T, baseURL, name string, points [][]float64, values []float64) string {
+	t.Helper()
+	req, _ := json.Marshal(RefineRequest{Points: points, Values: values})
+	resp := post(t, baseURL+"/v1/models/"+name+"/refine", string(req))
+	if resp.StatusCode != http.StatusAccepted {
+		var e ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("refine submit: HTTP %d (%s)", resp.StatusCode, e.Error)
+	}
+	return decode[RefineResponse](t, resp).JobID
+}
+
+// TestRefineLifecycle drives the full streaming-refit story over HTTP: a
+// noisy parent fit, a refine with cleaner samples that must publish v2 with
+// refine provenance and a fresh checkpoint, then a refine with garbage
+// samples that must be rejected by the publish gate and leave v2 serving.
+func TestRefineLifecycle(t *testing.T) {
+	faultinject.Reset()
+	_, hs := newTestServer(t, Config{FitWorkers: 1})
+
+	src := rng.New(11)
+	pts, vals := refineDataset(src, 40, 0.5)
+	parent := submitFitWait(t, hs.URL, "stream", pts, vals)
+	if parent.Result.Model.Version != 1 {
+		t.Fatalf("parent version %d, want 1", parent.Result.Model.Version)
+	}
+
+	// Refine with three times as many, much cleaner samples: the combined
+	// CV error drops well below the parent's, so the gate must publish.
+	newPts, newVals := refineDataset(src, 120, 0.01)
+	id := submitRefineReq(t, hs.URL, "stream", newPts, newVals)
+	st := waitTerminal(t, hs.URL, id, 30*time.Second)
+	if st.State != JobDone {
+		t.Fatalf("refine state %s (%q), want done", st.State, st.Error)
+	}
+	if st.Kind != JobKindRefine {
+		t.Fatalf("job kind %q, want refine", st.Kind)
+	}
+	r := st.Refine
+	if r == nil {
+		t.Fatal("done refine job carries no refine result")
+	}
+	if r.Outcome != RefineImproved {
+		t.Fatalf("outcome %q (cv %g vs parent %g), want improved", r.Outcome, r.CVError, r.ParentCVError)
+	}
+	if r.Model.Version != 2 || r.ParentVersion != 1 {
+		t.Fatalf("published v%d from parent v%d, want v2 from v1", r.Model.Version, r.ParentVersion)
+	}
+	if !(r.CVError < r.ParentCVError) {
+		t.Fatalf("published without improvement: cv %g, parent %g", r.CVError, r.ParentCVError)
+	}
+	if !r.Warm {
+		t.Fatal("OMP parent refit cold, want warm continuation")
+	}
+	if r.AppendedSamples != 120 || r.Samples != 160 {
+		t.Fatalf("samples %d appended %d, want 160/120", r.Samples, r.AppendedSamples)
+	}
+	if r.CheckpointBytes <= 0 {
+		t.Fatalf("checkpoint_bytes = %d, want > 0 (refined version must stay refinable)", r.CheckpointBytes)
+	}
+	prov := r.Model.Provenance
+	if prov.Refine == nil || prov.Refine.ParentVersion != 1 || !prov.Refine.Warm ||
+		prov.Refine.AppendedSamples != 120 {
+		t.Fatalf("refine provenance %+v, want parent v1, warm, 120 appended", prov.Refine)
+	}
+	// The refined model serves: close to the ground truth at a fresh point.
+	resp := post(t, hs.URL+"/v1/models/stream/predict", `{"points":[[1,9,2]]}`)
+	pr := decode[PredictResponse](t, resp)
+	if d := pr.Values[0] - (1 + 2 - 6); d > 0.2 || d < -0.2 {
+		t.Fatalf("refined prediction %g, want ≈ -3", pr.Values[0])
+	}
+
+	// Garbage samples: the combined refit cannot beat v2, so the gate must
+	// reject, keep v2 serving, and still report the candidate's error.
+	badPts, _ := refineDataset(src, 6, 0)
+	badVals := make([]float64, len(badPts))
+	for i := range badVals {
+		badVals[i] = 1000
+	}
+	id2 := submitRefineReq(t, hs.URL, "stream", badPts, badVals)
+	st2 := waitTerminal(t, hs.URL, id2, 30*time.Second)
+	if st2.State != JobDone {
+		t.Fatalf("rejected refine state %s (%q), want done", st2.State, st2.Error)
+	}
+	r2 := st2.Refine
+	if r2 == nil || r2.Outcome != RefineRejected {
+		t.Fatalf("refine result %+v, want rejected", r2)
+	}
+	if r2.Model.Version != 2 {
+		t.Fatalf("rejected refine reports model v%d, want the surviving v2", r2.Model.Version)
+	}
+	if !(r2.CVError > r2.ParentCVError) {
+		t.Fatalf("garbage refit cv %g not worse than parent %g", r2.CVError, r2.ParentCVError)
+	}
+	info := getJSON[ModelInfo](t, hs.URL+"/v1/models/stream", http.StatusOK)
+	if info.Version != 2 {
+		t.Fatalf("served version %d after rejected refine, want 2", info.Version)
+	}
+
+	// Both representations of the refine telemetry: JSON counters...
+	if n := metricInt(t, hs.URL, "refines", "submitted"); n != 2 {
+		t.Fatalf("refines.submitted = %d, want 2", n)
+	}
+	if n := metricInt(t, hs.URL, "refines", "completed"); n != 2 {
+		t.Fatalf("refines.completed = %d, want 2", n)
+	}
+	if n := metricInt(t, hs.URL, "refines", "outcomes", RefineImproved); n != 1 {
+		t.Fatalf("refits improved = %d, want 1", n)
+	}
+	if n := metricInt(t, hs.URL, "refines", "outcomes", RefineRejected); n != 1 {
+		t.Fatalf("refits rejected = %d, want 1", n)
+	}
+	if n := metricInt(t, hs.URL, "checkpoints", "bytes", "stream"); n <= 0 {
+		t.Fatalf("checkpoints.bytes.stream = %d, want > 0", n)
+	}
+	// ...and the Prometheus exposition, which must validate and carry the
+	// new families.
+	body := scrapeText(t, hs.URL)
+	if err := obs.ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("exposition invalid with refine families: %v", err)
+	}
+	for _, want := range []string{
+		`rsmd_refines_submitted_total 2`,
+		`rsmd_refits_total{outcome="improved"} 1`,
+		`rsmd_refits_total{outcome="rejected"} 1`,
+		`rsmd_refine_fit_seconds_count{mode="warm"} 2`,
+		`rsmd_checkpoint_bytes{model="stream"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, grepLines(body, "rsmd_ref"))
+		}
+	}
+}
+
+// TestRefineValidation covers the synchronous rejections: requests that
+// must fail at submit time with a useful status, before any job runs.
+func TestRefineValidation(t *testing.T) {
+	faultinject.Reset()
+	_, hs := newTestServer(t, Config{FitWorkers: 1})
+	uploadModel(t, hs.URL, "lin", 3)
+
+	src := rng.New(3)
+	pts, vals := refineDataset(src, 12, 0.1)
+	submitFitWait(t, hs.URL, "fitted", pts, vals)
+
+	cases := []struct {
+		name string
+		path string
+		body string
+		want int
+	}{
+		{"unknown model", "/v1/models/nope/refine", `{"points":[[1,0,0]],"values":[1]}`, 404},
+		{"no samples", "/v1/models/fitted/refine", `{}`, 400},
+		{"csv and points", "/v1/models/fitted/refine", `{"csv":"x","points":[[1,0,0]],"values":[1]}`, 400},
+		{"bad folds", "/v1/models/fitted/refine", `{"folds":1,"points":[[1,0,0]],"values":[1]}`, 400},
+		{"bad max_lambda", "/v1/models/fitted/refine", `{"max_lambda":-1,"points":[[1,0,0]],"values":[1]}`, 400},
+		{"bad timeout", "/v1/models/fitted/refine", `{"timeout_seconds":-1,"points":[[1,0,0]],"values":[1]}`, 400},
+		// Uploaded pre-fitted models carry no checkpoint to continue from.
+		{"uploaded model", "/v1/models/lin/refine", `{"points":[[1,0,0]],"values":[1]}`, 409},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := post(t, hs.URL+tc.path, tc.body)
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("HTTP %d, want %d", resp.StatusCode, tc.want)
+			}
+			if e := decode[ErrorResponse](t, resp); e.Error == "" {
+				t.Fatal("error response has empty error message")
+			}
+		})
+	}
+
+	// Dimension mismatch passes submit validation (dataset-dependent) and
+	// fails in the worker with a named mismatch.
+	id := submitRefineReq(t, hs.URL, "fitted", [][]float64{{1, 2}}, []float64{1})
+	st := waitTerminal(t, hs.URL, id, 30*time.Second)
+	if st.State != JobFailed || !strings.Contains(st.Error, "dimension") {
+		t.Fatalf("dim-mismatch refine state %s (%q), want failed naming the dimension", st.State, st.Error)
+	}
+}
+
+// TestRefineCSVSamples: new samples can arrive in mcgen CSV form (the
+// rsmfit -refine transport); the metric column is pinned by the parent fit.
+func TestRefineCSVSamples(t *testing.T) {
+	faultinject.Reset()
+	_, hs := newTestServer(t, Config{FitWorkers: 1})
+
+	src := rng.New(11)
+	pts, vals := refineDataset(src, 40, 0.5)
+	submitFitWait(t, hs.URL, "csvref", pts, vals)
+
+	newPts, newVals := refineDataset(src, 120, 0.01)
+	var csv strings.Builder
+	csv.WriteString("y0,y1,y2,f\n")
+	for i, p := range newPts {
+		fmt.Fprintf(&csv, "%g,%g,%g,%g\n", p[0], p[1], p[2], newVals[i])
+	}
+	req, _ := json.Marshal(RefineRequest{CSV: csv.String()})
+	resp := post(t, hs.URL+"/v1/models/csvref/refine", string(req))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("CSV refine submit: HTTP %d", resp.StatusCode)
+	}
+	id := decode[RefineResponse](t, resp).JobID
+	st := waitTerminal(t, hs.URL, id, 30*time.Second)
+	if st.State != JobDone {
+		t.Fatalf("CSV refine state %s (%q), want done", st.State, st.Error)
+	}
+	if st.Refine == nil || st.Refine.Outcome != RefineImproved || st.Refine.AppendedSamples != 120 {
+		t.Fatalf("CSV refine result %+v, want improved with 120 appended", st.Refine)
+	}
+}
+
+// newDurableServer builds a Server over a disk-backed registry plus the job
+// journal, so models, checkpoints and jobs all survive a crash. Restart
+// tests own the shutdown ordering of the "crashing" life.
+func newDurableServer(t *testing.T, regDir, journalDir string, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.JournalDir = journalDir
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	reg, err := registry.Open(regDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, httptest.NewServer(s)
+}
+
+// TestCrashRecoveryRefineReplay is the refine durability acceptance test: a
+// refine job running when the daemon dies is replayed from the journal on
+// the next boot under its original job ID, runs to completion against the
+// disk-backed registry, and corrupts neither the parent model envelope nor
+// the parent's fit checkpoint.
+func TestCrashRecoveryRefineReplay(t *testing.T) {
+	faultinject.Reset()
+	regDir := t.TempDir()
+	jDir := t.TempDir()
+	s1, hs1 := newDurableServer(t, regDir, jDir, Config{FitWorkers: 1})
+
+	src := rng.New(11)
+	pts, vals := refineDataset(src, 40, 0.5)
+	submitFitWait(t, hs1.URL, "crashrefine", pts, vals)
+
+	// Stall the refine worker mid-job and crash the daemon on top of it.
+	armFaults(t, "server.refine=delay:60s")
+	newPts, newVals := refineDataset(src, 120, 0.01)
+	refineID := submitRefineReq(t, hs1.URL, "crashrefine", newPts, newVals)
+	waitRunning(t, hs1.URL, refineID)
+	crashServer(t, s1, hs1)
+
+	// Next boot: same journal, same registry store, stall disarmed. The
+	// replayed refine must finish under its original ID as attempt 1.
+	faultinject.Reset()
+	s2, hs2 := newDurableServer(t, regDir, jDir, Config{FitWorkers: 1})
+	t.Cleanup(func() { hs2.Close(); s2.Close() })
+
+	st := waitTerminal(t, hs2.URL, refineID, 30*time.Second)
+	if st.State != JobDone {
+		t.Fatalf("replayed refine %s state %s (%q), want done", refineID, st.State, st.Error)
+	}
+	if st.RecoveryAttempt != 1 {
+		t.Fatalf("replayed refine recovery_attempt = %d, want 1", st.RecoveryAttempt)
+	}
+	if st.Refine == nil || st.Refine.Outcome != RefineImproved {
+		t.Fatalf("replayed refine result %+v, want improved", st.Refine)
+	}
+	if st.Refine.Model.Version != 2 || st.Refine.ParentVersion != 1 {
+		t.Fatalf("replayed refine published v%d from v%d, want v2 from v1",
+			st.Refine.Model.Version, st.Refine.ParentVersion)
+	}
+	if n := metricInt(t, hs2.URL, "journal", "jobs_recovered"); n != 1 {
+		t.Fatalf("journal.jobs_recovered = %d, want 1 (only the refine was live)", n)
+	}
+
+	// The parent artifacts survived the crash + replay untouched: the v1
+	// envelope on disk still parses and the v1 checkpoint still validates.
+	raw, err := os.ReadFile(filepath.Join(regDir, "crashrefine@v1.json"))
+	if err != nil {
+		t.Fatalf("parent envelope unreadable after crash: %v", err)
+	}
+	if _, err := core.ReadEnvelope(strings.NewReader(string(raw))); err != nil {
+		t.Fatalf("parent envelope corrupt after crash: %v", err)
+	}
+	ck, ok := s2.registry.Checkpoint("crashrefine", 1)
+	if !ok {
+		t.Fatal("parent checkpoint missing after crash + replay")
+	}
+	if err := ck.Validate(); err != nil {
+		t.Fatalf("parent checkpoint corrupt after crash + replay: %v", err)
+	}
+	// And the refined version is itself refinable on the rebooted daemon.
+	if _, ok := s2.registry.Checkpoint("crashrefine", 2); !ok {
+		t.Fatal("refined version published without a checkpoint")
+	}
+	assertHealthy(t, hs2.URL)
+}
+
+// TestRefineIdempotentResubmit: retrying a refine submit with the same
+// Idempotency-Key returns the original job, and reusing a fit job's key on
+// the refine route is a conflict.
+func TestRefineIdempotentResubmit(t *testing.T) {
+	faultinject.Reset()
+	_, hs := newTestServer(t, Config{FitWorkers: 1})
+
+	src := rng.New(7)
+	pts, vals := refineDataset(src, 12, 0.1)
+	submitFitWait(t, hs.URL, "idemref", pts, vals)
+
+	newPts, newVals := refineDataset(src, 12, 0.1)
+	body, _ := json.Marshal(RefineRequest{Points: newPts, Values: newVals})
+	submit := func(key string) (*http.Response, RefineResponse) {
+		req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/models/idemref/refine", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(idemKeyHeader, key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("idempotent refine submit: HTTP %d", resp.StatusCode)
+		}
+		return resp, decode[RefineResponse](t, resp)
+	}
+
+	const key = "refine-retry-0001"
+	_, first := submit(key)
+	waitTerminal(t, hs.URL, first.JobID, 30*time.Second)
+	resp, dup := submit(key)
+	if dup.JobID != first.JobID {
+		t.Fatalf("duplicate refine got job %s, want %s", dup.JobID, first.JobID)
+	}
+	if resp.Header.Get(idemReplayedHeader) != "true" {
+		t.Fatal("duplicate refine submit missing Idempotency-Replayed header")
+	}
+	if n := metricInt(t, hs.URL, "refines", "submitted"); n != 1 {
+		t.Fatalf("refines.submitted = %d after dedup, want 1", n)
+	}
+
+	// A key pinned to a fit job must not silently replay as a refine.
+	freq, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/fit",
+		strings.NewReader(`{"name":"idemref2","folds":2,"max_lambda":3,
+			"points":[[0.1,0.2],[0.3,-0.4],[-0.5,0.6],[0.7,0.8]],"values":[1,2,3,4]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq.Header.Set(idemKeyHeader, "cross-kind-0001")
+	fresp, err := http.DefaultClient.Do(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitID := decode[FitResponse](t, fresp).JobID
+	waitTerminal(t, hs.URL, fitID, 30*time.Second)
+
+	rreq, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/models/idemref/refine", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rreq.Header.Set(idemKeyHeader, "cross-kind-0001")
+	rresp, err := http.DefaultClient.Do(rreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	if rresp.StatusCode != http.StatusConflict {
+		t.Fatalf("cross-kind key reuse: HTTP %d, want 409", rresp.StatusCode)
+	}
+}

@@ -12,6 +12,7 @@
 //	GET  /v1/models/{name}           describe the latest version
 //	POST /v1/models/{name}/predict   batched f(ΔY) evaluation
 //	POST /v1/models/{name}/yield     parametric yield + quantiles
+//	POST /v1/models/{name}/refine    incremental refit on appended samples
 //	POST   /v1/fit                     submit an async fit job
 //	GET    /v1/jobs/{id}               poll a fit job
 //	DELETE /v1/jobs/{id}               cancel a fit job
@@ -268,6 +269,7 @@ func New(reg *registry.Registry, cfg Config) (*Server, error) {
 	route("GET /v1/models/{name}", s.handleModelInfo)
 	route("POST /v1/models/{name}/predict", s.handlePredict)
 	route("POST /v1/models/{name}/yield", s.handleYield)
+	route("POST /v1/models/{name}/refine", s.handleRefine)
 	route("POST /v1/fit", s.handleFit)
 	route("GET /v1/jobs/{id}", s.handleJob)
 	route("DELETE /v1/jobs/{id}", s.handleJobCancel)

@@ -30,6 +30,14 @@ type (
 	FitRequest = server.FitRequest
 	// FitResult is a completed fit job's outcome.
 	FitResult = server.FitResult
+	// RefineRequest submits new samples to continue a stored model's fit
+	// (incremental refit). Name is taken from the Refine call's argument.
+	RefineRequest = server.RefineRequest
+	// RefineResult is a completed refine job's outcome: whether the refit
+	// improved on the parent and was published.
+	RefineResult = server.RefineResult
+	// RefineProvenance links a refined model version to its parent.
+	RefineProvenance = core.RefineProvenance
 	// JobStatus reports an async fit job's lifecycle.
 	JobStatus = server.JobStatus
 	// ModelInfo summarizes a stored model version.
@@ -68,6 +76,12 @@ const (
 	JobEventState = server.JobEventState
 	JobEventFit   = server.JobEventFit
 	JobEventStage = server.JobEventStage
+)
+
+// Refine outcomes, re-exported for RefineResult.Outcome comparisons.
+const (
+	RefineImproved = server.RefineImproved
+	RefineRejected = server.RefineRejected
 )
 
 // Job lifecycle states, re-exported so WatchJob callbacks and JobStatus
@@ -337,6 +351,27 @@ func (c *Client) SubmitFit(ctx context.Context, req FitRequest) (string, error) 
 		return "", err
 	}
 	return resp.JobID, nil
+}
+
+// Refine enqueues an incremental-refit job for the named model: the daemon
+// continues the stored fit from its persisted checkpoint with req's new
+// samples appended, and publishes a new version only when cross-validation
+// error improves. Like SubmitFit the submit carries a generated
+// Idempotency-Key, so it is safely retried without risking duplicate jobs.
+func (c *Client) Refine(ctx context.Context, name string, req RefineRequest) (string, error) {
+	var resp server.RefineResponse
+	if err := c.doWith(ctx, http.MethodPost, "/v1/models/"+name+"/refine", obs.NewRequestID(), req, &resp, true); err != nil {
+		return "", err
+	}
+	return resp.JobID, nil
+}
+
+// WaitRefine polls the refine job every interval until it reaches any
+// terminal state or ctx expires, with WaitJob's contract. On done, the
+// returned status's Refine field carries the outcome — whether a new
+// version was published or the refit was rejected by the publish gate.
+func (c *Client) WaitRefine(ctx context.Context, id string, interval time.Duration) (*JobStatus, error) {
+	return c.waitTerminal(ctx, "refine", id, interval, c.Job)
 }
 
 // Job polls one fit job.

@@ -1,0 +1,123 @@
+package rsm_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/rsm"
+)
+
+// noisyLinear draws n samples of f = 1 + 2·y0 − 3·y2 over 3 variables with
+// additive Gaussian noise of the given scale.
+func noisyLinear(src *rng.Source, n int, noise float64) ([][]float64, []float64) {
+	points := make([][]float64, n)
+	values := make([]float64, n)
+	for k := range points {
+		y := src.NormVec(nil, 3)
+		points[k] = y
+		values[k] = 1 + 2*y[0] - 3*y[2] + noise*src.NormVec(nil, 1)[0]
+	}
+	return points, values
+}
+
+// TestClientRefineRoundTrip drives the streaming-refit loop through the
+// public client: fit a noisy parent, Refine with a cleaner batch (must
+// publish v2 with refine provenance), then Refine with garbage (must be
+// rejected, leaving v2 served).
+func TestClientRefineRoundTrip(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	srv, err := server.New(registry.New(), server.Config{FitWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer func() {
+		hs.Close()
+		srv.Close()
+	}()
+	c := rsm.NewClient(hs.URL)
+
+	src := rng.New(11)
+	pts, vals := noisyLinear(src, 40, 0.5)
+	fitID, err := c.SubmitFit(ctx, rsm.FitRequest{Name: "stream", Points: pts, Values: vals, MaxLambda: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitJob(ctx, fitID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	newPts, newVals := noisyLinear(src, 120, 0.01)
+	refID, err := c.Refine(ctx, "stream", rsm.RefineRequest{Points: newPts, Values: newVals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.WaitRefine(ctx, refID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := st.Refine
+	if r == nil || r.Outcome != rsm.RefineImproved {
+		t.Fatalf("refine result %+v, want improved", r)
+	}
+	if r.Model.Version != 2 || r.ParentVersion != 1 {
+		t.Fatalf("published v%d from v%d, want v2 from v1", r.Model.Version, r.ParentVersion)
+	}
+	if r.Model.Provenance.Refine == nil || r.Model.Provenance.Refine.ParentVersion != 1 {
+		t.Fatalf("refine provenance %+v, want parent v1", r.Model.Provenance.Refine)
+	}
+
+	// Garbage samples cannot beat v2: the gate rejects and v2 keeps serving.
+	badPts, _ := noisyLinear(src, 6, 0)
+	badVals := make([]float64, len(badPts))
+	for i := range badVals {
+		badVals[i] = 1000
+	}
+	refID2, err := c.Refine(ctx, "stream", rsm.RefineRequest{Points: badPts, Values: badVals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := c.WaitRefine(ctx, refID2, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Refine == nil || st2.Refine.Outcome != rsm.RefineRejected {
+		t.Fatalf("refine result %+v, want rejected", st2.Refine)
+	}
+	models, err := c.Models(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 || models[0].Version != 2 {
+		t.Fatalf("models %+v, want single stream@v2", models)
+	}
+
+	// Refining a model without a checkpoint is a definitive 409, surfaced
+	// without retries.
+	if _, err := c.UploadModel(ctx, "uploaded", envelopeFor(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Refine(ctx, "uploaded", rsm.RefineRequest{Points: badPts, Values: badVals}); err == nil ||
+		!strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("refine of uploaded model: %v, want checkpoint conflict", err)
+	}
+}
+
+// envelopeFor builds a minimal valid model envelope for upload tests.
+func envelopeFor(t *testing.T) *rsm.Envelope {
+	t.Helper()
+	b := rsm.LinearBasis(3)
+	return &rsm.Envelope{
+		Model: &rsm.Model{M: b.Size(), Support: []int{1, 2}, Coef: []float64{2, -3}},
+		Basis: b.Desc,
+		Prov:  rsm.Provenance{Solver: "OMP", Lambda: 2, Metric: "f"},
+	}
+}
