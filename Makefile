@@ -5,7 +5,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS = -X repro/internal/obs.Version=$(VERSION)
 
-.PHONY: all build test race vet fmt-check bench bench-smoke bench-json chaos crash-smoke obs trace-smoke fuzz-smoke pipeline-smoke refit-smoke ci
+.PHONY: all build test race vet fmt-check bench bench-smoke bench-json chaos crash-smoke obs trace-smoke fuzz-smoke pipeline-smoke refit-smoke cluster-smoke loadbench ci
 
 all: build
 
@@ -19,7 +19,7 @@ test:
 # worker pools, the model registry, batched prediction, and the sampling
 # engine.
 race:
-	$(GO) test -race ./internal/server/... ./internal/registry/... ./internal/core/... ./internal/mc/... ./internal/pipeline/... ./internal/journal/... ./internal/obs/... ./rsm/...
+	$(GO) test -race ./internal/server/... ./internal/registry/... ./internal/cluster/... ./internal/core/... ./internal/mc/... ./internal/pipeline/... ./internal/journal/... ./internal/obs/... ./rsm/...
 
 vet:
 	$(GO) vet ./...
@@ -114,4 +114,24 @@ refit-smoke:
 	$(GO) test -race -run 'TestRefine|TestCrashRecoveryRefineReplay' ./internal/server/
 	$(GO) test -race -run 'TestClientRefineRoundTrip' ./rsm/
 
-ci: vet fmt-check build test race chaos crash-smoke obs trace-smoke bench-smoke fuzz-smoke pipeline-smoke refit-smoke
+# Horizontal-serving smoke: the hash-ring property tests, the multi-node
+# routing/replication/read-your-writes/chaos suites (in-process 3-node
+# harness + the daemon's flag surface), the client redirect regressions —
+# all under the race detector — then a short rsmload run that spawns a
+# real 3-process ring, kills a shard under load, and fails on any error
+# from a live shard's models or any accepted job left without a terminal
+# state. Part of make ci.
+cluster-smoke:
+	$(GO) test -race -run 'TestRing|TestPeer|TestCluster|TestChaosCluster|TestDaemonCluster' ./internal/cluster/ ./internal/server/ ./cmd/rsmd/
+	$(GO) test -race -run 'TestClientFollowsClusterRedirects|TestClientClusterPredictAtLeastAndDelete' ./rsm/
+	$(GO) run ./cmd/rsmload -spawn 3 -duration 2s -conc 4 -rate 20 -models 9 -chaos -baseline=false -out /dev/null
+
+# Full load benchmark, committed as BENCH_10.json: single-node baseline,
+# 3-shard closed- and open-loop phases, and the one-shard-kill chaos
+# window with goodput and lost-job accounting. The cpus field records the
+# host's core count — the cluster-vs-single ratio only shows horizontal
+# capacity on multi-core hosts.
+loadbench:
+	$(GO) run ./cmd/rsmload -spawn 3 -duration 5s -conc 8 -rate 40 -models 12 -chaos -out BENCH_10.json
+
+ci: vet fmt-check build test race chaos crash-smoke obs trace-smoke bench-smoke fuzz-smoke pipeline-smoke refit-smoke cluster-smoke

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/server"
@@ -31,6 +32,10 @@ import (
 func main() {
 	if err := check(); err != nil {
 		fmt.Fprintln(os.Stderr, "obscheck: FAIL:", err)
+		os.Exit(1)
+	}
+	if err := checkCluster(); err != nil {
+		fmt.Fprintln(os.Stderr, "obscheck: FAIL (cluster):", err)
 		os.Exit(1)
 	}
 	fmt.Println("obscheck: OK — Prometheus exposition valid")
@@ -124,12 +129,17 @@ func check() error {
 		"rsmd_goroutines", "rsmd_heap_alloc_bytes", "rsmd_gc_cycles_total",
 		"rsmd_refines_submitted_total", "rsmd_refits_total",
 		"rsmd_refine_fit_seconds_bucket", "rsmd_checkpoint_bytes",
+		"rsmd_cluster_enabled", "rsmd_cluster_forwards_total",
+		"rsmd_cluster_forward_errors_total", "rsmd_cluster_redirects_total",
+		"rsmd_cluster_replica_reads_total",
 	} {
 		if !strings.Contains(string(body), family) {
 			return fmt.Errorf("exposition missing family %s", family)
 		}
 	}
 	for _, pat := range []string{
+		`rsmd_cluster_enabled 0`,
+		`rsmd_cluster_forwards_total\{kind="predict"\} 0`,
 		`rsmd_jobs_total\{state="done"\} 1`,
 		`rsmd_fit_duration_seconds_count [1-9]`,
 		`rsmd_job_queue_wait_seconds_count [1-9]`,
@@ -146,6 +156,108 @@ func check() error {
 		}
 	}
 	return checkTracing(ctx, c, base, id, rst.TraceID, string(body))
+}
+
+// checkCluster validates the rsmd_cluster_* exposition against a live
+// 2-node shard ring: it forces one forwarded upload and predict, runs a
+// replication round, and requires the scrape to reflect the ring topology,
+// the forwards, the pull counters and per-peer health.
+func checkCluster() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	var lns [2]net.Listener
+	var urls [2]string
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	var clus [2]*cluster.Cluster
+	for i := range lns {
+		reg := registry.New()
+		cl, err := cluster.New(reg, cluster.Config{
+			Self: urls[i], Peers: urls[:], SyncInterval: -1, Logger: logger,
+		})
+		if err != nil {
+			return err
+		}
+		clus[i] = cl
+		srv, err := server.New(reg, server.Config{FitWorkers: 1, Cluster: cl, Logger: logger})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(lns[i])
+		defer hs.Close()
+	}
+
+	// A model owned by node 1, driven through node 0: both a forwarded
+	// write and a forwarded read land in node 0's counters.
+	name := ""
+	for i := 0; i < 10000 && name == ""; i++ {
+		n := fmt.Sprintf("obscluster-%d", i)
+		if _, u, _ := clus[0].Owner(n); u == urls[1] {
+			name = n
+		}
+	}
+	c := rsm.NewClient(urls[0])
+	env := &rsm.Envelope{
+		Model: &rsm.Model{M: 3, Support: []int{1, 2}, Coef: []float64{2, -3}},
+		Basis: rsm.LinearBasis(2).Desc,
+		Prov:  rsm.Provenance{Solver: "OMP", Lambda: 2, Metric: "f"},
+	}
+	if _, err := c.UploadModel(ctx, name, env); err != nil {
+		return fmt.Errorf("forwarded upload: %w", err)
+	}
+	if _, err := c.Predict(ctx, name, [][]float64{{0.1, -0.2}}); err != nil {
+		return fmt.Errorf("forwarded predict: %w", err)
+	}
+	if err := clus[0].SyncOnce(ctx); err != nil {
+		return fmt.Errorf("sync round: %w", err)
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, urls[0]+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/plain;version=0.0.4;q=0.5,*/*;q=0.1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("cluster scrape read: %w", err)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+		return fmt.Errorf("malformed cluster exposition: %w", err)
+	}
+	self := clus[0].SelfName()
+	for _, pat := range []string{
+		`rsmd_cluster_enabled 1`,
+		`rsmd_cluster_node_info\{node="` + self + `"\} 1`,
+		`rsmd_cluster_forwards_total\{kind="upload"\} 1`,
+		`rsmd_cluster_forwards_total\{kind="predict"\} 1`,
+		`rsmd_cluster_forward_errors_total 0`,
+		`rsmd_cluster_syncs_total 1`,
+		`rsmd_cluster_versions_pulled_total 1`,
+		`rsmd_cluster_checkpoints_pulled_total \d+`,
+		`rsmd_cluster_tombstones_applied_total \d+`,
+		`rsmd_cluster_peer_up\{peer="[^"]+"\} 1`,
+		`rsmd_cluster_peer_lag_versions\{peer="[^"]+"\} 0`,
+	} {
+		if !regexp.MustCompile(pat).MatchString(string(body)) {
+			return fmt.Errorf("cluster exposition: no match for %s", pat)
+		}
+	}
+	return nil
 }
 
 // checkTracing validates the tracing read side against the traffic the

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/rsm"
+)
+
+// TestDaemonClusterFlagValidation: the cluster flags fail fast on
+// inconsistent combinations instead of booting a mis-wired ring.
+func TestDaemonClusterFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-self", "http://a:1"}, "-peers"},
+		{[]string{"-proxy"}, "-peers"},
+		{[]string{"-peers", "http://a:1,http://b:2"}, "-self"},
+		{[]string{"-peers", "http://a:1", "-self", "http://a:1", "-proxy"}, "mutually exclusive"},
+		{[]string{"-peers", "http://a:1,http://b:2", "-self", "http://c:3"}, "self"},
+	}
+	for _, tc := range cases {
+		args := append([]string{"-addr", "127.0.0.1:0"}, tc.args...)
+		err := run(context.Background(), args, io.Discard, nil)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) = %v, want error mentioning %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// TestDaemonClusterProxyServes boots two shard daemons plus a proxy-only
+// daemon through the real flag surface and drives the client through the
+// proxy: uploads route to the owning shard, predicts route back, and both
+// shards answer for models they don't own.
+func TestDaemonClusterProxyServes(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	addr1, addr2 := pickPort(t), pickPort(t)
+	peers := "http://" + addr1 + ",http://" + addr2
+	common := []string{"-log-level", "error", "-peers", peers, "-sync-interval", "100ms"}
+
+	base1, cancel1, done1 := startDaemon(t, append(common, "-addr", addr1, "-self", "http://"+addr1)...)
+	defer func() { cancel1(); <-done1 }()
+	base2, cancel2, done2 := startDaemon(t, append(common, "-addr", addr2, "-self", "http://"+addr2)...)
+	defer func() { cancel2(); <-done2 }()
+	proxyBase, cancelP, doneP := startDaemon(t, append(common, "-proxy")...)
+	defer func() { cancelP(); <-doneP }()
+
+	c := rsm.NewClient(proxyBase)
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	b := rsm.LinearBasis(3)
+	env := &rsm.Envelope{
+		Model: &rsm.Model{M: b.Size(), Support: []int{1, 2}, Coef: []float64{2, -3}},
+		Basis: b.Desc,
+		Prov:  rsm.Provenance{Solver: "OMP", Lambda: 2, Metric: "f"},
+	}
+	for _, name := range []string{"cl-a", "cl-b", "cl-c", "cl-d"} {
+		info, err := c.UploadModel(ctx, name, env)
+		if err != nil {
+			t.Fatalf("upload %s via proxy: %v", name, err)
+		}
+		if info.Version != 1 {
+			t.Fatalf("upload %s: version %d, want 1", name, info.Version)
+		}
+		// Every node — proxy and both shards — serves every model.
+		for _, base := range []string{proxyBase, base1, base2} {
+			vals, err := rsm.NewClient(base).Predict(ctx, name, [][]float64{{1, 0, 0}})
+			if err != nil {
+				t.Fatalf("predict %s via %s: %v", name, base, err)
+			}
+			if len(vals) != 1 || vals[0] != 2 {
+				t.Fatalf("predict %s via %s = %v, want [2]", name, base, vals)
+			}
+		}
+	}
+	models, err := c.Models(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 0 {
+		t.Fatalf("proxy-only node owns %d models, want 0", len(models))
+	}
+	if _, err := c.DeleteModel(ctx, "cl-a"); err != nil {
+		t.Fatalf("delete via proxy: %v", err)
+	}
+	if _, err := c.Predict(ctx, "cl-a", [][]float64{{1, 0, 0}}); err == nil {
+		t.Fatal("predict of deleted model succeeded")
+	}
+}

@@ -22,6 +22,16 @@
 // On SIGINT/SIGTERM the daemon drains gracefully: /healthz flips to 503 so
 // load balancers rotate it out, the listener stops accepting, and in-flight
 // fit jobs get the -drain-timeout budget to finish before being canceled.
+//
+// Horizontal serving: -peers lists every shard's base URL and -self names
+// this node in that list; model names shard across the ring by consistent
+// hashing, any node proxies requests to the owning shard, and shards pull
+// published versions from each other so replicas can serve pinned reads.
+// A -proxy node joins the ring as a router that owns nothing:
+//
+//	rsmd -addr :8081 -self http://h1:8081 -peers http://h1:8081,http://h2:8082
+//	rsmd -addr :8082 -self http://h2:8082 -peers http://h1:8081,http://h2:8082
+//	rsmd -addr :8080 -proxy -peers http://h1:8081,http://h2:8082
 package main
 
 import (
@@ -35,9 +45,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/registry"
@@ -86,6 +98,11 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		pprofAddr    = fs.String("pprof-addr", "", "listen address for net/http/pprof (empty = disabled)")
 		faults       = fs.String("faults", os.Getenv("RSMD_FAULTS"),
 			"fault-injection spec for chaos testing, e.g. server.fit=panic#1 (default $RSMD_FAULTS)")
+		peers        = fs.String("peers", "", "comma-separated base URLs of every shard in the ring (enables cluster mode)")
+		self         = fs.String("self", "", "this node's own base URL as it appears in -peers (required with -peers unless -proxy)")
+		proxyOnly    = fs.Bool("proxy", false, "proxy-only node: route requests to the owning shards in -peers without owning any models")
+		vnodes       = fs.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0 = default)")
+		syncInterval = fs.Duration("sync-interval", 0, "replication pull period between shards (0 = default, negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,6 +125,38 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 	reg, err := registry.OpenWith(*store, logger)
 	if err != nil {
 		return err
+	}
+
+	// Cluster mode: -peers lists every shard; -self names this node in that
+	// list (or -proxy makes it a routing-only member that owns nothing).
+	var clu *cluster.Cluster
+	if *peers != "" || *self != "" || *proxyOnly {
+		if *peers == "" {
+			return errors.New("-self/-proxy require -peers")
+		}
+		if *proxyOnly && *self != "" {
+			return errors.New("-proxy and -self are mutually exclusive")
+		}
+		if !*proxyOnly && *self == "" {
+			return errors.New("-peers requires -self (or -proxy for a routing-only node)")
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		clu, err = cluster.New(reg, cluster.Config{
+			Self:         *self,
+			Peers:        peerList,
+			VNodes:       *vnodes,
+			SyncInterval: *syncInterval,
+			Logger:       logger,
+		})
+		if err != nil {
+			return fmt.Errorf("-peers: %w", err)
+		}
+		logger.Info("cluster mode", "self", clu.SelfName(), "shards", len(peerList), "proxy_only", *proxyOnly)
 	}
 	cacheSize := *predCache
 	if cacheSize == 0 {
@@ -139,6 +188,7 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		TraceStoreSize:      traceCap,
 		TraceSlow:           *traceSlow,
 		TraceSample:         sampleRate,
+		Cluster:             clu,
 		Logger:              logger,
 	})
 	if err != nil {

@@ -1,0 +1,353 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/basis"
+	"repro/internal/core"
+	"repro/internal/registry"
+)
+
+// clusterEnvelope builds a valid envelope with a marker coefficient.
+func clusterEnvelope(dim int, mark float64) *core.Envelope {
+	b := basis.Linear(dim)
+	return &core.Envelope{
+		Model: &core.Model{M: b.Size(), Support: []int{1}, Coef: []float64{mark}},
+		Basis: b.Desc,
+		Prov:  core.Provenance{Solver: "OMP", Lambda: 1, Samples: 100},
+	}
+}
+
+// clusterCheckpoint builds a minimal valid refit checkpoint for name@version.
+func clusterCheckpoint(name string, version int) *registry.Checkpoint {
+	return &registry.Checkpoint{
+		Version:      registry.CheckpointFormatVersion,
+		Name:         name,
+		ModelVersion: version,
+		Solver:       "OMP",
+		MaxLambda:    2,
+		Points:       [][]float64{{0.5, -1.5}, {2, 0.25}},
+		Values:       []float64{1.25, -0.75},
+		State: &core.FitCheckpoint{
+			Version:   core.CheckpointVersion,
+			Solver:    "OMP",
+			K:         2,
+			M:         3,
+			MaxLambda: 2,
+			Support:   []int{1},
+			Residual:  []float64{0.1, -0.2},
+			GTF:       []float64{1},
+			CholL:     []float64{1.5},
+		},
+		CreatedAt: time.Now().UTC(),
+	}
+}
+
+// quietLog discards cluster log output in tests.
+func quietLog() *slog.Logger { return slog.New(slog.NewTextHandler(io.Discard, nil)) }
+
+// syncServer serves the wire half of the sync protocol straight off a
+// registry — a stand-in for a peer rsmd node.
+func syncServer(t *testing.T, reg *registry.Registry, node string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/sync", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(BuildManifest(reg, node))
+	})
+	mux.HandleFunc("GET /v1/sync/models/{name}/{version}", func(w http.ResponseWriter, r *http.Request) {
+		v, err := strconv.Atoi(r.PathValue("version"))
+		if err != nil {
+			http.Error(w, "bad version", http.StatusBadRequest)
+			return
+		}
+		e, ok := BuildEntry(reg, r.PathValue("name"), v)
+		if !ok {
+			http.Error(w, "unknown version", http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(e)
+	})
+	hs := httptest.NewServer(mux)
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+func TestClusterMembershipAndOwnership(t *testing.T) {
+	urls := []string{"http://b.example:9", "http://a.example:9", "http://c.example:9"}
+	c, err := New(registry.New(), Config{Self: "http://b.example:9/", Peers: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Names follow sorted-URL order: a→s0, b→s1, c→s2.
+	if got := c.SelfName(); got != "s1" {
+		t.Fatalf("SelfName = %s, want s1 (sorted-URL order)", got)
+	}
+	if u, ok := c.NodeURL("s0"); !ok || u != "http://a.example:9" {
+		t.Fatalf("NodeURL(s0) = %s, %t", u, ok)
+	}
+	if _, ok := c.NodeURL("s9"); ok {
+		t.Fatal("NodeURL invented a member")
+	}
+	name, u, local := c.Owner("some-model")
+	if u == "" || name == "" {
+		t.Fatal("ownerless model")
+	}
+	if local != (name == "s1") {
+		t.Fatalf("local flag inconsistent: %s local=%t", name, local)
+	}
+	if len(c.Peers()) != 2 {
+		t.Fatalf("Peers() = %d, want 2 (self excluded)", len(c.Peers()))
+	}
+
+	// A second process handed the same peer set agrees on every owner.
+	c2, err := New(registry.New(), Config{Self: "http://a.example:9", Peers: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	for _, k := range testKeys(500, 11) {
+		n1, _, _ := c.Owner(k)
+		n2, _, _ := c2.Owner(k)
+		if n1 != n2 {
+			t.Fatalf("processes disagree on owner of %q: %s vs %s", k, n1, n2)
+		}
+	}
+}
+
+func TestClusterConfigRejects(t *testing.T) {
+	if _, err := New(registry.New(), Config{Peers: nil}); err == nil {
+		t.Error("empty peer list accepted")
+	}
+	if _, err := New(registry.New(), Config{Self: "http://x:1", Peers: []string{"http://y:1"}}); err == nil {
+		t.Error("self outside peer list accepted")
+	}
+	if _, err := New(registry.New(), Config{Peers: []string{"http://y:1", "http://y:1/"}}); err == nil {
+		t.Error("duplicate peer accepted")
+	}
+	if _, err := New(registry.New(), Config{Peers: []string{"not-a-url"}}); err == nil {
+		t.Error("relative peer URL accepted")
+	}
+	if _, err := New(nil, Config{Self: "http://y:1", Peers: []string{"http://y:1"}}); err == nil {
+		t.Error("shard node without registry accepted")
+	}
+	// Proxy-only: no self, no registry needed.
+	c, err := New(nil, Config{Peers: []string{"http://y:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.SelfName() != "" {
+		t.Fatalf("proxy-only SelfName = %q", c.SelfName())
+	}
+	if err := c.SyncOnce(context.Background()); err == nil {
+		t.Error("proxy-only SyncOnce should refuse")
+	}
+}
+
+func TestSyncPullsVersionsAndCheckpoints(t *testing.T) {
+	src := registry.New()
+	for v := 1; v <= 2; v++ {
+		if _, err := src.Put("gain", clusterEnvelope(2, float64(v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.PutCheckpoint(clusterCheckpoint("gain", 2)); err != nil {
+		t.Fatal(err)
+	}
+	peer := syncServer(t, src, "s0")
+
+	dst := registry.New()
+	c, err := New(dst, Config{
+		Self:         "http://self.invalid:1",
+		Peers:        []string{peer.URL, "http://self.invalid:1"},
+		SyncInterval: -1, // no background loop; the test drives SyncOnce
+		Logger:       quietLog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v <= 2; v++ {
+		e, ok := dst.GetVersion("gain", v)
+		if !ok {
+			t.Fatalf("v%d not replicated", v)
+		}
+		if e.Model().Coef[0] != float64(v) {
+			t.Fatalf("v%d coef = %v", v, e.Model().Coef[0])
+		}
+	}
+	// The checkpoint rode along with its model version.
+	if ck, ok := dst.Checkpoint("gain", 2); !ok || ck.State == nil {
+		t.Fatal("checkpoint did not sync with its model")
+	}
+	st := c.Stats()
+	if st.VersionsPulled != 2 || st.CheckpointsPulled != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A second round is a no-op: versions are immutable.
+	if err := c.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.VersionsPulled != 2 {
+		t.Fatalf("idempotent re-sync pulled more versions: %+v", st)
+	}
+	// Peer health reflects the successful rounds.
+	p := c.Peers()[0]
+	if !p.Healthy() || p.Status().LagVersions != 0 {
+		t.Fatalf("peer status = %+v", p.Status())
+	}
+}
+
+func TestSyncPropagatesDelete(t *testing.T) {
+	src := registry.New()
+	if _, err := src.Put("gain", clusterEnvelope(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	peer := syncServer(t, src, "s0")
+	dst := registry.New()
+	c, err := New(dst, Config{
+		Self:         "http://self.invalid:1",
+		Peers:        []string{peer.URL, "http://self.invalid:1"},
+		SyncInterval: -1,
+		Logger:       quietLog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dst.Get("gain"); !ok {
+		t.Fatal("model not replicated")
+	}
+	// Delete on the source; the next round must remove the replica and the
+	// round after must not resurrect it.
+	if err := src.Delete("gain"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := c.SyncOnce(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := dst.Get("gain"); ok {
+			t.Fatalf("replica still serves deleted model after round %d", i+1)
+		}
+	}
+	if st := c.Stats(); st.TombstonesApplied == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSyncTornPayloadRejected covers the partial-sync-crash edge: a peer
+// that serves a truncated or corrupt envelope must not leave a torn entry
+// in the replica's store — the validating PutReplica path is the same
+// quarantine contract the registry applies to local writes.
+func TestSyncTornPayloadRejected(t *testing.T) {
+	src := registry.New()
+	if _, err := src.Put("gain", clusterEnvelope(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/sync", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(BuildManifest(src, "s0"))
+	})
+	mux.HandleFunc("GET /v1/sync/models/{name}/{version}", func(w http.ResponseWriter, r *http.Request) {
+		e, _ := BuildEntry(src, r.PathValue("name"), 1)
+		e.Envelope = e.Envelope[:len(e.Envelope)/2] // torn mid-transfer
+		json.NewEncoder(w).Encode(e)
+	})
+	peer := httptest.NewServer(mux)
+	defer peer.Close()
+
+	dst := registry.New()
+	c, err := New(dst, Config{
+		Self:         "http://self.invalid:1",
+		Peers:        []string{peer.URL, "http://self.invalid:1"},
+		SyncInterval: -1,
+		Logger:       quietLog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err) // per-version failures degrade to lag, not round errors
+	}
+	if _, ok := dst.Get("gain"); ok {
+		t.Fatal("torn envelope landed in the replica store")
+	}
+	p := c.Peers()[0]
+	if p.Status().LagVersions != 1 {
+		t.Fatalf("torn pull not accounted as lag: %+v", p.Status())
+	}
+}
+
+func TestSyncMarksDeadPeerDown(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // connection refused from here on
+
+	dst := registry.New()
+	c, err := New(dst, Config{
+		Self:         "http://self.invalid:1",
+		Peers:        []string{deadURL, "http://self.invalid:1"},
+		SyncInterval: -1,
+		Logger:       quietLog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SyncOnce(context.Background()); err == nil {
+		t.Fatal("sync against a dead peer reported success")
+	}
+	p := c.Peers()[0]
+	if p.Healthy() {
+		t.Fatal("dead peer still marked healthy")
+	}
+	if p.RetryAfter() < time.Second {
+		t.Fatalf("RetryAfter = %v, want >= 1s", p.RetryAfter())
+	}
+	// While backing off, the round skips the peer entirely (no error).
+	if err := c.SyncOnce(context.Background()); err != nil {
+		t.Fatalf("backoff round should skip the dead peer: %v", err)
+	}
+	p.MarkSuccess()
+	if !p.Healthy() {
+		t.Fatal("MarkSuccess did not clear backoff")
+	}
+}
+
+func TestPeerBackoffGrowsAndCaps(t *testing.T) {
+	p := &Peer{Name: "s1", URL: "http://x:1"}
+	if !p.Healthy() {
+		t.Fatal("fresh peer unhealthy")
+	}
+	var prev time.Duration
+	for i := 0; i < 12; i++ {
+		p.MarkFailure()
+		d := p.RetryAfter()
+		// Allow clock-read jitter between RetryAfter calls.
+		if d < prev-50*time.Millisecond {
+			t.Fatalf("backoff shrank: %v after %v", d, prev)
+		}
+		prev = d
+	}
+	if prev > peerBackoffMax+time.Second {
+		t.Fatalf("backoff exceeded cap: %v", prev)
+	}
+}

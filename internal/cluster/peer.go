@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Backoff bounds for an unhealthy peer: the first failure backs off
+// peerBackoffBase, doubling per consecutive failure up to peerBackoffMax.
+const (
+	peerBackoffBase = 250 * time.Millisecond
+	peerBackoffMax  = 5 * time.Second
+)
+
+// Peer tracks one remote shard's health. The proxy path marks a failure on
+// transport errors (connection refused, reset, timeout) — not on HTTP
+// error statuses, which prove the peer is alive — and the replicator marks
+// success/failure per sync round. While a peer is backing off, the proxy
+// fails fast with 503 + Retry-After instead of re-dialing a dead node on
+// every request.
+type Peer struct {
+	// Name is the peer's ring member name (s0, s1, ...).
+	Name string
+	// URL is the peer's base URL.
+	URL string
+
+	mu        sync.Mutex
+	failures  int
+	downUntil time.Time
+	lastSync  time.Time
+	lagLeft   int // versions the peer had that we lacked, after the last sync round
+}
+
+// Healthy reports whether the peer is currently dialable (not in backoff).
+func (p *Peer) Healthy() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return time.Now().After(p.downUntil)
+}
+
+// RetryAfter returns how long callers should wait before retrying the
+// peer, at least one second (the proxy's Retry-After header granularity).
+func (p *Peer) RetryAfter() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d := time.Until(p.downUntil)
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// MarkFailure records a transport failure and extends the backoff window
+// exponentially.
+func (p *Peer) MarkFailure() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	backoff := peerBackoffBase << p.failures
+	if backoff > peerBackoffMax || backoff <= 0 {
+		backoff = peerBackoffMax
+	}
+	p.failures++
+	p.downUntil = time.Now().Add(backoff)
+}
+
+// MarkSuccess clears the backoff state.
+func (p *Peer) MarkSuccess() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failures = 0
+	p.downUntil = time.Time{}
+}
+
+// markSynced records a completed sync round and the remaining version lag.
+func (p *Peer) markSynced(lag int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lastSync = time.Now()
+	p.lagLeft = lag
+}
+
+// Status is a point-in-time snapshot of a peer for /metrics.
+type Status struct {
+	Name        string    `json:"name"`
+	URL         string    `json:"url"`
+	Healthy     bool      `json:"healthy"`
+	Failures    int       `json:"failures,omitempty"`
+	LastSync    time.Time `json:"last_sync"`
+	LagVersions int       `json:"lag_versions"`
+}
+
+// Status snapshots the peer.
+func (p *Peer) Status() Status {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Status{
+		Name:        p.Name,
+		URL:         p.URL,
+		Healthy:     time.Now().After(p.downUntil),
+		Failures:    p.failures,
+		LastSync:    p.lastSync,
+		LagVersions: p.lagLeft,
+	}
+}

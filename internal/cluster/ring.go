@@ -1,0 +1,167 @@
+// Package cluster is rsmd's horizontal-serving layer: a consistent-hash
+// ring that assigns every model name to exactly one owning shard, per-peer
+// health tracking with exponential backoff, and a pull-based replicator
+// that mirrors the versioned model registry between peers over the
+// GET /v1/sync protocol.
+//
+// The ring carves the 64-bit FNV-1a hash space into a fixed table of equal
+// partitions and assigns each partition to the member with the highest
+// rendezvous weight (hash of member identity + partition index). Ownership
+// of a key is the owner of its partition. The fixed partition count keeps
+// both classic consistent-hashing guarantees exactly — a membership change
+// moves only the partitions the joining member wins or the leaving member
+// held (~1/N of the space, and nothing else), and every process handed the
+// same member list computes the identical mapping with no coordination —
+// while bounding load imbalance far tighter than raw virtual-node arc
+// placement: random arc lengths at V points per member leave a ~1/sqrt(V)
+// relative spread (~9% at 128 vnodes, with outliers past 20%), whereas
+// equal partitions make each member's share a binomial over 64Ki
+// independent assignments (~1% spread; see TestRingBalance).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the minimum virtual-arc count per member when
+// Config.VNodes is zero. The fixed partition table guarantees each member
+// at least this many arcs up to ringPartitions/DefaultVNodes members.
+const DefaultVNodes = 128
+
+// ringPartitions is the fixed size of the partition table. It must never
+// change across releases: separately deployed rsmd versions hash keys to
+// partition indices independently, and a different table size would make
+// them disagree on ownership mid-upgrade.
+const ringPartitions = 1 << 16
+
+// Member is one ring participant. ID is the stable identity hashed for
+// rendezvous weights (the node's base URL in rsmd); Name is the short
+// label Owner returns (s0, s1, ... in rsmd).
+type Member struct {
+	Name string
+	ID   string
+}
+
+// Ring is an immutable consistent-hash ring. Build one with NewRing;
+// membership changes build a new ring.
+type Ring struct {
+	owners []string // partition index -> member name
+	names  []string // member names, sorted
+	vnodes int
+	mask   uint64
+}
+
+// NewRing builds a ring over members at a granularity of vnodes virtual
+// arcs per member (DefaultVNodes when vnodes <= 0). Member order does not
+// matter; two processes handed the same set compute the same ring.
+// Duplicate IDs or names are an error — they would silently double one
+// member's share.
+func NewRing(members []Member, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seenID := make(map[string]bool, len(members))
+	seenName := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m.ID == "" || m.Name == "" {
+			return nil, fmt.Errorf("cluster: ring member with empty name or id")
+		}
+		if seenID[m.ID] || seenName[m.Name] {
+			return nil, fmt.Errorf("cluster: duplicate ring member %s (%s)", m.Name, m.ID)
+		}
+		seenID[m.ID], seenName[m.Name] = true, true
+	}
+	if len(members)*vnodes > ringPartitions {
+		return nil, fmt.Errorf("cluster: %d members at %d vnodes exceeds the %d-partition ring",
+			len(members), vnodes, ringPartitions)
+	}
+	r := &Ring{
+		owners: make([]string, ringPartitions),
+		names:  make([]string, 0, len(members)),
+		vnodes: vnodes,
+		mask:   uint64(ringPartitions - 1),
+	}
+	// Per-member streaming-FNV prefix of "id#", so the inner loop hashes
+	// only the partition digits.
+	prefixes := make([]uint64, len(members))
+	for i, m := range members {
+		r.names = append(r.names, m.Name)
+		prefixes[i] = fnvString(fnvOffset64, m.ID+"#")
+	}
+	sort.Strings(r.names)
+	for p := range r.owners {
+		digits := strconv.Itoa(p)
+		var best uint64
+		var owner string
+		for i, m := range members {
+			w := fmix64(fnvString(prefixes[i], digits))
+			// Ties (vanishingly rare) break by name so the mapping stays
+			// order-independent.
+			if owner == "" || w > best || (w == best && m.Name < owner) {
+				best, owner = w, m.Name
+			}
+		}
+		r.owners[p] = owner
+	}
+	return r, nil
+}
+
+// Owner returns the member name owning key.
+func (r *Ring) Owner(key string) string {
+	return r.owners[hash64(key)&r.mask]
+}
+
+// Members returns the sorted member names.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.names))
+	copy(out, r.names)
+	return out
+}
+
+// VNodes returns the configured granularity per member.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Partitions returns the partition count of the ring.
+func (r *Ring) Partitions() int { return len(r.owners) }
+
+// fnvOffset64 and fnvPrime64 are the 64-bit FNV-1a constants; the hash is
+// hand-rolled (rather than hash/fnv) so member prefixes can be streamed
+// once and extended per partition without allocating.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvString extends an FNV-1a state with s.
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// fmix64 is the murmur3 avalanche finalizer. Raw FNV output on short,
+// similar strings is too correlated for rendezvous comparisons; the
+// finalizer decorrelates it.
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// hash64 hashes a key for partition lookup: FNV-1a + avalanche, stable
+// across processes, architectures and Go releases — ownership must agree
+// between separately started rsmd processes, which rules out maphash's
+// per-process seed.
+func hash64(s string) uint64 {
+	return fmix64(fnvString(fnvOffset64, s))
+}

@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// testMembers builds n members named s0..s(n-1) with URL-shaped IDs, the
+// same way New derives them from a peer list.
+func testMembers(n int) []Member {
+	ms := make([]Member, n)
+	for i := range ms {
+		ms[i] = Member{Name: fmt.Sprintf("s%d", i), ID: fmt.Sprintf("http://10.0.0.%d:8080", i+1)}
+	}
+	return ms
+}
+
+// testKeys returns model-name-shaped keys drawn from a seeded RNG so the
+// property tests are reproducible.
+func testKeys(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("model-%d-%x", i, rng.Uint64())
+	}
+	return keys
+}
+
+// TestRingMinimalRemap is the consistent-hashing contract: when one of N
+// members leaves (or joins), only the keys in its arcs move — about 1/N of
+// the keyspace, never the wholesale reshuffle a modular hash would cause.
+func TestRingMinimalRemap(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{2, 3, 5, 8, 16} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			members := testMembers(n)
+			before, err := NewRing(members, 128)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Leave: drop the last member.
+			after, err := NewRing(members[:n-1], 128)
+			if err != nil {
+				t.Fatal(err)
+			}
+			removed := members[n-1].Name
+			moved := 0
+			for _, k := range testKeys(keys, 42) {
+				was, is := before.Owner(k), after.Owner(k)
+				if was == removed {
+					// Orphaned keys must land somewhere, anywhere, else.
+					if is == removed {
+						t.Fatalf("key %q still owned by removed member", k)
+					}
+					continue
+				}
+				if was != is {
+					moved++
+				}
+			}
+			// Keys not owned by the leaver must not move at all — that is
+			// the whole point of consistent hashing.
+			if moved != 0 {
+				t.Errorf("%d/%d keys not owned by the leaver remapped on leave (want 0)", moved, keys)
+			}
+
+			// Join: the reverse direction. Only keys the joiner captures move.
+			joined, err := NewRing(append(testMembers(n), Member{Name: "s-new", ID: "http://10.0.1.1:8080"}), 128)
+			if err != nil {
+				t.Fatal(err)
+			}
+			captured, movedElsewhere := 0, 0
+			for _, k := range testKeys(keys, 42) {
+				was, is := before.Owner(k), joined.Owner(k)
+				if was == is {
+					continue
+				}
+				if is == "s-new" {
+					captured++
+				} else {
+					movedElsewhere++
+				}
+			}
+			if movedElsewhere != 0 {
+				t.Errorf("%d keys moved between surviving members on join (want 0)", movedElsewhere)
+			}
+			// The joiner's share should be about 1/(n+1); allow generous
+			// slack for hash variance at small n.
+			share := float64(captured) / keys
+			ideal := 1.0 / float64(n+1)
+			if share > 2*ideal {
+				t.Errorf("joiner captured %.1f%% of keys, want about %.1f%%", 100*share, 100*ideal)
+			}
+			if captured == 0 {
+				t.Error("joiner captured no keys")
+			}
+		})
+	}
+}
+
+// TestRingBalance pins the advertised load-imbalance bound: at 128 vnodes
+// the busiest shard stays within 15% of the mean across realistic cluster
+// sizes.
+func TestRingBalance(t *testing.T) {
+	const keys = 100000
+	for _, n := range []int{3, 5, 8} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			r, err := NewRing(testMembers(n), 128)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := make(map[string]int, n)
+			for _, k := range testKeys(keys, 7) {
+				counts[r.Owner(k)]++
+			}
+			if len(counts) != n {
+				t.Fatalf("only %d/%d members own keys", len(counts), n)
+			}
+			mean := float64(keys) / float64(n)
+			for name, c := range counts {
+				dev := (float64(c) - mean) / mean
+				if dev > 0.15 || dev < -0.15 {
+					t.Errorf("member %s holds %d keys, %.1f%% off the mean %.0f (bound 15%%)",
+						name, c, 100*dev, mean)
+				}
+			}
+		})
+	}
+}
+
+// TestRingDeterministicAcrossProcesses: two rings built from the same
+// member set — in different input orders, as two separately started
+// processes would — agree on every owner. The hash must also be stable
+// against the exact values pinned here, so a Go upgrade or refactor that
+// changes the hash breaks this test, not a live cluster.
+func TestRingDeterministic(t *testing.T) {
+	members := testMembers(5)
+	a, err := NewRing(members, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := make([]Member, len(members))
+	copy(shuffled, members)
+	rng := rand.New(rand.NewSource(99))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	b, err := NewRing(shuffled, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(5000, 3) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("input order changed ownership of %q: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+	// Pinned FNV-1a placements: if these move, separately deployed rsmd
+	// versions would disagree on ownership mid-upgrade.
+	for key, want := range map[string]string{
+		"gain": "s3", "delay": "s3", "power.ring7": "s1", "sram-yield": "s1",
+	} {
+		if got := a.Owner(key); got != want {
+			t.Errorf("Owner(%q) = %s, want pinned %s", key, got, want)
+		}
+	}
+}
+
+func TestRingRejectsBadMembers(t *testing.T) {
+	if _, err := NewRing(nil, 128); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]Member{{Name: "a", ID: "x"}, {Name: "a", ID: "y"}}, 8); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := NewRing([]Member{{Name: "a", ID: "x"}, {Name: "b", ID: "x"}}, 8); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if _, err := NewRing([]Member{{Name: "", ID: "x"}}, 8); err == nil {
+		t.Error("empty name accepted")
+	}
+}

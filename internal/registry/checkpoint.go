@@ -206,6 +206,49 @@ func (r *Registry) CheckpointBytes(name string, version int) int {
 	return len(blob) + 1
 }
 
+// HasCheckpoint reports whether a refit checkpoint is stored for
+// name@version, without loading it (checkpoints can be large; the sync
+// manifest only needs existence).
+func (r *Registry) HasCheckpoint(name string, version int) bool {
+	r.mu.RLock()
+	_, ok := r.checkpoints[checkpointKey(name, version)]
+	r.mu.RUnlock()
+	if ok {
+		return true
+	}
+	if r.dir == "" || ValidateName(name) != nil || version < 1 {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(r.checkpointsDir(), entryFile(name, version)))
+	return err == nil
+}
+
+// CheckpointBlob returns the serialized checkpoint of name@version for
+// transfer to a replica, going through the validating load path so a
+// damaged file is quarantined rather than propagated.
+func (r *Registry) CheckpointBlob(name string, version int) ([]byte, bool) {
+	ck, ok := r.Checkpoint(name, version)
+	if !ok {
+		return nil, false
+	}
+	blob, err := json.Marshal(ck)
+	if err != nil {
+		return nil, false
+	}
+	return append(blob, '\n'), true
+}
+
+// PutCheckpointBlob stores a serialized checkpoint pulled from a peer. The
+// blob is decoded and fully validated before it is persisted, so a torn or
+// hostile sync payload can never land on disk.
+func (r *Registry) PutCheckpointBlob(data []byte) error {
+	ck, err := readCheckpointBlob(data)
+	if err != nil {
+		return err
+	}
+	return r.PutCheckpoint(ck)
+}
+
 // dropCheckpoints removes every checkpoint of name from the cache and disk.
 // Caller holds r.mu.
 func (r *Registry) dropCheckpoints(name string, versions []*Entry) error {

@@ -84,7 +84,13 @@ type Registry struct {
 	mu          sync.RWMutex
 	models      map[string][]*Entry // versions in ascending order
 	checkpoints map[string]*Checkpoint
-	onPut       func(name string, version int)
+	// tombstones records, per deleted name, the highest version the delete
+	// covered. Version numbers never fall back below a tombstone (Put resumes
+	// past it), which is what makes cross-node replication of deletes
+	// conflict-free: a version number uniquely identifies one envelope for
+	// all time.
+	tombstones map[string]int
+	onPut      func(name string, version int)
 }
 
 // OnPut registers a hook invoked after every successful Put with the new
@@ -100,7 +106,11 @@ func (r *Registry) OnPut(fn func(name string, version int)) {
 
 // New returns an in-memory registry with no persistence.
 func New() *Registry {
-	return &Registry{models: make(map[string][]*Entry), log: slog.Default()}
+	return &Registry{
+		models:     make(map[string][]*Entry),
+		tombstones: make(map[string]int),
+		log:        slog.Default(),
+	}
 }
 
 // Open returns a registry persisted under dir (created when missing),
@@ -141,6 +151,9 @@ func OpenWith(dir string, logger *slog.Logger) (*Registry, error) {
 				}
 			}
 		}
+	}
+	if err := r.loadTombstones(); err != nil {
+		return nil, err
 	}
 	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
 	if err != nil {
@@ -239,11 +252,12 @@ func (r *Registry) Put(name string, env *core.Envelope) (*Entry, error) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	// Version numbers continue from the highest loaded version: quarantined
-	// or deleted versions leave gaps that must never be reused, or a stale
-	// file in corrupt/ could be confused with a live one.
-	next := 1
-	if vs := r.models[name]; len(vs) > 0 {
+	// Version numbers continue from the highest loaded version OR the
+	// tombstone left by a delete: quarantined or deleted versions leave gaps
+	// that must never be reused, or a stale file in corrupt/ (or a replica
+	// that synced the old version) could be confused with a live one.
+	next := r.tombstones[name] + 1
+	if vs := r.models[name]; len(vs) > 0 && vs[len(vs)-1].Version >= next {
 		next = vs[len(vs)-1].Version + 1
 	}
 	e := &Entry{
@@ -353,14 +367,28 @@ func (r *Registry) Len() int {
 	return len(r.models)
 }
 
-// Delete removes every version of name, including persisted files. Deleting
-// an unknown name is an error.
+// Delete removes every version of name, including persisted files, and
+// records a tombstone at the highest removed version so the name's version
+// counter never falls back (replicas propagate the delete by tombstone
+// version — see ApplyTombstone). Deleting an unknown name is an error.
 func (r *Registry) Delete(name string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	versions := r.models[name]
 	if len(versions) == 0 {
 		return fmt.Errorf("registry: unknown model %q", name)
+	}
+	latest := versions[len(versions)-1].Version
+	if prev := r.tombstones[name]; latest > prev {
+		r.tombstones[name] = latest
+		if err := r.saveTombstonesLocked(); err != nil {
+			if prev > 0 {
+				r.tombstones[name] = prev
+			} else {
+				delete(r.tombstones, name)
+			}
+			return err
+		}
 	}
 	if r.dir != "" {
 		for _, e := range versions {

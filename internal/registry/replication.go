@@ -1,0 +1,241 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// This file is the registry's replication surface: everything the cluster
+// sync layer (internal/cluster) needs to mirror one node's store onto
+// another. The contract rests on two invariants the store already keeps:
+// versions are immutable once written, and version numbers are never reused
+// (Put continues past quarantined, deleted, and tombstoned versions). A
+// (name, version) pair therefore identifies exactly one envelope for all
+// time, which makes pull-based sync conflict-free — no vector clocks, no
+// last-writer-wins: a replica simply fetches the versions it lacks.
+//
+// Deletes propagate as tombstones: Delete records the highest removed
+// version in dir/tombstones.json, ApplyTombstone replays that on a replica,
+// and Put on the origin resumes numbering past the tombstone so a
+// re-published name can never collide with a version some replica still
+// holds.
+
+// tombstonesFile is the store-relative path of the persisted tombstone map.
+const tombstonesFile = "tombstones.json"
+
+// loadTombstones reads dir/tombstones.json into memory. A missing file is a
+// store that never deleted anything; a corrupt one is quarantined like any
+// damaged store file (losing tombstones re-exposes deleted versions to
+// sync, which is recoverable — refusing to boot is not).
+func (r *Registry) loadTombstones() error {
+	path := filepath.Join(r.dir, tombstonesFile)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("registry: read tombstones: %w", err)
+	}
+	ts := make(map[string]int)
+	if err := json.Unmarshal(data, &ts); err != nil {
+		if qErr := quarantine(r.dir, path); qErr != nil {
+			return fmt.Errorf("registry: quarantine %s (unreadable: %v): %w", path, err, qErr)
+		}
+		r.log.Warn("registry: quarantined damaged tombstones file into corrupt/",
+			"path", path, "error", err.Error())
+		return nil
+	}
+	for name, v := range ts {
+		if ValidateName(name) == nil && v >= 1 {
+			r.tombstones[name] = v
+		}
+	}
+	return nil
+}
+
+// saveTombstonesLocked persists the tombstone map atomically. Caller holds
+// r.mu. In-memory registries keep tombstones only for the process lifetime.
+func (r *Registry) saveTombstonesLocked() error {
+	if r.dir == "" {
+		return nil
+	}
+	blob, err := json.Marshal(r.tombstones)
+	if err != nil {
+		return fmt.Errorf("registry: encode tombstones: %w", err)
+	}
+	return persistAtomic(r.dir, tombstonesFile, append(blob, '\n'))
+}
+
+// Tombstones returns a copy of the delete markers: model name → highest
+// version a delete covered.
+func (r *Registry) Tombstones() map[string]int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int, len(r.tombstones))
+	for name, v := range r.tombstones {
+		out[name] = v
+	}
+	return out
+}
+
+// ApplyTombstone replays a peer's delete: every local version of name up to
+// and including version is removed (files, checkpoints, cache) and the
+// tombstone recorded so sync never re-fetches them. Versions published
+// after the delete (greater than the tombstone) survive — a delete and a
+// re-publish that race across nodes converge on the re-published versions.
+// Applying a tombstone at or below the existing one is a no-op.
+func (r *Registry) ApplyTombstone(name string, version int) error {
+	if err := ValidateName(name); err != nil {
+		return err
+	}
+	if version < 1 {
+		return fmt.Errorf("registry: tombstone version %d invalid", version)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev := r.tombstones[name]
+	if version <= prev {
+		return nil
+	}
+	r.tombstones[name] = version
+	if err := r.saveTombstonesLocked(); err != nil {
+		if prev > 0 {
+			r.tombstones[name] = prev
+		} else {
+			delete(r.tombstones, name)
+		}
+		return err
+	}
+	versions := r.models[name]
+	var dead, live []*Entry
+	for _, e := range versions {
+		if e.Version <= version {
+			dead = append(dead, e)
+		} else {
+			live = append(live, e)
+		}
+	}
+	if r.dir != "" {
+		for _, e := range dead {
+			path := filepath.Join(r.dir, entryFile(name, e.Version))
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("registry: remove %s: %w", path, err)
+			}
+		}
+	}
+	if err := r.dropCheckpoints(name, dead); err != nil {
+		return err
+	}
+	if len(live) == 0 {
+		delete(r.models, name)
+	} else {
+		r.models[name] = live
+	}
+	return nil
+}
+
+// PutReplica stores env under an exact (name, version) slot, as pulled from
+// a peer during sync. Unlike Put it never allocates a version number: the
+// version travels with the envelope. Storing a version that already exists
+// locally, or one a tombstone covers, is a silent no-op — sync is
+// idempotent and at-least-once by construction.
+func (r *Registry) PutReplica(name string, version int, env *core.Envelope, createdAt time.Time) error {
+	if err := ValidateName(name); err != nil {
+		return err
+	}
+	if version < 1 {
+		return fmt.Errorf("registry: replica version %d invalid", version)
+	}
+	if err := env.Validate(); err != nil {
+		return err
+	}
+	if env.Basis.IsZero() {
+		return fmt.Errorf("registry: replica of %s@v%d has no basis descriptor", name, version)
+	}
+	if createdAt.IsZero() {
+		createdAt = time.Now()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if version <= r.tombstones[name] {
+		return nil
+	}
+	for _, e := range r.models[name] {
+		if e.Version == version {
+			return nil
+		}
+	}
+	e := &Entry{Name: name, Version: version, Envelope: env, CreatedAt: createdAt}
+	if r.dir != "" {
+		var buf bytes.Buffer
+		if err := core.WriteEnvelope(&buf, env); err != nil {
+			return err
+		}
+		if err := persistAtomic(r.dir, entryFile(name, version), buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	r.models[name] = append(r.models[name], e)
+	sort.Slice(r.models[name], func(i, j int) bool {
+		return r.models[name][i].Version < r.models[name][j].Version
+	})
+	if r.onPut != nil {
+		r.onPut(name, version)
+	}
+	return nil
+}
+
+// VersionRecord is one line of a sync manifest: a stored model version and
+// whether a refit checkpoint accompanies it.
+type VersionRecord struct {
+	Name          string    `json:"name"`
+	Version       int       `json:"version"`
+	CreatedAt     time.Time `json:"created_at"`
+	HasCheckpoint bool      `json:"has_checkpoint,omitempty"`
+}
+
+// VersionsAll returns every stored (name, version) pair, sorted by name
+// then version — the registry half of a GET /v1/sync manifest.
+func (r *Registry) VersionsAll() []VersionRecord {
+	r.mu.RLock()
+	var out []VersionRecord
+	for name, versions := range r.models {
+		for _, e := range versions {
+			out = append(out, VersionRecord{
+				Name: name, Version: e.Version, CreatedAt: e.CreatedAt,
+			})
+		}
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Version < out[j].Version
+	})
+	for i := range out {
+		out[i].HasCheckpoint = r.HasCheckpoint(out[i].Name, out[i].Version)
+	}
+	return out
+}
+
+// EnvelopeBytes serializes the stored envelope of name@version for transfer
+// to a replica.
+func (r *Registry) EnvelopeBytes(name string, version int) ([]byte, bool) {
+	e, ok := r.GetVersion(name, version)
+	if !ok {
+		return nil, false
+	}
+	var buf bytes.Buffer
+	if err := core.WriteEnvelope(&buf, e.Envelope); err != nil {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}

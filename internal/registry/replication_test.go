@@ -1,0 +1,276 @@
+package registry
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestPutReplicaExactVersionIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-order arrival: v3 before v1.
+	if err := r.PutReplica("gain", 3, testEnvelope(4, 3), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PutReplica("gain", 1, testEnvelope(4, 1), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	latest, ok := r.Get("gain")
+	if !ok || latest.Version != 3 || latest.Model().Coef[0] != 3 {
+		t.Fatalf("latest = %+v", latest)
+	}
+	if v1, ok := r.GetVersion("gain", 1); !ok || v1.Model().Coef[0] != 1 {
+		t.Fatalf("v1 = %+v", v1)
+	}
+	// Re-storing an existing version is a no-op, even with different bytes:
+	// versions are immutable, so the first write wins (they should be
+	// identical in practice).
+	if err := r.PutReplica("gain", 3, testEnvelope(4, 99), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := r.GetVersion("gain", 3); e.Model().Coef[0] != 3 {
+		t.Fatalf("replica re-put overwrote immutable version: coef %v", e.Model().Coef[0])
+	}
+	// A replica put lands on disk like any other version.
+	if _, err := os.Stat(filepath.Join(dir, "gain@v3.json")); err != nil {
+		t.Fatalf("replica version not persisted: %v", err)
+	}
+	// Rejects nonsense.
+	if err := r.PutReplica("gain", 0, testEnvelope(4, 1), time.Now()); err == nil {
+		t.Error("version 0 accepted")
+	}
+	if err := r.PutReplica("../evil", 1, testEnvelope(4, 1), time.Now()); err == nil {
+		t.Error("path-traversal name accepted")
+	}
+}
+
+func TestPutReplicaFiresOnPut(t *testing.T) {
+	r := New()
+	var gotName string
+	var gotVersion int
+	r.OnPut(func(name string, version int) { gotName, gotVersion = name, version })
+	if err := r.PutReplica("gain", 2, testEnvelope(4, 2), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if gotName != "gain" || gotVersion != 2 {
+		t.Fatalf("OnPut saw %s@v%d, want gain@v2", gotName, gotVersion)
+	}
+}
+
+func TestDeleteTombstonePreventsVersionReuse(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v <= 3; v++ {
+		if _, err := r.Put("gain", testEnvelope(4, float64(v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Delete("gain"); err != nil {
+		t.Fatal(err)
+	}
+	// Republishing must continue past the tombstone, not restart at v1 —
+	// replicas may still hold v1..v3.
+	e, err := r.Put("gain", testEnvelope(4, 44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Version != 4 {
+		t.Fatalf("republished version %d, want 4 (tombstone at 3)", e.Version)
+	}
+	// The tombstone survives a reopen.
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts := r2.Tombstones(); ts["gain"] != 3 {
+		t.Fatalf("tombstones after reopen = %v, want gain:3", ts)
+	}
+	if latest, ok := r2.Get("gain"); !ok || latest.Version != 4 {
+		t.Fatalf("after reopen latest = %+v, want v4", latest)
+	}
+}
+
+func TestApplyTombstoneRemovesCoveredVersions(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v <= 2; v++ {
+		if _, err := r.Put("gain", testEnvelope(4, float64(v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A version published after the delete (on another node) survives.
+	if err := r.PutReplica("gain", 5, testEnvelope(4, 5), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplyTombstone("gain", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.GetVersion("gain", 1); ok {
+		t.Error("v1 survived tombstone at 2")
+	}
+	if _, ok := r.GetVersion("gain", 2); ok {
+		t.Error("v2 survived tombstone at 2")
+	}
+	if latest, ok := r.Get("gain"); !ok || latest.Version != 5 {
+		t.Fatalf("latest = %+v, want v5 to survive", latest)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "gain@v1.json")); !os.IsNotExist(err) {
+		t.Error("tombstoned version file still on disk")
+	}
+	// Sync can never resurrect a covered version.
+	if err := r.PutReplica("gain", 2, testEnvelope(4, 2), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.GetVersion("gain", 2); ok {
+		t.Error("PutReplica resurrected a tombstoned version")
+	}
+	// Lower/equal tombstones are no-ops.
+	if err := r.ApplyTombstone("gain", 1); err != nil {
+		t.Fatal(err)
+	}
+	if ts := r.Tombstones(); ts["gain"] != 2 {
+		t.Fatalf("tombstone regressed: %v", ts)
+	}
+}
+
+func TestApplyTombstoneWholeName(t *testing.T) {
+	r := New()
+	if _, err := r.Put("gain", testEnvelope(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplyTombstone("gain", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get("gain"); ok {
+		t.Error("name should be gone after full tombstone")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	// Tombstoning a name never seen locally still records the marker, so a
+	// later sync won't pull the dead versions.
+	if err := r.ApplyTombstone("phase", 7); err != nil {
+		t.Fatal(err)
+	}
+	if ts := r.Tombstones(); ts["phase"] != 7 {
+		t.Fatalf("tombstones = %v", ts)
+	}
+}
+
+func TestVersionsAllManifest(t *testing.T) {
+	r := New()
+	if _, err := r.Put("b", testEnvelope(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Put("a", testEnvelope(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Put("a", testEnvelope(4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	recs := r.VersionsAll()
+	want := []struct {
+		name    string
+		version int
+	}{{"a", 1}, {"a", 2}, {"b", 1}}
+	if len(recs) != len(want) {
+		t.Fatalf("manifest has %d records, want %d", len(recs), len(want))
+	}
+	for i, w := range want {
+		if recs[i].Name != w.name || recs[i].Version != w.version {
+			t.Fatalf("manifest[%d] = %s@v%d, want %s@v%d",
+				i, recs[i].Name, recs[i].Version, w.name, w.version)
+		}
+		if recs[i].HasCheckpoint {
+			t.Fatalf("manifest[%d] claims a checkpoint that does not exist", i)
+		}
+		if recs[i].CreatedAt.IsZero() {
+			t.Fatalf("manifest[%d] has zero CreatedAt", i)
+		}
+	}
+}
+
+func TestEnvelopeBytesRoundTrip(t *testing.T) {
+	src := New()
+	if _, err := src.Put("gain", testEnvelope(4, 7)); err != nil {
+		t.Fatal(err)
+	}
+	blob, ok := src.EnvelopeBytes("gain", 1)
+	if !ok || len(blob) == 0 {
+		t.Fatal("no envelope bytes")
+	}
+	if _, ok := src.EnvelopeBytes("gain", 9); ok {
+		t.Error("bytes for missing version")
+	}
+}
+
+func TestCheckpointBlobSyncRoundTrip(t *testing.T) {
+	src := New()
+	if _, err := src.Put("gain", testEnvelope(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	ck := testCheckpoint("gain", 1)
+	if err := src.PutCheckpoint(ck); err != nil {
+		t.Fatal(err)
+	}
+	if !src.HasCheckpoint("gain", 1) {
+		t.Fatal("HasCheckpoint misses stored checkpoint")
+	}
+	if src.HasCheckpoint("gain", 2) {
+		t.Fatal("HasCheckpoint invents a checkpoint")
+	}
+	blob, ok := src.CheckpointBlob("gain", 1)
+	if !ok {
+		t.Fatal("no checkpoint blob")
+	}
+
+	dst := New()
+	if err := dst.PutReplica("gain", 1, testEnvelope(2, 1), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.PutCheckpointBlob(blob); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := dst.Checkpoint("gain", 1)
+	if !ok || got.ModelVersion != 1 || got.State == nil {
+		t.Fatalf("synced checkpoint = %+v", got)
+	}
+	// A torn blob is rejected before touching the store.
+	if err := dst.PutCheckpointBlob(blob[:len(blob)/2]); err == nil {
+		t.Error("torn checkpoint blob accepted")
+	}
+}
+
+func TestHasCheckpointLazyDiskProbe(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Put("gain", testEnvelope(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PutCheckpoint(testCheckpoint("gain", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// A reopened registry has nothing cached; HasCheckpoint must see the
+	// file without loading it.
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.HasCheckpoint("gain", 1) {
+		t.Fatal("HasCheckpoint misses on-disk checkpoint after reopen")
+	}
+}

@@ -42,6 +42,14 @@ type ListResponse struct {
 	Models []ModelInfo `json:"models"`
 }
 
+// DeleteResponse acknowledges DELETE /v1/models/{name}: every stored
+// version of the model was removed and a tombstone recorded, so cluster
+// replicas converge to the removal instead of resurrecting it.
+type DeleteResponse struct {
+	Name    string `json:"name"`
+	Deleted bool   `json:"deleted"`
+}
+
 // FitRequest submits an asynchronous fitting job (POST /v1/fit). The
 // dataset is either inline CSV (the mcgen format: header y0..yN-1 then
 // metric columns) or explicit Points plus a single response column Values.

@@ -348,6 +348,10 @@ type jobQueue struct {
 	idem   map[string]*job // Idempotency-Key → original job
 	nextID int
 	closed bool
+	// idPrefix namespaces job IDs with the minting node's cluster member
+	// name ("s1." → "s1.job-000042") so any node can route a poll back to
+	// the shard running the job. Empty on unclustered nodes.
+	idPrefix string
 	// pending counts jobs admitted but not yet released by leaveQueue
 	// (worker pickup or pending-cancel) — the rsmd_job_queue_depth gauge.
 	// Tracked explicitly rather than as len(queue) because a job canceled
@@ -419,7 +423,7 @@ func (q *jobQueue) enqueue(ctx context.Context, j *job) (*job, bool, error) {
 	if len(q.queue) == cap(q.queue) {
 		return nil, false, fmt.Errorf("server: fit queue full (%d pending)", cap(q.queue))
 	}
-	id := fmt.Sprintf("job-%06d", q.nextID+1)
+	id := fmt.Sprintf("%sjob-%06d", q.idPrefix, q.nextID+1)
 	if q.jnl != nil {
 		var payload json.RawMessage
 		var err error
@@ -494,8 +498,13 @@ func (q *jobQueue) restore(j *job, enqueue bool) {
 	}
 }
 
-// jobIDNum parses the numeric suffix of a job-%06d ID.
+// jobIDNum parses the numeric suffix of a job-%06d ID, with or without a
+// node prefix ("s1.job-000042"): the journal replays IDs minted under
+// either naming, and the sequence must advance past both.
 func jobIDNum(id string) (int, bool) {
+	if i := strings.LastIndex(id, "job-"); i > 0 {
+		id = id[i:]
+	}
 	var n int
 	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil || n < 0 {
 		return 0, false

@@ -94,6 +94,9 @@ type metrics struct {
 	// journal tracks the durable job journal: append outcomes plus the
 	// boot-time replay/recovery/quarantine tallies.
 	journal journalCounters
+	// proxy tallies this node's cluster proxy layer; the replicator's own
+	// counters live in cluster.Stats and are read at scrape time.
+	proxy proxyCounters
 
 	// Self-locking histograms for the fit pipeline; kept outside mu so the
 	// fit workers never contend with request accounting.
@@ -123,6 +126,43 @@ type metrics struct {
 	journalFsync *obs.Histogram
 }
 
+// proxyCounters are the mu-guarded cluster proxy-layer tallies.
+type proxyCounters struct {
+	forwards      map[string]int64 // requests proxied to their owning shard, by route kind
+	forwardErrors int64            // forwards that failed (peer down or unreachable)
+	redirects     int64            // job polls answered with a 307 to the minting shard
+	replicaReads  int64            // reads served from a local replica under a satisfied min-version
+}
+
+// countForward tallies one request proxied to its owning shard.
+func (m *metrics) countForward(kind string) {
+	m.mu.Lock()
+	m.proxy.forwards[kind]++
+	m.mu.Unlock()
+}
+
+// countForwardError tallies one forward that failed because the owning
+// shard was down, unreachable, or backing off.
+func (m *metrics) countForwardError() {
+	m.mu.Lock()
+	m.proxy.forwardErrors++
+	m.mu.Unlock()
+}
+
+// countRedirect tallies one job poll redirected to the minting shard.
+func (m *metrics) countRedirect() {
+	m.mu.Lock()
+	m.proxy.redirects++
+	m.mu.Unlock()
+}
+
+// countReplicaRead tallies one read served locally from a synced replica.
+func (m *metrics) countReplicaRead() {
+	m.mu.Lock()
+	m.proxy.replicaReads++
+	m.mu.Unlock()
+}
+
 // journalCounters are the mu-guarded durable-journal tallies.
 type journalCounters struct {
 	appends      int64 // records durably appended (write + fsync succeeded)
@@ -148,6 +188,7 @@ func newMetrics() *metrics {
 		stageDuration:   make(map[string]*obs.Histogram, len(pipeline.Stages)),
 		journalFsync:    obs.NewHistogram(journalFsyncBounds...),
 	}
+	m.proxy.forwards = make(map[string]int64)
 	for _, stage := range pipeline.Stages {
 		m.stageDuration[stage] = obs.NewHistogram(pipelineStageBounds...)
 	}
@@ -353,7 +394,7 @@ type journalStatus struct {
 
 // Snapshot renders the current state as a JSON-encodable tree. Histogram
 // buckets are cumulative, matching their Prometheus-style `le` naming.
-func (m *metrics) Snapshot(models, queueDepth int, cache cacheStats, jnl journalStatus, traces trace.Stats) map[string]any {
+func (m *metrics) Snapshot(models, queueDepth int, cache cacheStats, jnl journalStatus, traces trace.Stats, cl *clusterExposition) map[string]any {
 	m.mu.Lock()
 	routes := make(map[string]any, len(m.routes))
 	for route, rs := range m.routes {
@@ -405,6 +446,11 @@ func (m *metrics) Snapshot(models, queueDepth int, cache cacheStats, jnl journal
 		"requests_shed":    m.shed,
 	}
 	jc := m.journal
+	forwards := make(map[string]int64, len(m.proxy.forwards))
+	for kind, n := range m.proxy.forwards {
+		forwards[kind] = n
+	}
+	px := m.proxy
 	m.mu.Unlock()
 	refines["fit_seconds_warm"] = m.refineFitWarm.Snapshot().JSON()
 	refines["fit_seconds_cold"] = m.refineFitCold.Snapshot().JSON()
@@ -413,6 +459,17 @@ func (m *metrics) Snapshot(models, queueDepth int, cache cacheStats, jnl journal
 		stageDur[stage] = m.stageDuration[stage].Snapshot().JSON()
 	}
 	pipelines["stage_duration_seconds"] = stageDur
+	clusterJSON := map[string]any{
+		"enabled":        cl != nil,
+		"forwards":       forwards,
+		"forward_errors": px.forwardErrors,
+		"redirects":      px.redirects,
+		"replica_reads":  px.replicaReads,
+	}
+	if cl != nil {
+		clusterJSON["node"] = cl.node
+		clusterJSON["replication"] = cl.stats
+	}
 
 	return map[string]any{
 		"uptime_seconds": time.Since(m.start).Seconds(),
@@ -452,6 +509,7 @@ func (m *metrics) Snapshot(models, queueDepth int, cache cacheStats, jnl journal
 			"bytes": ckBytes,
 		},
 		"incidents": incidents,
+		"cluster":   clusterJSON,
 		"journal": map[string]any{
 			"enabled":          jnl.enabled,
 			"degraded":         jnl.degraded,
@@ -477,7 +535,7 @@ func (m *metrics) Snapshot(models, queueDepth int, cache cacheStats, jnl journal
 
 // writePrometheus renders the same state as Prometheus text exposition
 // (format version 0.0.4) with cumulative le buckets.
-func (m *metrics) writePrometheus(w io.Writer, models, queueDepth int, cache cacheStats, jnl journalStatus, traces trace.Stats) error {
+func (m *metrics) writePrometheus(w io.Writer, models, queueDepth int, cache cacheStats, jnl journalStatus, traces trace.Stats, cl *clusterExposition) error {
 	pw := obs.NewPromWriter(w)
 
 	pw.Meta("rsmd_build_info", "gauge", "Build identity; always 1, labeled with version and Go toolchain.")
@@ -536,6 +594,11 @@ func (m *metrics) writePrometheus(w io.Writer, models, queueDepth int, cache cac
 	activePipelines, samplesSimulated := m.activePipelines, m.samplesSimulated
 	panics, shed := m.panics, m.shed
 	jc := m.journal
+	forwards := make([]int64, len(forwardKinds))
+	for i, kind := range forwardKinds {
+		forwards[i] = m.proxy.forwards[kind]
+	}
+	px := m.proxy
 	m.mu.Unlock()
 
 	pw.Meta("rsmd_http_requests_total", "counter", "Requests served, by route.")
@@ -630,6 +693,41 @@ func (m *metrics) writePrometheus(w io.Writer, models, queueDepth int, cache cac
 	pw.Sample("rsmd_journal_jobs_recovered_total", "", float64(jc.recovered))
 	pw.Meta("rsmd_journal_jobs_quarantined_total", "counter", "Replayed jobs retired by the crash-loop guard.")
 	pw.Sample("rsmd_journal_jobs_quarantined_total", "", float64(jc.quarantined))
+
+	pw.Meta("rsmd_cluster_enabled", "gauge", "1 when this node is part of a shard ring.")
+	pw.Sample("rsmd_cluster_enabled", "", boolGauge(cl != nil))
+	pw.Meta("rsmd_cluster_forwards_total", "counter", "Requests proxied to their owning shard, by route kind.")
+	for i, kind := range forwardKinds {
+		pw.Sample("rsmd_cluster_forwards_total", obs.Label("kind", kind), float64(forwards[i]))
+	}
+	pw.Meta("rsmd_cluster_forward_errors_total", "counter", "Forwards that failed because the owning shard was down or unreachable.")
+	pw.Sample("rsmd_cluster_forward_errors_total", "", float64(px.forwardErrors))
+	pw.Meta("rsmd_cluster_redirects_total", "counter", "Job polls redirected to the shard that minted the job ID.")
+	pw.Sample("rsmd_cluster_redirects_total", "", float64(px.redirects))
+	pw.Meta("rsmd_cluster_replica_reads_total", "counter", "Reads served from a local replica under a satisfied min-version floor.")
+	pw.Sample("rsmd_cluster_replica_reads_total", "", float64(px.replicaReads))
+	if cl != nil {
+		pw.Meta("rsmd_cluster_node_info", "gauge", "Ring identity of this node; always 1.")
+		pw.Sample("rsmd_cluster_node_info", obs.Label("node", cl.node), 1)
+		pw.Meta("rsmd_cluster_syncs_total", "counter", "Replicator pull rounds completed.")
+		pw.Sample("rsmd_cluster_syncs_total", "", float64(cl.stats.Syncs))
+		pw.Meta("rsmd_cluster_sync_errors_total", "counter", "Replicator pull rounds that failed against a peer.")
+		pw.Sample("rsmd_cluster_sync_errors_total", "", float64(cl.stats.SyncErrors))
+		pw.Meta("rsmd_cluster_versions_pulled_total", "counter", "Model versions replicated in from peers.")
+		pw.Sample("rsmd_cluster_versions_pulled_total", "", float64(cl.stats.VersionsPulled))
+		pw.Meta("rsmd_cluster_checkpoints_pulled_total", "counter", "Fit checkpoints replicated in alongside their model versions.")
+		pw.Sample("rsmd_cluster_checkpoints_pulled_total", "", float64(cl.stats.CheckpointsPulled))
+		pw.Meta("rsmd_cluster_tombstones_applied_total", "counter", "Peer delete tombstones applied to the local replica set.")
+		pw.Sample("rsmd_cluster_tombstones_applied_total", "", float64(cl.stats.TombstonesApplied))
+		pw.Meta("rsmd_cluster_peer_up", "gauge", "1 while the peer is dialable (not in failure backoff), by peer.")
+		for _, p := range cl.stats.Peers {
+			pw.Sample("rsmd_cluster_peer_up", obs.Label("peer", p.Name), boolGauge(p.Healthy))
+		}
+		pw.Meta("rsmd_cluster_peer_lag_versions", "gauge", "Versions the peer advertises that are still missing locally, by peer.")
+		for _, p := range cl.stats.Peers {
+			pw.Sample("rsmd_cluster_peer_lag_versions", obs.Label("peer", p.Name), float64(p.LagVersions))
+		}
+	}
 
 	pw.Meta("rsmd_panics_recovered_total", "counter", "Recovered panics (handlers and fit workers).")
 	pw.Sample("rsmd_panics_recovered_total", "", float64(panics))

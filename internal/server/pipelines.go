@@ -36,11 +36,17 @@ func (s *Server) runJob(j *job) {
 // in the worker's parse/space stages and lands the job in state failed.
 func (s *Server) handlePipelineSubmit(w http.ResponseWriter, r *http.Request) {
 	var req PipelineRequest
-	if !decodeBody(w, r, &req) {
+	raw, ok := decodeBodyRaw(w, r, &req)
+	if !ok {
 		return
 	}
 	if err := registry.ValidateName(req.Name); err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// A pipeline publishes its model at the end, so the whole job runs on
+	// the shard that owns the target name.
+	if s.forwardOwned(w, r, "pipeline", req.Name, raw) {
 		return
 	}
 	if req.Netlist == "" {
@@ -86,6 +92,9 @@ func (s *Server) handlePipelineSubmit(w http.ResponseWriter, r *http.Request) {
 // so the two resources stay distinct even though they share an ID space.
 func (s *Server) lookupPipelineJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
 	id := r.PathValue("id")
+	if s.redirectJob(w, r, id) {
+		return nil, false
+	}
 	j, ok := s.jobs.get(id)
 	if !ok || j.kind != JobKindPipeline {
 		writeErr(w, http.StatusNotFound, "unknown pipeline %q", id)

@@ -192,7 +192,7 @@ func TestMicroBatchCoalescesAndDemuxes(t *testing.T) {
 	if coalesced < 2 {
 		t.Fatalf("no coalescing observed (max coalesced = %d)", coalesced)
 	}
-	snap := s.metrics.Snapshot(reg.Len(), 0, s.predCache.stats(), journalStatus{}, trace.Stats{})
+	snap := s.metrics.Snapshot(reg.Len(), 0, s.predCache.stats(), journalStatus{}, trace.Stats{}, nil)
 	hist := snap["predict_coalescing"].(map[string]any)["requests_per_batch"].(map[string]any)
 	if hist["count"].(int64) < 1 {
 		t.Fatalf("coalescing histogram recorded no flushes: %v", hist)
@@ -346,7 +346,7 @@ func TestPredictionCounterOnlyAfterWrite(t *testing.T) {
 		t.Fatal(err)
 	}
 	predictions := func() int64 {
-		snap := s.metrics.Snapshot(reg.Len(), 0, s.predCache.stats(), journalStatus{}, trace.Stats{})
+		snap := s.metrics.Snapshot(reg.Len(), 0, s.predCache.stats(), journalStatus{}, trace.Stats{}, nil)
 		return snap["predictions"].(map[string]int64)["hot"]
 	}
 
@@ -389,7 +389,7 @@ func TestPredictCacheDisabled(t *testing.T) {
 		t.Fatalf("values %v, want [5]", pr.Values)
 	}
 	var buf bytes.Buffer
-	if err := s.metrics.writePrometheus(&buf, reg.Len(), 0, s.predCache.stats(), journalStatus{}, trace.Stats{}); err != nil {
+	if err := s.metrics.writePrometheus(&buf, reg.Len(), 0, s.predCache.stats(), journalStatus{}, trace.Stats{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "rsmd_predictor_cache_capacity 0") {

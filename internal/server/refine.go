@@ -30,6 +30,11 @@ const (
 // training set the refine appends to. Everything dataset-dependent happens
 // in the worker.
 func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
+	// Refine mutates the model, so it always runs on the owning shard —
+	// the body streams through before it is decoded here.
+	if s.forwardOwned(w, r, "refine", r.PathValue("name"), nil) {
+		return
+	}
 	e, ok := s.lookupModel(w, r)
 	if !ok {
 		return

@@ -41,6 +41,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"math"
 	"net/http"
@@ -48,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/journal"
@@ -134,6 +136,14 @@ type Config struct {
 	// Logger receives the server's structured logs (default slog.Default()).
 	// Request-scoped loggers derived from it carry request_id and route.
 	Logger *slog.Logger
+	// Cluster wires this node into a shard ring: model-keyed routes are
+	// forwarded to their owning shard, job IDs are minted with this node's
+	// member name so polls through any node redirect home, the GET /v1/sync
+	// protocol serves peers, and the background replicator pulls missing
+	// versions. nil (the default) serves everything locally. The server owns
+	// the cluster's lifecycle: New starts its replicator, Close/Shutdown stop
+	// it.
+	Cluster *cluster.Cluster
 }
 
 func (c Config) withDefaults() Config {
@@ -192,9 +202,11 @@ type Server struct {
 	jobs      *jobQueue
 	jnl       *journal.Journal // nil when JournalDir is empty
 	metrics   *metrics
-	predCache *predictorCache // nil when caching is disabled
-	batcher   *microBatcher   // nil when micro-batching is disabled
-	traces    *trace.Store    // nil when tracing is disabled
+	predCache *predictorCache  // nil when caching is disabled
+	batcher   *microBatcher    // nil when micro-batching is disabled
+	traces    *trace.Store     // nil when tracing is disabled
+	cluster   *cluster.Cluster // nil when unclustered
+	proxyHTTP *http.Client     // client for forwarded proxy hops
 	log       *slog.Logger
 	mux       *http.ServeMux
 	draining  atomic.Bool
@@ -210,6 +222,14 @@ func New(reg *registry.Registry, cfg Config) (*Server, error) {
 		cfg:      cfg.withDefaults(),
 		registry: reg,
 		metrics:  newMetrics(),
+		cluster:  cfg.Cluster,
+		// Forwarded hops never follow redirects themselves: a 307 minted by
+		// the owning shard (job-poll affinity) belongs to the client.
+		proxyHTTP: &http.Client{
+			CheckRedirect: func(*http.Request, []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
+		},
 	}
 	s.log = s.cfg.Logger
 	if s.log == nil {
@@ -241,6 +261,11 @@ func New(reg *registry.Registry, cfg Config) (*Server, error) {
 		depth += len(replay.Live())
 	}
 	s.jobs = newJobQueue(depth, s.metrics.countJobEnd, s.jnl, s.log)
+	if s.cluster != nil && s.cluster.SelfName() != "" {
+		// Node-prefixed job IDs ("s1.job-000042") let any node in the ring
+		// route a poll back to the shard that runs the job.
+		s.jobs.idPrefix = s.cluster.SelfName() + "."
+	}
 	if replay != nil {
 		s.recoverJournal(replay)
 	}
@@ -267,6 +292,7 @@ func New(reg *registry.Registry, cfg Config) (*Server, error) {
 	route("POST /v1/models", s.handleUpload)
 	route("GET /v1/models", s.handleList)
 	route("GET /v1/models/{name}", s.handleModelInfo)
+	route("DELETE /v1/models/{name}", s.handleModelDelete)
 	route("POST /v1/models/{name}/predict", s.handlePredict)
 	route("POST /v1/models/{name}/yield", s.handleYield)
 	route("POST /v1/models/{name}/refine", s.handleRefine)
@@ -283,9 +309,17 @@ func New(reg *registry.Registry, cfg Config) (*Server, error) {
 	// request deadline so a tail can outlive RequestTimeout.
 	mux.HandleFunc("GET /v1/jobs/{id}/events",
 		s.trace("GET /v1/jobs/{id}/events", s.protectStreaming("GET /v1/jobs/{id}/events", s.handleJobEvents)))
+	// The sync protocol serves peers' replicators; it answers on
+	// unclustered nodes too, so a single-node registry can be drained into
+	// a cluster.
+	route("GET /v1/sync", s.handleSyncManifest)
+	route("GET /v1/sync/models/{name}/{version}", s.handleSyncEntry)
 	route("GET /metrics", s.handleMetrics)
 	route("GET /healthz", s.handleHealth)
 	s.mux = mux
+	if s.cluster != nil {
+		s.cluster.Start()
+	}
 	return s, nil
 }
 
@@ -293,6 +327,9 @@ func New(reg *registry.Registry, cfg Config) (*Server, error) {
 // they take. Shutdown is the bounded variant.
 func (s *Server) Close() {
 	s.draining.Store(true)
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
 	s.jobs.close()
 	s.closeJournal()
 }
@@ -318,6 +355,9 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 // ctx.Err() when the budget ran out, nil when everything drained in time.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
 	err := s.jobs.shutdown(ctx)
 	s.closeJournal()
 	return err
@@ -353,6 +393,24 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 		return false
 	}
 	return true
+}
+
+// decodeBodyRaw is decodeBody for handlers whose routing key lives in the
+// body: it buffers the raw bytes so the request can still be forwarded
+// verbatim to the owning shard after the name was decoded locally.
+func decodeBodyRaw(w http.ResponseWriter, r *http.Request, v any) ([]byte, bool) {
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "read request body: %v", err)
+		return nil, false
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return nil, false
+	}
+	return raw, true
 }
 
 // modelInfo summarizes a registry entry for API responses.
@@ -401,11 +459,15 @@ func (s *Server) lookupModel(w http.ResponseWriter, r *http.Request) (*registry.
 // handleUpload stores a pre-fitted serialized model under a name.
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	var req UploadRequest
-	if !decodeBody(w, r, &req) {
+	raw, ok := decodeBodyRaw(w, r, &req)
+	if !ok {
 		return
 	}
 	if err := registry.ValidateName(req.Name); err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.forwardOwned(w, r, "upload", req.Name, raw) {
 		return
 	}
 	if len(req.Model) == 0 {
@@ -441,6 +503,9 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 
 // handleModelInfo describes the latest version of one model.
 func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
+	if s.routeRead(w, r, "info", r.PathValue("name")) {
+		return
+	}
 	e, ok := s.lookupModel(w, r)
 	if !ok {
 		return
@@ -457,6 +522,11 @@ func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
 // coordinates) with the offending row index before any evaluation work
 // happens.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	// Routing comes before shedding: this node's fit-queue pressure is no
+	// reason to reject a request another shard will serve.
+	if s.routeRead(w, r, "predict", r.PathValue("name")) {
+		return
+	}
 	if s.shed(w) {
 		return
 	}
@@ -525,6 +595,9 @@ func (s *Server) predictValues(ctx context.Context, e *registry.Entry, cp *core.
 // handleYield estimates parametric yield, moments and quantiles for one
 // model via virtual Monte Carlo.
 func (s *Server) handleYield(w http.ResponseWriter, r *http.Request) {
+	if s.routeRead(w, r, "yield", r.PathValue("name")) {
+		return
+	}
 	if s.shed(w) {
 		return
 	}
@@ -598,11 +671,15 @@ func (s *Server) handleYield(w http.ResponseWriter, r *http.Request) {
 // handleFit validates and enqueues an async fit job.
 func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	var req FitRequest
-	if !decodeBody(w, r, &req) {
+	raw, ok := decodeBodyRaw(w, r, &req)
+	if !ok {
 		return
 	}
 	if err := registry.ValidateName(req.Name); err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.forwardOwned(w, r, "fit", req.Name, raw) {
 		return
 	}
 	// Normalize defaults and reject cheaply detectable bad requests
@@ -674,6 +751,9 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 // handleJob reports a fit job's status.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.redirectJob(w, r, id) {
+		return
+	}
 	j, ok := s.jobs.get(id)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown job %q", id)
@@ -688,6 +768,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // that already finished is a no-op that returns its terminal status.
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.redirectJob(w, r, id) {
+		return
+	}
 	j, ok := s.jobs.cancelJob(id, "canceled by client request")
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown job %q", id)
@@ -703,12 +786,12 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if wantsPrometheus(r) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := s.metrics.writePrometheus(w, s.registry.Len(), s.jobs.depth(), s.predCache.stats(), s.journalStatus(), s.traces.Stats()); err != nil {
+		if err := s.metrics.writePrometheus(w, s.registry.Len(), s.jobs.depth(), s.predCache.stats(), s.journalStatus(), s.traces.Stats(), s.clusterStats()); err != nil {
 			obs.Log(r.Context()).Error("metrics exposition write failed", "error", err)
 		}
 		return
 	}
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.registry.Len(), s.jobs.depth(), s.predCache.stats(), s.journalStatus(), s.traces.Stats()))
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.registry.Len(), s.jobs.depth(), s.predCache.stats(), s.journalStatus(), s.traces.Stats(), s.clusterStats()))
 }
 
 // journalStatus reads the live durable-journal state for the exposition

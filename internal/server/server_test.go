@@ -389,7 +389,7 @@ func TestConcurrentPredicts(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	snap := s.metrics.Snapshot(1, 0, s.predCache.stats(), journalStatus{}, trace.Stats{})
+	snap := s.metrics.Snapshot(1, 0, s.predCache.stats(), journalStatus{}, trace.Stats{}, nil)
 	preds := snap["predictions"].(map[string]int64)
 	if preds["lin"] != clients*20*2 {
 		t.Fatalf("prediction counter %d, want %d", preds["lin"], clients*20*2)

@@ -156,6 +156,9 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
+	if s.redirectJob(w, r, id) {
+		return
+	}
 	j, ok := s.jobs.get(id)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown job %q", id)
@@ -180,6 +183,9 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 // the wire shape does not.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.redirectJob(w, r, id) {
+		return
+	}
 	j, ok := s.jobs.get(id)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown job %q", id)

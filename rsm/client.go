@@ -42,6 +42,8 @@ type (
 	JobStatus = server.JobStatus
 	// ModelInfo summarizes a stored model version.
 	ModelInfo = server.ModelInfo
+	// DeleteResponse acknowledges a model delete.
+	DeleteResponse = server.DeleteResponse
 	// PredictResponse carries batched model values plus the version that
 	// produced them and the micro-batch coalescing count.
 	PredictResponse = server.PredictResponse
@@ -185,6 +187,12 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 
 // doWith is do with an optional Idempotency-Key attached to every attempt.
 func (c *Client) doWith(ctx context.Context, method, path, idemKey string, in, out any, idempotent bool) error {
+	return c.doHeaders(ctx, method, path, idemKey, nil, in, out, idempotent)
+}
+
+// doHeaders is doWith with extra request headers attached to every attempt
+// (the cluster read-your-writes floor rides here).
+func (c *Client) doHeaders(ctx context.Context, method, path, idemKey string, hdr http.Header, in, out any, idempotent bool) error {
 	var data []byte
 	if in != nil {
 		var err error
@@ -211,7 +219,7 @@ func (c *Client) doWith(ctx context.Context, method, path, idemKey string, in, o
 			case <-t.C:
 			}
 		}
-		status, err := c.doOnce(ctx, method, path, requestID, idemKey, data, in != nil, out)
+		status, err := c.doOnce(ctx, method, path, requestID, idemKey, hdr, data, in != nil, out)
 		if err == nil {
 			return nil
 		}
@@ -248,6 +256,17 @@ func RequestID(err error) string {
 	return ""
 }
 
+// StatusCode extracts the HTTP status of the failed exchange from an error
+// returned by a Client method, or 0 when the error carries none (transport
+// failure, context cancellation). Load tools use it to separate definitive
+// 4xx rejections from serving failures.
+func StatusCode(err error) int {
+	if he, ok := err.(*httpError); ok {
+		return he.status
+	}
+	return 0
+}
+
 // lastRetryAfter extracts the Retry-After hint from a previous attempt's
 // error, if any.
 func lastRetryAfter(err error) time.Duration {
@@ -259,7 +278,7 @@ func lastRetryAfter(err error) time.Duration {
 
 // doOnce runs a single HTTP round trip. status is 0 when the request never
 // produced a response (transport error).
-func (c *Client) doOnce(ctx context.Context, method, path, requestID, idemKey string, data []byte, hasBody bool, out any) (int, error) {
+func (c *Client) doOnce(ctx context.Context, method, path, requestID, idemKey string, hdr http.Header, data []byte, hasBody bool, out any) (int, error) {
 	var body io.Reader
 	if hasBody {
 		body = bytes.NewReader(data)
@@ -267,6 +286,11 @@ func (c *Client) doOnce(ctx context.Context, method, path, requestID, idemKey st
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return 0, fmt.Errorf("rsm: %s %s: %w", method, path, err)
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Set(k, v)
+		}
 	}
 	req.Header.Set(obs.RequestIDHeader, requestID)
 	if idemKey != "" {
@@ -611,6 +635,39 @@ func (c *Client) PredictInfo(ctx context.Context, name string, points [][]float6
 	var resp PredictResponse
 	req := server.PredictRequest{Points: points}
 	if err := c.do(ctx, http.MethodPost, "/v1/models/"+name+"/predict", req, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// PredictAtLeast evaluates the model like PredictInfo, but pins a version
+// floor for read-your-writes across a cluster: the node answering serves
+// from its local replica only when it already holds at least minVersion of
+// the model (the version UploadModel or a refine returned), and forwards
+// to the owning shard otherwise — a just-published version is never read
+// back older through a lagging replica. Against a single unclustered
+// daemon the floor is a no-op.
+func (c *Client) PredictAtLeast(ctx context.Context, name string, minVersion int, points [][]float64) (*PredictResponse, error) {
+	var resp PredictResponse
+	req := server.PredictRequest{Points: points}
+	hdr := http.Header{}
+	if minVersion > 0 {
+		hdr.Set("X-RSM-Min-Version", strconv.Itoa(minVersion))
+	}
+	if err := c.doHeaders(ctx, http.MethodPost, "/v1/models/"+name+"/predict", "", hdr, req, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// DeleteModel removes every stored version of the named model. In a
+// cluster the delete lands on the owning shard and propagates to replicas
+// as a tombstone, so the name's dead version numbers are never reused.
+// Deleting is idempotent from the caller's perspective, but an unknown
+// name is an error.
+func (c *Client) DeleteModel(ctx context.Context, name string) (*DeleteResponse, error) {
+	var resp DeleteResponse
+	if err := c.do(ctx, http.MethodDelete, "/v1/models/"+name, nil, &resp, true); err != nil {
 		return nil, err
 	}
 	return &resp, nil

@@ -1,0 +1,154 @@
+package rsm_test
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/registry"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/rsm"
+)
+
+// startClusterPair boots a 2-node shard ring on real ports and returns the
+// node base URLs plus a ring handle for ownership lookups. The client under
+// test talks only to node 0; ownership on node 1 forces every request
+// through the proxy/redirect path.
+func startClusterPair(t *testing.T) (urls [2]string, ring *cluster.Cluster) {
+	t.Helper()
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	var lns [2]net.Listener
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	for i := range lns {
+		reg := registry.New()
+		cl, err := cluster.New(reg, cluster.Config{
+			Self: urls[i], Peers: urls[:], SyncInterval: -1, Logger: quiet,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(reg, server.Config{FitWorkers: 1, Cluster: cl, Logger: quiet})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(lns[i]) //nolint:errcheck // closed in cleanup
+		t.Cleanup(func() {
+			hs.Close()
+			srv.Close()
+		})
+		if i == 0 {
+			ring = cl
+		}
+	}
+	return urls, ring
+}
+
+// modelOn finds a name the ring assigns to the node at ownerURL.
+func modelOn(t *testing.T, ring *cluster.Cluster, ownerURL, prefix string) string {
+	t.Helper()
+	for k := 0; k < 10000; k++ {
+		name := prefix + "-" + string(rune('a'+k%26)) + string(rune('0'+k/26%10)) + string(rune('0'+k/260))
+		if _, url, _ := ring.Owner(name); url == ownerURL {
+			return name
+		}
+	}
+	t.Fatalf("no model name owned by %s", ownerURL)
+	return ""
+}
+
+// TestClientFollowsClusterRedirects is the regression test for job
+// affinity: a fit or refine submitted through one node lives on the owning
+// shard, and WaitJob/WaitRefine — polling a *different* node — must follow
+// the 307 home instead of reporting the job missing.
+func TestClientFollowsClusterRedirects(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	urls, ring := startClusterPair(t)
+	c := rsm.NewClient(urls[0])
+	name := modelOn(t, ring, urls[1], "redirfit")
+
+	src := rng.New(7)
+	pts, vals := noisyLinear(src, 40, 0.3)
+	fitID, err := c.SubmitFit(ctx, rsm.FitRequest{Name: name, Points: pts, Values: vals, MaxLambda: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ID is minted by the owning shard, not the node we submitted to.
+	if i := strings.Index(fitID, "."); i < 0 {
+		t.Fatalf("job id %q carries no node prefix", fitID)
+	}
+	st, err := c.WaitJob(ctx, fitID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitJob across nodes: %v", err)
+	}
+	if st.State != rsm.JobDone {
+		t.Fatalf("fit state %s (%s), want done", st.State, st.Error)
+	}
+
+	newPts, newVals := noisyLinear(src, 120, 0.01)
+	refID, err := c.Refine(ctx, name, rsm.RefineRequest{Points: newPts, Values: newVals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rst, err := c.WaitRefine(ctx, refID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitRefine across nodes: %v", err)
+	}
+	if rst.Refine == nil || rst.Refine.Outcome != rsm.RefineImproved {
+		t.Fatalf("refine result %+v, want improved", rst.Refine)
+	}
+}
+
+// TestClientClusterPredictAtLeastAndDelete: PredictAtLeast carries the
+// read-your-writes floor through any node, and DeleteModel reaches the
+// owner from anywhere.
+func TestClientClusterPredictAtLeastAndDelete(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	urls, ring := startClusterPair(t)
+	c := rsm.NewClient(urls[0])
+	name := modelOn(t, ring, urls[1], "rywdel")
+
+	info, err := c.UploadModel(ctx, name, envelopeFor(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 {
+		t.Fatalf("uploaded version %d, want 1", info.Version)
+	}
+	// Pin the read to the version the publish returned: f = 2·y0 − 3·y1.
+	resp, err := c.PredictAtLeast(ctx, name, info.Version, [][]float64{{1, 0, 0}, {0, 1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Version != 1 || len(resp.Values) != 2 || resp.Values[0] != 2 || resp.Values[1] != -3 {
+		t.Fatalf("pinned predict %+v, want v1 values [2 -3]", resp)
+	}
+
+	dr, err := c.DeleteModel(ctx, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dr.Deleted || dr.Name != name {
+		t.Fatalf("delete response %+v", dr)
+	}
+	if _, err := c.Predict(ctx, name, [][]float64{{1, 0, 0}}); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Fatalf("predict after delete: %v, want 404", err)
+	}
+}
